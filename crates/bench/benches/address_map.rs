@@ -1,0 +1,48 @@
+//! Microbenchmarks of the address interleave maps: decode and encode for
+//! the three standard field orders, on the paper's 4-link geometry.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hmc_types::address::{AddressMap, DecodedAddr};
+use hmc_types::{BankFirstMap, DeviceConfig, LinearMap, LowInterleaveMap, PhysAddr};
+
+fn bench_decode(c: &mut Criterion) {
+    let g = DeviceConfig::paper_4link_8bank_2gb().geometry();
+    let maps: Vec<(&str, Box<dyn AddressMap>)> = vec![
+        ("low_interleave", Box::new(LowInterleaveMap::new(g).unwrap())),
+        ("bank_first", Box::new(BankFirstMap::new(g).unwrap())),
+        ("linear", Box::new(LinearMap::new(g).unwrap())),
+    ];
+    let mut group = c.benchmark_group("address_decode");
+    for (name, map) in &maps {
+        group.bench_function(*name, |b| {
+            let mut addr = 0x12345u64;
+            b.iter(|| {
+                addr = (addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+                    % g.capacity_bytes();
+                map.decode(PhysAddr::new_truncating(black_box(addr))).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let g = DeviceConfig::paper_4link_8bank_2gb().geometry();
+    let map = LowInterleaveMap::new(g).unwrap();
+    c.bench_function("address_encode/low_interleave", |b| {
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 1) % g.rows;
+            map.encode(black_box(DecodedAddr {
+                vault: (row % 16) as u16,
+                bank: (row % 8) as u16,
+                row,
+                offset: 32,
+            }))
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_decode, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Simulator-engine throughput: host wall-clock cost per simulated cycle,
+//! idle and under random-access load, for 4- and 8-link devices.
+//!
+//! This is the quantity that determines whether the paper's 33.5-million-
+//! request Table I runs are tractable; regressions here directly stretch
+//! full-scale reproduction time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hmc_bench::harness::{paper_setup, SetupOptions};
+use hmc_types::{BlockSize, DeviceConfig};
+use hmc_workloads::{RandomAccess, Workload};
+
+fn bench_idle_clock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clock_idle");
+    g.throughput(Throughput::Elements(1));
+    for (name, cfg) in [
+        ("4link", DeviceConfig::paper_4link_8bank_2gb()),
+        ("8link", DeviceConfig::paper_8link_16bank_8gb()),
+    ] {
+        let (mut sim, _host) = paper_setup(cfg, SetupOptions::default(), None);
+        g.bench_function(name, |b| b.iter(|| sim.clock().unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_loaded_clock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clock_loaded");
+    g.sample_size(20);
+    // Each iteration: keep the device saturated and run 64 cycles.
+    g.throughput(Throughput::Elements(64));
+    for (name, cfg) in [
+        ("4link_8bank", DeviceConfig::paper_4link_8bank_2gb()),
+        ("8link_16bank", DeviceConfig::paper_8link_16bank_8gb()),
+    ] {
+        let (mut sim, mut host) = paper_setup(cfg, SetupOptions::default(), None);
+        let mut workload = RandomAccess::new(1, 2 << 30, BlockSize::B64, 50, u64::MAX / 2);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    for _ in 0..64 {
+                        // Inject until back-pressure, clock, drain — the
+                        // §VI.A harness inner loop.
+                        loop {
+                            let op = workload.next_op().expect("endless workload");
+                            if !host.try_issue(&mut sim, 0, &op).unwrap() {
+                                break;
+                            }
+                        }
+                        sim.clock().unwrap();
+                        host.drain(&mut sim).unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_idle_clock, bench_loaded_clock);
+criterion_main!(benches);

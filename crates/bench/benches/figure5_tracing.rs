@@ -1,0 +1,56 @@
+//! Figure 5 tracing cost: the same random-access run with tracing off,
+//! stall-level, full-level into a counting sink, and full-level into the
+//! Figure 5 series collector. Quantifies what "enable all the possible
+//! internal tracing outputs" (§VI.B) costs the simulation engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmc_bench::harness::{paper_setup, paper_workload, SetupOptions};
+use hmc_host::{run_workload, RunConfig};
+use hmc_trace::{CountingSink, SeriesCollector, SharedSink, TraceSink, Verbosity};
+use hmc_types::{DeviceConfig, StorageMode};
+
+const SCALE: u64 = 4096; // 8,192 requests per iteration
+
+fn run_once(verbosity: Verbosity, sink: Option<Box<dyn TraceSink>>) {
+    let opts = SetupOptions {
+        verbosity,
+        storage: StorageMode::TimingOnly,
+    };
+    let (mut sim, mut host) = paper_setup(DeviceConfig::paper_4link_8bank_2gb(), opts, sink);
+    let mut w = paper_workload(1, SCALE);
+    run_workload(&mut sim, &mut host, &mut w, RunConfig::default()).unwrap();
+}
+
+fn bench_tracing_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure5_tracing");
+    g.sample_size(10);
+    g.bench_function("off", |b| b.iter(|| run_once(Verbosity::Off, None)));
+    g.bench_function("stalls_counting", |b| {
+        b.iter(|| {
+            run_once(
+                Verbosity::Stalls,
+                Some(Box::new(SharedSink::new(CountingSink::default()))),
+            )
+        })
+    });
+    g.bench_function("full_counting", |b| {
+        b.iter(|| {
+            run_once(
+                Verbosity::Full,
+                Some(Box::new(SharedSink::new(CountingSink::default()))),
+            )
+        })
+    });
+    g.bench_function("full_series", |b| {
+        b.iter(|| {
+            run_once(
+                Verbosity::Full,
+                Some(Box::new(SharedSink::new(SeriesCollector::new(16, 16)))),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracing_levels);
+criterion_main!(benches);

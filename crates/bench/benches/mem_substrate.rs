@@ -1,0 +1,71 @@
+//! Microbenchmarks of the memory substrate: sparse-store reads/writes,
+//! bank operations with row-buffer accounting, and atomics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hmc_mem::{Bank, SparseStore};
+use hmc_types::config::StorageMode;
+
+fn bench_sparse_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_store");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("write_64B_hot_page", |b| {
+        let mut s = SparseStore::new(1 << 30);
+        let data = [0xa5u8; 64];
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset = (offset + 64) % 4096; // stay on one page
+            s.write(black_box(offset), &data)
+        })
+    });
+    g.bench_function("write_64B_page_spread", |b| {
+        let mut s = SparseStore::new(1 << 30);
+        let data = [0xa5u8; 64];
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset = (offset + 4096 + 64) % (1 << 26); // new page each time
+            s.write(black_box(offset), &data)
+        })
+    });
+    g.bench_function("read_64B_resident", |b| {
+        let mut s = SparseStore::new(1 << 30);
+        s.write(0, &[1u8; 4096]);
+        let mut buf = [0u8; 64];
+        b.iter(|| s.read(black_box(512), &mut buf))
+    });
+    g.bench_function("read_64B_unallocated", |b| {
+        let s = SparseStore::new(1 << 30);
+        let mut buf = [0u8; 64];
+        b.iter(|| s.read(black_box(1 << 29), &mut buf))
+    });
+    g.finish();
+}
+
+fn bench_bank_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bank");
+    for (name, mode) in [
+        ("functional", StorageMode::Functional),
+        ("timing_only", StorageMode::TimingOnly),
+    ] {
+        g.bench_function(format!("write_64B_{name}"), |b| {
+            let mut bank = Bank::new(1 << 16, 128, 16, mode);
+            let data = [0x3cu8; 64];
+            let mut row = 0u64;
+            b.iter(|| {
+                row = (row + 1) & 0xffff;
+                bank.write(black_box(row), 0, &data).unwrap()
+            })
+        });
+    }
+    g.bench_function("two_add8", |b| {
+        let mut bank = Bank::new(1 << 16, 128, 16, StorageMode::Functional);
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 1) & 0xffff;
+            bank.two_add8(black_box(row), 0, 3, 5).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparse_store, bench_bank_ops);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table I as a criterion bench: each of the four paper device
+//! configurations runs a 1/2048-scale random-access workload to
+//! completion. Criterion reports host wall time; the simulated cycle
+//! counts (the paper's metric) print once per configuration and are
+//! regenerated in full by `cargo run --release -p hmc-bench --bin table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmc_bench::harness::{paper_setup, paper_workload, SetupOptions};
+use hmc_host::{run_workload, RunConfig};
+use hmc_types::DeviceConfig;
+
+const SCALE: u64 = 2048; // 16,384 requests per iteration
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for (label, cfg) in DeviceConfig::paper_configs() {
+        // Report the simulated-cycle figure once, outside measurement.
+        let (mut sim, mut host) = paper_setup(cfg.clone(), SetupOptions::default(), None);
+        let mut w = paper_workload(1, SCALE);
+        let report = run_workload(&mut sim, &mut host, &mut w, RunConfig::default()).unwrap();
+        println!(
+            "table1/{label}: {} simulated cycles for {} requests ({:.2} req/cycle)",
+            report.cycles, report.injected, report.throughput
+        );
+
+        let slug = label.replace("; ", "_").replace(['-', ' ', ';'], "");
+        g.bench_function(slug, |b| {
+            b.iter(|| {
+                let (mut sim, mut host) =
+                    paper_setup(cfg.clone(), SetupOptions::default(), None);
+                let mut w = paper_workload(1, SCALE);
+                run_workload(&mut sim, &mut host, &mut w, RunConfig::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Regenerate the paper's Figure 5: per-cycle random-access simulation
+//! trace series for all four device configurations.
+//!
+//! For each configuration this runs the §VI.A random-access harness with
+//! full tracing and emits a CSV time series of the five plotted
+//! quantities — bank conflicts, read requests, write requests, crossbar
+//! request stalls and routed-latency penalty events per cycle — plus an
+//! ASCII sparkline summary and per-vault utilization totals.
+//!
+//! Usage:
+//!   figure5 [--scale N] [--seed S] [--bin W] [--out DIR]
+//!
+//! Defaults: 1/256 scale, bin width auto (~200 rows), output CSVs to the
+//! current directory as `figure5_<config>.csv`.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use hmc_bench::harness::{paper_setup, paper_workload, SetupOptions};
+use hmc_host::{run_workload, RunConfig};
+use hmc_trace::{SeriesCollector, SharedSink, Verbosity};
+use hmc_types::{DeviceConfig, StorageMode};
+
+fn main() {
+    let mut scale: u64 = 256;
+    let mut seed: u32 = 1;
+    let mut bin: u64 = 0; // 0 = auto
+    let mut out_dir = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = parse(args.next(), "--scale"),
+            "--seed" => seed = parse(args.next(), "--seed"),
+            "--bin" => bin = parse(args.next(), "--bin"),
+            "--out" => out_dir = args.next().unwrap_or_else(|| die("--out needs a path")),
+            "--help" | "-h" => {
+                eprintln!("usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    println!("Figure 5: random access simulation results (1/{scale} scale, seed {seed})\n");
+
+    for (label, cfg) in DeviceConfig::paper_configs() {
+        let slug = label
+            .to_lowercase()
+            .replace("; ", "_")
+            .replace([' ', '-', ';'], "");
+        let vaults = cfg.num_vaults;
+        // Auto bin: target roughly 200 rows given the expected cycle count.
+        let requests = hmc_bench::scaled_requests(scale);
+        let expected_cycles = (requests / 60).max(200);
+        let bin_width = if bin > 0 { bin } else { (expected_cycles / 200).max(1) };
+
+        let series = SharedSink::new(SeriesCollector::new(bin_width, vaults));
+        let opts = SetupOptions {
+            verbosity: Verbosity::Full,
+            storage: StorageMode::TimingOnly,
+        };
+        let (mut sim, mut host) = paper_setup(cfg, opts, Some(Box::new(series.clone())));
+        let mut workload = paper_workload(seed, scale);
+        let report = run_workload(&mut sim, &mut host, &mut workload, RunConfig::default())
+            .expect("figure5 run completes");
+
+        let collector = series.0.lock();
+        let totals = collector.totals();
+        println!("== {label} ==");
+        println!(
+            "   cycles {}   reads {}   writes {}   bank conflicts {}   xbar stalls {}   latency events {}",
+            report.cycles,
+            totals.reads,
+            totals.writes,
+            totals.bank_conflicts,
+            totals.xbar_stalls,
+            totals.latency_events
+        );
+        if let Some(peak) = collector.peak_conflict_bin() {
+            println!(
+                "   peak conflict bin: cycle {} with {} conflicts",
+                peak.cycle, peak.bank_conflicts
+            );
+        }
+        let vu = collector.vaults();
+        let (busiest, load) = vu.busiest_vault();
+        println!(
+            "   busiest vault {} ({} requests); load imbalance (cv) {:.4}",
+            busiest,
+            load,
+            vu.load_imbalance()
+        );
+        println!(
+            "   conflicts/cycle: {}",
+            sparkline(collector.rows().iter().map(|r| r.bank_conflicts))
+        );
+        println!(
+            "   requests/cycle:  {}",
+            sparkline(collector.rows().iter().map(|r| r.reads + r.writes))
+        );
+
+        let path = format!("{out_dir}/figure5_{slug}.csv");
+        let file = File::create(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        collector
+            .write_csv(BufWriter::new(file))
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        println!("   series written to {path} (bin width {bin_width} cycles)\n");
+    }
+}
+
+fn sparkline<I: Iterator<Item = u64>>(values: I) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let vals: Vec<u64> = values.collect();
+    // Downsample to at most 60 columns.
+    let cols = 60.min(vals.len().max(1));
+    let chunk = vals.len().div_ceil(cols).max(1);
+    let sampled: Vec<u64> = vals
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>() / c.len() as u64)
+        .collect();
+    let max = sampled.iter().copied().max().unwrap_or(0).max(1);
+    sampled
+        .iter()
+        .map(|&v| BARS[((v * 7) / max) as usize])
+        .collect()
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("figure5: {msg}");
+    std::process::exit(2);
+}

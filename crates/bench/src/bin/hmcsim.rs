@@ -1,0 +1,351 @@
+//! `hmcsim` — drive an HMC-Sim device from the command line.
+//!
+//! The downstream-user entry point: pick a device configuration, a
+//! workload, and reporting options; get cycles, throughput, latency,
+//! utilization, trace statistics and an energy estimate.
+//!
+//! ```text
+//! hmcsim [--config 4l8b|4l16b|8l8b|8l16b|small | --config-file FILE.json]
+//!        [--dump-config FILE.json]
+//!        [--workload random|stream|gups|chase|stencil]
+//!        [--requests N] [--seed S] [--read-pct P] [--block BYTES]
+//!        [--error-rate R] [--serialize-flits N]
+//!        [--locality] [--stall-queue]
+//!        [--series FILE] [--trace FILE] [--utilization] [--energy]
+//!        [--profile]
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use hmc_core::{topology, ConflictPolicy, FaultConfig, HmcSim, SimParams};
+use hmc_host::{run_workload, Host, LinkSelection, RunConfig};
+use hmc_trace::{
+    estimate_energy, EnergyModel, MultiSink, SeriesCollector, SharedSink, TextSink,
+    Tracer, Verbosity,
+};
+use hmc_types::{BlockSize, DeviceConfig, StorageMode};
+use hmc_workloads::{
+    Gups, PointerChase, RandomAccess, Stencil, Stream, StreamMode, UpdateKind, Workload,
+};
+
+struct Options {
+    config: DeviceConfig,
+    config_name: String,
+    workload: String,
+    requests: u64,
+    seed: u32,
+    read_pct: u8,
+    block: BlockSize,
+    error_rate: f64,
+    serialize_flits: Option<usize>,
+    locality: bool,
+    stall_queue: bool,
+    series: Option<String>,
+    trace: Option<String>,
+    utilization: bool,
+    energy: bool,
+    profile: bool,
+    dump_config: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            config: DeviceConfig::paper_4link_8bank_2gb(),
+            config_name: "4l8b".into(),
+            workload: "random".into(),
+            requests: 100_000,
+            seed: 1,
+            read_pct: 50,
+            block: BlockSize::B64,
+            error_rate: 0.0,
+            serialize_flits: None,
+            locality: false,
+            stall_queue: false,
+            series: None,
+            trace: None,
+            utilization: false,
+            energy: false,
+            profile: false,
+            dump_config: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmcsim [--config 4l8b|4l16b|8l8b|8l16b|small | --config-file F.json] \
+         [--dump-config F.json] \
+         [--workload random|stream|gups|chase|stencil] [--requests N] \
+         [--seed S] [--read-pct P] [--block BYTES] [--error-rate R] \
+         [--serialize-flits N] [--locality] [--stall-queue] \
+         [--series FILE] [--trace FILE] [--utilization] [--energy] [--profile]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut o = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("hmcsim: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--config-file" => {
+                let path = next("--config-file");
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("hmcsim: {path}: {e}");
+                    usage()
+                });
+                o.config = serde_json::from_str(&text).unwrap_or_else(|e| {
+                    eprintln!("hmcsim: {path}: {e}");
+                    usage()
+                });
+                if let Err(e) = o.config.validate() {
+                    eprintln!("hmcsim: {path}: {e}");
+                    usage()
+                }
+                o.config_name = path;
+            }
+            "--dump-config" => {
+                let path = next("--dump-config");
+                o.dump_config = Some(path);
+            }
+            "--config" => {
+                o.config_name = next("--config");
+                o.config = match o.config_name.as_str() {
+                    "4l8b" => DeviceConfig::paper_4link_8bank_2gb(),
+                    "4l16b" => DeviceConfig::paper_4link_16bank_4gb(),
+                    "8l8b" => DeviceConfig::paper_8link_8bank_4gb(),
+                    "8l16b" => DeviceConfig::paper_8link_16bank_8gb(),
+                    "small" => DeviceConfig::small(),
+                    other => {
+                        eprintln!("hmcsim: unknown config {other}");
+                        usage()
+                    }
+                };
+            }
+            "--workload" => o.workload = next("--workload"),
+            "--requests" => o.requests = next("--requests").parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--read-pct" => o.read_pct = next("--read-pct").parse().unwrap_or_else(|_| usage()),
+            "--block" => {
+                let bytes: usize = next("--block").parse().unwrap_or_else(|_| usage());
+                o.block = BlockSize::from_bytes(bytes).unwrap_or_else(|e| {
+                    eprintln!("hmcsim: {e}");
+                    usage()
+                });
+            }
+            "--error-rate" => {
+                o.error_rate = next("--error-rate").parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&o.error_rate) || !o.error_rate.is_finite() {
+                    eprintln!("hmcsim: --error-rate must be a probability in [0, 1]");
+                    usage()
+                }
+            }
+            "--serialize-flits" => {
+                let flits: usize = next("--serialize-flits").parse().unwrap_or_else(|_| usage());
+                if flits == 0 {
+                    eprintln!("hmcsim: --serialize-flits must be at least 1");
+                    usage()
+                }
+                o.serialize_flits = Some(flits);
+            }
+            "--locality" => o.locality = true,
+            "--stall-queue" => o.stall_queue = true,
+            "--series" => o.series = Some(next("--series")),
+            "--trace" => o.trace = Some(next("--trace")),
+            "--utilization" => o.utilization = true,
+            "--energy" => o.energy = true,
+            "--profile" => o.profile = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("hmcsim: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    o
+}
+
+fn build_workload(o: &Options) -> Box<dyn Workload> {
+    let working_set = o.config.capacity_bytes.min(2 << 30);
+    match o.workload.as_str() {
+        "random" => Box::new(RandomAccess::new(
+            o.seed,
+            working_set,
+            o.block,
+            o.read_pct,
+            o.requests,
+        )),
+        "stream" => Box::new(Stream::unit(
+            working_set,
+            o.block,
+            StreamMode::Copy,
+            o.requests,
+        )),
+        "gups" => Box::new(Gups::new(
+            o.seed,
+            working_set,
+            UpdateKind::Add16,
+            o.requests,
+        )),
+        "chase" => Box::new(PointerChase::new(
+            o.seed as u64,
+            1 << 26,
+            o.block,
+            o.requests,
+        )),
+        "stencil" => {
+            // Square-ish grid sized to roughly the requested op count.
+            let cells = (o.requests / 5).max(9);
+            let side = ((cells as f64).sqrt() as u64 + 2).max(3);
+            Box::new(Stencil::new(side, side, o.block, 1))
+        }
+        other => {
+            eprintln!("hmcsim: unknown workload {other}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let o = parse_options();
+    if let Some(path) = &o.dump_config {
+        let json = serde_json::to_string_pretty(&o.config).expect("config serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("hmcsim: {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("hmcsim: configuration written to {path}");
+        return;
+    }
+    let config = o.config.clone().with_storage_mode(StorageMode::TimingOnly);
+    let mut sim = HmcSim::new(1, config).expect("config validates");
+    sim = sim.with_params(SimParams {
+        link_flits_per_cycle: o.serialize_flits,
+        conflict_policy: if o.stall_queue {
+            ConflictPolicy::StallQueue
+        } else {
+            ConflictPolicy::SkipConflicting
+        },
+        ..SimParams::default()
+    });
+    if o.error_rate > 0.0 {
+        sim.enable_fault_injection(FaultConfig {
+            packet_error_rate: o.error_rate,
+            retry_cycles: 8,
+            seed: o.seed as u64 | 1,
+        });
+    }
+    let host_id = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host_id).expect("topology");
+
+    // Optional sinks: per-cycle series and/or a text trace file.
+    let series = o
+        .series
+        .as_ref()
+        .map(|_| SharedSink::new(SeriesCollector::new(16, sim.config().num_vaults)));
+    let mut sinks = MultiSink::new();
+    let mut any_sink = false;
+    if let Some(s) = &series {
+        sinks = sinks.with(Box::new(s.clone()));
+        any_sink = true;
+    }
+    if let Some(path) = &o.trace {
+        let file = File::create(path).expect("create trace file");
+        sinks = sinks.with(Box::new(TextSink::new(BufWriter::new(file))));
+        any_sink = true;
+    }
+    if any_sink {
+        sim.set_tracer(Tracer::new(Verbosity::Full, Box::new(sinks)));
+    }
+
+    let mut host = Host::attach(&sim, host_id).expect("host attach");
+    if o.locality {
+        host = host.with_selection(LinkSelection::LocalityAware);
+    }
+    let mut workload = build_workload(&o);
+
+    if o.profile {
+        // Static address profile of an identical workload instance.
+        let mut for_profile = build_workload(&o);
+        let map = sim.config().default_map().expect("geometry");
+        let p = hmc_workloads::profile(for_profile.as_mut(), &map, 1_000_000)
+            .expect("profile");
+        println!("address profile (first 1M ops):");
+        print!("{}", p.render());
+        println!();
+    }
+
+    eprintln!(
+        "hmcsim: {} workload, {} ops, config {} ...",
+        workload.name(),
+        workload.len_hint().unwrap_or(o.requests),
+        o.config_name
+    );
+    let report = run_workload(&mut sim, &mut host, workload.as_mut(), RunConfig::default())
+        .expect("run completes");
+
+    println!("cycles            {}", report.cycles);
+    println!("injected          {}", report.injected);
+    println!("completed         {}", report.completed);
+    println!("posted            {}", report.posted);
+    println!("errors            {}", report.errors);
+    println!("send stalls       {}", report.send_stalls);
+    println!("throughput        {:.3} req/cycle", report.throughput);
+    println!(
+        "latency           mean {:.1}, max {} cycles",
+        report.mean_latency, report.max_latency
+    );
+    if let Some(f) = sim.fault_state() {
+        println!(
+            "link errors       {} injected, {} recovered",
+            f.injected, f.detected
+        );
+    }
+
+    if o.utilization {
+        println!();
+        for r in sim.utilization() {
+            print!("{}", r.render());
+        }
+    }
+
+    if o.energy {
+        let activity = sim.activity();
+        let energy = estimate_energy(&activity, &EnergyModel::hmc_gen1(), 1.25);
+        println!();
+        println!("energy (HMC gen-1 coefficients @ 1.25 GHz):");
+        println!("  link        {:>14.0} pJ", energy.link_pj);
+        println!("  dram        {:>14.0} pJ", energy.dram_pj);
+        println!("  activate    {:>14.0} pJ", energy.activate_pj);
+        println!("  logic       {:>14.0} pJ", energy.logic_pj);
+        println!("  background  {:>14.0} pJ", energy.background_pj);
+        println!("  total       {:>14.0} pJ", energy.total_pj);
+        println!("  {:.2} pJ/bit, {:.2} W average", energy.pj_per_bit, energy.avg_power_w);
+        if o.serialize_flits.is_none() {
+            println!(
+                "  (pJ/bit is robust; average watts assume real time per cycle —\n\
+                 \x20  pass --serialize-flits 1 for physically-paced link timing)"
+            );
+        }
+    }
+
+    if let (Some(path), Some(s)) = (&o.series, &series) {
+        let file = File::create(path).expect("create series file");
+        s.0.lock()
+            .write_csv(BufWriter::new(file))
+            .expect("write series");
+        eprintln!("hmcsim: series written to {path}");
+    }
+    sim.tracer_mut().flush();
+    if let Some(path) = &o.trace {
+        eprintln!("hmcsim: trace written to {path}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Parameter sweeps over the queueing latitude the specification leaves
+//! to implementers (§IV requirement 3): crossbar depth × vault depth ×
+//! vault window, plus crossbar drain rate, against the paper's random
+//! access workload. Emits CSV for plotting.
+//!
+//! Usage:
+//!   sweep [--requests N] [--seed S] [--out FILE]
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use hmc_core::{topology, HmcSim, SimParams};
+use hmc_host::{run_workload, Host, RunConfig};
+use hmc_types::{BlockSize, DeviceConfig, StorageMode};
+use hmc_workloads::RandomAccess;
+
+struct Point {
+    xbar_depth: usize,
+    vault_depth: usize,
+    window: Option<usize>,
+    drain: usize,
+    cycles: u64,
+    throughput: f64,
+    mean_latency: f64,
+}
+
+fn run_point(
+    requests: u64,
+    seed: u32,
+    xbar_depth: usize,
+    vault_depth: usize,
+    window: Option<usize>,
+    drain: usize,
+) -> Point {
+    let cfg = DeviceConfig::paper_4link_8bank_2gb()
+        .with_storage_mode(StorageMode::TimingOnly)
+        .with_queue_depths(xbar_depth, vault_depth);
+    let mut sim = HmcSim::new(1, cfg).unwrap().with_params(SimParams {
+        vault_window: window,
+        xbar_drain_per_cycle: drain,
+        ..SimParams::default()
+    });
+    let host_id = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host_id).unwrap();
+    let mut host = Host::attach(&sim, host_id).unwrap();
+    let mut w = RandomAccess::new(seed, 2 << 30, BlockSize::B64, 50, requests);
+    let report = run_workload(&mut sim, &mut host, &mut w, RunConfig::default()).unwrap();
+    Point {
+        xbar_depth,
+        vault_depth,
+        window,
+        drain,
+        cycles: report.cycles,
+        throughput: report.throughput,
+        mean_latency: report.mean_latency,
+    }
+}
+
+fn main() {
+    let mut requests: u64 = 32_768;
+    let mut seed: u32 = 1;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => requests = args.next().and_then(|v| v.parse().ok()).unwrap_or(32_768),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--out" => out = args.next(),
+            "--help" | "-h" => {
+                eprintln!("usage: sweep [--requests N] [--seed S] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("sweep: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut points = Vec::new();
+    eprintln!("sweeping queue depths ...");
+    for xbar in [16usize, 32, 64, 128, 256] {
+        for vault in [8usize, 16, 32, 64] {
+            points.push(run_point(requests, seed, xbar, vault, None, 32));
+        }
+    }
+    eprintln!("sweeping vault windows ...");
+    for window in [1usize, 2, 4, 8, 16, 32] {
+        points.push(run_point(requests, seed, 128, 64, Some(window), 32));
+    }
+    eprintln!("sweeping crossbar drain rates ...");
+    for drain in [1usize, 2, 4, 8, 16, 32, 64] {
+        points.push(run_point(requests, seed, 128, 64, None, drain));
+    }
+
+    let mut sink: Box<dyn Write> = match &out {
+        Some(path) => Box::new(BufWriter::new(File::create(path).expect("create out file"))),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    writeln!(
+        sink,
+        "xbar_depth,vault_depth,window,drain,cycles,req_per_cycle,mean_latency"
+    )
+    .unwrap();
+    for p in &points {
+        writeln!(
+            sink,
+            "{},{},{},{},{},{:.4},{:.2}",
+            p.xbar_depth,
+            p.vault_depth,
+            p.window.map(|w| w.to_string()).unwrap_or_else(|| "banks".into()),
+            p.drain,
+            p.cycles,
+            p.throughput,
+            p.mean_latency
+        )
+        .unwrap();
+    }
+    sink.flush().unwrap();
+    eprintln!("{} sweep points written", points.len());
+}

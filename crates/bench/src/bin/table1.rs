@@ -1,0 +1,52 @@
+//! Regenerate the paper's Table I: simulated runtime in clock cycles for
+//! the four device configurations under 33,554,432 random 64-byte
+//! requests (50/50 read/write).
+//!
+//! Usage:
+//!   table1 [--scale N] [--full] [--seed S]
+//!
+//! `--scale N` runs 1/N of the paper's request count (default 16);
+//! `--full` is shorthand for `--scale 1` (the paper's exact request
+//! count; takes a few minutes per configuration).
+
+use hmc_bench::table1::{format_table, run_table1};
+
+fn main() {
+    let mut scale: u64 = 16;
+    let mut seed: u32 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = 1,
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive integer"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: table1 [--scale N] [--full] [--seed S]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    eprintln!("Running Table I at 1/{scale} scale (seed {seed}) ...");
+    let rows = run_table1(scale, seed, |config, cycles| {
+        eprint!("\r  config {} of 4: {cycles:>10} cycles", config + 1);
+    });
+    eprintln!();
+    println!("{}", format_table(&rows, scale));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("table1: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,190 @@
+//! The HMC device structure.
+//!
+//! "Devices are analogous to a single Hybrid Memory Cube device package.
+//! … The device structure contains three sub-structures: Links, Crossbar
+//! Units and Quad Units \[plus\] any device-specific configuration
+//! registers" (paper §IV.A). Below the quads sit the vaults, banks and
+//! DRAMs, mirrored here by the `vaults` block whose [`Vault`]s own their
+//! [`hmc_mem::VaultMemory`] bank stacks.
+//!
+//! The C implementation allocates each structure type "as a single block,
+//! while hierarchical pointers are initialized to point within this
+//! well-aligned allocation" (§IV.A). The Rust port keeps each structure
+//! class in one contiguous `Vec` per device and links levels by index,
+//! preserving the same allocation behaviour with safe ownership.
+
+use hmc_mem::VaultMemory;
+use hmc_types::{CubeId, DeviceConfig, LinkId, VaultId};
+
+use crate::link::Link;
+use crate::quad::Quad;
+use crate::register::RegisterFile;
+use crate::vault::Vault;
+use crate::xbar::Crossbar;
+
+/// One simulated HMC device package.
+#[derive(Debug)]
+pub struct Device {
+    /// Cube ID of this device (0-based within the simulation object).
+    pub id: CubeId,
+    /// External links, one crossbar unit each.
+    pub links: Vec<Link>,
+    /// Crossbar units (request + response queues per link).
+    pub xbars: Vec<Crossbar>,
+    /// Quad units (locality domains of four vaults).
+    pub quads: Vec<Quad>,
+    /// Vault controllers with their bank stacks.
+    pub vaults: Vec<Vault>,
+    /// The device register file.
+    pub registers: RegisterFile,
+}
+
+impl Device {
+    /// Build a device in its reset state from a validated configuration.
+    pub fn new(id: CubeId, config: &DeviceConfig) -> Self {
+        let links = (0..config.num_links)
+            .map(|l| Link::new(l, config.xbar_depth))
+            .collect();
+        let xbars = (0..config.num_links)
+            .map(|l| Crossbar::new(l, config.xbar_depth))
+            .collect();
+        let quads = (0..config.num_quads()).map(Quad::new).collect();
+        let vaults = (0..config.num_vaults)
+            .map(|v| Vault::new(v, config.vault_depth, VaultMemory::new(config)))
+            .collect();
+        let registers = RegisterFile::new(
+            config.num_links,
+            config.capacity_bytes >> 30,
+            config.num_vaults,
+        );
+        Device {
+            id,
+            links,
+            xbars,
+            quads,
+            vaults,
+            registers,
+        }
+    }
+
+    /// True when any link connects to a host — a "root" device in the
+    /// paper's stage-ordering terminology (§IV.C).
+    pub fn is_root(&self) -> bool {
+        self.links.iter().any(|l| l.is_host_link())
+    }
+
+    /// Indices of links connected to hosts.
+    pub fn host_links(&self) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|l| l.is_host_link())
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// The quad that owns `vault`.
+    pub fn quad_of(&self, vault: VaultId) -> u8 {
+        Quad::of_vault(vault)
+    }
+
+    /// Total packets resident in all device queues (drain checks).
+    pub fn total_occupancy(&self) -> usize {
+        self.xbars.iter().map(|x| x.occupancy()).sum::<usize>()
+            + self
+                .vaults
+                .iter()
+                .map(|v| v.rqst.len() + v.rsp.len())
+                .sum::<usize>()
+    }
+
+    /// Return the device to its reset state: queues emptied, registers at
+    /// power-on values, banks cleared, link tokens refilled. Topology
+    /// wiring is preserved.
+    pub fn reset(&mut self) {
+        for x in &mut self.xbars {
+            x.clear();
+        }
+        for v in &mut self.vaults {
+            v.reset();
+        }
+        for l in &mut self.links {
+            l.reset_tokens();
+        }
+        self.registers.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Endpoint;
+
+    #[test]
+    fn four_link_device_structure_matches_figure_2() {
+        // Fig. 2 / §IV.A example: four links, four quads, sixteen vaults.
+        let cfg = DeviceConfig::small();
+        let d = Device::new(0, &cfg);
+        assert_eq!(d.links.len(), 4);
+        assert_eq!(d.xbars.len(), 4);
+        assert_eq!(d.quads.len(), 4);
+        assert_eq!(d.vaults.len(), 16);
+        for (i, q) in d.quads.iter().enumerate() {
+            assert_eq!(q.id as usize, i);
+            for v in q.vaults {
+                assert!((v as usize) < d.vaults.len());
+            }
+        }
+        for v in &d.vaults {
+            assert_eq!(v.mem.num_banks(), cfg.banks_per_vault);
+        }
+    }
+
+    #[test]
+    fn eight_link_device_doubles_the_hierarchy() {
+        let cfg = DeviceConfig::paper_8link_16bank_8gb();
+        let d = Device::new(1, &cfg);
+        assert_eq!(d.links.len(), 8);
+        assert_eq!(d.quads.len(), 8);
+        assert_eq!(d.vaults.len(), 32);
+        assert_eq!(d.vaults[0].mem.num_banks(), 16);
+    }
+
+    #[test]
+    fn fresh_device_is_not_root() {
+        let d = Device::new(0, &DeviceConfig::small());
+        assert!(!d.is_root());
+        assert!(d.host_links().is_empty());
+    }
+
+    #[test]
+    fn root_detection_follows_link_wiring() {
+        let mut d = Device::new(0, &DeviceConfig::small());
+        d.links[2].remote = Endpoint::Host(4);
+        assert!(d.is_root());
+        assert_eq!(d.host_links(), vec![2]);
+    }
+
+    #[test]
+    fn occupancy_starts_empty_and_reset_clears() {
+        let cfg = DeviceConfig::small();
+        let mut d = Device::new(0, &cfg);
+        assert_eq!(d.total_occupancy(), 0);
+        // Occupy a couple of queues directly.
+        use crate::queue::QueueEntry;
+        use hmc_types::{BlockSize, Command, Packet};
+        let p = Packet::request(Command::Rd(BlockSize::B16), 0, 0, 0, 0, &[]).unwrap();
+        d.xbars[0].rqst.push(QueueEntry::new(p.clone(), 4, 0, 0)).unwrap();
+        d.vaults[3].rqst.push(QueueEntry::new(p, 4, 0, 0)).unwrap();
+        assert_eq!(d.total_occupancy(), 2);
+        d.reset();
+        assert_eq!(d.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn queue_depths_come_from_config() {
+        let cfg = DeviceConfig::small().with_queue_depths(128, 64);
+        let d = Device::new(0, &cfg);
+        assert_eq!(d.xbars[0].rqst.depth(), 128);
+        assert_eq!(d.vaults[0].rqst.depth(), 64);
+    }
+}

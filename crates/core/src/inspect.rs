@@ -1,0 +1,231 @@
+//! Structured simulation-state snapshots.
+//!
+//! HMC-Sim's structure hierarchy was chosen "to easily track packet source
+//! and destination correctness throughout the life of a device object"
+//! (§IV.A). This module exposes that tracking to tools: per-queue
+//! occupancy snapshots, packet location queries by tag, and a rendered
+//! occupancy table for debugging and the Figure 3 walkthrough binary.
+
+use hmc_types::{CubeId, LinkId, VaultId};
+
+use crate::sim::HmcSim;
+
+/// Which queue a packet currently occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueLocation {
+    /// A link crossbar request queue.
+    XbarRequest {
+        /// Device holding the queue.
+        cube: CubeId,
+        /// Link index.
+        link: LinkId,
+        /// Slot position from the head.
+        slot: usize,
+    },
+    /// A link crossbar response queue.
+    XbarResponse {
+        /// Device holding the queue.
+        cube: CubeId,
+        /// Link index.
+        link: LinkId,
+        /// Slot position from the head.
+        slot: usize,
+    },
+    /// A vault request queue.
+    VaultRequest {
+        /// Device holding the queue.
+        cube: CubeId,
+        /// Vault index.
+        vault: VaultId,
+        /// Slot position from the head.
+        slot: usize,
+    },
+    /// A vault response queue.
+    VaultResponse {
+        /// Device holding the queue.
+        cube: CubeId,
+        /// Vault index.
+        vault: VaultId,
+        /// Slot position from the head.
+        slot: usize,
+    },
+}
+
+/// Occupancy snapshot of one device's queues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSnapshot {
+    /// The device's cube ID.
+    pub cube: CubeId,
+    /// `(request, response)` occupancy per link crossbar.
+    pub xbars: Vec<(usize, usize)>,
+    /// `(request, response)` occupancy per vault.
+    pub vaults: Vec<(usize, usize)>,
+}
+
+impl DeviceSnapshot {
+    /// Total packets resident on the device.
+    pub fn total(&self) -> usize {
+        self.xbars.iter().map(|(a, b)| a + b).sum::<usize>()
+            + self.vaults.iter().map(|(a, b)| a + b).sum::<usize>()
+    }
+}
+
+impl HmcSim {
+    /// Occupancy snapshot of every device.
+    pub fn snapshot(&self) -> Vec<DeviceSnapshot> {
+        self.devices
+            .iter()
+            .map(|d| DeviceSnapshot {
+                cube: d.id,
+                xbars: d
+                    .xbars
+                    .iter()
+                    .map(|x| (x.rqst.len(), x.rsp.len()))
+                    .collect(),
+                vaults: d
+                    .vaults
+                    .iter()
+                    .map(|v| (v.rqst.len(), v.rsp.len()))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Every queue position currently holding a packet with `tag`.
+    ///
+    /// Tags are only unique per host while in flight, so this may return
+    /// several locations under tag reuse.
+    pub fn locate_tag(&self, tag: u16) -> Vec<QueueLocation> {
+        let mut out = Vec::new();
+        for d in &self.devices {
+            for x in &d.xbars {
+                for (slot, e) in x.rqst.iter().enumerate() {
+                    if e.packet.tag() == tag {
+                        out.push(QueueLocation::XbarRequest {
+                            cube: d.id,
+                            link: x.link,
+                            slot,
+                        });
+                    }
+                }
+                for (slot, e) in x.rsp.iter().enumerate() {
+                    if e.packet.tag() == tag {
+                        out.push(QueueLocation::XbarResponse {
+                            cube: d.id,
+                            link: x.link,
+                            slot,
+                        });
+                    }
+                }
+            }
+            for v in &d.vaults {
+                for (slot, e) in v.rqst.iter().enumerate() {
+                    if e.packet.tag() == tag {
+                        out.push(QueueLocation::VaultRequest {
+                            cube: d.id,
+                            vault: v.id,
+                            slot,
+                        });
+                    }
+                }
+                for (slot, e) in v.rsp.iter().enumerate() {
+                    if e.packet.tag() == tag {
+                        out.push(QueueLocation::VaultResponse {
+                            cube: d.id,
+                            vault: v.id,
+                            slot,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render an occupancy table (one line per non-empty queue).
+    pub fn render_occupancy(&self) -> String {
+        let mut out = String::new();
+        for snap in self.snapshot() {
+            for (l, (rq, rs)) in snap.xbars.iter().enumerate() {
+                if rq + rs > 0 {
+                    out.push_str(&format!(
+                        "dev{} link{l} xbar: rqst={rq} rsp={rs}\n",
+                        snap.cube
+                    ));
+                }
+            }
+            for (v, (rq, rs)) in snap.vaults.iter().enumerate() {
+                if rq + rs > 0 {
+                    out.push_str(&format!(
+                        "dev{} vault{v}: rqst={rq} rsp={rs}\n",
+                        snap.cube
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use hmc_types::{BlockSize, Command, DeviceConfig, Packet};
+
+    fn sim() -> HmcSim {
+        let mut s = HmcSim::new(1, DeviceConfig::small()).unwrap();
+        let host = s.host_cube_id(0);
+        topology::build_simple(&mut s, host).unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_tracks_occupancy() {
+        let mut s = sim();
+        assert_eq!(s.snapshot()[0].total(), 0);
+        let p = Packet::request(Command::Rd(BlockSize::B16), 0, 0, 7, 0, &[]).unwrap();
+        s.send(0, 0, p).unwrap();
+        let snap = &s.snapshot()[0];
+        assert_eq!(snap.total(), 1);
+        assert_eq!(snap.xbars[0], (1, 0));
+        assert_eq!(snap.xbars[1], (0, 0));
+    }
+
+    #[test]
+    fn locate_tag_follows_the_packet() {
+        let mut s = sim();
+        let p = Packet::request(Command::Rd(BlockSize::B16), 0, 0, 42, 0, &[]).unwrap();
+        s.send(0, 0, p).unwrap();
+        assert_eq!(
+            s.locate_tag(42),
+            vec![QueueLocation::XbarRequest {
+                cube: 0,
+                link: 0,
+                slot: 0
+            }]
+        );
+        s.clock().unwrap();
+        assert_eq!(
+            s.locate_tag(42),
+            vec![QueueLocation::XbarResponse {
+                cube: 0,
+                link: 0,
+                slot: 0
+            }]
+        );
+        s.recv(0, 0).unwrap();
+        assert!(s.locate_tag(42).is_empty());
+    }
+
+    #[test]
+    fn render_lists_only_occupied_queues() {
+        let mut s = sim();
+        assert!(s.render_occupancy().is_empty());
+        let p = Packet::request(Command::Rd(BlockSize::B16), 0, 0, 1, 2, &[]).unwrap();
+        s.send(0, 2, p).unwrap();
+        let rendered = s.render_occupancy();
+        assert!(rendered.contains("dev0 link2 xbar: rqst=1 rsp=0"));
+        assert_eq!(rendered.lines().count(), 1);
+    }
+}

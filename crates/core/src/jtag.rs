@@ -1,0 +1,89 @@
+//! Out-of-band JTAG / I²C register access.
+//!
+//! "The second access method provided in the current specification is via
+//! a Joint Test Action Group IEEE 1149.1 (JTAG) or Inter-Integrated
+//! Circuit (I²C) bus infrastructure. The benefit to this access method is
+//! the side-band nature of the bus. It does not interrupt main memory
+//! traffic … This interface exists external to the normal HMC-Sim notion
+//! of clock domains" (paper §V.D).
+//!
+//! Accordingly these methods read and write device registers directly —
+//! no packets, no queue slots, no clock interaction — while still
+//! honouring register access classes.
+
+use hmc_types::{CubeId, Result};
+
+use crate::register::RegClass;
+use crate::sim::HmcSim;
+
+impl HmcSim {
+    /// Side-band register read: immediate, no bandwidth or clock cost.
+    pub fn jtag_reg_read(&self, dev: CubeId, reg: u32) -> Result<u64> {
+        self.device(dev)?.registers.read(reg)
+    }
+
+    /// Side-band register write: immediate, honouring the register class
+    /// (read-only registers still reject writes; RWS registers self-clear
+    /// at the next in-band clock edge).
+    pub fn jtag_reg_write(&mut self, dev: CubeId, reg: u32, value: u64) -> Result<()> {
+        self.device_mut(dev)?.registers.write(reg, value)
+    }
+
+    /// Side-band register class query (probing tools).
+    pub fn jtag_reg_class(&self, dev: CubeId, reg: u32) -> Result<RegClass> {
+        self.device(dev)?.registers.class(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::regs;
+    use hmc_types::{DeviceConfig, HmcError};
+
+    fn sim() -> HmcSim {
+        HmcSim::new(2, DeviceConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn jtag_reads_and_writes_without_clocking() {
+        let mut s = sim();
+        // No topology, no clock: JTAG works regardless (out of band).
+        s.jtag_reg_write(0, regs::GC, 0xabcd).unwrap();
+        assert_eq!(s.jtag_reg_read(0, regs::GC).unwrap(), 0xabcd);
+        assert_eq!(s.current_clock(), 0, "JTAG must not advance the clock");
+    }
+
+    #[test]
+    fn jtag_respects_register_classes() {
+        let mut s = sim();
+        assert!(s.jtag_reg_write(0, regs::FEAT, 1).is_err());
+        assert_eq!(s.jtag_reg_class(0, regs::FEAT).unwrap(), RegClass::Ro);
+        assert_eq!(s.jtag_reg_class(0, regs::EDR0).unwrap(), RegClass::Rws);
+    }
+
+    #[test]
+    fn jtag_addresses_devices_independently() {
+        let mut s = sim();
+        s.jtag_reg_write(0, regs::GC, 1).unwrap();
+        s.jtag_reg_write(1, regs::GC, 2).unwrap();
+        assert_eq!(s.jtag_reg_read(0, regs::GC).unwrap(), 1);
+        assert_eq!(s.jtag_reg_read(1, regs::GC).unwrap(), 2);
+        assert!(matches!(
+            s.jtag_reg_read(2, regs::GC),
+            Err(HmcError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rws_written_by_jtag_clears_on_the_next_clock_edge() {
+        let mut s = sim();
+        for l in 0..4 {
+            s.connect_host(0, l, s.host_cube_id(0)).unwrap();
+        }
+        s.jtag_reg_write(0, regs::EDR1, 0xff).unwrap();
+        assert_eq!(s.jtag_reg_read(0, regs::EDR1).unwrap(), 0xff);
+        s.clock().unwrap();
+        assert_eq!(s.jtag_reg_read(0, regs::EDR1).unwrap(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Device links.
+//!
+//! "Links are analogous to an HMC physical device link. Per the current
+//! specification, device links may connect a host and an HMC device or two
+//! HMC devices (chaining). … Each link contains a reference to its closest
+//! quad unit and the source and destination device identifiers (including
+//! host devices)" (paper §IV.A).
+
+use hmc_types::{CubeId, LinkId, QuadId};
+
+/// What sits at the far end of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Nothing attached; packets cannot use the link.
+    Unconnected,
+    /// A host processor with the given cube ID (hosts are identified by
+    /// cube IDs greater than any device, §V.B).
+    Host(CubeId),
+    /// Another HMC device: `(cube, link)` names the peer link so forwarded
+    /// packets land in the correct crossbar queue.
+    Device(CubeId, LinkId),
+}
+
+impl Endpoint {
+    /// True when the far end is a host processor.
+    pub fn is_host(&self) -> bool {
+        matches!(self, Endpoint::Host(_))
+    }
+
+    /// True when the far end is another device (a chaining link).
+    pub fn is_device(&self) -> bool {
+        matches!(self, Endpoint::Device(..))
+    }
+
+    /// The cube at the far end, if any.
+    pub fn cube(&self) -> Option<CubeId> {
+        match self {
+            Endpoint::Unconnected => None,
+            Endpoint::Host(c) => Some(*c),
+            Endpoint::Device(c, _) => Some(*c),
+        }
+    }
+}
+
+/// One bidirectional external link of a device.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Link index on this device.
+    pub id: LinkId,
+    /// The closest quad unit ("each link is physically closest to the
+    /// respectively numbered quad unit", §IV.A): quad index == link index.
+    pub quad: QuadId,
+    /// The far-end endpoint.
+    pub remote: Endpoint,
+    /// Flow-control tokens available to senders into this link's crossbar
+    /// input buffer, in FLITs (IBTC semantics). Senders consume a packet's
+    /// FLIT count; tokens return when the crossbar retires the packet.
+    pub tokens: u32,
+    /// Initial token allotment (for reset).
+    pub initial_tokens: u32,
+    /// FLIT-beats owed from oversized packets under the serialized-link
+    /// model (`SimParams::link_flits_per_cycle`); the link stalls until
+    /// the debt drains.
+    pub flit_debt: u32,
+}
+
+impl Link {
+    /// A fresh, unconnected link. Tokens cover the crossbar queue in
+    /// maximal nine-FLIT packets.
+    pub fn new(id: LinkId, xbar_depth: usize) -> Self {
+        let tokens = (xbar_depth * hmc_types::MAX_PACKET_FLITS) as u32;
+        Link {
+            id,
+            quad: id,
+            remote: Endpoint::Unconnected,
+            tokens,
+            initial_tokens: tokens,
+            flit_debt: 0,
+        }
+    }
+
+    /// True when this link connects to a host.
+    pub fn is_host_link(&self) -> bool {
+        self.remote.is_host()
+    }
+
+    /// True when this link chains to another device.
+    pub fn is_pass_through(&self) -> bool {
+        self.remote.is_device()
+    }
+
+    /// Consume `flits` tokens; false (and unchanged) if insufficient.
+    pub fn take_tokens(&mut self, flits: u32) -> bool {
+        if self.tokens >= flits {
+            self.tokens -= flits;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return `flits` tokens (TRET processing), saturating at the initial
+    /// allotment.
+    pub fn return_tokens(&mut self, flits: u32) {
+        self.tokens = (self.tokens + flits).min(self.initial_tokens);
+    }
+
+    /// Restore the reset state (connectivity is preserved; tokens refill).
+    pub fn reset_tokens(&mut self) {
+        self.tokens = self.initial_tokens;
+        self.flit_debt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_classification() {
+        assert!(Endpoint::Host(5).is_host());
+        assert!(!Endpoint::Host(5).is_device());
+        assert!(Endpoint::Device(1, 2).is_device());
+        assert!(!Endpoint::Unconnected.is_host());
+        assert_eq!(Endpoint::Host(5).cube(), Some(5));
+        assert_eq!(Endpoint::Device(1, 2).cube(), Some(1));
+        assert_eq!(Endpoint::Unconnected.cube(), None);
+    }
+
+    #[test]
+    fn links_pair_with_their_quad() {
+        // §IV.A: link i is physically closest to quad i.
+        for id in 0..8 {
+            assert_eq!(Link::new(id, 8).quad, id);
+        }
+    }
+
+    #[test]
+    fn fresh_links_are_unconnected() {
+        let l = Link::new(0, 8);
+        assert!(!l.is_host_link());
+        assert!(!l.is_pass_through());
+    }
+
+    #[test]
+    fn token_pool_covers_the_crossbar_queue() {
+        let l = Link::new(0, 128);
+        assert_eq!(l.tokens, 128 * 9);
+    }
+
+    #[test]
+    fn token_take_and_return() {
+        let mut l = Link::new(0, 2); // 18 tokens
+        assert!(l.take_tokens(9));
+        assert!(l.take_tokens(9));
+        assert!(!l.take_tokens(1), "pool exhausted");
+        assert_eq!(l.tokens, 0);
+        l.return_tokens(9);
+        assert_eq!(l.tokens, 9);
+        l.return_tokens(100);
+        assert_eq!(l.tokens, 18, "saturates at the initial allotment");
+    }
+
+    #[test]
+    fn reset_refills_tokens_and_keeps_wiring() {
+        let mut l = Link::new(3, 4);
+        l.remote = Endpoint::Device(2, 1);
+        l.take_tokens(5);
+        l.reset_tokens();
+        assert_eq!(l.tokens, l.initial_tokens);
+        assert_eq!(l.remote, Endpoint::Device(2, 1));
+    }
+}

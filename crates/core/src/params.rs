@@ -1,0 +1,175 @@
+//! Tunable simulation parameters.
+//!
+//! The HMC specification deliberately leaves the crossbar and vault
+//! queueing mechanisms "defined in an ambiguous manner such that
+//! implementers may tailor the device to specific requirements" (paper
+//! §IV, requirement 3). [`SimParams`] collects the knobs our
+//! implementation exposes over that latitude; the defaults reproduce the
+//! behaviour used for the paper-shape experiments, and the ablation
+//! benches sweep them.
+
+/// How a vault reacts to a bank conflict inside its per-cycle window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictPolicy {
+    /// Skip the conflicting packet and keep scanning the window — the
+    /// weak-ordering reordering the spec allows vaults ("local vaults may
+    /// also reorder queued packets in order to make most efficient use of
+    /// bandwidth", §III.C). Same-bank order is still preserved.
+    SkipConflicting,
+    /// Stop processing the vault for the rest of the cycle at the first
+    /// conflict — a strictly in-order vault controller.
+    StallQueue,
+}
+
+/// Periodic DRAM refresh modelling: every `interval` cycles, each vault
+/// takes one bank (rotating, staggered across vaults) out of service for
+/// `duration` cycles — the classic per-bank refresh penalty real DRAM
+/// stacks pay and the paper's constant-time model omits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshParams {
+    /// Cycles between the starts of consecutive refresh windows.
+    pub interval: u64,
+    /// Cycles a bank stays out of service per window.
+    pub duration: u64,
+}
+
+impl RefreshParams {
+    /// The bank a vault has under refresh at `cycle`, if any. Windows
+    /// rotate through the banks and are staggered across vaults so the
+    /// whole device never pauses at once.
+    pub fn bank_under_refresh(&self, cycle: u64, vault: u16, banks: u16) -> Option<u16> {
+        if self.interval == 0 || banks == 0 {
+            return None;
+        }
+        if cycle % self.interval < self.duration.min(self.interval) {
+            let window = cycle / self.interval;
+            Some(((window + vault as u64) % banks as u64) as u16)
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-simulation tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimParams {
+    /// Maximum request packets one link's crossbar moves per cycle
+    /// (toward vaults or across chained links).
+    pub xbar_drain_per_cycle: usize,
+    /// Spatial window (in queue slots) a vault scans per cycle for
+    /// processable packets and conflict recognition. `None` means one
+    /// window per bank (`banks_per_vault` slots).
+    pub vault_window: Option<usize>,
+    /// Maximum response packets one vault registers with crossbar
+    /// response queues per cycle.
+    pub rsp_drain_per_cycle: usize,
+    /// Chaining hops after which a packet is retired as a zombie
+    /// (loopback protection, §V.B).
+    pub hop_budget: u32,
+    /// Optional SERDES serialization model: FLITs one link direction can
+    /// accept per cycle. `None` (default) matches the paper's model,
+    /// which arbitrates packets, not link beats; `Some(1)` corresponds to
+    /// a full-width 10 Gbps link at a 1.25 GHz logic clock. Zero is
+    /// clamped to one beat (a zero budget could never move a packet).
+    pub link_flits_per_cycle: Option<usize>,
+    /// Vault behaviour on bank conflicts.
+    pub conflict_policy: ConflictPolicy,
+    /// Optional periodic DRAM refresh (`None` = the paper's model).
+    pub refresh: Option<RefreshParams>,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            // Calibrated so that link count and bank count both shape
+            // throughput, as in the paper's Table I: the per-link crossbar
+            // drain binds when banks are plentiful (link speedup) and the
+            // per-vault conflict window binds when they are not (bank
+            // speedup).
+            xbar_drain_per_cycle: 32,
+            vault_window: None,
+            rsp_drain_per_cycle: 64,
+            hop_budget: 16,
+            link_flits_per_cycle: None,
+            conflict_policy: ConflictPolicy::SkipConflicting,
+            refresh: None,
+        }
+    }
+}
+
+impl SimParams {
+    /// Resolve the vault window for a device with `banks` banks per vault.
+    pub fn window_for(&self, banks: u16) -> usize {
+        self.vault_window.unwrap_or(banks as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = SimParams::default();
+        assert!(p.xbar_drain_per_cycle >= 1);
+        assert!(p.rsp_drain_per_cycle >= 1);
+        assert!(p.hop_budget >= 2);
+        assert_eq!(p.conflict_policy, ConflictPolicy::SkipConflicting);
+    }
+
+    #[test]
+    fn window_defaults_to_bank_count() {
+        let p = SimParams::default();
+        assert_eq!(p.window_for(8), 8);
+        assert_eq!(p.window_for(16), 16);
+    }
+
+    #[test]
+    fn explicit_window_overrides() {
+        let p = SimParams {
+            vault_window: Some(4),
+            ..SimParams::default()
+        };
+        assert_eq!(p.window_for(16), 4);
+    }
+
+    #[test]
+    fn refresh_windows_rotate_and_stagger() {
+        let r = RefreshParams {
+            interval: 100,
+            duration: 10,
+        };
+        // In-window at cycle 5, out at cycle 50.
+        assert_eq!(r.bank_under_refresh(5, 0, 8), Some(0));
+        assert_eq!(r.bank_under_refresh(50, 0, 8), None);
+        // Next window refreshes the next bank.
+        assert_eq!(r.bank_under_refresh(105, 0, 8), Some(1));
+        // Vault stagger: vault 3 is three banks ahead.
+        assert_eq!(r.bank_under_refresh(5, 3, 8), Some(3));
+        // Wraps around the bank count.
+        assert_eq!(r.bank_under_refresh(5, 9, 8), Some(1));
+    }
+
+    #[test]
+    fn degenerate_refresh_is_inert() {
+        let r = RefreshParams {
+            interval: 0,
+            duration: 10,
+        };
+        assert_eq!(r.bank_under_refresh(5, 0, 8), None);
+        let r = RefreshParams {
+            interval: 100,
+            duration: 0,
+        };
+        assert_eq!(r.bank_under_refresh(5, 0, 8), None);
+    }
+
+    #[test]
+    fn window_is_never_zero() {
+        let p = SimParams {
+            vault_window: Some(0),
+            ..SimParams::default()
+        };
+        assert_eq!(p.window_for(8), 1);
+    }
+}

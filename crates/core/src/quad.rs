@@ -1,0 +1,75 @@
+//! Quad units.
+//!
+//! "Quad units map directly to the notion of a quadrant, or locality domain
+//! on an HMC device. Each quad unit is closely related to four vaults in
+//! both four and eight link configurations. Each quad unit also contains a
+//! pointer to the closest vault unit structures" (paper §IV.A). The Rust
+//! port replaces pointers with vault indices into the device's contiguous
+//! vault block.
+
+use hmc_types::config::VAULTS_PER_QUAD;
+use hmc_types::{QuadId, VaultId};
+
+/// A locality domain of four vaults, co-located with one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quad {
+    /// Quad index (equals the closest link's index).
+    pub id: QuadId,
+    /// The four vaults this quad owns: `4*id .. 4*id+4`.
+    pub vaults: [VaultId; VAULTS_PER_QUAD as usize],
+}
+
+impl Quad {
+    /// Build quad `id` with its canonical vault block.
+    pub fn new(id: QuadId) -> Self {
+        let base = id as VaultId * VAULTS_PER_QUAD;
+        Quad {
+            id,
+            vaults: [base, base + 1, base + 2, base + 3],
+        }
+    }
+
+    /// True if `vault` belongs to this quad.
+    pub fn owns(&self, vault: VaultId) -> bool {
+        self.vaults.contains(&vault)
+    }
+
+    /// The quad that owns `vault` on any device.
+    pub fn of_vault(vault: VaultId) -> QuadId {
+        (vault / VAULTS_PER_QUAD) as QuadId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quads_own_contiguous_vault_blocks() {
+        let q0 = Quad::new(0);
+        assert_eq!(q0.vaults, [0, 1, 2, 3]);
+        let q3 = Quad::new(3);
+        assert_eq!(q3.vaults, [12, 13, 14, 15]);
+        let q7 = Quad::new(7);
+        assert_eq!(q7.vaults, [28, 29, 30, 31]);
+    }
+
+    #[test]
+    fn ownership_queries() {
+        let q2 = Quad::new(2);
+        assert!(q2.owns(8));
+        assert!(q2.owns(11));
+        assert!(!q2.owns(12));
+        assert!(!q2.owns(7));
+    }
+
+    #[test]
+    fn vault_to_quad_inverse() {
+        for quad in 0..8u8 {
+            let q = Quad::new(quad);
+            for v in q.vaults {
+                assert_eq!(Quad::of_vault(v), quad);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Packet queues.
+//!
+//! "All the queuing structures present in the HMC-Sim structure hierarchy
+//! share the same software representation. Each queue contains one or more
+//! queue slots … in order to act as a registered input or output logic
+//! stage" (paper §IV.A). The C implementation scans fixed slot arrays with
+//! valid bits; this port keeps the slot *semantics* (fixed depth ≥ 1, FIFO
+//! arrival order, one packet per slot) in a ring buffer so a clock tick
+//! costs O(occupied slots), which the 33.5-million-request Table I runs
+//! require.
+
+use std::collections::VecDeque;
+
+use hmc_types::{BankId, CubeId, Cycle, LinkId, Packet, VaultId};
+
+/// Sentinel for "not yet decoded" vault/bank coordinates.
+pub const UNDECODED: u16 = u16::MAX;
+
+/// A packet occupying a queue slot, with the simulator-side metadata that
+/// the C implementation keeps alongside each slot.
+#[derive(Debug, Clone)]
+pub struct QueueEntry {
+    /// The packet itself (always sized for the maximal nine-FLIT packet).
+    pub packet: Packet,
+    /// Cycle at which the packet entered the *device* (latency tracking).
+    pub entry_cycle: Cycle,
+    /// Cycle at which the packet entered *this queue*.
+    pub arrival_cycle: Cycle,
+    /// Link on which the packet first entered the current device.
+    pub arrival_link: LinkId,
+    /// Cube that originated the packet (the host for requests; the
+    /// device for responses).
+    pub src_cube: CubeId,
+    /// Final destination cube (device for requests, host for responses).
+    pub dest_cube: CubeId,
+    /// Chaining hops taken so far (zombie detection, §V.B).
+    pub hops: u32,
+    /// Decoded destination vault ([`UNDECODED`] until the crossbar
+    /// resolves it; flow/mode packets never resolve one).
+    pub dest_vault: VaultId,
+    /// Decoded destination bank ([`UNDECODED`] until resolved).
+    pub dest_bank: BankId,
+    /// Corrupted in link transit (error simulation); cleared when the
+    /// receiving crossbar detects it and models the retransmission.
+    pub corrupt: bool,
+    /// Cycle until which the packet is held for link retransmission.
+    pub retry_until: Cycle,
+}
+
+impl QueueEntry {
+    /// Wrap a packet with fresh metadata.
+    pub fn new(packet: Packet, src_cube: CubeId, dest_cube: CubeId, cycle: Cycle) -> Self {
+        QueueEntry {
+            packet,
+            entry_cycle: cycle,
+            arrival_cycle: cycle,
+            arrival_link: 0,
+            src_cube,
+            dest_cube,
+            hops: 0,
+            dest_vault: UNDECODED,
+            dest_bank: UNDECODED,
+            corrupt: false,
+            retry_until: 0,
+        }
+    }
+
+    /// True once the crossbar has resolved vault/bank coordinates.
+    pub fn is_decoded(&self) -> bool {
+        self.dest_vault != UNDECODED
+    }
+}
+
+/// A fixed-depth FIFO of queue slots.
+#[derive(Debug)]
+pub struct PacketQueue {
+    depth: usize,
+    slots: VecDeque<QueueEntry>,
+}
+
+impl PacketQueue {
+    /// Create a queue of `depth` slots.
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero — "there must exist at least one queue
+    /// slot for each logical queue representation" (§IV.A).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "queues must have at least one slot");
+        PacketQueue {
+            depth,
+            slots: VecDeque::with_capacity(depth),
+        }
+    }
+
+    /// Configured slot count.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot is valid.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True when every slot is valid (arrivals must stall).
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.depth
+    }
+
+    /// Free slots remaining.
+    pub fn free_slots(&self) -> usize {
+        self.depth - self.slots.len()
+    }
+
+    /// Enqueue at the tail; returns the entry back on overflow so the
+    /// caller can leave it in its upstream queue (a stall).
+    ///
+    /// The large `Err` payload is deliberate: a rejected entry is the
+    /// common stall path and must hand the packet back without boxing.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&mut self, entry: QueueEntry) -> Result<(), QueueEntry> {
+        if self.is_full() {
+            return Err(entry);
+        }
+        self.slots.push_back(entry);
+        Ok(())
+    }
+
+    /// Dequeue from the head.
+    pub fn pop(&mut self) -> Option<QueueEntry> {
+        self.slots.pop_front()
+    }
+
+    /// Peek at the head without removing.
+    pub fn front(&self) -> Option<&QueueEntry> {
+        self.slots.front()
+    }
+
+    /// Peek at slot `i` (0 = head).
+    pub fn get(&self, i: usize) -> Option<&QueueEntry> {
+        self.slots.get(i)
+    }
+
+    /// Mutable peek at slot `i` (0 = head).
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut QueueEntry> {
+        self.slots.get_mut(i)
+    }
+
+    /// Remove slot `i` (0 = head), preserving the order of the rest.
+    /// Used by the crossbar's pass-ahead walk, where a stalled packet may
+    /// be passed by later packets bound elsewhere (§III.C weak ordering).
+    pub fn remove(&mut self, i: usize) -> Option<QueueEntry> {
+        self.slots.remove(i)
+    }
+
+    /// Re-insert an entry at the head (an entry popped for processing
+    /// that must stall keeps its queue position).
+    pub fn push_front(&mut self, entry: QueueEntry) {
+        assert!(
+            self.slots.len() < self.depth,
+            "push_front into a full queue"
+        );
+        self.slots.push_front(entry);
+    }
+
+    /// Iterate entries head-to-tail.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.slots.iter()
+    }
+
+    /// Drop every entry (device reset).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::{BlockSize, Command};
+
+    fn entry(tag: u16) -> QueueEntry {
+        let p = Packet::request(Command::Rd(BlockSize::B16), 0, 0, tag, 0, &[]).unwrap();
+        QueueEntry::new(p, 5, 0, 0)
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = PacketQueue::new(4);
+        for t in 0..4 {
+            q.push(entry(t)).unwrap();
+        }
+        for t in 0..4 {
+            assert_eq!(q.pop().unwrap().packet.tag(), t);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_returns_the_entry() {
+        let mut q = PacketQueue::new(2);
+        q.push(entry(0)).unwrap();
+        q.push(entry(1)).unwrap();
+        assert!(q.is_full());
+        let back = q.push(entry(2)).unwrap_err();
+        assert_eq!(back.packet.tag(), 2, "rejected entry comes back intact");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_depth_rejected() {
+        PacketQueue::new(0);
+    }
+
+    #[test]
+    fn single_slot_queue_works() {
+        // The minimum legal queue: one slot (§IV.A).
+        let mut q = PacketQueue::new(1);
+        q.push(entry(9)).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.pop().unwrap().packet.tag(), 9);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_preserves_order_of_rest() {
+        let mut q = PacketQueue::new(4);
+        for t in 0..4 {
+            q.push(entry(t)).unwrap();
+        }
+        let removed = q.remove(1).unwrap();
+        assert_eq!(removed.packet.tag(), 1);
+        let rest: Vec<u16> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.packet.tag())
+            .collect();
+        assert_eq!(rest, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn push_front_restores_head_position() {
+        let mut q = PacketQueue::new(4);
+        q.push(entry(0)).unwrap();
+        q.push(entry(1)).unwrap();
+        let head = q.pop().unwrap();
+        q.push_front(head);
+        assert_eq!(q.front().unwrap().packet.tag(), 0);
+    }
+
+    #[test]
+    fn free_slot_accounting() {
+        let mut q = PacketQueue::new(3);
+        assert_eq!(q.free_slots(), 3);
+        q.push(entry(0)).unwrap();
+        assert_eq!(q.free_slots(), 2);
+        q.pop();
+        assert_eq!(q.free_slots(), 3);
+    }
+
+    #[test]
+    fn entry_metadata_defaults() {
+        let e = entry(3);
+        assert_eq!(e.src_cube, 5);
+        assert_eq!(e.hops, 0);
+        assert!(!e.is_decoded());
+        assert_eq!(e.dest_vault, UNDECODED);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = PacketQueue::new(4);
+        q.push(entry(0)).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.free_slots(), 4);
+    }
+
+    #[test]
+    fn get_and_iter_view_slots_in_order() {
+        let mut q = PacketQueue::new(4);
+        for t in 0..3 {
+            q.push(entry(t)).unwrap();
+        }
+        assert_eq!(q.get(0).unwrap().packet.tag(), 0);
+        assert_eq!(q.get(2).unwrap().packet.tag(), 2);
+        assert!(q.get(3).is_none());
+        let tags: Vec<u16> = q.iter().map(|e| e.packet.tag()).collect();
+        assert_eq!(tags, vec![0, 1, 2]);
+    }
+}

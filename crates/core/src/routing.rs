@@ -1,0 +1,203 @@
+//! Inter-cube routing.
+//!
+//! The HMC link structure lets packets traverse chained devices toward
+//! cubes they are not directly attached to (paper §III.A). HMC-Sim routes
+//! hop-by-hop: each device consults a next-hop table derived from the
+//! configured topology by breadth-first search, so packets take shortest
+//! paths and deliberately misconfigured topologies surface as unroutable
+//! destinations (error responses, §IV requirement 2).
+
+use std::collections::VecDeque;
+
+use hmc_types::{CubeId, LinkId};
+
+use crate::device::Device;
+use crate::link::Endpoint;
+
+/// Per-device next-hop table: `next_hop[dev][target] = link`.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    /// Indexed `[device][target_cube] -> Option<LinkId>`.
+    next_hop: Vec<Vec<Option<LinkId>>>,
+    num_targets: usize,
+}
+
+impl RouteTable {
+    /// Build routes over the devices' current link wiring. `num_cubes` is
+    /// the total ID space (devices + hosts).
+    pub fn build(devices: &[Device], num_cubes: usize) -> Self {
+        let n = devices.len();
+        let mut next_hop = vec![vec![None; num_cubes]; n];
+
+        // Adjacency: for each device, (link, remote cube) pairs.
+        // Device-device edges are walkable; host edges terminate.
+        for target in 0..num_cubes as u16 {
+            let target = target as CubeId;
+            // Multi-source BFS from every device adjacent to `target`
+            // (or from `target` itself when it is a device), expanding
+            // outward and recording the link that leads back toward it.
+            let mut dist = vec![usize::MAX; n];
+            let mut queue = VecDeque::new();
+
+            if (target as usize) < n {
+                dist[target as usize] = 0;
+                queue.push_back(target as usize);
+            } else {
+                // Host target: devices with a direct host link are the
+                // frontier at distance 1.
+                for (di, dev) in devices.iter().enumerate() {
+                    for link in &dev.links {
+                        if link.remote == Endpoint::Host(target) {
+                            if dist[di] != usize::MAX {
+                                continue;
+                            }
+                            dist[di] = 1;
+                            next_hop[di][target as usize] = Some(link.id);
+                            queue.push_back(di);
+                        }
+                    }
+                }
+            }
+
+            while let Some(cur) = queue.pop_front() {
+                // Expand to neighbours: a neighbour reaches `target`
+                // through its link facing `cur`.
+                for (ni, ndev) in devices.iter().enumerate() {
+                    if dist[ni] != usize::MAX {
+                        continue;
+                    }
+                    let mut found = None;
+                    for link in &ndev.links {
+                        if let Endpoint::Device(c, _) = link.remote {
+                            if c as usize == cur {
+                                found = Some(link.id);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(l) = found {
+                        dist[ni] = dist[cur] + 1;
+                        next_hop[ni][target as usize] = Some(l);
+                        queue.push_back(ni);
+                    }
+                }
+            }
+        }
+
+        RouteTable {
+            next_hop,
+            num_targets: num_cubes,
+        }
+    }
+
+    /// The link device `dev` should use toward `target`, or `None` if the
+    /// target is unreachable (misroute) or is the device itself.
+    pub fn next_hop(&self, dev: CubeId, target: CubeId) -> Option<LinkId> {
+        if dev == target {
+            return None;
+        }
+        self.next_hop
+            .get(dev as usize)
+            .and_then(|row| row.get(target as usize))
+            .copied()
+            .flatten()
+    }
+
+    /// Number of cube IDs the table covers.
+    pub fn num_targets(&self) -> usize {
+        self.num_targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::DeviceConfig;
+
+    fn devices(n: usize) -> Vec<Device> {
+        (0..n)
+            .map(|i| Device::new(i as CubeId, &DeviceConfig::small()))
+            .collect()
+    }
+
+    fn wire(devs: &mut [Device], a: usize, la: u8, b: usize, lb: u8) {
+        devs[a].links[la as usize].remote = Endpoint::Device(b as CubeId, lb);
+        devs[b].links[lb as usize].remote = Endpoint::Device(a as CubeId, la);
+    }
+
+    fn host(devs: &mut [Device], d: usize, l: u8, h: CubeId) {
+        devs[d].links[l as usize].remote = Endpoint::Host(h);
+    }
+
+    #[test]
+    fn direct_host_link_is_one_hop() {
+        let mut devs = devices(1);
+        host(&mut devs, 0, 0, 1);
+        let rt = RouteTable::build(&devs, 2);
+        assert_eq!(rt.next_hop(0, 1), Some(0));
+    }
+
+    #[test]
+    fn chain_routes_hop_by_hop() {
+        // host(4) - dev0 - dev1 - dev2 - dev3
+        let mut devs = devices(4);
+        host(&mut devs, 0, 0, 4);
+        wire(&mut devs, 0, 1, 1, 0);
+        wire(&mut devs, 1, 1, 2, 0);
+        wire(&mut devs, 2, 1, 3, 0);
+        let rt = RouteTable::build(&devs, 5);
+        // Requests: host→dev3 path enters dev0; dev0 forwards on link 1.
+        assert_eq!(rt.next_hop(0, 3), Some(1));
+        assert_eq!(rt.next_hop(1, 3), Some(1));
+        assert_eq!(rt.next_hop(2, 3), Some(1));
+        // Responses: dev3 back to host 4.
+        assert_eq!(rt.next_hop(3, 4), Some(0));
+        assert_eq!(rt.next_hop(1, 4), Some(0));
+        assert_eq!(rt.next_hop(0, 4), Some(0));
+    }
+
+    #[test]
+    fn ring_takes_the_shortest_direction() {
+        // 4-device ring: 0-1-2-3-0, host on dev 0.
+        let mut devs = devices(4);
+        host(&mut devs, 0, 0, 4);
+        wire(&mut devs, 0, 1, 1, 0);
+        wire(&mut devs, 1, 1, 2, 0);
+        wire(&mut devs, 2, 1, 3, 0);
+        wire(&mut devs, 3, 1, 0, 2);
+        let rt = RouteTable::build(&devs, 5);
+        // dev0 → dev3 directly via link 2 (one hop, not around the ring).
+        assert_eq!(rt.next_hop(0, 3), Some(2));
+        assert_eq!(rt.next_hop(0, 1), Some(1));
+    }
+
+    #[test]
+    fn unreachable_targets_have_no_route() {
+        let mut devs = devices(2);
+        host(&mut devs, 0, 0, 2);
+        // dev1 is never wired.
+        let rt = RouteTable::build(&devs, 3);
+        assert_eq!(rt.next_hop(0, 1), None, "no path to the unwired device");
+        assert_eq!(rt.next_hop(1, 2), None, "unwired device reaches nothing");
+    }
+
+    #[test]
+    fn self_route_is_none() {
+        let devs = devices(1);
+        let rt = RouteTable::build(&devs, 2);
+        assert_eq!(rt.next_hop(0, 0), None);
+    }
+
+    #[test]
+    fn multiple_hosts_route_independently() {
+        let mut devs = devices(2);
+        host(&mut devs, 0, 0, 2);
+        host(&mut devs, 1, 0, 3);
+        wire(&mut devs, 0, 1, 1, 1);
+        let rt = RouteTable::build(&devs, 4);
+        assert_eq!(rt.next_hop(0, 2), Some(0));
+        assert_eq!(rt.next_hop(0, 3), Some(1), "host 3 is through dev 1");
+        assert_eq!(rt.next_hop(1, 2), Some(1));
+        assert_eq!(rt.next_hop(1, 3), Some(0));
+    }
+}

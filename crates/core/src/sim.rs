@@ -1,0 +1,661 @@
+//! The top-level simulation object.
+//!
+//! An [`HmcSim`] corresponds to one `hmcsim_t` of the C API: a set of
+//! physically homogeneous HMC devices (paper §V.A), the topology wiring
+//! between them and their hosts, the address map, the clock, and the
+//! tracer. "An application may contain more than one HMC-Sim object in
+//! order to simulate architectural characteristics such as non-uniform
+//! memory access" (§IV.A) — objects are fully independent values here.
+
+use hmc_types::address::AddressMap;
+use hmc_types::{CubeId, Cycle, DeviceConfig, HmcError, LinkId, Packet, Result};
+use hmc_trace::{TraceEvent, Tracer};
+
+use crate::device::Device;
+use crate::link::Endpoint;
+use crate::params::SimParams;
+use crate::queue::QueueEntry;
+use crate::routing::RouteTable;
+
+/// The 3-bit CUB field bounds the ID space shared by devices and hosts.
+pub const MAX_CUBES: usize = 8;
+
+/// Whole-simulation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Request packets accepted from hosts.
+    pub sent: u64,
+    /// Response packets delivered to hosts.
+    pub received: u64,
+    /// Clock cycles executed.
+    pub cycles: u64,
+}
+
+/// One HMC-Sim simulation object.
+pub struct HmcSim {
+    pub(crate) config: DeviceConfig,
+    pub(crate) params: SimParams,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) map: Box<dyn AddressMap>,
+    pub(crate) routes: Option<RouteTable>,
+    pub(crate) clock: Cycle,
+    pub(crate) tracer: Tracer,
+    pub(crate) stats: SimStats,
+    pub(crate) ac_mode: u64,
+    pub(crate) faults: Option<crate::fault::FaultState>,
+}
+
+impl std::fmt::Debug for HmcSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmcSim")
+            .field("devices", &self.devices.len())
+            .field("clock", &self.clock)
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HmcSim {
+    /// Create `num_devices` homogeneous devices in their reset state.
+    ///
+    /// The config is validated here, exactly as `hmcsim_init` validates
+    /// its geometry arguments before allocating (paper §V.A).
+    pub fn new(num_devices: u8, config: DeviceConfig) -> Result<Self> {
+        config.validate()?;
+        if num_devices == 0 {
+            return Err(HmcError::InvalidConfig(
+                "at least one device is required".into(),
+            ));
+        }
+        if num_devices as usize >= MAX_CUBES {
+            return Err(HmcError::InvalidConfig(format!(
+                "{num_devices} devices exceed the 3-bit CUB space \
+                 ({MAX_CUBES} IDs shared with hosts)"
+            )));
+        }
+        if config.banks_per_vault > 64 {
+            return Err(HmcError::InvalidConfig(
+                "banks_per_vault above 64 is not supported by the vault scheduler".into(),
+            ));
+        }
+        let devices = (0..num_devices).map(|i| Device::new(i, &config)).collect();
+        let map = Box::new(config.default_map()?);
+        Ok(HmcSim {
+            config,
+            params: SimParams::default(),
+            devices,
+            map,
+            routes: None,
+            clock: 0,
+            tracer: Tracer::off(),
+            stats: SimStats::default(),
+            ac_mode: 0,
+            faults: None,
+        })
+    }
+
+    /// Replace the simulation parameters (builder style, before clocking).
+    pub fn with_params(mut self, params: SimParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Replace the address map (must match the device geometry).
+    pub fn set_address_map(&mut self, map: Box<dyn AddressMap>) -> Result<()> {
+        let g = map.geometry();
+        if g != self.config.geometry() {
+            return Err(HmcError::InvalidConfig(format!(
+                "address map geometry {g:?} does not match the device geometry {:?}",
+                self.config.geometry()
+            )));
+        }
+        self.map = map;
+        Ok(())
+    }
+
+    /// Install a tracer (verbosity + sink).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Enable link-level error simulation (§IV requirement 5): packets
+    /// crossing host links are corrupted with the configured probability
+    /// and recovered by the crossbar retry model.
+    pub fn enable_fault_injection(&mut self, config: crate::fault::FaultConfig) {
+        self.faults = Some(crate::fault::FaultState::new(config));
+    }
+
+    /// Disable error simulation.
+    pub fn disable_fault_injection(&mut self) {
+        self.faults = None;
+    }
+
+    /// Error-simulation statistics, when enabled.
+    pub fn fault_state(&self) -> Option<&crate::fault::FaultState> {
+        self.faults.as_ref()
+    }
+
+    /// Access the tracer (flushing, verbosity changes).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    // -------------------------------------------------------------- access
+
+    /// The shared device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The simulation parameters.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Number of devices in the object.
+    pub fn num_devices(&self) -> u8 {
+        self.devices.len() as u8
+    }
+
+    /// The cube ID of host `k` (host IDs sit above all device IDs in the
+    /// shared CUB space, §V.B).
+    pub fn host_cube_id(&self, k: u8) -> CubeId {
+        self.num_devices() + k
+    }
+
+    /// Current clock value.
+    pub fn current_clock(&self) -> Cycle {
+        self.clock
+    }
+
+    /// Whole-simulation counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable device access.
+    pub fn device(&self, id: CubeId) -> Result<&Device> {
+        self.devices
+            .get(id as usize)
+            .ok_or_else(|| HmcError::cube_range(id, self.num_devices()))
+    }
+
+    /// Mutable device access (tests, fault injection).
+    pub fn device_mut(&mut self, id: CubeId) -> Result<&mut Device> {
+        let n = self.num_devices();
+        self.devices
+            .get_mut(id as usize)
+            .ok_or_else(|| HmcError::cube_range(id, n))
+    }
+
+    /// The active address map.
+    pub fn address_map(&self) -> &dyn AddressMap {
+        self.map.as_ref()
+    }
+
+    /// True when no packet is resident in any queue of any device.
+    pub fn is_idle(&self) -> bool {
+        self.devices.iter().all(|d| d.total_occupancy() == 0)
+    }
+
+    /// Total packets resident across all devices.
+    pub fn total_occupancy(&self) -> usize {
+        self.devices.iter().map(|d| d.total_occupancy()).sum()
+    }
+
+    // ------------------------------------------------------------ topology
+
+    /// Connect device `dev` link `link` to host cube `host`.
+    ///
+    /// Host IDs must lie outside the device ID range (§V.B) and inside the
+    /// 3-bit CUB space.
+    pub fn connect_host(&mut self, dev: CubeId, link: LinkId, host: CubeId) -> Result<()> {
+        let n = self.num_devices();
+        if host < n {
+            return Err(HmcError::Topology(format!(
+                "host cube ID {host} collides with device IDs 0..{n}"
+            )));
+        }
+        if host as usize >= MAX_CUBES {
+            return Err(HmcError::Topology(format!(
+                "host cube ID {host} exceeds the 3-bit CUB space"
+            )));
+        }
+        let d = self.device_mut(dev)?;
+        let l = d
+            .links
+            .get_mut(link as usize)
+            .ok_or_else(|| HmcError::link_range(link, 0))?;
+        l.remote = Endpoint::Host(host);
+        self.routes = None;
+        Ok(())
+    }
+
+    /// Chain two devices: `a.link_a <-> b.link_b` (both ends wired).
+    ///
+    /// Loopbacks are rejected: "the infrastructure does not permit users
+    /// to configure links as loopbacks" (§V.B). Both devices must live in
+    /// this simulation object.
+    pub fn connect_devices(
+        &mut self,
+        a: CubeId,
+        link_a: LinkId,
+        b: CubeId,
+        link_b: LinkId,
+    ) -> Result<()> {
+        if a == b {
+            return Err(HmcError::Topology(format!(
+                "loopback link on device {a} is not permitted"
+            )));
+        }
+        let n = self.num_devices();
+        if a >= n || b >= n {
+            return Err(HmcError::Topology(format!(
+                "devices {a} and {b} must both exist within this HMC-Sim object (0..{n})"
+            )));
+        }
+        let num_links = self.config.num_links;
+        if link_a >= num_links || link_b >= num_links {
+            return Err(HmcError::link_range(link_a.max(link_b), num_links));
+        }
+        self.devices[a as usize].links[link_a as usize].remote = Endpoint::Device(b, link_b);
+        self.devices[b as usize].links[link_b as usize].remote = Endpoint::Device(a, link_a);
+        self.routes = None;
+        Ok(())
+    }
+
+    /// Disconnect a link (returns it to `Unconnected`).
+    pub fn disconnect(&mut self, dev: CubeId, link: LinkId) -> Result<()> {
+        let d = self.device_mut(dev)?;
+        let l = d
+            .links
+            .get_mut(link as usize)
+            .ok_or_else(|| HmcError::link_range(link, 0))?;
+        l.remote = Endpoint::Unconnected;
+        self.routes = None;
+        Ok(())
+    }
+
+    /// Validate the topology and (re)build routes. Called implicitly by
+    /// [`HmcSim::send`] and [`HmcSim::clock`]; callable eagerly for early
+    /// error reporting.
+    pub fn finalize_topology(&mut self) -> Result<()> {
+        // "The user must configure at least one device that connects to a
+        // host link. Otherwise, the host will have no access to main
+        // memory" (§V.B).
+        if !self.devices.iter().any(|d| d.is_root()) {
+            return Err(HmcError::Topology(
+                "no host link configured; the host would have no access to memory".into(),
+            ));
+        }
+        self.routes = Some(RouteTable::build(&self.devices, MAX_CUBES));
+        Ok(())
+    }
+
+    pub(crate) fn ensure_routes(&mut self) -> Result<()> {
+        if self.routes.is_none() {
+            self.finalize_topology()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------- send / recv
+
+    /// Submit a fully-formed request or flow packet on a host link.
+    ///
+    /// Returns [`HmcError::Stalled`] when the link's crossbar queue (or
+    /// its token pool) has no room — the signal the paper's harness uses
+    /// to throttle injection (§VI.A).
+    pub fn send(&mut self, dev: CubeId, link: LinkId, packet: Packet) -> Result<()> {
+        self.ensure_routes()?;
+        let d = self
+            .devices
+            .get(dev as usize)
+            .ok_or_else(|| HmcError::cube_range(dev, self.devices.len() as u8))?;
+        let l = d
+            .links
+            .get(link as usize)
+            .ok_or_else(|| HmcError::link_range(link, d.links.len() as u8))?;
+        let host = match l.remote {
+            Endpoint::Host(h) => h,
+            _ => {
+                return Err(HmcError::Topology(format!(
+                    "link {link} on device {dev} is not a host link"
+                )))
+            }
+        };
+        packet.validate()?;
+        let cmd = packet.cmd()?;
+        if cmd.is_response() {
+            return Err(HmcError::InvalidPacket(
+                "hosts send request or flow packets, not responses".into(),
+            ));
+        }
+        let flits = packet.lng() as u32;
+        let dest = packet.cub();
+
+        let d = &mut self.devices[dev as usize];
+        if d.xbars[link as usize].rqst.is_full() {
+            return Err(HmcError::Stalled { cube: dev, link });
+        }
+        if !d.links[link as usize].take_tokens(flits) {
+            return Err(HmcError::Stalled { cube: dev, link });
+        }
+        let mut entry = QueueEntry::new(packet, host, dest, self.clock);
+        entry.arrival_link = link;
+        // Error simulation: the packet may be corrupted in SERDES transit.
+        if let Some(f) = self.faults.as_mut() {
+            if f.roll() {
+                entry.corrupt = true;
+            }
+        }
+        let d = &mut self.devices[dev as usize];
+        d.xbars[link as usize]
+            .rqst
+            .push(entry)
+            .expect("fullness checked above");
+        self.stats.sent += 1;
+        Ok(())
+    }
+
+    /// Receive one response packet from a host link, if available.
+    pub fn recv(&mut self, dev: CubeId, link: LinkId) -> Result<Packet> {
+        self.recv_with_latency(dev, link).map(|(p, _)| p)
+    }
+
+    /// Receive one response packet together with its request-to-response
+    /// latency in cycles (device-entry to delivery).
+    pub fn recv_with_latency(&mut self, dev: CubeId, link: LinkId) -> Result<(Packet, Cycle)> {
+        let n = self.devices.len() as u8;
+        let d = self
+            .devices
+            .get_mut(dev as usize)
+            .ok_or_else(|| HmcError::cube_range(dev, n))?;
+        let l = d
+            .links
+            .get(link as usize)
+            .ok_or_else(|| HmcError::link_range(link, d.links.len() as u8))?;
+        if !l.remote.is_host() {
+            return Err(HmcError::Topology(format!(
+                "link {link} on device {dev} is not a host link"
+            )));
+        }
+        match d.xbars[link as usize].rsp.pop() {
+            Some(entry) => {
+                self.stats.received += 1;
+                let latency = self.clock.saturating_sub(entry.entry_cycle);
+                Ok((entry.packet, latency))
+            }
+            None => Err(HmcError::NoResponse { cube: dev, link }),
+        }
+    }
+
+    // ------------------------------------------------------------- clock
+
+    /// Advance the simulation by one clock cycle: the six sub-cycle
+    /// stages of Figure 3 in order (paper §IV.C).
+    pub fn clock(&mut self) -> Result<()> {
+        self.ensure_routes()?;
+        self.stage1_child_xbar_requests();
+        self.stage2_root_xbar_requests();
+        self.stage3_recognize_bank_conflicts();
+        self.stage4_process_vault_requests();
+        self.stage5_register_responses();
+        self.stage6_update_clock();
+        Ok(())
+    }
+
+    pub(crate) fn stage6_update_clock(&mut self) {
+        use crate::register::regs;
+        for d in &mut self.devices {
+            d.registers.tick();
+            // Mirror live link token counts into the IBTC registers so
+            // in-band MODE_READs observe real flow-control state.
+            for l in &d.links {
+                let _ = d.registers.set_internal(regs::ibtc(l.id), l.tokens as u64);
+            }
+        }
+        // The AC (address configuration) register selects among the
+        // specification's default address map modes (§III.B): 0 =
+        // low-interleave (default), 1 = bank-first, 2 = linear. Devices
+        // are homogeneous, so device 0's AC governs the object; changes
+        // take effect at the clock edge for subsequently routed packets.
+        let ac = self.devices[0].registers.read(regs::AC).unwrap_or(0);
+        if ac != self.ac_mode {
+            let geometry = self.config.geometry();
+            let new_map: Option<Box<dyn AddressMap>> = match ac {
+                0 => hmc_types::LowInterleaveMap::new(geometry)
+                    .ok()
+                    .map(|m| Box::new(m) as Box<dyn AddressMap>),
+                1 => hmc_types::BankFirstMap::new(geometry)
+                    .ok()
+                    .map(|m| Box::new(m) as Box<dyn AddressMap>),
+                2 => hmc_types::LinearMap::new(geometry)
+                    .ok()
+                    .map(|m| Box::new(m) as Box<dyn AddressMap>),
+                // Unknown modes leave the current map in place.
+                _ => None,
+            };
+            if let Some(map) = new_map {
+                self.map = map;
+            }
+            self.ac_mode = ac;
+        }
+        self.clock += 1;
+        self.stats.cycles += 1;
+    }
+
+    // ------------------------------------------------------------- misc
+
+    /// Reset every device to its power-on state and zero the clock.
+    /// Topology wiring is preserved.
+    pub fn reset(&mut self) {
+        for d in &mut self.devices {
+            d.reset();
+        }
+        self.clock = 0;
+        self.stats = SimStats::default();
+    }
+
+    pub(crate) fn emit(&mut self, event: TraceEvent) {
+        self.tracer.emit(self.clock, event);
+    }
+
+    /// Host-side view of free request slots on a host link.
+    pub fn free_request_slots(&self, dev: CubeId, link: LinkId) -> Result<usize> {
+        let d = self.device(dev)?;
+        let x = d
+            .xbars
+            .get(link as usize)
+            .ok_or_else(|| HmcError::link_range(link, d.links.len() as u8))?;
+        Ok(x.rqst.free_slots())
+    }
+
+    /// Pending responses available on a host link.
+    pub fn pending_responses(&self, dev: CubeId, link: LinkId) -> Result<usize> {
+        let d = self.device(dev)?;
+        let x = d
+            .xbars
+            .get(link as usize)
+            .ok_or_else(|| HmcError::link_range(link, d.links.len() as u8))?;
+        Ok(x.rsp.len())
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::{BlockSize, Command};
+
+    fn sim() -> HmcSim {
+        let mut s = HmcSim::new(1, DeviceConfig::small()).unwrap();
+        for l in 0..4 {
+            s.connect_host(0, l, s.host_cube_id(0)).unwrap();
+        }
+        s
+    }
+
+    fn read_packet(addr: u64, tag: u16, link: LinkId) -> Packet {
+        Packet::request(Command::Rd(BlockSize::B64), 0, addr, tag, link, &[]).unwrap()
+    }
+
+    #[test]
+    fn init_validates_config_and_count() {
+        assert!(HmcSim::new(0, DeviceConfig::small()).is_err());
+        assert!(HmcSim::new(8, DeviceConfig::small()).is_err());
+        let mut bad = DeviceConfig::small();
+        bad.num_links = 5;
+        assert!(HmcSim::new(1, bad).is_err());
+        assert!(HmcSim::new(2, DeviceConfig::small()).is_ok());
+    }
+
+    #[test]
+    fn host_ids_sit_above_devices() {
+        let s = HmcSim::new(3, DeviceConfig::small()).unwrap();
+        assert_eq!(s.host_cube_id(0), 3);
+        assert_eq!(s.host_cube_id(1), 4);
+    }
+
+    #[test]
+    fn host_id_collision_rejected() {
+        let mut s = HmcSim::new(2, DeviceConfig::small()).unwrap();
+        assert!(s.connect_host(0, 0, 1).is_err(), "1 is a device ID");
+        assert!(s.connect_host(0, 0, 2).is_ok());
+        assert!(s.connect_host(0, 0, 8).is_err(), "beyond CUB space");
+    }
+
+    #[test]
+    fn loopback_links_rejected() {
+        let mut s = HmcSim::new(2, DeviceConfig::small()).unwrap();
+        assert!(matches!(
+            s.connect_devices(0, 0, 0, 1),
+            Err(HmcError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn chaining_requires_both_devices_in_object() {
+        let mut s = HmcSim::new(2, DeviceConfig::small()).unwrap();
+        assert!(s.connect_devices(0, 0, 2, 0).is_err());
+        assert!(s.connect_devices(0, 1, 1, 1).is_ok());
+        // Both ends wired.
+        assert_eq!(
+            s.device(0).unwrap().links[1].remote,
+            Endpoint::Device(1, 1)
+        );
+        assert_eq!(
+            s.device(1).unwrap().links[1].remote,
+            Endpoint::Device(0, 1)
+        );
+    }
+
+    #[test]
+    fn hostless_topology_rejected_at_clock() {
+        let mut s = HmcSim::new(2, DeviceConfig::small()).unwrap();
+        s.connect_devices(0, 0, 1, 0).unwrap();
+        assert!(matches!(s.clock(), Err(HmcError::Topology(_))));
+    }
+
+    #[test]
+    fn send_requires_a_host_link() {
+        let mut s = HmcSim::new(2, DeviceConfig::small()).unwrap();
+        s.connect_host(0, 0, s.host_cube_id(0)).unwrap();
+        s.connect_devices(0, 1, 1, 0).unwrap();
+        assert!(s.send(0, 0, read_packet(0, 1, 0)).is_ok());
+        assert!(matches!(
+            s.send(0, 1, read_packet(0, 2, 1)),
+            Err(HmcError::Topology(_))
+        ));
+        assert!(matches!(
+            s.send(1, 2, read_packet(0, 3, 2)),
+            Err(HmcError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn send_rejects_response_packets_and_bad_crc() {
+        let mut s = sim();
+        let resp = Packet::response(
+            Command::RdResponse,
+            1,
+            0,
+            hmc_types::ResponseStatus::Ok,
+            &[0u8; 16],
+        )
+        .unwrap();
+        assert!(s.send(0, 0, resp).is_err());
+        let mut p = read_packet(0, 1, 0);
+        p.set_crc(p.crc() ^ 1);
+        assert!(matches!(s.send(0, 0, p), Err(HmcError::InvalidPacket(_))));
+    }
+
+    #[test]
+    fn send_stalls_when_the_xbar_queue_fills() {
+        let mut s = sim(); // xbar depth 8
+        for tag in 0..8 {
+            s.send(0, 0, read_packet(0, tag, 0)).unwrap();
+        }
+        let err = s.send(0, 0, read_packet(0, 99, 0)).unwrap_err();
+        assert!(err.is_stall());
+        assert_eq!(s.stats().sent, 8);
+        // Other links are unaffected.
+        assert!(s.send(0, 1, read_packet(0, 100, 1)).is_ok());
+    }
+
+    #[test]
+    fn recv_on_empty_link_reports_no_response() {
+        let mut s = sim();
+        assert!(matches!(
+            s.recv(0, 0),
+            Err(HmcError::NoResponse { cube: 0, link: 0 })
+        ));
+    }
+
+    #[test]
+    fn clock_advances_and_counts() {
+        let mut s = sim();
+        s.clock().unwrap();
+        s.clock().unwrap();
+        assert_eq!(s.current_clock(), 2);
+        assert_eq!(s.stats().cycles, 2);
+    }
+
+    #[test]
+    fn reset_preserves_wiring_but_clears_state() {
+        let mut s = sim();
+        s.send(0, 0, read_packet(0, 1, 0)).unwrap();
+        s.clock().unwrap();
+        s.reset();
+        assert_eq!(s.current_clock(), 0);
+        assert!(s.is_idle());
+        // Wiring preserved: sends still work.
+        assert!(s.send(0, 0, read_packet(0, 2, 0)).is_ok());
+    }
+
+    #[test]
+    fn address_map_swap_requires_matching_geometry() {
+        use hmc_types::{BankFirstMap, MapGeometry};
+        let mut s = sim();
+        let ok = BankFirstMap::new(s.config().geometry()).unwrap();
+        assert!(s.set_address_map(Box::new(ok)).is_ok());
+        let bad = BankFirstMap::new(MapGeometry {
+            block_bytes: 64,
+            vaults: 16,
+            banks: 8,
+            rows: 16,
+        })
+        .unwrap();
+        assert!(s.set_address_map(Box::new(bad)).is_err());
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut s = sim();
+        assert!(s.is_idle());
+        s.send(0, 0, read_packet(0, 1, 0)).unwrap();
+        assert_eq!(s.total_occupancy(), 1);
+        assert!(!s.is_idle());
+    }
+}

@@ -1,0 +1,284 @@
+//! Topology presets: the four device organizations of the paper's
+//! Figure 1 — simple, ring, mesh and 2D torus — plus linear chains.
+//!
+//! "The HMC specification provides a novel ability to configure memory
+//! devices in a traditional network topology such as a mesh, torus or
+//! crossbar" (paper §III.A). These builders wire an [`HmcSim`]'s devices
+//! and host links accordingly; arbitrary topologies remain expressible
+//! through [`HmcSim::connect_host`] / [`HmcSim::connect_devices`]
+//! directly, including deliberately broken ones (§IV requirement 2).
+
+use hmc_types::{CubeId, HmcError, LinkId, Result};
+
+use crate::sim::HmcSim;
+
+/// Figure 1 "Simple": every link of every device attaches to the host.
+///
+/// With one device this is the canonical single-cube configuration used
+/// for the paper's §VI evaluation.
+pub fn build_simple(sim: &mut HmcSim, host: CubeId) -> Result<()> {
+    let links = sim.config().num_links;
+    for dev in 0..sim.num_devices() {
+        for link in 0..links {
+            sim.connect_host(dev, link, host)?;
+        }
+    }
+    sim.finalize_topology()
+}
+
+/// A linear chain: `host — dev0 — dev1 — … — devN`.
+///
+/// Link 0 of device 0 carries the host; each `dev_i` chains to `dev_{i+1}`
+/// via link 1 → link 0.
+pub fn build_chain(sim: &mut HmcSim, host: CubeId) -> Result<()> {
+    let n = sim.num_devices();
+    sim.connect_host(0, 0, host)?;
+    for d in 0..n.saturating_sub(1) {
+        sim.connect_devices(d, 1, d + 1, 0)?;
+    }
+    sim.finalize_topology()
+}
+
+/// Figure 1 "Ring": devices in a cycle, host attached to device 0.
+///
+/// Links 1 and 2 of each device carry the ring (link 1 = clockwise
+/// neighbour, link 2 = counter-clockwise); link 0 of device 0 carries the
+/// host. Requires at least three devices for a proper ring (two devices
+/// would need a double edge; use [`build_chain`] instead).
+pub fn build_ring(sim: &mut HmcSim, host: CubeId) -> Result<()> {
+    let n = sim.num_devices();
+    if n < 3 {
+        return Err(HmcError::Topology(format!(
+            "a ring needs at least 3 devices, got {n}"
+        )));
+    }
+    sim.connect_host(0, 0, host)?;
+    for d in 0..n {
+        let next = (d + 1) % n;
+        sim.connect_devices(d, 1, next, 2)?;
+    }
+    sim.finalize_topology()
+}
+
+/// Figure 1 "Mesh": a `width × height` grid, host attached to the
+/// north-west corner device.
+///
+/// Neighbour links use a fixed compass assignment (0 = west/host,
+/// 1 = east, 2 = north, 3 = south). Interior nodes of a 4-link device use
+/// all four links; the corner device keeps link 0 free for the host.
+pub fn build_mesh(sim: &mut HmcSim, width: u8, height: u8, host: CubeId) -> Result<()> {
+    grid(sim, width, height, host, false)
+}
+
+/// Figure 1 "2D Torus": a grid with wrap-around links in both dimensions.
+///
+/// Every node has four neighbour links, so torus topologies require
+/// 8-link devices: links 0–3 carry the compass neighbours and link 4 of
+/// device 0 carries the host. A 2×2 torus is legal and doubles the
+/// physical links between each neighbour pair (wrap edge + direct edge) —
+/// the largest square torus the 3-bit CUB space admits.
+pub fn build_torus(sim: &mut HmcSim, width: u8, height: u8, host: CubeId) -> Result<()> {
+    grid(sim, width, height, host, true)
+}
+
+fn grid(sim: &mut HmcSim, width: u8, height: u8, host: CubeId, wrap: bool) -> Result<()> {
+    let n = sim.num_devices() as usize;
+    if width == 0 || height == 0 || (width as usize) * (height as usize) != n {
+        return Err(HmcError::Topology(format!(
+            "{width}x{height} grid does not match {n} devices"
+        )));
+    }
+    if wrap && (width < 2 || height < 2) {
+        return Err(HmcError::Topology(
+            "a torus needs both dimensions >= 2".into(),
+        ));
+    }
+    let links = sim.config().num_links;
+    let host_link: LinkId = if wrap { 4 } else { 0 };
+    if wrap && links < 5 {
+        return Err(HmcError::Topology(
+            "a 2D torus uses four neighbour links plus a host link; use an 8-link device".into(),
+        ));
+    }
+    let at = |x: u8, y: u8| -> CubeId { y * width + x };
+    // Compass link assignment: 0 = west, 1 = east, 2 = north, 3 = south.
+    const WEST: LinkId = 0;
+    const EAST: LinkId = 1;
+    const NORTH: LinkId = 2;
+    const SOUTH: LinkId = 3;
+    for y in 0..height {
+        for x in 0..width {
+            // East edges (wire once per pair, from the western node).
+            if x + 1 < width {
+                sim.connect_devices(at(x, y), EAST, at(x + 1, y), WEST)?;
+            } else if wrap {
+                sim.connect_devices(at(x, y), EAST, at(0, y), WEST)?;
+            }
+            // South edges.
+            if y + 1 < height {
+                sim.connect_devices(at(x, y), SOUTH, at(x, y + 1), NORTH)?;
+            } else if wrap {
+                sim.connect_devices(at(x, y), SOUTH, at(x, 0), NORTH)?;
+            }
+        }
+    }
+    sim.connect_host(at(0, 0), host_link, host)?;
+    sim.finalize_topology()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Endpoint;
+    use hmc_types::DeviceConfig;
+
+    fn sim(n: u8) -> HmcSim {
+        HmcSim::new(n, DeviceConfig::small()).unwrap()
+    }
+
+    fn sim8(n: u8) -> HmcSim {
+        HmcSim::new(n, DeviceConfig::paper_8link_8bank_4gb().with_queue_depths(8, 4)).unwrap()
+    }
+
+    #[test]
+    fn simple_topology_wires_every_link_to_the_host() {
+        let mut s = sim(1);
+        let host = s.host_cube_id(0);
+        build_simple(&mut s, host).unwrap();
+        for l in 0..4 {
+            assert_eq!(s.device(0).unwrap().links[l].remote, Endpoint::Host(host));
+        }
+        assert!(s.device(0).unwrap().is_root());
+    }
+
+    #[test]
+    fn chain_wires_hops_in_sequence() {
+        let mut s = sim(4);
+        let host = s.host_cube_id(0);
+        build_chain(&mut s, host).unwrap();
+        assert_eq!(s.device(0).unwrap().links[0].remote, Endpoint::Host(host));
+        assert_eq!(
+            s.device(0).unwrap().links[1].remote,
+            Endpoint::Device(1, 0)
+        );
+        assert_eq!(
+            s.device(2).unwrap().links[1].remote,
+            Endpoint::Device(3, 0)
+        );
+        assert!(!s.device(3).unwrap().is_root());
+    }
+
+    #[test]
+    fn ring_closes_the_cycle() {
+        let mut s = sim(4);
+        let host = s.host_cube_id(0);
+        build_ring(&mut s, host).unwrap();
+        assert_eq!(
+            s.device(3).unwrap().links[1].remote,
+            Endpoint::Device(0, 2),
+            "last device wraps to the first"
+        );
+        assert_eq!(s.device(0).unwrap().links[0].remote, Endpoint::Host(host));
+    }
+
+    #[test]
+    fn ring_requires_three_devices() {
+        let mut s = sim(2);
+        let host = s.host_cube_id(0);
+        assert!(matches!(
+            build_ring(&mut s, host),
+            Err(HmcError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn mesh_wires_a_2x2_grid() {
+        let mut s = sim(4);
+        let host = s.host_cube_id(0);
+        build_mesh(&mut s, 2, 2, host).unwrap();
+        // dev0 east -> dev1 west; dev0 south -> dev2 north.
+        assert_eq!(
+            s.device(0).unwrap().links[1].remote,
+            Endpoint::Device(1, 0)
+        );
+        assert_eq!(
+            s.device(0).unwrap().links[3].remote,
+            Endpoint::Device(2, 2)
+        );
+        // Corner keeps link 0 for the host.
+        assert_eq!(s.device(0).unwrap().links[0].remote, Endpoint::Host(host));
+        // dev3 is interior-ish: east/south unconnected on a 2x2.
+        assert_eq!(s.device(3).unwrap().links[1].remote, Endpoint::Unconnected);
+    }
+
+    #[test]
+    fn mesh_dimension_mismatch_rejected() {
+        let mut s = sim(4);
+        let host = s.host_cube_id(0);
+        assert!(build_mesh(&mut s, 3, 2, host).is_err());
+        assert!(build_mesh(&mut s, 0, 4, host).is_err());
+    }
+
+    #[test]
+    fn torus_requires_eight_link_devices() {
+        let mut s = sim(4);
+        let host = s.host_cube_id(0);
+        assert!(matches!(
+            build_torus(&mut s, 2, 2, host),
+            Err(HmcError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn two_by_two_torus_doubles_links_on_eight_link_devices() {
+        let mut s = sim8(4);
+        let host = s.host_cube_id(0);
+        build_torus(&mut s, 2, 2, host).unwrap();
+        // Every device uses its four compass links.
+        for d in 0..4 {
+            let dev = s.device(d).unwrap();
+            for l in 0..4 {
+                assert!(
+                    matches!(dev.links[l].remote, Endpoint::Device(..)),
+                    "device {d} link {l} must be wired"
+                );
+            }
+        }
+        // Host hangs off link 4 of device 0.
+        assert_eq!(s.device(0).unwrap().links[4].remote, Endpoint::Host(host));
+        // dev0's east direct edge and west wrap edge both reach dev1.
+        assert_eq!(s.device(0).unwrap().links[1].remote, Endpoint::Device(1, 0));
+        assert_eq!(s.device(0).unwrap().links[0].remote, Endpoint::Device(1, 1));
+    }
+
+    #[test]
+    fn torus_rejects_degenerate_dimensions() {
+        let mut s = sim8(2);
+        let host = s.host_cube_id(0);
+        assert!(matches!(
+            build_torus(&mut s, 2, 1, host),
+            Err(HmcError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn mesh_routes_reach_all_devices() {
+        let mut s = sim(6);
+        let host = s.host_cube_id(0);
+        build_mesh(&mut s, 3, 2, host).unwrap();
+        // After finalize, every device should be able to route to the host.
+        s.finalize_topology().unwrap();
+        // Reach: send a probe through the public API later; here just
+        // verify structure: every device has at least one connected link.
+        for d in 0..6 {
+            assert!(
+                s.device(d)
+                    .unwrap()
+                    .links
+                    .iter()
+                    .any(|l| l.remote != Endpoint::Unconnected),
+                "device {d} must be wired"
+            );
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Vault controllers.
+//!
+//! "The vault structure maps directly to the notion of a vertically stacked
+//! vault unit within the HMC specification. Each vault contains response
+//! and request queues whose respective depths are configured at
+//! initialization time in order to mimic the presence of a vault
+//! controller. Each vault also contains a reference to a block of memory
+//! bank structures" (paper §IV.A).
+//!
+//! A vault's packet-execution path (sub-cycle stage 4) processes write
+//! packets, read packets and atomic (read-modify-write) packets "in
+//! equivalent and constant time as long as their bank addressing does not
+//! conflict" (§IV.C.4), registering responses in the vault response queue.
+
+use hmc_mem::VaultMemory;
+use hmc_types::address::AddressMap;
+use hmc_types::packet::ResponseStatus;
+use hmc_types::{Command, CubeId, Cycle, HmcError, Packet, PhysAddr, VaultId};
+
+use crate::queue::{PacketQueue, QueueEntry};
+
+/// Per-vault operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VaultStats {
+    /// Requests fully processed by this vault.
+    pub processed: u64,
+    /// Reads processed.
+    pub reads: u64,
+    /// Writes processed (including posted).
+    pub writes: u64,
+    /// Atomics processed (including posted).
+    pub atomics: u64,
+    /// Error responses generated.
+    pub errors: u64,
+}
+
+/// The result of executing one request packet at a vault.
+#[derive(Debug)]
+pub enum Execution {
+    /// The request completed; no response is owed (posted commands).
+    Done,
+    /// The request completed (or failed) and produced a response entry
+    /// that must be registered with the vault response queue.
+    Respond(Box<QueueEntry>),
+}
+
+/// One vault: controller queues plus the memory bank stack.
+#[derive(Debug)]
+pub struct Vault {
+    /// Vault index on the device.
+    pub id: VaultId,
+    /// Request queue (from the crossbar).
+    pub rqst: PacketQueue,
+    /// Response queue (toward the crossbar).
+    pub rsp: PacketQueue,
+    /// The bank stack.
+    pub mem: VaultMemory,
+    /// Operation counters.
+    pub stats: VaultStats,
+}
+
+impl Vault {
+    /// Create vault `id` with `depth`-slot controller queues over the
+    /// given bank stack.
+    pub fn new(id: VaultId, depth: usize, mem: VaultMemory) -> Self {
+        Vault {
+            id,
+            rqst: PacketQueue::new(depth),
+            rsp: PacketQueue::new(depth),
+            mem,
+            stats: VaultStats::default(),
+        }
+    }
+
+    /// True when the addressed command will need a response slot.
+    pub fn needs_response(cmd: Command) -> bool {
+        cmd.response_command().is_some()
+    }
+
+    /// Execute one request packet against this vault's banks.
+    ///
+    /// The caller (stage 4) has already verified bank availability and —
+    /// for non-posted commands — a free response-queue slot. Failures
+    /// (bad address, bad command) produce error response entries rather
+    /// than simulator errors, mirroring the device's error response
+    /// packets (§IV.C).
+    pub fn execute(
+        &mut self,
+        entry: QueueEntry,
+        map: &dyn AddressMap,
+        device: CubeId,
+        cycle: Cycle,
+    ) -> Execution {
+        let cmd = match entry.packet.cmd() {
+            Ok(c) => c,
+            Err(_) => {
+                self.stats.errors += 1;
+                return self.error_response(&entry, ResponseStatus::CommandError, device, cycle);
+            }
+        };
+        let addr = match PhysAddr::new(entry.packet.addr()) {
+            Ok(a) => a,
+            Err(_) => {
+                self.stats.errors += 1;
+                return self.error_response(&entry, ResponseStatus::AddressError, device, cycle);
+            }
+        };
+        let decoded = match map.decode(addr) {
+            Ok(d) => d,
+            Err(_) => {
+                self.stats.errors += 1;
+                return self.error_response(&entry, ResponseStatus::AddressError, device, cycle);
+            }
+        };
+
+        let outcome: Result<Option<Packet>, HmcError> = match cmd {
+            Command::Rd(bs) => {
+                let mut buf = vec![0u8; bs.bytes()];
+                self.mem.read(decoded, &mut buf).map(|()| {
+                    self.stats.reads += 1;
+                    Some(
+                        Packet::response(
+                            Command::RdResponse,
+                            entry.packet.tag(),
+                            entry.packet.slid(),
+                            ResponseStatus::Ok,
+                            &buf,
+                        )
+                        .expect("read response construction cannot fail"),
+                    )
+                })
+            }
+            Command::Wr(_) | Command::PostedWr(_) => {
+                let data = entry.packet.data_as_bytes();
+                self.mem.write(decoded, &data).map(|()| {
+                    self.stats.writes += 1;
+                    if cmd.is_posted() {
+                        None
+                    } else {
+                        Some(self.write_response(&entry))
+                    }
+                })
+            }
+            Command::TwoAdd8 | Command::PostedTwoAdd8 => {
+                let ops = entry.packet.data_words();
+                let (op0, op1) = (ops[0], ops[1]);
+                self.mem.two_add8(decoded, op0, op1).map(|_| {
+                    self.stats.atomics += 1;
+                    if cmd.is_posted() {
+                        None
+                    } else {
+                        Some(self.write_response(&entry))
+                    }
+                })
+            }
+            Command::Add16 | Command::PostedAdd16 => {
+                let ops = entry.packet.data_words();
+                let op = (ops[0] as u128) | ((ops[1] as u128) << 64);
+                self.mem.add16(decoded, op).map(|_| {
+                    self.stats.atomics += 1;
+                    if cmd.is_posted() {
+                        None
+                    } else {
+                        Some(self.write_response(&entry))
+                    }
+                })
+            }
+            Command::Bwr | Command::PostedBwr => {
+                let ops = entry.packet.data_words();
+                let (data, mask) = (ops[0], ops[1]);
+                self.mem.bit_write(decoded, data, mask).map(|_| {
+                    self.stats.atomics += 1;
+                    if cmd.is_posted() {
+                        None
+                    } else {
+                        Some(self.write_response(&entry))
+                    }
+                })
+            }
+            // MODE accesses are logic-layer operations handled at the
+            // crossbar; one arriving here is a protocol violation.
+            _ => {
+                self.stats.errors += 1;
+                return self.error_response(&entry, ResponseStatus::CommandError, device, cycle);
+            }
+        };
+
+        match outcome {
+            Ok(None) => {
+                self.stats.processed += 1;
+                Execution::Done
+            }
+            Ok(Some(packet)) => {
+                self.stats.processed += 1;
+                Execution::Respond(Box::new(self.response_entry(packet, &entry, device, cycle)))
+            }
+            Err(_) => {
+                self.stats.errors += 1;
+                self.error_response(&entry, ResponseStatus::InternalError, device, cycle)
+            }
+        }
+    }
+
+    fn write_response(&self, request: &QueueEntry) -> Packet {
+        Packet::response(
+            Command::WrResponse,
+            request.packet.tag(),
+            request.packet.slid(),
+            ResponseStatus::Ok,
+            &[],
+        )
+        .expect("write response construction cannot fail")
+    }
+
+    fn error_response(
+        &mut self,
+        request: &QueueEntry,
+        status: ResponseStatus,
+        device: CubeId,
+        cycle: Cycle,
+    ) -> Execution {
+        // Posted requests owe no response even on failure; the error is
+        // only visible through traces and the EDR registers.
+        let posted = request
+            .packet
+            .cmd()
+            .map(|c| c.is_posted())
+            .unwrap_or(false);
+        if posted {
+            return Execution::Done;
+        }
+        let packet = Packet::response(
+            Command::ErrorResponse,
+            request.packet.tag(),
+            request.packet.slid(),
+            status,
+            &[],
+        )
+        .expect("error response construction cannot fail");
+        Execution::Respond(Box::new(self.response_entry(packet, request, device, cycle)))
+    }
+
+    fn response_entry(
+        &self,
+        packet: Packet,
+        request: &QueueEntry,
+        device: CubeId,
+        cycle: Cycle,
+    ) -> QueueEntry {
+        let mut e = QueueEntry::new(packet, device, request.src_cube, cycle);
+        // The response inherits the request's device-entry stamp so
+        // host-observed latency spans the whole round trip.
+        e.entry_cycle = request.entry_cycle;
+        // Responses exit the device on the link the request arrived on,
+        // preserving the link-stream association (§III.C).
+        e.arrival_link = request.arrival_link;
+        e
+    }
+
+    /// Drop queue contents and counters; reset banks (device reset).
+    pub fn reset(&mut self) {
+        self.rqst.clear();
+        self.rsp.clear();
+        self.mem.reset();
+        self.stats = VaultStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::config::StorageMode;
+    use hmc_types::{BlockSize, LowInterleaveMap, MapGeometry};
+
+    fn map() -> LowInterleaveMap {
+        LowInterleaveMap::new(MapGeometry {
+            block_bytes: 128,
+            vaults: 16,
+            banks: 8,
+            rows: 64,
+        })
+        .unwrap()
+    }
+
+    fn vault() -> Vault {
+        Vault::new(
+            0,
+            4,
+            VaultMemory::from_parts(8, 64, 128, 16, StorageMode::Functional),
+        )
+    }
+
+    fn request(cmd: Command, addr: u64, tag: u16, data: &[u8]) -> QueueEntry {
+        let p = Packet::request(cmd, 0, addr, tag, 2, data).unwrap();
+        let mut e = QueueEntry::new(p, 6, 0, 0);
+        e.arrival_link = 2;
+        e
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_through_execution() {
+        let mut v = vault();
+        let m = map();
+        let data = [0x5au8; 64];
+        // Vault 0 addresses: low-interleave places vault bits just above
+        // the 128-byte offset, so address 0 targets vault 0, bank 0.
+        match v.execute(request(Command::Wr(BlockSize::B64), 0, 1, &data), &m, 0, 5) {
+            Execution::Respond(e) => {
+                assert_eq!(e.packet.cmd().unwrap(), Command::WrResponse);
+                assert_eq!(e.packet.tag(), 1);
+                assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::Ok);
+                assert_eq!(e.src_cube, 0);
+                assert_eq!(e.dest_cube, 6, "response returns to the host");
+                assert_eq!(e.arrival_link, 2);
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+        match v.execute(request(Command::Rd(BlockSize::B64), 0, 2, &[]), &m, 0, 6) {
+            Execution::Respond(e) => {
+                assert_eq!(e.packet.cmd().unwrap(), Command::RdResponse);
+                assert_eq!(e.packet.data_as_bytes(), data.to_vec());
+                assert_eq!(e.packet.response_slid(), 2, "SLID echoed");
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+        assert_eq!(v.stats.processed, 2);
+        assert_eq!(v.stats.reads, 1);
+        assert_eq!(v.stats.writes, 1);
+    }
+
+    #[test]
+    fn posted_writes_complete_silently() {
+        let mut v = vault();
+        let m = map();
+        match v.execute(
+            request(Command::PostedWr(BlockSize::B32), 0, 3, &[1u8; 32]),
+            &m,
+            0,
+            0,
+        ) {
+            Execution::Done => {}
+            other => panic!("posted write must not respond: {other:?}"),
+        }
+        assert_eq!(v.stats.writes, 1);
+    }
+
+    #[test]
+    fn two_add8_adds_both_words() {
+        let mut v = vault();
+        let m = map();
+        let mut payload = [0u8; 16];
+        payload[..8].copy_from_slice(&10u64.to_le_bytes());
+        payload[8..].copy_from_slice(&20u64.to_le_bytes());
+        v.execute(request(Command::TwoAdd8, 0, 1, &payload), &m, 0, 0);
+        v.execute(request(Command::TwoAdd8, 0, 2, &payload), &m, 0, 0);
+        match v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0) {
+            Execution::Respond(e) => {
+                let bytes = e.packet.data_as_bytes();
+                assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 20);
+                assert_eq!(u64::from_le_bytes(bytes[8..].try_into().unwrap()), 40);
+            }
+            other => panic!("expected read response, got {other:?}"),
+        }
+        assert_eq!(v.stats.atomics, 2);
+    }
+
+    #[test]
+    fn add16_carries_across_words() {
+        let mut v = vault();
+        let m = map();
+        // Seed memory with u64::MAX in the low word so +1 carries.
+        let mut seed = [0u8; 16];
+        seed[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &seed), &m, 0, 0);
+        let mut op = [0u8; 16];
+        op[0] = 1;
+        v.execute(request(Command::Add16, 0, 2, &op), &m, 0, 0);
+        match v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0) {
+            Execution::Respond(e) => {
+                let bytes = e.packet.data_as_bytes();
+                let val = u128::from_le_bytes(bytes.try_into().unwrap());
+                assert_eq!(val, 1u128 << 64);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bwr_applies_mask() {
+        let mut v = vault();
+        let m = map();
+        let mut seed = [0u8; 16];
+        seed[..8].copy_from_slice(&0xffff_ffff_ffff_ffffu64.to_le_bytes());
+        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &seed), &m, 0, 0);
+        let mut op = [0u8; 16];
+        op[..8].copy_from_slice(&0u64.to_le_bytes()); // data
+        op[8..].copy_from_slice(&0x0000_0000_ffff_ffffu64.to_le_bytes()); // mask
+        v.execute(request(Command::Bwr, 0, 2, &op), &m, 0, 0);
+        match v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0) {
+            Execution::Respond(e) => {
+                let bytes = e.packet.data_as_bytes();
+                assert_eq!(
+                    u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+                    0xffff_ffff_0000_0000
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_capacity_address_yields_error_response() {
+        let mut v = vault();
+        let m = map();
+        // Beyond the 16-vault x 8-bank x 64-row x 128-byte capacity.
+        let over = m.geometry().capacity_bytes();
+        match v.execute(request(Command::Rd(BlockSize::B16), over, 7, &[]), &m, 0, 0) {
+            Execution::Respond(e) => {
+                assert_eq!(e.packet.cmd().unwrap(), Command::ErrorResponse);
+                assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::AddressError);
+                assert_eq!(e.packet.tag(), 7);
+                assert!(e.packet.dinv());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(v.stats.errors, 1);
+        assert_eq!(v.stats.processed, 0);
+    }
+
+    #[test]
+    fn mode_commands_at_a_vault_are_command_errors() {
+        let mut v = vault();
+        let m = map();
+        match v.execute(request(Command::ModeRead, 0, 1, &[]), &m, 0, 0) {
+            Execution::Respond(e) => {
+                assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::CommandError);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn posted_failures_stay_silent() {
+        let mut v = vault();
+        let m = map();
+        let over = m.geometry().capacity_bytes();
+        match v.execute(
+            request(Command::PostedWr(BlockSize::B16), over, 1, &[0u8; 16]),
+            &m,
+            0,
+            0,
+        ) {
+            Execution::Done => {}
+            other => panic!("posted failure must be silent: {other:?}"),
+        }
+        assert_eq!(v.stats.errors, 1);
+    }
+
+    #[test]
+    fn reset_restores_fresh_vault() {
+        let mut v = vault();
+        let m = map();
+        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &[1; 16]), &m, 0, 0);
+        v.reset();
+        assert_eq!(v.stats, VaultStats::default());
+        match v.execute(request(Command::Rd(BlockSize::B16), 0, 2, &[]), &m, 0, 0) {
+            Execution::Respond(e) => assert_eq!(e.packet.data_as_bytes(), vec![0u8; 16]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn needs_response_tracks_command_class() {
+        assert!(Vault::needs_response(Command::Rd(BlockSize::B64)));
+        assert!(Vault::needs_response(Command::Wr(BlockSize::B64)));
+        assert!(!Vault::needs_response(Command::PostedWr(BlockSize::B64)));
+        assert!(!Vault::needs_response(Command::Null));
+    }
+}

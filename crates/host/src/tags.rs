@@ -1,0 +1,158 @@
+//! Request tag management.
+//!
+//! HMC tags are 9-bit values correlating responses — which "may arrive out
+//! of order" (paper §V.C) — back to their requests. The pool hands out the
+//! 512 possible tags and stores per-tag request context until completion.
+
+use hmc_types::{Command, CubeId, Cycle, LinkId};
+
+/// Number of distinct tags (9-bit field).
+pub const NUM_TAGS: usize = 512;
+
+/// Context retained for an in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pending {
+    /// Target physical address.
+    pub addr: u64,
+    /// Request command.
+    pub cmd: Command,
+    /// Clock value at injection.
+    pub issue_cycle: Cycle,
+    /// Device the request was injected into.
+    pub dev: CubeId,
+    /// Link the request was injected on.
+    pub link: LinkId,
+}
+
+/// A fixed pool of 9-bit tags with per-tag pending context.
+#[derive(Debug)]
+pub struct TagPool {
+    free: Vec<u16>,
+    pending: Vec<Option<Pending>>,
+}
+
+impl Default for TagPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagPool {
+    /// A full pool of 512 tags.
+    pub fn new() -> Self {
+        TagPool {
+            // Hand out low tags first: pop from the back of a reversed
+            // list so tag 0 goes first (matches typical C harnesses).
+            free: (0..NUM_TAGS as u16).rev().collect(),
+            pending: vec![None; NUM_TAGS],
+        }
+    }
+
+    /// Allocate a tag for the given request context; `None` if all 512
+    /// tags are in flight.
+    pub fn alloc(&mut self, ctx: Pending) -> Option<u16> {
+        let tag = self.free.pop()?;
+        self.pending[tag as usize] = Some(ctx);
+        Some(tag)
+    }
+
+    /// Complete a tag, returning its context; `None` for unknown tags
+    /// (response correlation failures).
+    pub fn complete(&mut self, tag: u16) -> Option<Pending> {
+        let slot = self.pending.get_mut(tag as usize)?;
+        let ctx = slot.take()?;
+        self.free.push(tag);
+        Some(ctx)
+    }
+
+    /// Number of tags currently in flight.
+    pub fn outstanding(&self) -> usize {
+        NUM_TAGS - self.free.len()
+    }
+
+    /// True when no tag is available.
+    pub fn exhausted(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Context of an in-flight tag, if any.
+    pub fn peek(&self, tag: u16) -> Option<&Pending> {
+        self.pending.get(tag as usize)?.as_ref()
+    }
+
+    /// Release everything (harness reset).
+    pub fn reset(&mut self) {
+        self.free = (0..NUM_TAGS as u16).rev().collect();
+        self.pending.iter_mut().for_each(|p| *p = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::BlockSize;
+
+    fn ctx(addr: u64) -> Pending {
+        Pending {
+            addr,
+            cmd: Command::Rd(BlockSize::B64),
+            issue_cycle: 0,
+            dev: 0,
+            link: 0,
+        }
+    }
+
+    #[test]
+    fn tags_allocate_from_zero() {
+        let mut p = TagPool::new();
+        assert_eq!(p.alloc(ctx(0)), Some(0));
+        assert_eq!(p.alloc(ctx(1)), Some(1));
+        assert_eq!(p.outstanding(), 2);
+    }
+
+    #[test]
+    fn pool_exhausts_at_512() {
+        let mut p = TagPool::new();
+        for i in 0..512u64 {
+            assert!(p.alloc(ctx(i)).is_some(), "tag {i}");
+        }
+        assert!(p.exhausted());
+        assert_eq!(p.alloc(ctx(999)), None);
+        assert_eq!(p.outstanding(), 512);
+    }
+
+    #[test]
+    fn complete_returns_context_and_recycles() {
+        let mut p = TagPool::new();
+        let t = p.alloc(ctx(0x40)).unwrap();
+        assert_eq!(p.peek(t).unwrap().addr, 0x40);
+        let got = p.complete(t).unwrap();
+        assert_eq!(got.addr, 0x40);
+        assert_eq!(p.outstanding(), 0);
+        assert!(p.peek(t).is_none());
+        // Tag is reusable.
+        assert!(p.alloc(ctx(0x80)).is_some());
+    }
+
+    #[test]
+    fn double_complete_and_unknown_tags_fail_safely() {
+        let mut p = TagPool::new();
+        let t = p.alloc(ctx(0)).unwrap();
+        assert!(p.complete(t).is_some());
+        assert!(p.complete(t).is_none(), "double complete");
+        assert!(p.complete(511).is_none(), "never allocated");
+        assert!(p.complete(9999).is_none(), "out of range");
+        assert_eq!(p.outstanding(), 0);
+    }
+
+    #[test]
+    fn reset_restores_full_pool() {
+        let mut p = TagPool::new();
+        for i in 0..100 {
+            p.alloc(ctx(i)).unwrap();
+        }
+        p.reset();
+        assert_eq!(p.outstanding(), 0);
+        assert_eq!(p.alloc(ctx(0)), Some(0));
+    }
+}

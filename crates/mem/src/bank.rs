@@ -1,0 +1,346 @@
+//! Bank storage and row-buffer modelling.
+//!
+//! "Once within a bank layer, the DRAM is organized traditionally using
+//! rows and columns" (paper §III.A). A [`Bank`] owns a sparse byte store
+//! covering its capacity, a block of DRAM dies for access accounting, and a
+//! simple open-row tracker that distinguishes row-buffer hits from misses —
+//! useful for the extended utilization traces.
+
+use hmc_types::config::StorageMode;
+use hmc_types::{HmcError, Result};
+
+use crate::dram::DramBlock;
+use crate::storage::SparseStore;
+
+/// Aggregate operation counters for one bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Completed read operations.
+    pub reads: u64,
+    /// Completed write operations.
+    pub writes: u64,
+    /// Completed atomic (read-modify-write) operations.
+    pub atomics: u64,
+    /// Accesses that re-used the open row.
+    pub row_hits: u64,
+    /// Accesses that opened a new row.
+    pub row_misses: u64,
+}
+
+/// One memory bank: rows × block-size bytes of storage plus DRAM dies.
+#[derive(Debug)]
+pub struct Bank {
+    rows: u64,
+    block_bytes: u32,
+    mode: StorageMode,
+    store: SparseStore,
+    drams: DramBlock,
+    open_row: Option<u64>,
+    stats: BankStats,
+}
+
+impl Bank {
+    /// Create a bank of `rows` rows of `block_bytes` each, with
+    /// `drams_per_bank` dies, in the given storage mode.
+    pub fn new(rows: u64, block_bytes: u32, drams_per_bank: u16, mode: StorageMode) -> Self {
+        let capacity = rows * block_bytes as u64;
+        Bank {
+            rows,
+            block_bytes,
+            mode,
+            // Timing-only banks never materialize pages, but the store is
+            // cheap to construct (it is just a capacity + empty map).
+            store: SparseStore::new(capacity),
+            drams: DramBlock::new(drams_per_bank),
+            open_row: None,
+            stats: BankStats::default(),
+        }
+    }
+
+    /// Bank capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.rows * self.block_bytes as u64
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> BankStats {
+        self.stats
+    }
+
+    /// Per-die DRAM accounting.
+    pub fn drams(&self) -> &DramBlock {
+        &self.drams
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    fn check_span(&self, row: u64, offset: u32, len: usize) -> Result<u64> {
+        if row >= self.rows {
+            return Err(HmcError::OutOfRange {
+                what: "row",
+                index: row,
+                limit: self.rows,
+            });
+        }
+        if offset as usize + len > self.block_bytes as usize {
+            return Err(HmcError::InvalidAddress {
+                addr: row * self.block_bytes as u64 + offset as u64,
+                reason: format!(
+                    "access of {len} bytes at block offset {offset} crosses the \
+                     {}-byte block boundary",
+                    self.block_bytes
+                ),
+            });
+        }
+        Ok(row * self.block_bytes as u64 + offset as u64)
+    }
+
+    fn touch_row(&mut self, row: u64) {
+        if self.open_row == Some(row) {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+            self.open_row = Some(row);
+        }
+    }
+
+    /// Read `buf.len()` bytes from `(row, offset)`.
+    ///
+    /// In timing-only mode the buffer is zero-filled; counters and the row
+    /// buffer are updated identically in both modes.
+    pub fn read(&mut self, row: u64, offset: u32, buf: &mut [u8]) -> Result<()> {
+        let base = self.check_span(row, offset, buf.len())?;
+        self.touch_row(row);
+        self.stats.reads += 1;
+        self.drams.record_access(base, buf.len());
+        match self.mode {
+            StorageMode::Functional => self.store.read(base, buf),
+            StorageMode::TimingOnly => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    /// Write `data` to `(row, offset)`.
+    pub fn write(&mut self, row: u64, offset: u32, data: &[u8]) -> Result<()> {
+        let base = self.check_span(row, offset, data.len())?;
+        self.touch_row(row);
+        self.stats.writes += 1;
+        self.drams.record_access(base, data.len());
+        if self.mode == StorageMode::Functional {
+            self.store.write(base, data);
+        }
+        Ok(())
+    }
+
+    /// Dual 8-byte add-immediate (2ADD8): adds `op0` to the u64 at
+    /// `(row, offset)` and `op1` to the u64 at `(row, offset + 8)`,
+    /// wrapping. Returns the two original values.
+    pub fn two_add8(&mut self, row: u64, offset: u32, op0: u64, op1: u64) -> Result<(u64, u64)> {
+        let base = self.check_span(row, offset, 16)?;
+        self.touch_row(row);
+        self.stats.atomics += 1;
+        self.drams.record_access(base, 16);
+        if self.mode == StorageMode::TimingOnly {
+            return Ok((0, 0));
+        }
+        let old0 = self.store.read_u64(base);
+        let old1 = self.store.read_u64(base + 8);
+        self.store.write_u64(base, old0.wrapping_add(op0));
+        self.store.write_u64(base + 8, old1.wrapping_add(op1));
+        Ok((old0, old1))
+    }
+
+    /// Single 16-byte add-immediate (ADD16): 128-bit add of `op` to the
+    /// 16 bytes at `(row, offset)`, wrapping. Returns the original value.
+    pub fn add16(&mut self, row: u64, offset: u32, op: u128) -> Result<u128> {
+        let base = self.check_span(row, offset, 16)?;
+        self.touch_row(row);
+        self.stats.atomics += 1;
+        self.drams.record_access(base, 16);
+        if self.mode == StorageMode::TimingOnly {
+            return Ok(0);
+        }
+        let mut buf = [0u8; 16];
+        self.store.read(base, &mut buf);
+        let old = u128::from_le_bytes(buf);
+        self.store.write(base, &old.wrapping_add(op).to_le_bytes());
+        Ok(old)
+    }
+
+    /// Bit write (BWR): 8 bytes of write data qualified by an 8-byte mask;
+    /// only mask-set bits are updated. Returns the original value.
+    pub fn bit_write(&mut self, row: u64, offset: u32, data: u64, mask: u64) -> Result<u64> {
+        let base = self.check_span(row, offset, 8)?;
+        self.touch_row(row);
+        self.stats.atomics += 1;
+        self.drams.record_access(base, 8);
+        if self.mode == StorageMode::TimingOnly {
+            return Ok(0);
+        }
+        let old = self.store.read_u64(base);
+        self.store.write_u64(base, (old & !mask) | (data & mask));
+        Ok(old)
+    }
+
+    /// Reset the bank: close the row, clear data and counters.
+    pub fn reset(&mut self) {
+        self.store.clear();
+        self.drams.reset();
+        self.open_row = None;
+        self.stats = BankStats::default();
+    }
+
+    /// Resident (host-allocated) bytes backing this bank.
+    pub fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> Bank {
+        Bank::new(1024, 128, 16, StorageMode::Functional)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut b = bank();
+        let data: Vec<u8> = (0..64u8).collect();
+        b.write(5, 32, &data).unwrap();
+        let mut buf = [0u8; 64];
+        b.read(5, 32, &mut buf).unwrap();
+        assert_eq!(buf.to_vec(), data);
+        assert_eq!(b.stats().reads, 1);
+        assert_eq!(b.stats().writes, 1);
+    }
+
+    #[test]
+    fn rows_are_isolated() {
+        let mut b = bank();
+        b.write(1, 0, &[0xaa; 16]).unwrap();
+        let mut buf = [0xffu8; 16];
+        b.read(2, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn out_of_range_row_rejected() {
+        let mut b = bank();
+        assert!(matches!(
+            b.read(1024, 0, &mut [0u8; 8]),
+            Err(HmcError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn block_boundary_crossing_rejected() {
+        let mut b = bank();
+        // 64 bytes at offset 96 would cross the 128-byte block boundary.
+        assert!(matches!(
+            b.write(0, 96, &[0u8; 64]),
+            Err(HmcError::InvalidAddress { .. })
+        ));
+        // Exactly reaching the boundary is fine.
+        b.write(0, 96, &[0u8; 32]).unwrap();
+    }
+
+    #[test]
+    fn row_buffer_hit_miss_accounting() {
+        let mut b = bank();
+        b.write(3, 0, &[1; 8]).unwrap(); // miss (opens row 3)
+        b.read(3, 8, &mut [0u8; 8]).unwrap(); // hit
+        b.read(4, 0, &mut [0u8; 8]).unwrap(); // miss (opens row 4)
+        b.read(3, 0, &mut [0u8; 8]).unwrap(); // miss again
+        assert_eq!(b.stats().row_hits, 1);
+        assert_eq!(b.stats().row_misses, 3);
+        assert_eq!(b.open_row(), Some(3));
+    }
+
+    #[test]
+    fn two_add8_is_a_dual_wrapping_add() {
+        let mut b = bank();
+        b.write(0, 0, &100u64.to_le_bytes()).unwrap();
+        b.write(0, 8, &u64::MAX.to_le_bytes()).unwrap();
+        let (old0, old1) = b.two_add8(0, 0, 5, 2).unwrap();
+        assert_eq!(old0, 100);
+        assert_eq!(old1, u64::MAX);
+        let mut buf = [0u8; 8];
+        b.read(0, 0, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 105);
+        b.read(0, 8, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 1, "wrapping add");
+        assert_eq!(b.stats().atomics, 1);
+    }
+
+    #[test]
+    fn add16_is_a_128_bit_add() {
+        let mut b = bank();
+        b.write(0, 16, &u128::MAX.to_le_bytes()).unwrap();
+        let old = b.add16(0, 16, 3).unwrap();
+        assert_eq!(old, u128::MAX);
+        let mut buf = [0u8; 16];
+        b.read(0, 16, &mut buf).unwrap();
+        assert_eq!(u128::from_le_bytes(buf), 2, "carry propagates across words");
+    }
+
+    #[test]
+    fn bit_write_respects_mask() {
+        let mut b = bank();
+        b.write(0, 0, &0xffff_0000_ffff_0000u64.to_le_bytes()).unwrap();
+        let old = b
+            .bit_write(0, 0, 0x1234_5678_9abc_def0, 0x0000_ffff_0000_ffff)
+            .unwrap();
+        assert_eq!(old, 0xffff_0000_ffff_0000);
+        let mut buf = [0u8; 8];
+        b.read(0, 0, &mut buf).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(buf),
+            (0xffff_0000_ffff_0000u64 & !0x0000_ffff_0000_ffffu64)
+                | (0x1234_5678_9abc_def0u64 & 0x0000_ffff_0000_ffffu64)
+        );
+    }
+
+    #[test]
+    fn timing_only_skips_data_but_counts() {
+        let mut b = Bank::new(64, 128, 16, StorageMode::TimingOnly);
+        b.write(0, 0, &[0xee; 32]).unwrap();
+        let mut buf = [0xffu8; 32];
+        b.read(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 32], "timing-only reads return zeros");
+        assert_eq!(b.stats().writes, 1);
+        assert_eq!(b.stats().reads, 1);
+        assert_eq!(b.resident_bytes(), 0, "no pages materialized");
+        assert_eq!(b.two_add8(0, 0, 1, 1).unwrap(), (0, 0));
+        assert_eq!(b.add16(0, 0, 1).unwrap(), 0);
+        assert_eq!(b.bit_write(0, 0, 1, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn dram_accounting_tracks_accesses() {
+        let mut b = bank();
+        b.write(0, 0, &[0u8; 64]).unwrap();
+        assert_eq!(b.drams().total_accesses(), 4, "four 16-byte units");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut b = bank();
+        b.write(0, 0, &[5; 8]).unwrap();
+        b.reset();
+        assert_eq!(b.stats(), BankStats::default());
+        assert_eq!(b.open_row(), None);
+        let mut buf = [0xffu8; 8];
+        b.read(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Sparse paged byte storage.
+//!
+//! HMC devices reach 8 GB; a simulator cannot eagerly allocate that much
+//! host memory per bank. [`SparseStore`] allocates fixed-size pages on first
+//! write and reads zero-fill for untouched regions — matching a freshly
+//! reset device whose DRAM content is architecturally undefined (we define
+//! it as zero for determinism).
+
+use std::collections::HashMap;
+
+/// Size of a backing page in bytes.
+pub const PAGE_BYTES: usize = 4096;
+
+/// A sparse, zero-default byte store over a fixed capacity.
+#[derive(Debug, Default)]
+pub struct SparseStore {
+    capacity: u64,
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl SparseStore {
+    /// Create a store covering `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        SparseStore {
+            capacity,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Total addressable capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of pages currently materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident (allocated) bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES as u64
+    }
+
+    /// Read `buf.len()` bytes starting at `offset`; untouched bytes are zero.
+    ///
+    /// # Panics
+    /// Panics if the span exceeds capacity (callers validate addresses
+    /// before reaching storage).
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        assert!(
+            offset + buf.len() as u64 <= self.capacity,
+            "read span {}..{} exceeds capacity {}",
+            offset,
+            offset + buf.len() as u64,
+            self.capacity
+        );
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_idx = pos / PAGE_BYTES as u64;
+            let in_page = (pos % PAGE_BYTES as u64) as usize;
+            let chunk = (PAGE_BYTES - in_page).min(buf.len() - done);
+            match self.pages.get(&page_idx) {
+                Some(page) => {
+                    buf[done..done + chunk].copy_from_slice(&page[in_page..in_page + chunk])
+                }
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+        }
+    }
+
+    /// Write `data` starting at `offset`, materializing pages as needed.
+    ///
+    /// # Panics
+    /// Panics if the span exceeds capacity.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        assert!(
+            offset + data.len() as u64 <= self.capacity,
+            "write span {}..{} exceeds capacity {}",
+            offset,
+            offset + data.len() as u64,
+            self.capacity
+        );
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let page_idx = pos / PAGE_BYTES as u64;
+            let in_page = (pos % PAGE_BYTES as u64) as usize;
+            let chunk = (PAGE_BYTES - in_page).min(data.len() - done);
+            let page = self
+                .pages
+                .entry(page_idx)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            page[in_page..in_page + chunk].copy_from_slice(&data[done..done + chunk]);
+            done += chunk;
+        }
+    }
+
+    /// Read a little-endian u64 at `offset`.
+    pub fn read_u64(&self, offset: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read(offset, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Write a little-endian u64 at `offset`.
+    pub fn write_u64(&mut self, offset: u64, value: u64) {
+        self.write(offset, &value.to_le_bytes());
+    }
+
+    /// Drop all resident pages (device reset).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_store_reads_zero() {
+        let s = SparseStore::new(1 << 20);
+        let mut buf = [0xffu8; 64];
+        s.read(12345, &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+        assert_eq!(s.resident_pages(), 0, "reads must not materialize pages");
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut s = SparseStore::new(1 << 20);
+        let data: Vec<u8> = (0..64u8).collect();
+        s.write(1000, &data);
+        let mut buf = [0u8; 64];
+        s.read(1000, &mut buf);
+        assert_eq!(buf.to_vec(), data);
+    }
+
+    #[test]
+    fn spans_crossing_page_boundaries() {
+        let mut s = SparseStore::new(1 << 20);
+        let data: Vec<u8> = (0..=255u8).collect();
+        let offset = PAGE_BYTES as u64 - 100;
+        s.write(offset, &data);
+        assert_eq!(s.resident_pages(), 2);
+        let mut buf = vec![0u8; 256];
+        s.read(offset, &mut buf);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn adjacent_writes_do_not_interfere() {
+        let mut s = SparseStore::new(1 << 20);
+        s.write(0, &[0xaa; 16]);
+        s.write(16, &[0xbb; 16]);
+        let mut buf = [0u8; 32];
+        s.read(0, &mut buf);
+        assert_eq!(&buf[..16], &[0xaa; 16]);
+        assert_eq!(&buf[16..], &[0xbb; 16]);
+    }
+
+    #[test]
+    fn sparseness_is_preserved() {
+        let mut s = SparseStore::new(8 << 30); // 8 GiB capacity
+        s.write(0, &[1]);
+        s.write((4 << 30) + 7, &[2]);
+        s.write((8 << 30) - 1, &[3]);
+        assert_eq!(s.resident_pages(), 3);
+        assert!(s.resident_bytes() < 16 * 1024);
+        let mut b = [0u8; 1];
+        s.read((4 << 30) + 7, &mut b);
+        assert_eq!(b[0], 2);
+    }
+
+    #[test]
+    fn u64_helpers_roundtrip() {
+        let mut s = SparseStore::new(1 << 16);
+        s.write_u64(40, 0x0123_4567_89ab_cdef);
+        assert_eq!(s.read_u64(40), 0x0123_4567_89ab_cdef);
+        assert_eq!(s.read_u64(48), 0);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut s = SparseStore::new(1 << 16);
+        s.write(0, &[9; 8]);
+        s.clear();
+        assert_eq!(s.resident_pages(), 0);
+        assert_eq!(s.read_u64(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn out_of_range_write_panics() {
+        let mut s = SparseStore::new(100);
+        s.write(90, &[0; 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn out_of_range_read_panics() {
+        let s = SparseStore::new(100);
+        let mut buf = [0u8; 20];
+        s.read(90, &mut buf);
+    }
+}

@@ -1,0 +1,139 @@
+//! Model-based property tests of the storage substrate: the sparse store
+//! against a byte-map reference, and banks against an operation model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use hmc_mem::{Bank, SparseStore, VaultMemory};
+use hmc_types::address::DecodedAddr;
+use hmc_types::config::StorageMode;
+
+proptest! {
+    #[test]
+    fn sparse_store_matches_a_byte_map(
+        ops in prop::collection::vec(
+            (any::<u32>(), prop::collection::vec(any::<u8>(), 1..64)),
+            1..60,
+        )
+    ) {
+        let capacity = 1u64 << 24;
+        let mut store = SparseStore::new(capacity);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (offset, data) in &ops {
+            let offset = *offset as u64 % (capacity - data.len() as u64);
+            store.write(offset, data);
+            for (i, &b) in data.iter().enumerate() {
+                model.insert(offset + i as u64, b);
+            }
+        }
+        // Verify all written bytes plus a fringe of unwritten ones.
+        for (&addr, &expect) in &model {
+            let mut buf = [0u8; 1];
+            store.read(addr, &mut buf);
+            prop_assert_eq!(buf[0], expect, "at {}", addr);
+        }
+        let mut buf = [0u8; 1];
+        for probe in [0u64, capacity / 2, capacity - 1] {
+            store.read(probe, &mut buf);
+            prop_assert_eq!(buf[0], *model.get(&probe).unwrap_or(&0));
+        }
+    }
+
+    #[test]
+    fn bank_rows_behave_like_independent_arrays(
+        writes in prop::collection::vec((0u64..32, 0u32..4, any::<u8>()), 1..40)
+    ) {
+        // Bank: 32 rows x 128 bytes; write 32-byte chunks at 4 offsets.
+        let mut bank = Bank::new(32, 128, 16, StorageMode::Functional);
+        let mut model: HashMap<(u64, u32), [u8; 32]> = HashMap::new();
+        for &(row, slot, val) in &writes {
+            let offset = slot * 32;
+            let data = [val; 32];
+            bank.write(row, offset, &data).unwrap();
+            model.insert((row, slot), data);
+        }
+        for (&(row, slot), expect) in &model {
+            let mut buf = [0u8; 32];
+            bank.read(row, slot * 32, &mut buf).unwrap();
+            prop_assert_eq!(&buf, expect);
+        }
+        // Row-buffer accounting: hits + misses == total accesses.
+        let s = bank.stats();
+        prop_assert_eq!(
+            s.row_hits + s.row_misses,
+            s.reads + s.writes + s.atomics
+        );
+    }
+
+    #[test]
+    fn atomics_commute_with_their_arithmetic_model(
+        seed0 in any::<u64>(),
+        seed1 in any::<u64>(),
+        adds in prop::collection::vec((any::<u64>(), any::<u64>()), 1..20)
+    ) {
+        let mut bank = Bank::new(4, 128, 16, StorageMode::Functional);
+        bank.write(0, 0, &seed0.to_le_bytes()).unwrap();
+        bank.write(0, 8, &seed1.to_le_bytes()).unwrap();
+        let (mut m0, mut m1) = (seed0, seed1);
+        for &(a, b) in &adds {
+            bank.two_add8(0, 0, a, b).unwrap();
+            m0 = m0.wrapping_add(a);
+            m1 = m1.wrapping_add(b);
+        }
+        let mut buf = [0u8; 8];
+        bank.read(0, 0, &mut buf).unwrap();
+        prop_assert_eq!(u64::from_le_bytes(buf), m0);
+        bank.read(0, 8, &mut buf).unwrap();
+        prop_assert_eq!(u64::from_le_bytes(buf), m1);
+    }
+
+    #[test]
+    fn bit_write_only_touches_masked_bits(
+        initial in any::<u64>(),
+        data in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let mut bank = Bank::new(4, 128, 16, StorageMode::Functional);
+        bank.write(1, 0, &initial.to_le_bytes()).unwrap();
+        bank.bit_write(1, 0, data, mask).unwrap();
+        let mut buf = [0u8; 8];
+        bank.read(1, 0, &mut buf).unwrap();
+        prop_assert_eq!(
+            u64::from_le_bytes(buf),
+            (initial & !mask) | (data & mask)
+        );
+    }
+
+    #[test]
+    fn vault_memory_isolates_banks(
+        ops in prop::collection::vec((0u16..8, 0u64..16, any::<u8>()), 1..40)
+    ) {
+        let mut vm = VaultMemory::from_parts(8, 16, 128, 16, StorageMode::Functional);
+        let mut model: HashMap<(u16, u64), u8> = HashMap::new();
+        for &(bank, row, val) in &ops {
+            let at = DecodedAddr { vault: 0, bank, row, offset: 0 };
+            vm.write(at, &[val; 16]).unwrap();
+            model.insert((bank, row), val);
+        }
+        for (&(bank, row), &val) in &model {
+            let at = DecodedAddr { vault: 0, bank, row, offset: 0 };
+            let mut buf = [0u8; 16];
+            vm.read(at, &mut buf).unwrap();
+            prop_assert_eq!(buf, [val; 16]);
+        }
+    }
+
+    #[test]
+    fn timing_only_banks_never_allocate(
+        ops in prop::collection::vec((0u64..64, any::<u8>()), 1..50)
+    ) {
+        let mut bank = Bank::new(64, 128, 16, StorageMode::TimingOnly);
+        for &(row, val) in &ops {
+            bank.write(row, 0, &[val; 64]).unwrap();
+        }
+        prop_assert_eq!(bank.resident_bytes(), 0);
+        let s = bank.stats();
+        prop_assert_eq!(s.writes, ops.len() as u64);
+    }
+}

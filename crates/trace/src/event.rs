@@ -1,0 +1,571 @@
+//! Trace events.
+//!
+//! "Each trace event is marked with its physical locality as well as the
+//! respective internal clock tick when the respective trace event was
+//! raised" (paper §IV.E). [`TraceRecord`] couples a [`TraceEvent`] — which
+//! carries its locality (cube / link / quad / vault / bank) — with the
+//! 64-bit clock value at which it was raised.
+
+use hmc_types::{BankId, CubeId, Cycle, LinkId, QuadId, VaultId};
+
+/// Classification of trace events, used for filtering and counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A potential bank conflict recognized on a vault request queue.
+    BankConflict,
+    /// A request could not leave a crossbar queue (no open vault slot).
+    XbarRqstStall,
+    /// A response could not enter a crossbar response queue.
+    XbarRspStall,
+    /// A vault could not register a response (response queue full).
+    VaultRspStall,
+    /// A request arrived on a link not co-located with the target quad.
+    RouteLatency,
+    /// A packet addressed to an unreachable cube.
+    Misroute,
+    /// A packet exceeded its hop budget and was retired as a zombie.
+    Zombie,
+    /// A read request completed at a bank.
+    ReadComplete,
+    /// A write request completed at a bank.
+    WriteComplete,
+    /// An atomic (read-modify-write) request completed at a bank.
+    AtomicComplete,
+    /// An in-band MODE_READ / MODE_WRITE register access completed.
+    ModeAccess,
+    /// A packet was forwarded toward another cube (chaining hop).
+    Forwarded,
+    /// Link flow-control token movement (TRET/PRET processing).
+    TokenReturn,
+    /// An error response packet was generated.
+    ErrorResponse,
+    /// A link-level CRC failure was detected and the packet was
+    /// retransmitted (error-simulation mode).
+    LinkRetry,
+}
+
+impl EventKind {
+    /// Every kind, for exhaustive iteration in counters and tests.
+    pub const ALL: [EventKind; 15] = [
+        EventKind::BankConflict,
+        EventKind::XbarRqstStall,
+        EventKind::XbarRspStall,
+        EventKind::VaultRspStall,
+        EventKind::RouteLatency,
+        EventKind::Misroute,
+        EventKind::Zombie,
+        EventKind::ReadComplete,
+        EventKind::WriteComplete,
+        EventKind::AtomicComplete,
+        EventKind::ModeAccess,
+        EventKind::Forwarded,
+        EventKind::TokenReturn,
+        EventKind::ErrorResponse,
+        EventKind::LinkRetry,
+    ];
+
+    /// Dense index for array-backed counters.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+
+    /// Short label used in text trace lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::BankConflict => "BANK_CONFLICT",
+            EventKind::XbarRqstStall => "XBAR_RQST_STALL",
+            EventKind::XbarRspStall => "XBAR_RSP_STALL",
+            EventKind::VaultRspStall => "VAULT_RSP_STALL",
+            EventKind::RouteLatency => "ROUTE_LATENCY",
+            EventKind::Misroute => "MISROUTE",
+            EventKind::Zombie => "ZOMBIE",
+            EventKind::ReadComplete => "READ_COMPLETE",
+            EventKind::WriteComplete => "WRITE_COMPLETE",
+            EventKind::AtomicComplete => "ATOMIC_COMPLETE",
+            EventKind::ModeAccess => "MODE_ACCESS",
+            EventKind::Forwarded => "FORWARDED",
+            EventKind::TokenReturn => "TOKEN_RETURN",
+            EventKind::ErrorResponse => "ERROR_RESPONSE",
+            EventKind::LinkRetry => "LINK_RETRY",
+        }
+    }
+}
+
+/// A single trace event with its physical locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Conflicting bank addressing within a vault queue's spatial window
+    /// (recognized by sub-cycle stage 3, enforced by stage 4).
+    BankConflict {
+        /// Device on which the conflict was recognized.
+        cube: CubeId,
+        /// Vault whose request queue holds the conflicting packets.
+        vault: VaultId,
+        /// The contested bank.
+        bank: BankId,
+        /// Physical address of the stalled packet.
+        addr: u64,
+        /// Tag of the stalled packet.
+        tag: u16,
+    },
+    /// A request could not be routed from a crossbar arbiter to the target
+    /// vault "due to inadequate open vault queue slots" (paper §VI.B).
+    XbarRqstStall {
+        /// Device observing the stall.
+        cube: CubeId,
+        /// Link whose crossbar queue holds the stalled packet.
+        link: LinkId,
+        /// Vault that had no open slot.
+        vault: VaultId,
+        /// Tag of the stalled packet.
+        tag: u16,
+    },
+    /// A response could not be registered with a crossbar response queue.
+    XbarRspStall {
+        /// Device observing the stall.
+        cube: CubeId,
+        /// Link whose response queue was full.
+        link: LinkId,
+        /// Tag of the stalled packet.
+        tag: u16,
+    },
+    /// A vault could not register a response (vault response queue full);
+    /// the request stays queued and retries next cycle.
+    VaultRspStall {
+        /// Device observing the stall.
+        cube: CubeId,
+        /// Vault whose response queue was full.
+        vault: VaultId,
+        /// Tag of the request held back.
+        tag: u16,
+    },
+    /// "Higher latencies are detected due to the physical locality of the
+    /// queue versus the destination vault" (paper §IV.C.1): the packet
+    /// entered on a link whose quad is not the destination quad.
+    RouteLatency {
+        /// Device observing the penalty.
+        cube: CubeId,
+        /// Link the packet arrived on.
+        link: LinkId,
+        /// Quad co-located with the arrival link.
+        arrival_quad: QuadId,
+        /// Quad owning the destination vault.
+        dest_quad: QuadId,
+        /// Destination vault.
+        vault: VaultId,
+        /// Tag of the penalized packet.
+        tag: u16,
+    },
+    /// A packet addressed to a cube this device cannot reach.
+    Misroute {
+        /// Device that failed to route.
+        cube: CubeId,
+        /// Link the packet arrived on.
+        link: LinkId,
+        /// The unreachable destination cube.
+        dest_cube: CubeId,
+        /// Tag of the misrouted packet.
+        tag: u16,
+    },
+    /// A packet exceeded its hop budget (loopback-style misconfiguration).
+    Zombie {
+        /// Device that retired the packet.
+        cube: CubeId,
+        /// Tag of the retired packet.
+        tag: u16,
+        /// Hops the packet had taken.
+        hops: u32,
+    },
+    /// A read completed at a bank.
+    ReadComplete {
+        /// Device.
+        cube: CubeId,
+        /// Vault.
+        vault: VaultId,
+        /// Bank.
+        bank: BankId,
+        /// Bytes read.
+        bytes: u32,
+        /// Request tag.
+        tag: u16,
+    },
+    /// A write completed at a bank.
+    WriteComplete {
+        /// Device.
+        cube: CubeId,
+        /// Vault.
+        vault: VaultId,
+        /// Bank.
+        bank: BankId,
+        /// Bytes written.
+        bytes: u32,
+        /// Request tag.
+        tag: u16,
+    },
+    /// An atomic completed at a bank.
+    AtomicComplete {
+        /// Device.
+        cube: CubeId,
+        /// Vault.
+        vault: VaultId,
+        /// Bank.
+        bank: BankId,
+        /// Request tag.
+        tag: u16,
+    },
+    /// An in-band register access completed.
+    ModeAccess {
+        /// Device.
+        cube: CubeId,
+        /// Register index accessed.
+        reg: u32,
+        /// True for MODE_WRITE, false for MODE_READ.
+        write: bool,
+        /// Request tag.
+        tag: u16,
+    },
+    /// A packet took a chaining hop toward another cube.
+    Forwarded {
+        /// Device forwarding the packet.
+        cube: CubeId,
+        /// Egress link used.
+        link: LinkId,
+        /// Next-hop cube.
+        next_cube: CubeId,
+        /// Final destination cube.
+        dest_cube: CubeId,
+        /// Tag of the forwarded packet.
+        tag: u16,
+    },
+    /// Flow-control token movement on a link.
+    TokenReturn {
+        /// Device.
+        cube: CubeId,
+        /// Link.
+        link: LinkId,
+        /// Tokens returned.
+        tokens: u8,
+    },
+    /// An error response packet was generated.
+    ErrorResponse {
+        /// Device generating the error response.
+        cube: CubeId,
+        /// Tag of the failing request.
+        tag: u16,
+        /// Encoded `ResponseStatus`.
+        status: u8,
+    },
+    /// A link-level CRC failure was detected; the packet is held for a
+    /// retransmission penalty before continuing.
+    LinkRetry {
+        /// Device detecting the failure.
+        cube: CubeId,
+        /// Link the corrupted packet arrived on.
+        link: LinkId,
+        /// Tag of the retransmitted packet.
+        tag: u16,
+    },
+}
+
+impl TraceEvent {
+    /// The event's kind, for filtering and counting.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::BankConflict { .. } => EventKind::BankConflict,
+            TraceEvent::XbarRqstStall { .. } => EventKind::XbarRqstStall,
+            TraceEvent::XbarRspStall { .. } => EventKind::XbarRspStall,
+            TraceEvent::VaultRspStall { .. } => EventKind::VaultRspStall,
+            TraceEvent::RouteLatency { .. } => EventKind::RouteLatency,
+            TraceEvent::Misroute { .. } => EventKind::Misroute,
+            TraceEvent::Zombie { .. } => EventKind::Zombie,
+            TraceEvent::ReadComplete { .. } => EventKind::ReadComplete,
+            TraceEvent::WriteComplete { .. } => EventKind::WriteComplete,
+            TraceEvent::AtomicComplete { .. } => EventKind::AtomicComplete,
+            TraceEvent::ModeAccess { .. } => EventKind::ModeAccess,
+            TraceEvent::Forwarded { .. } => EventKind::Forwarded,
+            TraceEvent::TokenReturn { .. } => EventKind::TokenReturn,
+            TraceEvent::ErrorResponse { .. } => EventKind::ErrorResponse,
+            TraceEvent::LinkRetry { .. } => EventKind::LinkRetry,
+        }
+    }
+
+    /// The cube on which the event was raised (its primary locality).
+    pub fn cube(&self) -> CubeId {
+        match *self {
+            TraceEvent::BankConflict { cube, .. }
+            | TraceEvent::XbarRqstStall { cube, .. }
+            | TraceEvent::XbarRspStall { cube, .. }
+            | TraceEvent::VaultRspStall { cube, .. }
+            | TraceEvent::RouteLatency { cube, .. }
+            | TraceEvent::Misroute { cube, .. }
+            | TraceEvent::Zombie { cube, .. }
+            | TraceEvent::ReadComplete { cube, .. }
+            | TraceEvent::WriteComplete { cube, .. }
+            | TraceEvent::AtomicComplete { cube, .. }
+            | TraceEvent::ModeAccess { cube, .. }
+            | TraceEvent::Forwarded { cube, .. }
+            | TraceEvent::TokenReturn { cube, .. }
+            | TraceEvent::ErrorResponse { cube, .. }
+            | TraceEvent::LinkRetry { cube, .. } => cube,
+        }
+    }
+
+    /// The vault locality of the event, when it has one.
+    pub fn vault(&self) -> Option<VaultId> {
+        match *self {
+            TraceEvent::BankConflict { vault, .. }
+            | TraceEvent::XbarRqstStall { vault, .. }
+            | TraceEvent::VaultRspStall { vault, .. }
+            | TraceEvent::RouteLatency { vault, .. }
+            | TraceEvent::ReadComplete { vault, .. }
+            | TraceEvent::WriteComplete { vault, .. }
+            | TraceEvent::AtomicComplete { vault, .. } => Some(vault),
+            _ => None,
+        }
+    }
+}
+
+/// A trace event stamped with the clock tick at which it was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Internal clock value when the event was raised (§IV.E).
+    pub cycle: Cycle,
+    /// The event and its locality.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Render the record as a single text trace line.
+    pub fn to_line(&self) -> String {
+        let k = self.event.kind().label();
+        match self.event {
+            TraceEvent::BankConflict {
+                cube,
+                vault,
+                bank,
+                addr,
+                tag,
+            } => format!(
+                "{cycle} {k} cube={cube} vault={vault} bank={bank} addr={addr:#x} tag={tag}",
+                cycle = self.cycle
+            ),
+            TraceEvent::XbarRqstStall {
+                cube,
+                link,
+                vault,
+                tag,
+            } => format!(
+                "{cycle} {k} cube={cube} link={link} vault={vault} tag={tag}",
+                cycle = self.cycle
+            ),
+            TraceEvent::XbarRspStall { cube, link, tag } => {
+                format!("{} {k} cube={cube} link={link} tag={tag}", self.cycle)
+            }
+            TraceEvent::VaultRspStall { cube, vault, tag } => {
+                format!("{} {k} cube={cube} vault={vault} tag={tag}", self.cycle)
+            }
+            TraceEvent::RouteLatency {
+                cube,
+                link,
+                arrival_quad,
+                dest_quad,
+                vault,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} link={link} arrival_quad={arrival_quad} \
+                 dest_quad={dest_quad} vault={vault} tag={tag}",
+                self.cycle
+            ),
+            TraceEvent::Misroute {
+                cube,
+                link,
+                dest_cube,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} link={link} dest_cube={dest_cube} tag={tag}",
+                self.cycle
+            ),
+            TraceEvent::Zombie { cube, tag, hops } => {
+                format!("{} {k} cube={cube} tag={tag} hops={hops}", self.cycle)
+            }
+            TraceEvent::ReadComplete {
+                cube,
+                vault,
+                bank,
+                bytes,
+                tag,
+            }
+            | TraceEvent::WriteComplete {
+                cube,
+                vault,
+                bank,
+                bytes,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} vault={vault} bank={bank} bytes={bytes} tag={tag}",
+                self.cycle
+            ),
+            TraceEvent::AtomicComplete {
+                cube,
+                vault,
+                bank,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} vault={vault} bank={bank} tag={tag}",
+                self.cycle
+            ),
+            TraceEvent::ModeAccess {
+                cube,
+                reg,
+                write,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} reg={reg:#x} write={write} tag={tag}",
+                self.cycle
+            ),
+            TraceEvent::Forwarded {
+                cube,
+                link,
+                next_cube,
+                dest_cube,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} link={link} next={next_cube} dest={dest_cube} tag={tag}",
+                self.cycle
+            ),
+            TraceEvent::TokenReturn { cube, link, tokens } => {
+                format!("{} {k} cube={cube} link={link} tokens={tokens}", self.cycle)
+            }
+            TraceEvent::ErrorResponse { cube, tag, status } => {
+                format!("{} {k} cube={cube} tag={tag} status={status}", self.cycle)
+            }
+            TraceEvent::LinkRetry { cube, link, tag } => {
+                format!("{} {k} cube={cube} link={link} tag={tag}", self.cycle)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_dense_unique_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(seen.insert(*k));
+        }
+        assert_eq!(seen.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn event_kind_dispatch_is_total() {
+        let events = [
+            TraceEvent::BankConflict {
+                cube: 0,
+                vault: 1,
+                bank: 2,
+                addr: 0x40,
+                tag: 3,
+            },
+            TraceEvent::XbarRqstStall {
+                cube: 0,
+                link: 1,
+                vault: 2,
+                tag: 3,
+            },
+            TraceEvent::RouteLatency {
+                cube: 0,
+                link: 0,
+                arrival_quad: 0,
+                dest_quad: 1,
+                vault: 5,
+                tag: 9,
+            },
+            TraceEvent::Zombie {
+                cube: 1,
+                tag: 2,
+                hops: 99,
+            },
+        ];
+        assert_eq!(events[0].kind(), EventKind::BankConflict);
+        assert_eq!(events[1].kind(), EventKind::XbarRqstStall);
+        assert_eq!(events[2].kind(), EventKind::RouteLatency);
+        assert_eq!(events[3].kind(), EventKind::Zombie);
+    }
+
+    #[test]
+    fn locality_accessors() {
+        let e = TraceEvent::ReadComplete {
+            cube: 3,
+            vault: 7,
+            bank: 1,
+            bytes: 64,
+            tag: 12,
+        };
+        assert_eq!(e.cube(), 3);
+        assert_eq!(e.vault(), Some(7));
+        let e = TraceEvent::TokenReturn {
+            cube: 2,
+            link: 0,
+            tokens: 4,
+        };
+        assert_eq!(e.cube(), 2);
+        assert_eq!(e.vault(), None);
+    }
+
+    #[test]
+    fn trace_lines_carry_cycle_and_locality() {
+        let r = TraceRecord {
+            cycle: 1234,
+            event: TraceEvent::BankConflict {
+                cube: 0,
+                vault: 5,
+                bank: 3,
+                addr: 0x1000,
+                tag: 42,
+            },
+        };
+        let line = r.to_line();
+        assert!(line.starts_with("1234 BANK_CONFLICT"));
+        assert!(line.contains("vault=5"));
+        assert!(line.contains("bank=3"));
+        assert!(line.contains("addr=0x1000"));
+        assert!(line.contains("tag=42"));
+    }
+
+    #[test]
+    fn every_event_renders_a_line() {
+        let samples = [
+            TraceEvent::BankConflict { cube: 0, vault: 0, bank: 0, addr: 0, tag: 0 },
+            TraceEvent::XbarRqstStall { cube: 0, link: 0, vault: 0, tag: 0 },
+            TraceEvent::XbarRspStall { cube: 0, link: 0, tag: 0 },
+            TraceEvent::VaultRspStall { cube: 0, vault: 0, tag: 0 },
+            TraceEvent::RouteLatency {
+                cube: 0, link: 0, arrival_quad: 0, dest_quad: 0, vault: 0, tag: 0,
+            },
+            TraceEvent::Misroute { cube: 0, link: 0, dest_cube: 0, tag: 0 },
+            TraceEvent::Zombie { cube: 0, tag: 0, hops: 0 },
+            TraceEvent::ReadComplete { cube: 0, vault: 0, bank: 0, bytes: 0, tag: 0 },
+            TraceEvent::WriteComplete { cube: 0, vault: 0, bank: 0, bytes: 0, tag: 0 },
+            TraceEvent::AtomicComplete { cube: 0, vault: 0, bank: 0, tag: 0 },
+            TraceEvent::ModeAccess { cube: 0, reg: 0, write: false, tag: 0 },
+            TraceEvent::Forwarded { cube: 0, link: 0, next_cube: 0, dest_cube: 0, tag: 0 },
+            TraceEvent::TokenReturn { cube: 0, link: 0, tokens: 0 },
+            TraceEvent::ErrorResponse { cube: 0, tag: 0, status: 0 },
+            TraceEvent::LinkRetry { cube: 0, link: 0, tag: 0 },
+        ];
+        for (i, e) in samples.iter().enumerate() {
+            let line = TraceRecord { cycle: i as u64, event: *e }.to_line();
+            assert!(
+                line.contains(e.kind().label()),
+                "line for {e:?} must carry its kind label"
+            );
+        }
+        // The sample list covers every kind.
+        let kinds: std::collections::HashSet<_> = samples.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), EventKind::ALL.len());
+    }
+}

@@ -1,0 +1,315 @@
+//! Per-cycle time series for the paper's Figure 5.
+//!
+//! Figure 5 plots, per simulated clock cycle, "the number of bank
+//! conflicts, read requests and write requests that occurred within each
+//! vault … the number of crossbar request stalls observed internal to the
+//! device and the number of events raised due to the potential routed
+//! latency penalties" (paper §VI.B).
+//!
+//! A raw per-cycle, per-vault trace of a 3.4-million-cycle run is the
+//! 16–40 GB file the paper mentions; [`SeriesCollector`] aggregates the
+//! same five quantities online into fixed-width cycle bins (bin width 1
+//! reproduces the raw series for short runs), plus whole-run per-vault
+//! utilization tallies.
+
+use std::io::Write;
+
+use serde::Serialize;
+
+use crate::event::{EventKind, TraceRecord};
+use crate::sink::TraceSink;
+use crate::stats::VaultUtilization;
+use hmc_types::Cycle;
+
+/// One bin (row) of the Figure 5 series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SeriesRow {
+    /// First cycle covered by the bin.
+    pub cycle: Cycle,
+    /// Bank conflicts recognized in the bin (all vaults).
+    pub bank_conflicts: u64,
+    /// Read requests completed in the bin.
+    pub reads: u64,
+    /// Write requests completed in the bin.
+    pub writes: u64,
+    /// Crossbar request stalls in the bin.
+    pub xbar_stalls: u64,
+    /// Routed-latency penalty events in the bin.
+    pub latency_events: u64,
+}
+
+/// Online collector of the Figure 5 quantities.
+///
+/// # Examples
+///
+/// ```
+/// use hmc_trace::{SeriesCollector, TraceEvent, TraceRecord, TraceSink};
+///
+/// let mut series = SeriesCollector::new(10, 16);
+/// series.record(&TraceRecord {
+///     cycle: 25,
+///     event: TraceEvent::ReadComplete { cube: 0, vault: 3, bank: 1, bytes: 64, tag: 7 },
+/// });
+/// assert_eq!(series.rows()[2].reads, 1, "cycle 25 lands in the third bin");
+/// assert_eq!(series.vaults().reads[3], 1);
+/// ```
+#[derive(Debug)]
+pub struct SeriesCollector {
+    bin_width: Cycle,
+    rows: Vec<SeriesRow>,
+    vaults: VaultUtilization,
+}
+
+impl SeriesCollector {
+    /// Collect with the given cycle bin width over `num_vaults` vaults.
+    ///
+    /// # Panics
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: Cycle, num_vaults: u16) -> Self {
+        assert!(bin_width > 0, "bin width must be nonzero");
+        SeriesCollector {
+            bin_width,
+            rows: Vec::new(),
+            vaults: VaultUtilization::new(num_vaults),
+        }
+    }
+
+    /// Bin width in cycles.
+    pub fn bin_width(&self) -> Cycle {
+        self.bin_width
+    }
+
+    /// The collected rows.
+    pub fn rows(&self) -> &[SeriesRow] {
+        &self.rows
+    }
+
+    /// Whole-run per-vault utilization.
+    pub fn vaults(&self) -> &VaultUtilization {
+        &self.vaults
+    }
+
+    fn row_for(&mut self, cycle: Cycle) -> &mut SeriesRow {
+        let idx = (cycle / self.bin_width) as usize;
+        if idx >= self.rows.len() {
+            let old_len = self.rows.len();
+            self.rows.resize_with(idx + 1, SeriesRow::default);
+            for (i, row) in self.rows.iter_mut().enumerate().skip(old_len) {
+                row.cycle = i as Cycle * self.bin_width;
+            }
+        }
+        &mut self.rows[idx]
+    }
+
+    /// Write the series as CSV (`cycle,bank_conflicts,reads,writes,
+    /// xbar_stalls,latency_events`).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "cycle,bank_conflicts,reads,writes,xbar_stalls,latency_events"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                w,
+                "{},{},{},{},{},{}",
+                r.cycle, r.bank_conflicts, r.reads, r.writes, r.xbar_stalls, r.latency_events
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Column totals across all bins.
+    pub fn totals(&self) -> SeriesRow {
+        let mut t = SeriesRow::default();
+        for r in &self.rows {
+            t.bank_conflicts += r.bank_conflicts;
+            t.reads += r.reads;
+            t.writes += r.writes;
+            t.xbar_stalls += r.xbar_stalls;
+            t.latency_events += r.latency_events;
+        }
+        t
+    }
+
+    /// The bin with the most bank conflicts (peak of Figure 5's top curve).
+    pub fn peak_conflict_bin(&self) -> Option<SeriesRow> {
+        self.rows.iter().copied().max_by_key(|r| r.bank_conflicts)
+    }
+}
+
+impl TraceSink for SeriesCollector {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.vaults.observe(&rec.event);
+        let row = self.row_for(rec.cycle);
+        match rec.event.kind() {
+            EventKind::BankConflict => row.bank_conflicts += 1,
+            EventKind::ReadComplete => row.reads += 1,
+            EventKind::WriteComplete => row.writes += 1,
+            EventKind::XbarRqstStall => row.xbar_stalls += 1,
+            EventKind::RouteLatency => row.latency_events += 1,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(cycle: Cycle, event: TraceEvent) -> TraceRecord {
+        TraceRecord { cycle, event }
+    }
+
+    fn read(vault: u16) -> TraceEvent {
+        TraceEvent::ReadComplete {
+            cube: 0,
+            vault,
+            bank: 0,
+            bytes: 64,
+            tag: 0,
+        }
+    }
+
+    fn conflict(vault: u16) -> TraceEvent {
+        TraceEvent::BankConflict {
+            cube: 0,
+            vault,
+            bank: 0,
+            addr: 0,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn unit_bins_reproduce_per_cycle_series() {
+        let mut s = SeriesCollector::new(1, 16);
+        s.record(&rec(0, read(0)));
+        s.record(&rec(0, read(1)));
+        s.record(&rec(2, conflict(0)));
+        assert_eq!(s.rows().len(), 3);
+        assert_eq!(s.rows()[0].reads, 2);
+        assert_eq!(s.rows()[1].reads, 0);
+        assert_eq!(s.rows()[2].bank_conflicts, 1);
+        assert_eq!(s.rows()[1].cycle, 1);
+    }
+
+    #[test]
+    fn wide_bins_aggregate() {
+        let mut s = SeriesCollector::new(10, 16);
+        for c in 0..25 {
+            s.record(&rec(c, read(0)));
+        }
+        assert_eq!(s.rows().len(), 3);
+        assert_eq!(s.rows()[0].reads, 10);
+        assert_eq!(s.rows()[1].reads, 10);
+        assert_eq!(s.rows()[2].reads, 5);
+        assert_eq!(s.rows()[2].cycle, 20);
+    }
+
+    #[test]
+    fn all_five_figure5_quantities_are_tracked() {
+        let mut s = SeriesCollector::new(1, 16);
+        s.record(&rec(0, conflict(0)));
+        s.record(&rec(0, read(0)));
+        s.record(&rec(
+            0,
+            TraceEvent::WriteComplete {
+                cube: 0,
+                vault: 0,
+                bank: 0,
+                bytes: 64,
+                tag: 0,
+            },
+        ));
+        s.record(&rec(
+            0,
+            TraceEvent::XbarRqstStall {
+                cube: 0,
+                link: 0,
+                vault: 0,
+                tag: 0,
+            },
+        ));
+        s.record(&rec(
+            0,
+            TraceEvent::RouteLatency {
+                cube: 0,
+                link: 0,
+                arrival_quad: 0,
+                dest_quad: 1,
+                vault: 4,
+                tag: 0,
+            },
+        ));
+        let r = s.rows()[0];
+        assert_eq!(r.bank_conflicts, 1);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.writes, 1);
+        assert_eq!(r.xbar_stalls, 1);
+        assert_eq!(r.latency_events, 1);
+    }
+
+    #[test]
+    fn irrelevant_events_do_not_pollute_rows() {
+        let mut s = SeriesCollector::new(1, 16);
+        s.record(&rec(
+            0,
+            TraceEvent::TokenReturn {
+                cube: 0,
+                link: 0,
+                tokens: 1,
+            },
+        ));
+        assert_eq!(s.rows()[0], SeriesRow::default());
+    }
+
+    #[test]
+    fn per_vault_tallies_accumulate() {
+        let mut s = SeriesCollector::new(100, 4);
+        s.record(&rec(5, read(3)));
+        s.record(&rec(6, read(3)));
+        s.record(&rec(7, conflict(2)));
+        assert_eq!(s.vaults().reads[3], 2);
+        assert_eq!(s.vaults().conflicts[2], 1);
+    }
+
+    #[test]
+    fn csv_output_is_well_formed() {
+        let mut s = SeriesCollector::new(1, 16);
+        s.record(&rec(0, read(0)));
+        s.record(&rec(1, conflict(0)));
+        let mut buf = Vec::new();
+        s.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "cycle,bank_conflicts,reads,writes,xbar_stalls,latency_events"
+        );
+        assert_eq!(lines[1], "0,0,1,0,0,0");
+        assert_eq!(lines[2], "1,1,0,0,0,0");
+    }
+
+    #[test]
+    fn totals_and_peaks() {
+        let mut s = SeriesCollector::new(1, 16);
+        s.record(&rec(0, conflict(0)));
+        s.record(&rec(1, conflict(0)));
+        s.record(&rec(1, conflict(1)));
+        s.record(&rec(2, read(0)));
+        let t = s.totals();
+        assert_eq!(t.bank_conflicts, 3);
+        assert_eq!(t.reads, 1);
+        let peak = s.peak_conflict_bin().unwrap();
+        assert_eq!(peak.cycle, 1);
+        assert_eq!(peak.bank_conflicts, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bin_width_rejected() {
+        SeriesCollector::new(0, 16);
+    }
+}

@@ -1,0 +1,391 @@
+//! Trace sinks and the tracer front-end.
+//!
+//! "Users have the ability to designate the tracing verbosity as well as
+//! the target output file buffers" (paper §IV.E). A [`Tracer`] filters
+//! events by [`Verbosity`] and fans them out to a pluggable [`TraceSink`]:
+//! text writers for offline analysis, in-memory collectors for tests,
+//! counting sinks for statistics, or a multiplexer of several.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{EventKind, TraceEvent, TraceRecord};
+use crate::stats::EventCounters;
+use hmc_types::Cycle;
+
+/// Trace granularity, from silent to every sub-cycle operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// No events recorded.
+    Off,
+    /// Exceptional events only: stalls, conflicts, latency penalties,
+    /// misroutes, zombies, error responses.
+    Stalls,
+    /// Everything, including per-operation completions and token movement
+    /// ("each internal sub-cycle operation is recorded", §IV.E).
+    Full,
+}
+
+impl Verbosity {
+    /// The minimum verbosity at which events of `kind` are recorded.
+    pub fn threshold_for(kind: EventKind) -> Verbosity {
+        match kind {
+            EventKind::BankConflict
+            | EventKind::XbarRqstStall
+            | EventKind::XbarRspStall
+            | EventKind::VaultRspStall
+            | EventKind::RouteLatency
+            | EventKind::Misroute
+            | EventKind::Zombie
+            | EventKind::ErrorResponse
+            | EventKind::LinkRetry => Verbosity::Stalls,
+            EventKind::ReadComplete
+            | EventKind::WriteComplete
+            | EventKind::AtomicComplete
+            | EventKind::ModeAccess
+            | EventKind::Forwarded
+            | EventKind::TokenReturn => Verbosity::Full,
+        }
+    }
+
+    /// True if events of `kind` are recorded at this verbosity.
+    pub fn records(self, kind: EventKind) -> bool {
+        self >= Self::threshold_for(kind)
+    }
+}
+
+/// Destination for trace records.
+pub trait TraceSink: Send {
+    /// Consume one record.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Flush buffered output (file sinks). Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// Discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: &TraceRecord) {}
+}
+
+/// Collects records in memory (tests, small runs).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The collected records, in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.records.push(*rec);
+    }
+}
+
+/// Counts events per kind without storing them (whole-run statistics for
+/// multi-million-cycle runs where raw traces would reach tens of GB).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Per-kind totals.
+    pub counters: EventCounters,
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.counters.count(rec.event.kind());
+    }
+}
+
+/// Writes one text line per record to any `io::Write` target.
+pub struct TextSink<W: Write + Send> {
+    writer: W,
+}
+
+impl<W: Write + Send> TextSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        TextSink { writer }
+    }
+
+    /// Unwrap the writer (tests).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write + Send> TraceSink for TextSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        // Trace output failures must not abort a simulation; drop silently,
+        // matching the C library's fprintf behaviour.
+        let _ = writeln!(self.writer, "{}", rec.to_line());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Fans records out to several sinks.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl MultiSink {
+    /// Empty multiplexer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sink (builder style).
+    pub fn with(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl TraceSink for MultiSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        for s in &mut self.sinks {
+            s.record(rec);
+        }
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// A sink handle shareable between the simulator (which writes) and the
+/// harness (which reads results afterwards).
+#[derive(Debug, Default)]
+pub struct SharedSink<S: TraceSink>(pub Arc<Mutex<S>>);
+
+impl<S: TraceSink> SharedSink<S> {
+    /// Wrap a sink for shared access.
+    pub fn new(sink: S) -> Self {
+        SharedSink(Arc::new(Mutex::new(sink)))
+    }
+
+    /// A second handle to the same sink.
+    pub fn handle(&self) -> SharedSink<S> {
+        SharedSink(Arc::clone(&self.0))
+    }
+}
+
+impl<S: TraceSink> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        self.handle()
+    }
+}
+
+impl<S: TraceSink> TraceSink for SharedSink<S> {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.0.lock().record(rec);
+    }
+
+    fn flush(&mut self) {
+        self.0.lock().flush();
+    }
+}
+
+/// The tracing front-end held by a simulation object: verbosity filter +
+/// sink. Emission is a cheap branch when tracing is off.
+pub struct Tracer {
+    verbosity: Verbosity,
+    sink: Box<dyn TraceSink>,
+    emitted: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::off()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("verbosity", &self.verbosity)
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A silent tracer.
+    pub fn off() -> Self {
+        Tracer {
+            verbosity: Verbosity::Off,
+            sink: Box::new(NullSink),
+            emitted: 0,
+        }
+    }
+
+    /// A tracer with the given verbosity and sink.
+    pub fn new(verbosity: Verbosity, sink: Box<dyn TraceSink>) -> Self {
+        Tracer {
+            verbosity,
+            sink,
+            emitted: 0,
+        }
+    }
+
+    /// Current verbosity.
+    pub fn verbosity(&self) -> Verbosity {
+        self.verbosity
+    }
+
+    /// Change verbosity mid-run.
+    pub fn set_verbosity(&mut self, v: Verbosity) {
+        self.verbosity = v;
+    }
+
+    /// True if events of `kind` would currently be recorded — callers can
+    /// skip building event payloads entirely when false.
+    #[inline]
+    pub fn enabled(&self, kind: EventKind) -> bool {
+        self.verbosity.records(kind)
+    }
+
+    /// Emit an event at the given cycle, subject to the verbosity filter.
+    #[inline]
+    pub fn emit(&mut self, cycle: Cycle, event: TraceEvent) {
+        if self.verbosity.records(event.kind()) {
+            self.emitted += 1;
+            self.sink.record(&TraceRecord { cycle, event });
+        }
+    }
+
+    /// Number of records that passed the filter so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&mut self) {
+        self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conflict(cycle: Cycle) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            event: TraceEvent::BankConflict {
+                cube: 0,
+                vault: 1,
+                bank: 2,
+                addr: 0x40,
+                tag: 9,
+            },
+        }
+    }
+
+    fn read_complete() -> TraceEvent {
+        TraceEvent::ReadComplete {
+            cube: 0,
+            vault: 1,
+            bank: 2,
+            bytes: 64,
+            tag: 9,
+        }
+    }
+
+    #[test]
+    fn verbosity_thresholds_are_ordered() {
+        assert!(Verbosity::Off < Verbosity::Stalls);
+        assert!(Verbosity::Stalls < Verbosity::Full);
+        assert!(!Verbosity::Off.records(EventKind::BankConflict));
+        assert!(Verbosity::Stalls.records(EventKind::BankConflict));
+        assert!(!Verbosity::Stalls.records(EventKind::ReadComplete));
+        assert!(Verbosity::Full.records(EventKind::ReadComplete));
+        for k in EventKind::ALL {
+            assert!(Verbosity::Full.records(k), "Full records everything");
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut s = VecSink::default();
+        s.record(&conflict(1));
+        s.record(&conflict(2));
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.records[0].cycle, 1);
+        assert_eq!(s.records[1].cycle, 2);
+    }
+
+    #[test]
+    fn counting_sink_counts_by_kind() {
+        let mut s = CountingSink::default();
+        s.record(&conflict(0));
+        s.record(&conflict(1));
+        s.record(&TraceRecord {
+            cycle: 2,
+            event: read_complete(),
+        });
+        assert_eq!(s.counters.get(EventKind::BankConflict), 2);
+        assert_eq!(s.counters.get(EventKind::ReadComplete), 1);
+        assert_eq!(s.counters.get(EventKind::Zombie), 0);
+    }
+
+    #[test]
+    fn text_sink_writes_lines() {
+        let mut s = TextSink::new(Vec::new());
+        s.record(&conflict(77));
+        s.flush();
+        let out = String::from_utf8(s.into_inner()).unwrap();
+        assert!(out.starts_with("77 BANK_CONFLICT"));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let counting = SharedSink::new(CountingSink::default());
+        let vec = SharedSink::new(VecSink::default());
+        let mut multi = MultiSink::new()
+            .with(Box::new(counting.clone()))
+            .with(Box::new(vec.clone()));
+        multi.record(&conflict(5));
+        assert_eq!(counting.0.lock().counters.get(EventKind::BankConflict), 1);
+        assert_eq!(vec.0.lock().records.len(), 1);
+    }
+
+    #[test]
+    fn tracer_filters_by_verbosity() {
+        let shared = SharedSink::new(CountingSink::default());
+        let mut t = Tracer::new(Verbosity::Stalls, Box::new(shared.clone()));
+        t.emit(1, conflict(1).event); // stall-class: recorded
+        t.emit(2, read_complete()); // full-class: filtered
+        assert_eq!(t.emitted(), 1);
+        assert_eq!(shared.0.lock().counters.total(), 1);
+        t.set_verbosity(Verbosity::Full);
+        t.emit(3, read_complete());
+        assert_eq!(t.emitted(), 2);
+    }
+
+    #[test]
+    fn off_tracer_emits_nothing() {
+        let shared = SharedSink::new(VecSink::default());
+        let mut t = Tracer::new(Verbosity::Off, Box::new(shared.clone()));
+        t.emit(0, conflict(0).event);
+        assert_eq!(t.emitted(), 0);
+        assert!(shared.0.lock().records.is_empty());
+        assert!(!t.enabled(EventKind::BankConflict));
+    }
+
+    #[test]
+    fn default_tracer_is_off() {
+        let t = Tracer::default();
+        assert_eq!(t.verbosity(), Verbosity::Off);
+    }
+}

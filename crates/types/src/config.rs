@@ -1,0 +1,438 @@
+//! Device configuration: the flexible geometry knobs of the HMC spec.
+//!
+//! The specification "permits the flexible interpretation and implementation
+//! of the target device … with respect to capacity, bandwidth, connectivity
+//! and internal logic block functionality" (paper §I). HMC-Sim mirrors this
+//! with an initialization call taking the device count, link count, vault
+//! count, queue depths, bank/DRAM counts and capacity (paper Fig. 4).
+//!
+//! [`DeviceConfig`] captures one device's geometry; a simulation object
+//! requires all devices to be physically homogeneous (§V.A), so one config
+//! serves the whole object. The four device configurations evaluated in the
+//! paper's §VI are provided as presets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{LowInterleaveMap, MapGeometry};
+use crate::command::BlockSize;
+use crate::error::{HmcError, Result};
+use crate::units::{aggregate_bandwidth_gbs, LinkSpeed, GIB};
+
+/// Whether banks store actual data or only model timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageMode {
+    /// Reads and writes move real bytes through sparse backing pages.
+    Functional,
+    /// Data movement is skipped; only timing/trace behaviour is modeled.
+    /// Reads return zero-filled payloads. Used for the Table I runs, which
+    /// measure cycles over 33.5M requests.
+    TimingOnly,
+}
+
+/// Number of vaults attached to each quad unit (fixed by the spec: "Each
+/// quad unit represents four vault units", paper §III.A).
+pub const VAULTS_PER_QUAD: u16 = 4;
+
+/// Geometry and queue configuration of a single HMC device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// External links: 4 or 8 (§III.A).
+    pub num_links: u8,
+    /// Vaults: must equal `4 × num_links` (one quad of four vaults per link).
+    pub num_vaults: u16,
+    /// Banks per vault: a power of two (8 or 16 in the paper's evaluation).
+    pub banks_per_vault: u16,
+    /// DRAM dies per bank (data-path width modelling; 16 by default).
+    pub drams_per_bank: u16,
+    /// Total device capacity in bytes; must be a power of two consistent
+    /// with the vault/bank geometry.
+    pub capacity_bytes: u64,
+    /// Crossbar (link) queue depth in slots — 128 in the paper's tests.
+    pub xbar_depth: usize,
+    /// Vault queue depth in slots — 64 in the paper's tests.
+    pub vault_depth: usize,
+    /// SERDES lane rate.
+    pub link_speed: LinkSpeed,
+    /// SERDES lanes per link: 16 (full-width, 4-link) or 8 (8-link).
+    pub lanes_per_link: u8,
+    /// Maximum block request size; sets the address map's offset field.
+    pub block_size: BlockSize,
+    /// Functional or timing-only data storage.
+    pub storage_mode: StorageMode,
+}
+
+impl DeviceConfig {
+    /// A small configuration handy for tests and examples: 4 links,
+    /// 16 vaults, 8 banks, 2 GiB, shallow queues.
+    pub fn small() -> Self {
+        DeviceConfig {
+            num_links: 4,
+            num_vaults: 16,
+            banks_per_vault: 8,
+            drams_per_bank: 16,
+            capacity_bytes: 2 * GIB,
+            xbar_depth: 8,
+            vault_depth: 4,
+            link_speed: LinkSpeed::Gbps10,
+            lanes_per_link: 16,
+            block_size: BlockSize::B128,
+            storage_mode: StorageMode::Functional,
+        }
+    }
+
+    /// Paper §VI device 1: 4-link, 8 banks/vault, 2 GB.
+    pub fn paper_4link_8bank_2gb() -> Self {
+        DeviceConfig {
+            num_links: 4,
+            num_vaults: 16,
+            banks_per_vault: 8,
+            drams_per_bank: 16,
+            capacity_bytes: 2 * GIB,
+            xbar_depth: 128,
+            vault_depth: 64,
+            link_speed: LinkSpeed::Gbps10,
+            lanes_per_link: 16,
+            block_size: BlockSize::B128,
+            storage_mode: StorageMode::Functional,
+        }
+    }
+
+    /// Paper §VI device 2: 4-link, 16 banks/vault, 4 GB.
+    pub fn paper_4link_16bank_4gb() -> Self {
+        DeviceConfig {
+            banks_per_vault: 16,
+            capacity_bytes: 4 * GIB,
+            ..Self::paper_4link_8bank_2gb()
+        }
+    }
+
+    /// Paper §VI device 3: 8-link, 8 banks/vault, 4 GB.
+    pub fn paper_8link_8bank_4gb() -> Self {
+        DeviceConfig {
+            num_links: 8,
+            num_vaults: 32,
+            capacity_bytes: 4 * GIB,
+            lanes_per_link: 8,
+            ..Self::paper_4link_8bank_2gb()
+        }
+    }
+
+    /// Paper §VI device 4: 8-link, 16 banks/vault, 8 GB.
+    pub fn paper_8link_16bank_8gb() -> Self {
+        DeviceConfig {
+            num_links: 8,
+            num_vaults: 32,
+            banks_per_vault: 16,
+            capacity_bytes: 8 * GIB,
+            lanes_per_link: 8,
+            ..Self::paper_4link_8bank_2gb()
+        }
+    }
+
+    /// All four paper configurations in Table I order, with their labels.
+    pub fn paper_configs() -> [(&'static str, DeviceConfig); 4] {
+        [
+            ("4-Link; 8-Bank; 2GB", Self::paper_4link_8bank_2gb()),
+            ("4-Link; 16-Bank; 4GB", Self::paper_4link_16bank_4gb()),
+            ("8-Link; 8-Bank; 4GB", Self::paper_8link_8bank_4gb()),
+            ("8-Link; 16-Bank; 8GB", Self::paper_8link_16bank_8gb()),
+        ]
+    }
+
+    // ------------------------------------------------------------- builders
+
+    /// Replace the storage mode (builder style).
+    pub fn with_storage_mode(mut self, mode: StorageMode) -> Self {
+        self.storage_mode = mode;
+        self
+    }
+
+    /// Replace both queue depths (builder style).
+    pub fn with_queue_depths(mut self, xbar: usize, vault: usize) -> Self {
+        self.xbar_depth = xbar;
+        self.vault_depth = vault;
+        self
+    }
+
+    /// Replace the block (maximum request) size (builder style).
+    pub fn with_block_size(mut self, block: BlockSize) -> Self {
+        self.block_size = block;
+        self
+    }
+
+    // ------------------------------------------------------------- derived
+
+    /// Quad units on the device: one per link (§III.A).
+    pub fn num_quads(&self) -> u8 {
+        self.num_links
+    }
+
+    /// Capacity of a single bank in bytes.
+    pub fn bank_capacity_bytes(&self) -> u64 {
+        self.capacity_bytes / (self.num_vaults as u64 * self.banks_per_vault as u64)
+    }
+
+    /// Rows (blocks of `block_size` bytes) per bank.
+    pub fn rows_per_bank(&self) -> u64 {
+        self.bank_capacity_bytes() / self.block_size.bytes() as u64
+    }
+
+    /// Address-map geometry implied by this configuration.
+    pub fn geometry(&self) -> MapGeometry {
+        MapGeometry {
+            block_bytes: self.block_size.bytes() as u32,
+            vaults: self.num_vaults,
+            banks: self.banks_per_vault,
+            rows: self.rows_per_bank(),
+        }
+    }
+
+    /// The specification's default low-interleave address map for this
+    /// geometry (§III.B).
+    pub fn default_map(&self) -> Result<LowInterleaveMap> {
+        LowInterleaveMap::new(self.geometry())
+    }
+
+    /// Aggregate bidirectional link bandwidth in GB/s.
+    pub fn aggregate_bandwidth_gbs(&self) -> f64 {
+        aggregate_bandwidth_gbs(self.num_links, self.lanes_per_link, self.link_speed)
+    }
+
+    /// Number of address bits in use: 4-link devices use the lower 32 bits
+    /// of the 34-bit field, 8-link devices the lower 33 (§III.B).
+    pub fn address_bits_in_use(&self) -> u32 {
+        match self.num_links {
+            4 => 32,
+            8 => 33,
+            _ => 34,
+        }
+    }
+
+    // ----------------------------------------------------------- validation
+
+    /// Validate the whole configuration. Called by the simulator at init.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_links != 4 && self.num_links != 8 {
+            return Err(HmcError::InvalidConfig(format!(
+                "num_links must be 4 or 8, got {}",
+                self.num_links
+            )));
+        }
+        if self.num_vaults != VAULTS_PER_QUAD * self.num_links as u16 {
+            return Err(HmcError::InvalidConfig(format!(
+                "num_vaults must be 4 per link ({} for {} links), got {}",
+                VAULTS_PER_QUAD * self.num_links as u16,
+                self.num_links,
+                self.num_vaults
+            )));
+        }
+        if !self.banks_per_vault.is_power_of_two() || self.banks_per_vault < 2 {
+            return Err(HmcError::InvalidConfig(format!(
+                "banks_per_vault must be a power of two >= 2, got {}",
+                self.banks_per_vault
+            )));
+        }
+        if !self.drams_per_bank.is_power_of_two() {
+            return Err(HmcError::InvalidConfig(format!(
+                "drams_per_bank must be a power of two, got {}",
+                self.drams_per_bank
+            )));
+        }
+        if !self.capacity_bytes.is_power_of_two() {
+            return Err(HmcError::InvalidConfig(format!(
+                "capacity must be a power of two, got {} bytes",
+                self.capacity_bytes
+            )));
+        }
+        let denom = self.num_vaults as u64
+            * self.banks_per_vault as u64
+            * self.block_size.bytes() as u64;
+        if !self.capacity_bytes.is_multiple_of(denom) || self.capacity_bytes / denom == 0 {
+            return Err(HmcError::InvalidConfig(format!(
+                "capacity {} is not divisible into {} vaults x {} banks x {}-byte blocks",
+                self.capacity_bytes,
+                self.num_vaults,
+                self.banks_per_vault,
+                self.block_size.bytes()
+            )));
+        }
+        if self.xbar_depth == 0 || self.vault_depth == 0 {
+            // §IV.A: "There must exist at least one queue slot for each
+            // logical queue representation."
+            return Err(HmcError::InvalidConfig(
+                "queue depths must be at least one slot".into(),
+            ));
+        }
+        if !self.link_speed.legal_for_links(self.num_links) {
+            return Err(HmcError::InvalidConfig(format!(
+                "{:?} is not a legal lane rate for {}-link devices",
+                self.link_speed, self.num_links
+            )));
+        }
+        let legal_lanes = match self.num_links {
+            4 => 16,
+            _ => 8,
+        };
+        if self.lanes_per_link != legal_lanes {
+            return Err(HmcError::InvalidConfig(format!(
+                "{}-link devices use {} lanes per link, got {}",
+                self.num_links, legal_lanes, self.lanes_per_link
+            )));
+        }
+        self.geometry().validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_validate() {
+        for (label, cfg) in DeviceConfig::paper_configs() {
+            cfg.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+        DeviceConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_presets_match_table_one_geometry() {
+        let (l1, c1) = &DeviceConfig::paper_configs()[0];
+        assert_eq!(*l1, "4-Link; 8-Bank; 2GB");
+        assert_eq!(c1.num_links, 4);
+        assert_eq!(c1.banks_per_vault, 8);
+        assert_eq!(c1.capacity_bytes, 2 * GIB);
+        assert_eq!(c1.num_vaults, 16);
+
+        let (_, c4) = &DeviceConfig::paper_configs()[3];
+        assert_eq!(c4.num_links, 8);
+        assert_eq!(c4.banks_per_vault, 16);
+        assert_eq!(c4.capacity_bytes, 8 * GIB);
+        assert_eq!(c4.num_vaults, 32);
+
+        // Paper §VI.A: 128 crossbar slots per link, 64 vault slots.
+        for (_, c) in DeviceConfig::paper_configs() {
+            assert_eq!(c.xbar_depth, 128);
+            assert_eq!(c.vault_depth, 64);
+        }
+    }
+
+    #[test]
+    fn quads_track_links() {
+        assert_eq!(DeviceConfig::paper_4link_8bank_2gb().num_quads(), 4);
+        assert_eq!(DeviceConfig::paper_8link_8bank_4gb().num_quads(), 8);
+    }
+
+    #[test]
+    fn bank_capacity_accounting() {
+        let c = DeviceConfig::paper_4link_8bank_2gb();
+        // 2 GiB over 16 vaults x 8 banks = 16 MiB banks.
+        assert_eq!(c.bank_capacity_bytes(), 16 << 20);
+        assert_eq!(c.rows_per_bank(), (16 << 20) / 128);
+        assert_eq!(c.geometry().capacity_bytes(), c.capacity_bytes);
+    }
+
+    #[test]
+    fn invalid_link_count_rejected() {
+        let mut c = DeviceConfig::small();
+        c.num_links = 6;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn vault_count_must_be_four_per_link() {
+        let mut c = DeviceConfig::small();
+        c.num_vaults = 8;
+        assert!(c.validate().is_err());
+        c.num_vaults = 16;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn queue_depths_require_at_least_one_slot() {
+        let mut c = DeviceConfig::small();
+        c.xbar_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::small();
+        c.vault_depth = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn eight_link_speed_restriction_enforced() {
+        let mut c = DeviceConfig::paper_8link_8bank_4gb();
+        c.link_speed = LinkSpeed::Gbps15;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn lane_width_enforced() {
+        let mut c = DeviceConfig::paper_4link_8bank_2gb();
+        c.lanes_per_link = 8;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::paper_8link_8bank_4gb();
+        c.lanes_per_link = 16;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_rejected() {
+        let mut c = DeviceConfig::small();
+        c.capacity_bytes = 3 * GIB;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn address_bits_follow_link_count() {
+        // §III.B: 4-link devices use the lower 32 bits, 8-link the lower 33.
+        assert_eq!(
+            DeviceConfig::paper_4link_8bank_2gb().address_bits_in_use(),
+            32
+        );
+        assert_eq!(
+            DeviceConfig::paper_8link_16bank_8gb().address_bits_in_use(),
+            33
+        );
+    }
+
+    #[test]
+    fn default_map_interleaves_vaults_first() {
+        use crate::address::{AddressMap, PhysAddr};
+        let c = DeviceConfig::small();
+        let m = c.default_map().unwrap();
+        let block = c.block_size.bytes() as u64;
+        let d0 = m.decode(PhysAddr::new(0).unwrap()).unwrap();
+        let d1 = m.decode(PhysAddr::new(block).unwrap()).unwrap();
+        assert_eq!(d0.vault + 1, d1.vault);
+    }
+
+    #[test]
+    fn builder_helpers_compose() {
+        let c = DeviceConfig::small()
+            .with_storage_mode(StorageMode::TimingOnly)
+            .with_queue_depths(32, 16)
+            .with_block_size(BlockSize::B64);
+        assert_eq!(c.storage_mode, StorageMode::TimingOnly);
+        assert_eq!(c.xbar_depth, 32);
+        assert_eq!(c.vault_depth, 16);
+        assert_eq!(c.block_size, BlockSize::B64);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_bandwidths_are_plausible() {
+        let c4 = DeviceConfig::paper_4link_8bank_2gb();
+        assert_eq!(c4.aggregate_bandwidth_gbs(), 160.0);
+        let c8 = DeviceConfig::paper_8link_8bank_4gb();
+        assert_eq!(c8.aggregate_bandwidth_gbs(), 160.0);
+    }
+
+    #[test]
+    fn config_serializes_roundtrip() {
+        let c = DeviceConfig::paper_8link_16bank_8gb();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DeviceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

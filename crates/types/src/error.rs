@@ -1,0 +1,195 @@
+//! Error types shared across the HMC-Sim stack.
+//!
+//! The original C implementation signals failures through negative return
+//! codes (`HMC_ERROR`, `HMC_STALL`, …). The Rust port uses a single rich
+//! error enum so callers can distinguish a *stall* (back-pressure, retry next
+//! cycle — the normal flow-control signal of the paper's §VI.A harness) from
+//! genuine misuse (bad configuration, malformed packets, illegal topology).
+
+use std::fmt;
+
+use crate::{CubeId, LinkId, VaultId};
+
+/// Convenience alias used across all hmc-sim crates.
+pub type Result<T> = std::result::Result<T, HmcError>;
+
+/// Every failure mode the simulation stack can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HmcError {
+    /// A device or simulation configuration was rejected at init time.
+    InvalidConfig(String),
+    /// Back-pressure: the target queue had no free slot this cycle.
+    ///
+    /// This is the signal the paper's test harness drives on: the host sends
+    /// "as many memory requests as possible … until an appropriate stall is
+    /// received indicating that the crossbar arbitration queues are full".
+    Stalled {
+        /// Cube whose queue was full.
+        cube: CubeId,
+        /// Link whose crossbar queue was full (host-facing stalls).
+        link: LinkId,
+    },
+    /// A receive was attempted but no response packet was available.
+    NoResponse {
+        /// Cube polled for a response.
+        cube: CubeId,
+        /// Link polled for a response.
+        link: LinkId,
+    },
+    /// A packet failed structural validation (length, CRC, field ranges).
+    InvalidPacket(String),
+    /// An undefined 6-bit command encoding was encountered.
+    UnknownCommand(u8),
+    /// A physical address fell outside the device's decoded range.
+    InvalidAddress {
+        /// The offending address value.
+        addr: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A register access failed (unknown index, class violation).
+    RegisterAccess(String),
+    /// A topology was rejected (loopback, unreachable host, bad endpoint).
+    Topology(String),
+    /// A packet could not be routed to its destination cube.
+    Unroutable {
+        /// Source cube of the routing attempt.
+        from: CubeId,
+        /// Destination cube that could not be reached.
+        to: CubeId,
+    },
+    /// An operation referenced a cube, link, or vault that does not exist.
+    OutOfRange {
+        /// What kind of entity was indexed ("cube", "link", "vault", …).
+        what: &'static str,
+        /// The index supplied by the caller.
+        index: u64,
+        /// The number of valid entities.
+        limit: u64,
+    },
+    /// A vault-level structural fault was detected during processing.
+    Internal(String),
+}
+
+impl HmcError {
+    /// True when the error is ordinary flow-control back-pressure rather
+    /// than a genuine failure; callers should retry after clocking the sim.
+    pub fn is_stall(&self) -> bool {
+        matches!(self, HmcError::Stalled { .. })
+    }
+
+    /// Shorthand constructor for out-of-range vault indices.
+    pub fn vault_range(index: VaultId, limit: u16) -> Self {
+        HmcError::OutOfRange {
+            what: "vault",
+            index: index as u64,
+            limit: limit as u64,
+        }
+    }
+
+    /// Shorthand constructor for out-of-range link indices.
+    pub fn link_range(index: LinkId, limit: u8) -> Self {
+        HmcError::OutOfRange {
+            what: "link",
+            index: index as u64,
+            limit: limit as u64,
+        }
+    }
+
+    /// Shorthand constructor for out-of-range cube identifiers.
+    pub fn cube_range(index: CubeId, limit: u8) -> Self {
+        HmcError::OutOfRange {
+            what: "cube",
+            index: index as u64,
+            limit: limit as u64,
+        }
+    }
+}
+
+impl fmt::Display for HmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HmcError::Stalled { cube, link } => {
+                write!(f, "stall: crossbar queue full on cube {cube} link {link}")
+            }
+            HmcError::NoResponse { cube, link } => {
+                write!(f, "no response available on cube {cube} link {link}")
+            }
+            HmcError::InvalidPacket(msg) => write!(f, "invalid packet: {msg}"),
+            HmcError::UnknownCommand(code) => write!(f, "unknown command encoding {code:#04x}"),
+            HmcError::InvalidAddress { addr, reason } => {
+                write!(f, "invalid address {addr:#x}: {reason}")
+            }
+            HmcError::RegisterAccess(msg) => write!(f, "register access error: {msg}"),
+            HmcError::Topology(msg) => write!(f, "topology error: {msg}"),
+            HmcError::Unroutable { from, to } => {
+                write!(f, "no route from cube {from} to cube {to}")
+            }
+            HmcError::OutOfRange { what, index, limit } => {
+                write!(f, "{what} index {index} out of range (limit {limit})")
+            }
+            HmcError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_is_stall() {
+        assert!(HmcError::Stalled { cube: 0, link: 1 }.is_stall());
+        assert!(!HmcError::InvalidConfig("x".into()).is_stall());
+        assert!(!HmcError::NoResponse { cube: 0, link: 0 }.is_stall());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = HmcError::Stalled { cube: 2, link: 3 };
+        let s = e.to_string();
+        assert!(s.contains("cube 2"));
+        assert!(s.contains("link 3"));
+
+        let e = HmcError::UnknownCommand(0x3f);
+        assert!(e.to_string().contains("0x3f"));
+
+        let e = HmcError::OutOfRange {
+            what: "vault",
+            index: 17,
+            limit: 16,
+        };
+        assert!(e.to_string().contains("vault"));
+        assert!(e.to_string().contains("17"));
+    }
+
+    #[test]
+    fn range_constructors() {
+        match HmcError::vault_range(20, 16) {
+            HmcError::OutOfRange { what, index, limit } => {
+                assert_eq!(what, "vault");
+                assert_eq!(index, 20);
+                assert_eq!(limit, 16);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match HmcError::link_range(9, 8) {
+            HmcError::OutOfRange { what, .. } => assert_eq!(what, "link"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match HmcError::cube_range(9, 8) {
+            HmcError::OutOfRange { what, .. } => assert_eq!(what, "cube"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable_and_clonable() {
+        let a = HmcError::InvalidPacket("short".into());
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! FLIT (flow unit) arithmetic.
+//!
+//! All in-band HMC communication is packetized as a multiple of a single
+//! 16-byte flow unit, or FLIT (paper §III.C). The maximum packet size is
+//! 9 FLITs (144 bytes); the minimum single-FLIT packet carries only the
+//! 64-bit header and 64-bit tail. Data payloads therefore occupy 0–8 FLITs
+//! (0–128 bytes) between the header and tail words.
+
+/// Size of a single flow unit in bytes.
+pub const FLIT_BYTES: usize = 16;
+
+/// Maximum packet length in FLITs (header + 8 data FLITs + tail share 9).
+pub const MAX_PACKET_FLITS: usize = 9;
+
+/// Maximum packet length in bytes (9 FLITs).
+pub const MAX_PACKET_BYTES: usize = MAX_PACKET_FLITS * FLIT_BYTES;
+
+/// Maximum data payload in bytes (8 data FLITs).
+pub const MAX_DATA_BYTES: usize = (MAX_PACKET_FLITS - 1) * FLIT_BYTES;
+
+/// Number of 64-bit words of payload storage a packet must reserve.
+pub const MAX_DATA_WORDS: usize = MAX_DATA_BYTES / 8;
+
+/// Total packet length in FLITs for a given data payload size in bytes.
+///
+/// The header and tail together occupy exactly one FLIT (8 bytes each), so a
+/// packet is `1 + ceil(data_bytes / 16)` FLITs. Payloads are only valid in
+/// whole multiples of 16 bytes up to 128; this function rounds partial FLITs
+/// up, mirroring the wire format.
+///
+/// # Panics
+/// Panics if `data_bytes > 128` (no legal HMC packet can carry more).
+pub fn flits_for_data(data_bytes: usize) -> usize {
+    assert!(
+        data_bytes <= MAX_DATA_BYTES,
+        "payload of {data_bytes} bytes exceeds the {MAX_DATA_BYTES}-byte HMC maximum"
+    );
+    1 + data_bytes.div_ceil(FLIT_BYTES)
+}
+
+/// Inverse of [`flits_for_data`]: payload bytes implied by a packet length.
+///
+/// # Panics
+/// Panics if `flits` is zero or exceeds [`MAX_PACKET_FLITS`].
+pub fn data_bytes_for_flits(flits: usize) -> usize {
+    assert!(
+        (1..=MAX_PACKET_FLITS).contains(&flits),
+        "packet length of {flits} FLITs is outside 1..=9"
+    );
+    (flits - 1) * FLIT_BYTES
+}
+
+/// True if `len` is a legal packet length field value (1..=9 FLITs).
+pub fn is_valid_packet_length(flits: usize) -> bool {
+    (1..=MAX_PACKET_FLITS).contains(&flits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_spec() {
+        assert_eq!(FLIT_BYTES, 16);
+        assert_eq!(MAX_PACKET_FLITS, 9);
+        assert_eq!(MAX_PACKET_BYTES, 144);
+        assert_eq!(MAX_DATA_BYTES, 128);
+        assert_eq!(MAX_DATA_WORDS, 16);
+    }
+
+    #[test]
+    fn read_request_is_single_flit() {
+        // Read requests carry no payload: header + tail only (§III.C).
+        assert_eq!(flits_for_data(0), 1);
+    }
+
+    #[test]
+    fn write_requests_span_two_to_nine_flits() {
+        assert_eq!(flits_for_data(16), 2);
+        assert_eq!(flits_for_data(32), 3);
+        assert_eq!(flits_for_data(48), 4);
+        assert_eq!(flits_for_data(64), 5);
+        assert_eq!(flits_for_data(80), 6);
+        assert_eq!(flits_for_data(96), 7);
+        assert_eq!(flits_for_data(112), 8);
+        assert_eq!(flits_for_data(128), 9);
+    }
+
+    #[test]
+    fn partial_payloads_round_up() {
+        assert_eq!(flits_for_data(1), 2);
+        assert_eq!(flits_for_data(17), 3);
+        assert_eq!(flits_for_data(127), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_panics() {
+        flits_for_data(129);
+    }
+
+    #[test]
+    fn roundtrip_flits_and_bytes() {
+        for flits in 1..=MAX_PACKET_FLITS {
+            let bytes = data_bytes_for_flits(flits);
+            assert_eq!(flits_for_data(bytes), flits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_flit_packet_rejected() {
+        data_bytes_for_flits(0);
+    }
+
+    #[test]
+    fn validity_predicate() {
+        assert!(!is_valid_packet_length(0));
+        assert!(is_valid_packet_length(1));
+        assert!(is_valid_packet_length(9));
+        assert!(!is_valid_packet_length(10));
+    }
+}

@@ -1,0 +1,62 @@
+//! # hmc-types
+//!
+//! Protocol-level primitives for the HMC-Sim simulation stack: the HMC 1.0
+//! packet format (FLITs, commands, 64-bit header/tail words), CRC-32/Koopman
+//! checksums, the 34-bit physical address space with configurable interleave
+//! maps, and the device configuration model (links, vaults, banks, queue
+//! depths, SERDES rates).
+//!
+//! Everything in this crate is pure data + arithmetic: no simulation state,
+//! no I/O. The simulator core (`hmc-core`) and every other crate in the
+//! workspace builds on these definitions.
+//!
+//! The bit layouts used here follow the field inventory of the Hybrid Memory
+//! Cube Specification 1.0 (CUB/ADRS/TAG/LNG/DLN/CMD in the header;
+//! CRC/RTC/SLID/SEQ/FRP/RRP in the tail) with a documented packing; see
+//! [`packet`] for the exact placement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod command;
+pub mod config;
+pub mod crc;
+pub mod error;
+pub mod flit;
+pub mod packet;
+pub mod units;
+
+pub use address::{
+    AddressMap, BankFirstMap, CustomMap, DecodedAddr, Field, LinearMap, LowInterleaveMap,
+    MapGeometry, PhysAddr,
+};
+pub use command::{BlockSize, Command};
+pub use config::{DeviceConfig, StorageMode};
+pub use error::{HmcError, Result};
+pub use flit::{FLIT_BYTES, MAX_DATA_BYTES, MAX_PACKET_BYTES, MAX_PACKET_FLITS};
+pub use packet::{Packet, ResponseStatus};
+pub use units::LinkSpeed;
+
+/// Identifier of a cube (device) within a simulation object.
+///
+/// Per HMC-Sim semantics, host processors are identified by cube IDs strictly
+/// greater than the number of devices (`num_devices + 1 + k` for host `k`),
+/// so hosts and memory devices share one ID space and can exchange packets
+/// seamlessly (paper §V.B).
+pub type CubeId = u8;
+
+/// Index of a link on a device (0..num_links).
+pub type LinkId = u8;
+
+/// Index of a vault within a device (0..num_vaults).
+pub type VaultId = u16;
+
+/// Index of a bank within a vault (0..banks_per_vault).
+pub type BankId = u16;
+
+/// Index of a quad unit within a device (0..num_links; one quad per link).
+pub type QuadId = u8;
+
+/// A simulation clock value (64-bit, paper §IV.C.6).
+pub type Cycle = u64;

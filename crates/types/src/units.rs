@@ -1,0 +1,89 @@
+//! Physical units: SERDES link rates and capacity helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// SERDES bit rates defined by the HMC 1.0 specification (paper §III.A):
+/// four-link devices operate at 10, 12.5 or 15 Gbps per lane; eight-link
+/// devices operate at 10 Gbps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkSpeed {
+    /// 10 Gbps per lane (legal on 4- and 8-link devices).
+    Gbps10,
+    /// 12.5 Gbps per lane (4-link devices only).
+    Gbps12_5,
+    /// 15 Gbps per lane (4-link devices only).
+    Gbps15,
+}
+
+impl LinkSpeed {
+    /// Lane rate in gigabits per second.
+    pub fn gbps(self) -> f64 {
+        match self {
+            LinkSpeed::Gbps10 => 10.0,
+            LinkSpeed::Gbps12_5 => 12.5,
+            LinkSpeed::Gbps15 => 15.0,
+        }
+    }
+
+    /// True if this rate is legal for a device with `num_links` links.
+    pub fn legal_for_links(self, num_links: u8) -> bool {
+        match num_links {
+            4 => true,
+            8 => self == LinkSpeed::Gbps10,
+            _ => false,
+        }
+    }
+}
+
+/// Bytes in a gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// Bytes in a mebibyte.
+pub const MIB: u64 = 1 << 20;
+
+/// Aggregate bidirectional link bandwidth in GB/s for a device.
+///
+/// Each link is a group of `lanes` bidirectional SERDES lanes at `speed`;
+/// bandwidth counts both directions (the specification's headline 320 GB/s
+/// comes from 8 links × 16 lanes × 10 Gbps × 2 directions / 8 bits).
+pub fn aggregate_bandwidth_gbs(num_links: u8, lanes_per_link: u8, speed: LinkSpeed) -> f64 {
+    num_links as f64 * lanes_per_link as f64 * speed.gbps() * 2.0 / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_rates() {
+        assert_eq!(LinkSpeed::Gbps10.gbps(), 10.0);
+        assert_eq!(LinkSpeed::Gbps12_5.gbps(), 12.5);
+        assert_eq!(LinkSpeed::Gbps15.gbps(), 15.0);
+    }
+
+    #[test]
+    fn eight_link_devices_only_run_at_10gbps() {
+        // §III.A: "Eight link devices have the ability to operate at 10Gbps."
+        assert!(LinkSpeed::Gbps10.legal_for_links(8));
+        assert!(!LinkSpeed::Gbps12_5.legal_for_links(8));
+        assert!(!LinkSpeed::Gbps15.legal_for_links(8));
+        for s in [LinkSpeed::Gbps10, LinkSpeed::Gbps12_5, LinkSpeed::Gbps15] {
+            assert!(s.legal_for_links(4));
+            assert!(!s.legal_for_links(6));
+        }
+    }
+
+    #[test]
+    fn headline_bandwidth_is_320_gbs() {
+        // The spec's marquee number: 8 links × 16 lanes × 10 Gbps bidir.
+        assert_eq!(aggregate_bandwidth_gbs(8, 16, LinkSpeed::Gbps10), 320.0);
+        // A full-width 4-link device at 15 Gbps reaches 240 GB/s.
+        assert_eq!(aggregate_bandwidth_gbs(4, 16, LinkSpeed::Gbps15), 240.0);
+    }
+
+    #[test]
+    fn capacity_constants() {
+        assert_eq!(GIB, 1_073_741_824);
+        assert_eq!(MIB * 1024, GIB);
+    }
+}

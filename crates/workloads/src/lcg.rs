@@ -1,0 +1,226 @@
+//! GNU libc compatible pseudo-random number generation.
+//!
+//! The paper's random-access test harness drives its address stream with
+//! "a simple linear congruential method provided by the GNU libc library"
+//! (§VI.A). This module re-implements both glibc generators so workloads
+//! are reproducible without linking libc:
+//!
+//! * [`GlibcRand`] — the TYPE_0 linear congruential generator used by
+//!   `rand()` when seeded with a 8-byte state (`x' = x·1103515245 + 12345
+//!   mod 2³¹`);
+//! * [`GlibcRandom`] — the TYPE_3 additive-feedback generator glibc uses
+//!   by default (`r[i] = r[i-3] + r[i-31]`, output shifted right by one),
+//!   including glibc's exact seeding procedure.
+
+/// The glibc TYPE_0 linear congruential generator.
+///
+/// **Low-bit caveat:** a power-of-two-modulus LCG's bit *k* cycles with
+/// period `2^(k+1)`; in particular the low eight bits form a full-period
+/// LCG mod 256, so any 256 *consecutive* outputs are pairwise distinct
+/// mod 256. Address streams built from `next_i31() % blocks` therefore
+/// round-robin vaults and banks perfectly and exhibit **zero** bank
+/// conflicts — an artifact, not memory-system behaviour. Workloads use
+/// [`GlibcRandom`] (glibc's actual default `rand()` generator) instead;
+/// this generator is kept for the ablation that demonstrates the effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlibcRand {
+    state: u32,
+}
+
+impl GlibcRand {
+    /// Seed the generator (glibc maps seed 0 to 1).
+    pub fn new(seed: u32) -> Self {
+        GlibcRand {
+            state: if seed == 0 { 1 } else { seed },
+        }
+    }
+
+    /// Next value in `0..2^31` — the glibc TYPE_0 `rand()` output.
+    pub fn next_i31(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(1_103_515_245)
+            .wrapping_add(12_345)
+            & 0x7fff_ffff;
+        self.state
+    }
+
+    /// Compose two draws into a 62-bit value (addresses beyond 2 GiB).
+    pub fn next_u62(&mut self) -> u64 {
+        ((self.next_i31() as u64) << 31) | self.next_i31() as u64
+    }
+
+    /// Uniform-ish value in `0..n` by modulo reduction, matching the
+    /// idiomatic `rand() % n` of the C harness.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "modulus must be nonzero");
+        if n <= (1 << 31) {
+            self.next_i31() as u64 % n
+        } else {
+            self.next_u62() % n
+        }
+    }
+
+    /// A coin flip with `percent` (0–100) probability of `true` — the
+    /// harness's read/write mix selector.
+    pub fn percent(&mut self, percent: u8) -> bool {
+        (self.next_i31() % 100) < percent as u32
+    }
+}
+
+/// The glibc TYPE_3 additive-feedback generator (default `random()`).
+#[derive(Debug, Clone)]
+pub struct GlibcRandom {
+    r: [u32; 31],
+    f: usize,
+    rear: usize,
+}
+
+impl GlibcRandom {
+    /// Seed exactly as glibc's `srandom` does for TYPE_3 state.
+    pub fn new(seed: u32) -> Self {
+        let mut r = [0u32; 31];
+        r[0] = if seed == 0 { 1 } else { seed };
+        for i in 1..31 {
+            // r[i] = (16807 * r[i-1]) % 2147483647, computed via
+            // Schrage's method exactly as in glibc to avoid overflow.
+            let prev = r[i - 1] as i64;
+            let hi = prev / 127_773;
+            let lo = prev % 127_773;
+            let mut word = 16_807 * lo - 2_836 * hi;
+            if word < 0 {
+                word += 2_147_483_647;
+            }
+            r[i] = word as u32;
+        }
+        let mut g = GlibcRandom { r, f: 3, rear: 0 };
+        // glibc discards the first 310 outputs to decorrelate the seed.
+        for _ in 0..310 {
+            g.next_i31();
+        }
+        g
+    }
+
+    /// Next value in `0..2^31`.
+    pub fn next_i31(&mut self) -> u32 {
+        let val = self.r[self.f].wrapping_add(self.r[self.rear]);
+        self.r[self.f] = val;
+        self.f = (self.f + 1) % 31;
+        self.rear = (self.rear + 1) % 31;
+        val >> 1
+    }
+
+    /// Compose two draws into a 62-bit value.
+    pub fn next_u62(&mut self) -> u64 {
+        ((self.next_i31() as u64) << 31) | self.next_i31() as u64
+    }
+
+    /// Uniform-ish value in `0..n` by modulo reduction (`random() % n`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "modulus must be nonzero");
+        if n <= (1 << 31) {
+            self.next_i31() as u64 % n
+        } else {
+            self.next_u62() % n
+        }
+    }
+
+    /// A coin flip with `percent` (0–100) probability of `true`.
+    pub fn percent(&mut self, percent: u8) -> bool {
+        (self.next_i31() % 100) < percent as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type0_matches_the_reference_recurrence() {
+        let mut g = GlibcRand::new(1);
+        // x1 = (1*1103515245 + 12345) mod 2^31
+        let expect1 = (1_103_515_245u64 + 12_345) as u32 & 0x7fff_ffff;
+        assert_eq!(g.next_i31(), expect1);
+        let expect2 =
+            ((expect1 as u64 * 1_103_515_245 + 12_345) & 0x7fff_ffff) as u32;
+        assert_eq!(g.next_i31(), expect2);
+    }
+
+    #[test]
+    fn zero_seed_maps_to_one() {
+        let mut a = GlibcRand::new(0);
+        let mut b = GlibcRand::new(1);
+        assert_eq!(a.next_i31(), b.next_i31());
+    }
+
+    #[test]
+    fn outputs_stay_in_31_bits() {
+        let mut g = GlibcRand::new(42);
+        for _ in 0..1000 {
+            assert!(g.next_i31() < (1 << 31));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut g = GlibcRand::new(7);
+        for _ in 0..1000 {
+            assert!(g.below(10) < 10);
+            assert!(g.below(1 << 33) < (1 << 33));
+        }
+    }
+
+    #[test]
+    fn percent_mix_is_roughly_calibrated() {
+        let mut g = GlibcRand::new(99);
+        let hits = (0..10_000).filter(|_| g.percent(50)).count();
+        assert!(
+            (4_000..6_000).contains(&hits),
+            "50% mix produced {hits}/10000"
+        );
+        let all = (0..1000).filter(|_| g.percent(100)).count();
+        assert_eq!(all, 1000);
+        let none = (0..1000).filter(|_| g.percent(0)).count();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn type3_is_deterministic_per_seed() {
+        let mut a = GlibcRandom::new(1);
+        let mut b = GlibcRandom::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_i31(), b.next_i31());
+        }
+        let mut c = GlibcRandom::new(2);
+        let differs = (0..100).any(|_| a.next_i31() != c.next_i31());
+        assert!(differs, "different seeds must diverge");
+    }
+
+    #[test]
+    fn type3_known_first_value_for_seed_1() {
+        // glibc random() with srandom(1) famously yields 1804289383 first.
+        let mut g = GlibcRandom::new(1);
+        assert_eq!(g.next_i31(), 1_804_289_383);
+    }
+
+    #[test]
+    fn type3_outputs_stay_in_31_bits() {
+        let mut g = GlibcRandom::new(12345);
+        for _ in 0..1000 {
+            assert!(g.next_i31() < (1 << 31));
+        }
+    }
+
+    #[test]
+    fn u62_composition_covers_wide_ranges() {
+        let mut g = GlibcRand::new(3);
+        let max = (0..1000).map(|_| g.next_u62()).max().unwrap();
+        assert!(max > (1 << 40), "62-bit composition should exceed 2^40");
+    }
+}

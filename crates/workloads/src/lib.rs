@@ -1,0 +1,33 @@
+//! # hmc-workloads
+//!
+//! Deterministic request-stream generators for driving HMC-Sim devices:
+//! the paper's §VI.A random-access harness (glibc-LCG addresses, mixed
+//! reads/writes, configurable block sizes), streaming/strided sweeps,
+//! GUPS-style atomic updates, dependent pointer chases, and a five-point
+//! stencil. All generators implement the [`Workload`] trait consumed by
+//! the `hmc-host` driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gups;
+pub mod mixed;
+pub mod lcg;
+pub mod op;
+pub mod pointer_chase;
+pub mod profile;
+pub mod random_access;
+pub mod replay;
+pub mod stencil;
+pub mod stream;
+
+pub use gups::{Gups, UpdateKind};
+pub use lcg::{GlibcRand, GlibcRandom};
+pub use mixed::Mixed;
+pub use replay::Replay;
+pub use op::{MemOp, OpKind, Workload};
+pub use pointer_chase::PointerChase;
+pub use profile::{profile, AddressProfile};
+pub use random_access::{RandomAccess, PAPER_REQUESTS, PAPER_WORKING_SET};
+pub use stencil::Stencil;
+pub use stream::{Stream, StreamMode};

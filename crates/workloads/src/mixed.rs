@@ -1,0 +1,153 @@
+//! Weighted mixtures of workloads.
+//!
+//! Real applications interleave traffic classes — streaming phases,
+//! random lookups, atomic updates. [`Mixed`] draws the next operation
+//! from one of several component workloads with configured weights,
+//! using a deterministic glibc-style generator for the schedule so mixed
+//! runs reproduce exactly.
+
+use crate::lcg::GlibcRandom;
+use crate::op::{MemOp, Workload};
+
+/// A weighted interleaving of component workloads.
+pub struct Mixed {
+    parts: Vec<(u32, Box<dyn Workload + Send>)>,
+    rng: GlibcRandom,
+    total_weight: u64,
+}
+
+impl std::fmt::Debug for Mixed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixed")
+            .field("parts", &self.parts.len())
+            .field("total_weight", &self.total_weight)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mixed {
+    /// Build a mixture from `(weight, workload)` parts.
+    ///
+    /// # Panics
+    /// Panics if no part has a positive weight.
+    pub fn new(seed: u32, parts: Vec<(u32, Box<dyn Workload + Send>)>) -> Self {
+        let total_weight: u64 = parts.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "mixture needs positive total weight");
+        Mixed {
+            parts,
+            rng: GlibcRandom::new(seed),
+            total_weight,
+        }
+    }
+}
+
+impl Workload for Mixed {
+    fn next_op(&mut self) -> Option<MemOp> {
+        // Draw a part by weight; if it is exhausted, fall through the
+        // remaining parts in order so the mixture drains completely.
+        let mut pick = self.rng.below(self.total_weight);
+        let mut chosen = 0usize;
+        for (i, (w, _)) in self.parts.iter().enumerate() {
+            if pick < *w as u64 {
+                chosen = i;
+                break;
+            }
+            pick -= *w as u64;
+        }
+        let n = self.parts.len();
+        for off in 0..n {
+            let i = (chosen + off) % n;
+            if let Some(op) = self.parts[i].1.next_op() {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.parts
+            .iter()
+            .map(|(_, w)| w.len_hint())
+            .try_fold(0u64, |acc, h| h.map(|v| acc + v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_access::RandomAccess;
+    use crate::stream::{Stream, StreamMode};
+    use hmc_types::BlockSize;
+
+    fn mix(seed: u32) -> Mixed {
+        Mixed::new(
+            seed,
+            vec![
+                (
+                    3,
+                    Box::new(RandomAccess::new(1, 1 << 20, BlockSize::B64, 100, 300)),
+                ),
+                (
+                    1,
+                    Box::new(Stream::unit(
+                        1 << 20,
+                        BlockSize::B64,
+                        StreamMode::WriteOnly,
+                        100,
+                    )),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn drains_every_component_completely() {
+        let mut m = mix(1);
+        assert_eq!(m.len_hint(), Some(400));
+        let mut count = 0;
+        while m.next_op().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 400);
+    }
+
+    #[test]
+    fn respects_weights_roughly() {
+        // Random part is read-only, stream part write-only: count kinds
+        // over the first 200 draws.
+        use crate::op::OpKind;
+        let mut m = mix(2);
+        let mut reads = 0;
+        let mut writes = 0;
+        for _ in 0..200 {
+            match m.next_op().unwrap().kind {
+                OpKind::Read => reads += 1,
+                OpKind::Write => writes += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(
+            reads > writes,
+            "3:1 weighting must favour the random reads ({reads} vs {writes})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = mix(7);
+        let mut b = mix(7);
+        for _ in 0..400 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_weight_rejected() {
+        Mixed::new(1, vec![]);
+    }
+}

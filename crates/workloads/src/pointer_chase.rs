@@ -1,0 +1,113 @@
+//! Pointer-chasing workload: dependent random reads.
+//!
+//! Each read's address is derived from the previous one through a full-
+//! period permutation, so only one request is logically in flight at a
+//! time — the latency-bound opposite of the paper's bandwidth-bound
+//! random-access harness, and a useful probe of the per-request path
+//! through crossbar, vault and response queues.
+
+use hmc_types::BlockSize;
+
+use crate::op::{MemOp, Workload};
+
+/// Dependent reads following a pseudo-random block permutation.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    current_block: u64,
+    num_blocks: u64,
+    block: BlockSize,
+    total: u64,
+    issued: u64,
+}
+
+impl PointerChase {
+    /// A chase of `total` dependent reads over `range` bytes.
+    ///
+    /// `range / block` must be a power of two so the multiplicative step
+    /// `next = (5·cur + 1) mod blocks` is a full-period permutation (a
+    /// Hull–Dobell LCG over a power-of-two modulus).
+    ///
+    /// # Panics
+    /// Panics if the block count is not a power of two or is zero.
+    pub fn new(seed: u64, range: u64, block: BlockSize, total: u64) -> Self {
+        let num_blocks = range / block.bytes() as u64;
+        assert!(
+            num_blocks.is_power_of_two(),
+            "block count must be a power of two for a full-period chase"
+        );
+        PointerChase {
+            current_block: seed % num_blocks,
+            num_blocks,
+            block,
+            total,
+            issued: 0,
+        }
+    }
+
+    /// Whether all emitted addresses so far were distinct is guaranteed
+    /// for up to `num_blocks` steps; expose the period for callers.
+    pub fn period(&self) -> u64 {
+        self.num_blocks
+    }
+}
+
+impl Workload for PointerChase {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.issued >= self.total {
+            return None;
+        }
+        self.issued += 1;
+        let addr = self.current_block * self.block.bytes() as u64;
+        // Hull–Dobell: a ≡ 1 (mod 4), c odd → full period over 2^k.
+        self.current_block = (self.current_block.wrapping_mul(5).wrapping_add(1)) % self.num_blocks;
+        Some(MemOp::read(addr, self.block))
+    }
+
+    fn name(&self) -> &'static str {
+        "pointer-chase"
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_reads_in_range() {
+        let mut p = PointerChase::new(0, 1 << 16, BlockSize::B64, 100);
+        while let Some(op) = p.next_op() {
+            assert!(op.addr < (1 << 16));
+            assert_eq!(op.addr % 64, 0);
+        }
+    }
+
+    #[test]
+    fn chase_has_full_period() {
+        let blocks = 256u64;
+        let mut p = PointerChase::new(0, blocks * 64, BlockSize::B64, blocks);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(op) = p.next_op() {
+            assert!(seen.insert(op.addr), "address repeated within the period");
+        }
+        assert_eq!(seen.len() as u64, blocks);
+    }
+
+    #[test]
+    fn deterministic_chain() {
+        let mut a = PointerChase::new(7, 1 << 14, BlockSize::B64, 50);
+        let mut b = PointerChase::new(7, 1 << 14, BlockSize::B64, 50);
+        for _ in 0..50 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_range_rejected() {
+        PointerChase::new(0, 3 * 64, BlockSize::B64, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Workload address profiling.
+//!
+//! Before committing to a long simulation, it is useful to know where a
+//! workload's addresses land: which vaults and banks it exercises under a
+//! given interleave map, how balanced the distribution is, and how large
+//! the touched footprint is. The profiler answers exactly the questions
+//! the paper's §VI analysis asks of its trace data — vault and bank
+//! utilization — but statically, from the op stream alone.
+
+use std::collections::HashSet;
+
+use hmc_types::address::AddressMap;
+use hmc_types::{PhysAddr, Result};
+
+use crate::op::{OpKind, Workload};
+
+/// Distribution of a workload's addresses over device structures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddressProfile {
+    /// Operations profiled.
+    pub ops: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations (including posted).
+    pub writes: u64,
+    /// Atomic operations.
+    pub atomics: u64,
+    /// Operations per vault.
+    pub vault_counts: Vec<u64>,
+    /// Operations per bank index (aggregated over vaults).
+    pub bank_counts: Vec<u64>,
+    /// Distinct blocks touched.
+    pub unique_blocks: u64,
+    /// Operations whose addresses failed to decode (out of range).
+    pub undecodable: u64,
+}
+
+impl AddressProfile {
+    fn cv(counts: &[u64]) -> f64 {
+        let n = counts.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = counts.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// Coefficient of variation of the per-vault distribution (0 = even).
+    pub fn vault_imbalance(&self) -> f64 {
+        Self::cv(&self.vault_counts)
+    }
+
+    /// Coefficient of variation of the per-bank distribution (0 = even).
+    pub fn bank_imbalance(&self) -> f64 {
+        Self::cv(&self.bank_counts)
+    }
+
+    /// Render a compact report.
+    pub fn render(&self) -> String {
+        format!(
+            "{} ops ({} rd / {} wr / {} atomic), {} unique blocks\n\
+             vault imbalance (cv): {:.4}; bank imbalance (cv): {:.4}\n\
+             hottest vault: {}; hottest bank: {}\n",
+            self.ops,
+            self.reads,
+            self.writes,
+            self.atomics,
+            self.unique_blocks,
+            self.vault_imbalance(),
+            self.bank_imbalance(),
+            self.vault_counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            self.bank_counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        )
+    }
+}
+
+/// Profile up to `limit` operations of `workload` under `map`.
+///
+/// The workload is consumed; profile a clone or re-create it afterwards
+/// (generators are cheap and deterministic per seed).
+pub fn profile<W: Workload + ?Sized>(
+    workload: &mut W,
+    map: &dyn AddressMap,
+    limit: u64,
+) -> Result<AddressProfile> {
+    let g = map.geometry();
+    let mut p = AddressProfile {
+        ops: 0,
+        reads: 0,
+        writes: 0,
+        atomics: 0,
+        vault_counts: vec![0; g.vaults as usize],
+        bank_counts: vec![0; g.banks as usize],
+        unique_blocks: 0,
+        undecodable: 0,
+    };
+    let mut blocks: HashSet<u64> = HashSet::new();
+    while p.ops < limit {
+        let Some(op) = workload.next_op() else { break };
+        p.ops += 1;
+        match op.kind {
+            OpKind::Read => p.reads += 1,
+            OpKind::Write | OpKind::PostedWrite => p.writes += 1,
+            _ => p.atomics += 1,
+        }
+        match PhysAddr::new(op.addr).and_then(|a| map.decode(a)) {
+            Ok(d) => {
+                p.vault_counts[d.vault as usize] += 1;
+                p.bank_counts[d.bank as usize] += 1;
+                blocks.insert(op.addr / g.block_bytes as u64);
+            }
+            Err(_) => p.undecodable += 1,
+        }
+    }
+    p.unique_blocks = blocks.len() as u64;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_access::RandomAccess;
+    use crate::stream::{Stream, StreamMode};
+    use hmc_types::{BlockSize, LowInterleaveMap, MapGeometry};
+
+    fn map() -> LowInterleaveMap {
+        LowInterleaveMap::new(MapGeometry {
+            block_bytes: 128,
+            vaults: 16,
+            banks: 8,
+            rows: 1 << 14,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn random_workloads_balance_vaults_and_banks() {
+        let mut w = RandomAccess::new(1, 1 << 24, BlockSize::B64, 50, 20_000);
+        let p = profile(&mut w, &map(), u64::MAX).unwrap();
+        assert_eq!(p.ops, 20_000);
+        assert_eq!(p.reads + p.writes, 20_000);
+        assert_eq!(p.undecodable, 0);
+        assert!(p.vault_imbalance() < 0.1, "cv {}", p.vault_imbalance());
+        assert!(p.bank_imbalance() < 0.1, "cv {}", p.bank_imbalance());
+        assert!(p.unique_blocks > 10_000);
+    }
+
+    #[test]
+    fn unit_stride_streams_are_perfectly_balanced() {
+        let mut w = Stream::unit(1 << 20, BlockSize::B128, StreamMode::ReadOnly, 16 * 8 * 4);
+        let p = profile(&mut w, &map(), u64::MAX).unwrap();
+        assert!(p.vault_imbalance() < 1e-9);
+        assert!(p.bank_imbalance() < 1e-9);
+    }
+
+    #[test]
+    fn strided_streams_concentrate() {
+        // Stride of exactly one vault rotation (16 blocks * 128 B): every
+        // access lands in vault 0.
+        let mut w = Stream::new(
+            0,
+            16 * 128,
+            1 << 22,
+            BlockSize::B64,
+            StreamMode::ReadOnly,
+            1_000,
+        );
+        let p = profile(&mut w, &map(), u64::MAX).unwrap();
+        assert_eq!(p.vault_counts[0], 1_000, "pathological stride detected");
+        assert!(p.vault_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn limit_caps_the_profiled_prefix() {
+        let mut w = RandomAccess::new(1, 1 << 24, BlockSize::B64, 50, 10_000);
+        let p = profile(&mut w, &map(), 100).unwrap();
+        assert_eq!(p.ops, 100);
+        // The rest of the stream is still available.
+        assert!(w.next_op().is_some());
+    }
+
+    #[test]
+    fn out_of_range_addresses_are_counted_not_fatal() {
+        let mut w = Stream::unit(1 << 34, BlockSize::B64, StreamMode::ReadOnly, 4);
+        // Map covers 16 MiB only; high addresses fail to decode.
+        let small = LowInterleaveMap::new(MapGeometry {
+            block_bytes: 128,
+            vaults: 16,
+            banks: 8,
+            rows: 8,
+        })
+        .unwrap();
+        let p = profile(&mut w, &small, u64::MAX).unwrap();
+        assert_eq!(p.ops, 4);
+        assert!(p.undecodable <= 4);
+    }
+
+    #[test]
+    fn render_mentions_the_headline_numbers() {
+        let mut w = RandomAccess::new(1, 1 << 24, BlockSize::B64, 50, 500);
+        let p = profile(&mut w, &map(), u64::MAX).unwrap();
+        let text = p.render();
+        assert!(text.contains("500 ops"));
+        assert!(text.contains("vault imbalance"));
+    }
+}

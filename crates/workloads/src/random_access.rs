@@ -1,0 +1,227 @@
+//! The paper's random-access test harness workload (§VI.A).
+//!
+//! "The test application has the ability to generate a randomized stream
+//! of mixed reads and writes of varying block sizes against a specified
+//! HMC device configuration. The randomness is driven via a simple linear
+//! congruential method provided by the GNU libc library. … The tests were
+//! executed using 33,554,432 64-byte memory requests where the read/write
+//! mixture was 50/50. The resulting memory pattern is similar to a
+//! parallel random number sort of 2GB of data."
+
+use hmc_types::BlockSize;
+
+use crate::lcg::GlibcRandom;
+use crate::op::{MemOp, OpKind, Workload};
+
+/// Number of requests in the paper's §VI runs.
+pub const PAPER_REQUESTS: u64 = 33_554_432;
+
+/// Working set of the paper's §VI runs (2 GiB).
+pub const PAPER_WORKING_SET: u64 = 2 << 30;
+
+/// Uniform random reads/writes over a working set.
+#[derive(Debug, Clone)]
+pub struct RandomAccess {
+    rng: GlibcRandom,
+    working_set: u64,
+    block: BlockSize,
+    read_percent: u8,
+    total: u64,
+    issued: u64,
+    posted_writes: bool,
+}
+
+impl RandomAccess {
+    /// A random-access stream of `total` requests of `block` bytes over
+    /// `working_set` bytes, with `read_percent`% reads.
+    ///
+    /// # Panics
+    /// Panics if the working set is smaller than one block or
+    /// `read_percent > 100`.
+    pub fn new(
+        seed: u32,
+        working_set: u64,
+        block: BlockSize,
+        read_percent: u8,
+        total: u64,
+    ) -> Self {
+        assert!(
+            working_set >= block.bytes() as u64,
+            "working set must hold at least one block"
+        );
+        assert!(read_percent <= 100, "read percentage out of range");
+        RandomAccess {
+            rng: GlibcRandom::new(seed),
+            working_set,
+            block,
+            read_percent,
+            total,
+            issued: 0,
+            posted_writes: false,
+        }
+    }
+
+    /// The paper's exact configuration: 33,554,432 64-byte requests,
+    /// 50/50 read/write, over a 2 GiB working set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hmc_workloads::{RandomAccess, Workload};
+    ///
+    /// let mut w = RandomAccess::paper(1);
+    /// assert_eq!(w.len_hint(), Some(33_554_432));
+    /// let op = w.next_op().unwrap();
+    /// assert_eq!(op.addr % 64, 0, "block-aligned addresses");
+    /// ```
+    pub fn paper(seed: u32) -> Self {
+        RandomAccess::new(seed, PAPER_WORKING_SET, BlockSize::B64, 50, PAPER_REQUESTS)
+    }
+
+    /// The paper configuration scaled down by `factor` (for CI-friendly
+    /// runs: requests divide, the working set stays 2 GiB).
+    pub fn paper_scaled(seed: u32, factor: u64) -> Self {
+        let mut w = Self::paper(seed);
+        w.total = (PAPER_REQUESTS / factor.max(1)).max(1);
+        w
+    }
+
+    /// Use posted writes instead of acknowledged writes (ablations).
+    pub fn with_posted_writes(mut self, posted: bool) -> Self {
+        self.posted_writes = posted;
+        self
+    }
+
+    /// Ops issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+impl Workload for RandomAccess {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.issued >= self.total {
+            return None;
+        }
+        self.issued += 1;
+        let blocks = self.working_set / self.block.bytes() as u64;
+        let addr = self.rng.below(blocks) * self.block.bytes() as u64;
+        let kind = if self.rng.percent(self.read_percent) {
+            OpKind::Read
+        } else if self.posted_writes {
+            OpKind::PostedWrite
+        } else {
+            OpKind::Write
+        };
+        Some(MemOp {
+            kind,
+            addr,
+            size: self.block,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "random-access"
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_section_six() {
+        let w = RandomAccess::paper(1);
+        assert_eq!(w.len_hint(), Some(33_554_432));
+        assert_eq!(w.block, BlockSize::B64);
+        assert_eq!(w.read_percent, 50);
+        assert_eq!(w.working_set, 2 << 30);
+    }
+
+    #[test]
+    fn emits_exactly_total_ops() {
+        let mut w = RandomAccess::new(1, 1 << 20, BlockSize::B64, 50, 100);
+        let mut n = 0;
+        while w.next_op().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        assert!(w.next_op().is_none(), "exhausted stays exhausted");
+    }
+
+    #[test]
+    fn addresses_are_block_aligned_and_in_range() {
+        let mut w = RandomAccess::new(2, 1 << 20, BlockSize::B64, 50, 1000);
+        while let Some(op) = w.next_op() {
+            assert_eq!(op.addr % 64, 0);
+            assert!(op.addr < (1 << 20));
+        }
+    }
+
+    #[test]
+    fn mix_ratio_is_respected() {
+        let mut w = RandomAccess::new(3, 1 << 20, BlockSize::B64, 50, 10_000);
+        let mut reads = 0;
+        let mut writes = 0;
+        while let Some(op) = w.next_op() {
+            match op.kind {
+                OpKind::Read => reads += 1,
+                OpKind::Write => writes += 1,
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+        assert!((4_000..6_000).contains(&reads), "reads={reads}");
+        assert_eq!(reads + writes, 10_000);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RandomAccess::new(9, 1 << 20, BlockSize::B64, 50, 50);
+        let mut b = RandomAccess::new(9, 1 << 20, BlockSize::B64, 50, 50);
+        for _ in 0..50 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn addresses_cover_working_sets_beyond_2gib() {
+        // 8-link/8GB devices need addresses above 2^31; the 62-bit
+        // composition must reach them.
+        let mut w = RandomAccess::new(5, 8 << 30, BlockSize::B64, 0, 40_000);
+        let mut above = 0u64;
+        while let Some(op) = w.next_op() {
+            assert!(op.addr < (8u64 << 30));
+            if op.addr >= (2u64 << 30) {
+                above += 1;
+            }
+        }
+        assert!(above > 10_000, "only {above} addresses above 2 GiB");
+    }
+
+    #[test]
+    fn posted_mode_swaps_write_kind() {
+        let mut w =
+            RandomAccess::new(4, 1 << 20, BlockSize::B64, 0, 10).with_posted_writes(true);
+        while let Some(op) = w.next_op() {
+            assert_eq!(op.kind, OpKind::PostedWrite);
+        }
+    }
+
+    #[test]
+    fn scaled_paper_run_divides_request_count() {
+        let w = RandomAccess::paper_scaled(1, 16);
+        assert_eq!(w.len_hint(), Some(33_554_432 / 16));
+        let w = RandomAccess::paper_scaled(1, 0);
+        assert_eq!(w.len_hint(), Some(33_554_432));
+    }
+
+    #[test]
+    #[should_panic(expected = "working set")]
+    fn tiny_working_set_rejected() {
+        RandomAccess::new(1, 32, BlockSize::B64, 50, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Effective bandwidth sweep across request block sizes (16–128 bytes).
+//!
+//! The HMC packet format spends one FLIT on header+tail regardless of
+//! payload, so small requests waste a larger share of link beats — this
+//! sweep shows effective data bandwidth climbing with block size, and
+//! compares random against streaming access on the same device.
+//!
+//! Run with: `cargo run --release --example bandwidth_sweep`
+
+use hmc_core::{topology, HmcSim};
+use hmc_host::{run_workload, Host, RunConfig};
+use hmc_types::{BlockSize, DeviceConfig, StorageMode};
+use hmc_workloads::{RandomAccess, Stream, StreamMode, Workload};
+
+const REQUESTS: u64 = 50_000;
+
+fn device() -> (HmcSim, Host) {
+    let config = DeviceConfig::paper_4link_8bank_2gb().with_storage_mode(StorageMode::TimingOnly);
+    let mut sim = HmcSim::new(1, config).unwrap();
+    let host = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host).unwrap();
+    let host = Host::attach(&sim, host).unwrap();
+    (sim, host)
+}
+
+fn run<W: Workload>(mut workload: W) -> (u64, f64, f64) {
+    let (mut sim, mut host) = device();
+    let report = run_workload(&mut sim, &mut host, &mut workload, RunConfig::default()).unwrap();
+    (report.cycles, report.throughput, report.mean_latency)
+}
+
+fn main() {
+    println!("block-size bandwidth sweep: {REQUESTS} requests per point\n");
+    println!(
+        "{:<8} {:>10} {:>12} {:>14} {:>14} {:>10}",
+        "block", "cycles", "req/cycle", "bytes/cycle", "data FLITs/pkt", "latency"
+    );
+    for bs in BlockSize::ALL {
+        let w = RandomAccess::new(1, 2 << 30, bs, 50, REQUESTS);
+        let (cycles, tput, lat) = run(w);
+        println!(
+            "{:<8} {:>10} {:>12.2} {:>14.1} {:>14} {:>10.1}",
+            format!("{}B", bs.bytes()),
+            cycles,
+            tput,
+            tput * bs.bytes() as f64,
+            bs.data_flits(),
+            lat
+        );
+    }
+
+    println!("\nrandom vs. stream at 64 B:");
+    let (rc, rt, _) = run(RandomAccess::new(1, 2 << 30, BlockSize::B64, 50, REQUESTS));
+    let (sc, st, _) = run(Stream::unit(
+        2 << 30,
+        BlockSize::B64,
+        StreamMode::Copy,
+        REQUESTS,
+    ));
+    println!("  random: {rc} cycles ({rt:.2} req/cycle)");
+    println!("  stream: {sc} cycles ({st:.2} req/cycle)");
+    println!(
+        "  unit-stride streaming rotates vaults/banks perfectly under the\n\
+         \x20 low-interleave map, so it avoids bank conflicts entirely."
+    );
+}

@@ -1,0 +1,108 @@
+//! Figure 1: the four multi-device topologies — simple, ring, mesh and
+//! 2D torus — exercised with live traffic.
+//!
+//! For each topology the example builds the device network, sends one
+//! read to every device, and reports per-device round-trip latencies —
+//! showing how chaining hops add cycles exactly as the routed distance
+//! grows.
+//!
+//! Run with: `cargo run --example chained_topologies`
+
+use hmc_core::{topology, HmcSim};
+use hmc_types::{BlockSize, Command, CubeId, DeviceConfig, Packet};
+
+/// Send one read to each device and report round-trip cycle latencies.
+fn probe(sim: &mut HmcSim, label: &str) {
+    println!("== {label} ==");
+    let host_link = sim.device(0).unwrap().host_links()[0];
+    let n = sim.num_devices();
+    for dev in 0..n {
+        let tag = 100 + dev as u16;
+        let req =
+            Packet::request(Command::Rd(BlockSize::B16), dev, 0x40, tag, host_link, &[]).unwrap();
+        let start = sim.current_clock();
+        sim.send(0, host_link, req).expect("send on the host link");
+        let mut latency = None;
+        for _ in 0..64 {
+            sim.clock().expect("clock");
+            if let Ok((rsp, _)) = sim.recv_with_latency(0, host_link) {
+                assert_eq!(rsp.tag(), tag);
+                latency = Some(sim.current_clock() - start);
+                break;
+            }
+        }
+        match latency {
+            Some(cycles) => println!("  device {dev}: round trip {cycles} cycles"),
+            None => println!("  device {dev}: unreachable (no response in 64 cycles)"),
+        }
+    }
+    println!();
+}
+
+fn four_link(n: u8) -> HmcSim {
+    HmcSim::new(n, DeviceConfig::small()).expect("config")
+}
+
+fn eight_link(n: u8) -> HmcSim {
+    HmcSim::new(
+        n,
+        DeviceConfig::paper_8link_8bank_4gb().with_queue_depths(16, 8),
+    )
+    .expect("config")
+}
+
+fn main() {
+    println!("Figure 1 device topologies under live traffic\n");
+
+    // Simple: one device, every link to the host. Latency is minimal.
+    let mut sim = four_link(1);
+    let host: CubeId = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host).unwrap();
+    probe(&mut sim, "simple (1 device, all links to host)");
+
+    // Chain: host - d0 - d1 - d2 - d3. Each hop adds cycles.
+    let mut sim = four_link(4);
+    let host = sim.host_cube_id(0);
+    topology::build_chain(&mut sim, host).unwrap();
+    probe(&mut sim, "chain (4 devices)");
+
+    // Ring: wraps around, so the far side is reachable both ways.
+    let mut sim = four_link(4);
+    let host = sim.host_cube_id(0);
+    topology::build_ring(&mut sim, host).unwrap();
+    probe(&mut sim, "ring (4 devices)");
+
+    // Mesh: 3x2 grid, host on the corner.
+    let mut sim = four_link(6);
+    let host = sim.host_cube_id(0);
+    topology::build_mesh(&mut sim, 3, 2, host).unwrap();
+    probe(&mut sim, "mesh (3x2 grid)");
+
+    // 2D torus: needs 8-link devices (four neighbours + a host link).
+    let mut sim = eight_link(4);
+    let host = sim.host_cube_id(0);
+    topology::build_torus(&mut sim, 2, 2, host).unwrap();
+    probe(&mut sim, "2D torus (2x2, 8-link devices)");
+
+    // Deliberate misconfiguration (§IV requirement 2): an unreachable
+    // device produces an error response, not a hang.
+    let mut sim = four_link(2);
+    let host = sim.host_cube_id(0);
+    sim.connect_host(0, 0, host).unwrap();
+    // Device 1 is never wired in.
+    sim.finalize_topology().unwrap();
+    let req = Packet::request(Command::Rd(BlockSize::B16), 1, 0x40, 7, 0, &[]).unwrap();
+    sim.send(0, 0, req).unwrap();
+    for _ in 0..8 {
+        sim.clock().unwrap();
+    }
+    let rsp = sim.recv(0, 0).expect("an error response comes back");
+    let info = hmc_core::decode_response(&rsp).unwrap();
+    println!("== deliberately misconfigured topology ==");
+    println!(
+        "  request to unwired device 1 -> {} with status {:?}\n",
+        info.cmd.mnemonic(),
+        info.status
+    );
+    assert!(!info.is_ok());
+}

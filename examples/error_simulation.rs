@@ -1,0 +1,58 @@
+//! Error simulation (§IV requirement 5): lossy SERDES links with CRC
+//! detection and retransmission, swept across packet error rates.
+//!
+//! Run with: `cargo run --release --example error_simulation`
+
+use hmc_sim::prelude::*;
+
+fn run(rate: f64) -> (RunReport, u64, u64) {
+    let config = DeviceConfig::paper_4link_8bank_2gb().with_storage_mode(StorageMode::TimingOnly);
+    let mut sim = HmcSim::new(1, config).expect("config");
+    if rate > 0.0 {
+        sim.enable_fault_injection(FaultConfig {
+            packet_error_rate: rate,
+            retry_cycles: 8,
+            seed: 0xbad_1,
+        });
+    }
+    let host_id = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host_id).expect("topology");
+    let mut host = Host::attach(&sim, host_id).expect("host");
+    let mut workload = RandomAccess::new(1, 2 << 30, BlockSize::B64, 50, 50_000);
+    let report = run_workload(&mut sim, &mut host, &mut workload, RunConfig::default())
+        .expect("run completes");
+    let (injected, detected) = sim
+        .fault_state()
+        .map(|f| (f.injected, f.detected))
+        .unwrap_or((0, 0));
+    (report, injected, detected)
+}
+
+fn main() {
+    println!("link error simulation: 50,000 random requests per point\n");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "error rate", "cycles", "req/cyc", "latency", "corruptions", "recovered"
+    );
+    let (clean, _, _) = run(0.0);
+    for rate in [0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.2] {
+        let (report, injected, detected) = run(rate);
+        println!(
+            "{:>10} {:>10} {:>10.2} {:>10.1} {:>12} {:>12}",
+            format!("{rate:.0e}"),
+            report.cycles,
+            report.throughput,
+            report.mean_latency,
+            injected,
+            detected
+        );
+        assert_eq!(report.completed, 50_000, "every request still completes");
+        assert_eq!(injected, detected, "every corruption is detected");
+    }
+    println!(
+        "\nall runs completed all 50,000 requests — corrupted packets are\n\
+         detected by the crossbar CRC check and recovered by retransmission,\n\
+         at a visible cycle cost (clean baseline: {} cycles).",
+        clean.cycles
+    );
+}

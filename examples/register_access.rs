@@ -1,0 +1,104 @@
+//! Device register access both ways (paper §V.D): in-band MODE_READ /
+//! MODE_WRITE packets over the memory links, and side-band JTAG access
+//! that bypasses the clock domains entirely.
+//!
+//! Run with: `cargo run --example register_access`
+
+use hmc_core::{decode_response, regs, topology, HmcSim, RegClass};
+use hmc_types::{Command, DeviceConfig, Packet};
+
+fn mode_write(sim: &mut HmcSim, reg: u32, value: u64, tag: u16) {
+    let mut payload = [0u8; 16];
+    payload[..8].copy_from_slice(&value.to_le_bytes());
+    let req = Packet::request(Command::ModeWrite, 0, reg as u64, tag, 0, &payload).unwrap();
+    sim.send(0, 0, req).unwrap();
+}
+
+fn mode_read(sim: &mut HmcSim, reg: u32, tag: u16) {
+    let req = Packet::request(Command::ModeRead, 0, reg as u64, tag, 0, &[]).unwrap();
+    sim.send(0, 0, req).unwrap();
+}
+
+fn collect(sim: &mut HmcSim) -> Vec<hmc_core::ResponseInfo> {
+    let mut out = Vec::new();
+    for _ in 0..8 {
+        sim.clock().unwrap();
+        while let Ok(p) = sim.recv(0, 0) {
+            out.push(decode_response(&p).unwrap());
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut sim = HmcSim::new(1, DeviceConfig::small()).unwrap();
+    let host = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host).unwrap();
+
+    println!("register inventory ({} registers):", {
+        let d = sim.device(0).unwrap();
+        d.registers.len()
+    });
+    for (idx, class, value) in sim.device(0).unwrap().registers.iter() {
+        let class = match class {
+            RegClass::Rw => "RW ",
+            RegClass::Ro => "RO ",
+            RegClass::Rws => "RWS",
+        };
+        println!("  {idx:#08x}  {class}  {value:#018x}");
+    }
+
+    // --- In-band access: MODE_WRITE then MODE_READ of GC. --------------
+    println!("\nin-band MODE_WRITE GC=0xabcd, MODE_READ GC:");
+    mode_write(&mut sim, regs::GC, 0xabcd, 1);
+    mode_read(&mut sim, regs::GC, 2);
+    for r in collect(&mut sim) {
+        println!(
+            "  tag {} -> {} status {:?} data {:02x?}",
+            r.tag,
+            r.cmd.mnemonic(),
+            r.status,
+            &r.data.get(..8).unwrap_or(&[])
+        );
+        if r.tag == 2 {
+            let v = u64::from_le_bytes(r.data[..8].try_into().unwrap());
+            assert_eq!(v, 0xabcd, "read back the written value");
+        }
+    }
+
+    // Writing a read-only register in-band earns an error response.
+    println!("\nin-band MODE_WRITE to read-only FEAT:");
+    mode_write(&mut sim, regs::FEAT, 1, 3);
+    for r in collect(&mut sim) {
+        println!("  tag {} -> {} status {:?}", r.tag, r.cmd.mnemonic(), r.status);
+        assert!(!r.is_ok());
+    }
+
+    // --- Side-band JTAG access: no packets, no clock, no bandwidth. ----
+    println!("\nside-band JTAG access:");
+    let clock_before = sim.current_clock();
+    sim.jtag_reg_write(0, regs::GC, 0x1234).unwrap();
+    let gc = sim.jtag_reg_read(0, regs::GC).unwrap();
+    let feat = sim.jtag_reg_read(0, regs::FEAT).unwrap();
+    assert_eq!(sim.current_clock(), clock_before, "JTAG is out of band");
+    println!("  GC   = {gc:#x} (written via JTAG, clock unchanged)");
+    println!(
+        "  FEAT = {feat:#x} (capacity {} GB, {} links, {} vaults)",
+        feat & 0xff,
+        (feat >> 8) & 0xff,
+        (feat >> 16) & 0xff
+    );
+
+    // RWS semantics: a written EDR register self-clears at the next edge.
+    sim.jtag_reg_write(0, regs::EDR0, 0xff).unwrap();
+    println!(
+        "  EDR0 = {:#x} after JTAG write (before clock edge)",
+        sim.jtag_reg_read(0, regs::EDR0).unwrap()
+    );
+    sim.clock().unwrap();
+    println!(
+        "  EDR0 = {:#x} after one clock edge (RWS self-clear)",
+        sim.jtag_reg_read(0, regs::EDR0).unwrap()
+    );
+    assert_eq!(sim.jtag_reg_read(0, regs::EDR0).unwrap(), 0);
+}

@@ -1,0 +1,165 @@
+//! Error simulation (§IV requirement 5): lossy links with CRC detection
+//! and retransmission penalties, plus the live-register behaviours (IBTC
+//! mirrors tokens; AC switches address-map modes).
+
+use hmc_sim::hmc_core::{regs, topology, FaultConfig, HmcSim};
+use hmc_sim::hmc_host::{run_workload, Host, RunConfig};
+use hmc_sim::hmc_trace::{CountingSink, EventKind, SharedSink, Tracer, Verbosity};
+use hmc_sim::hmc_types::{BlockSize, Command, DeviceConfig, Packet, StorageMode};
+use hmc_sim::hmc_workloads::RandomAccess;
+
+fn sim() -> HmcSim {
+    let mut s = HmcSim::new(
+        1,
+        DeviceConfig::small()
+            .with_queue_depths(32, 16)
+            .with_storage_mode(StorageMode::TimingOnly),
+    )
+    .unwrap();
+    let host = s.host_cube_id(0);
+    topology::build_simple(&mut s, host).unwrap();
+    s
+}
+
+#[test]
+fn corrupted_packets_are_detected_and_recovered() {
+    let mut s = sim();
+    let sink = SharedSink::new(CountingSink::default());
+    s.set_tracer(Tracer::new(Verbosity::Stalls, Box::new(sink.clone())));
+    s.enable_fault_injection(FaultConfig {
+        packet_error_rate: 0.25,
+        retry_cycles: 4,
+        seed: 42,
+    });
+    let host_id = s.host_cube_id(0);
+    let mut host = Host::attach(&s, host_id).unwrap();
+    let mut w = RandomAccess::new(1, 1 << 28, BlockSize::B64, 50, 2_000);
+    let report = run_workload(&mut s, &mut host, &mut w, RunConfig::default()).unwrap();
+
+    // Every request still completes — retransmission recovers them all.
+    assert_eq!(report.completed, 2_000);
+    assert_eq!(report.errors, 0);
+
+    let faults = s.fault_state().unwrap();
+    assert!(faults.injected > 300, "~25% of 2000 packets should corrupt");
+    assert_eq!(
+        faults.injected, faults.detected,
+        "every corruption is detected exactly once"
+    );
+    assert_eq!(
+        sink.0.lock().counters.get(EventKind::LinkRetry),
+        faults.detected,
+        "each detection raises one LINK_RETRY trace event"
+    );
+}
+
+#[test]
+fn lossy_links_cost_cycles() {
+    let run = |rate: f64| {
+        let mut s = sim();
+        if rate > 0.0 {
+            s.enable_fault_injection(FaultConfig {
+                packet_error_rate: rate,
+                retry_cycles: 8,
+                seed: 7,
+            });
+        }
+        let host_id = s.host_cube_id(0);
+        let mut host = Host::attach(&s, host_id).unwrap();
+        let mut w = RandomAccess::new(1, 1 << 28, BlockSize::B64, 50, 2_000);
+        run_workload(&mut s, &mut host, &mut w, RunConfig::default())
+            .unwrap()
+            .cycles
+    };
+    let clean = run(0.0);
+    let lossy = run(0.2);
+    assert!(
+        lossy > clean,
+        "20% packet loss ({lossy} cycles) must be slower than clean ({clean})"
+    );
+}
+
+#[test]
+fn zero_rate_fault_injection_is_a_noop() {
+    let mut s = sim();
+    s.enable_fault_injection(FaultConfig {
+        packet_error_rate: 0.0,
+        retry_cycles: 8,
+        seed: 1,
+    });
+    let host_id = s.host_cube_id(0);
+    let mut host = Host::attach(&s, host_id).unwrap();
+    let mut w = RandomAccess::new(1, 1 << 28, BlockSize::B64, 50, 500);
+    let report = run_workload(&mut s, &mut host, &mut w, RunConfig::default()).unwrap();
+    assert_eq!(report.completed, 500);
+    assert_eq!(s.fault_state().unwrap().injected, 0);
+}
+
+#[test]
+fn ibtc_registers_mirror_live_token_counts() {
+    let mut s = sim();
+    let initial = s.device(0).unwrap().links[0].tokens as u64;
+    // Queue a few reads on link 0 without clocking: tokens consumed.
+    for tag in 0..4u16 {
+        let rd = Packet::request(Command::Rd(BlockSize::B16), 0, 0, tag, 0, &[]).unwrap();
+        s.send(0, 0, rd).unwrap();
+    }
+    // IBTC updates at the clock edge (stage 6)... but the crossbar also
+    // drains this cycle, returning the tokens. Use a vault-full setup
+    // instead: just check the register equals the live value after a
+    // clock with traffic in flight.
+    s.clock().unwrap();
+    let live = s.device(0).unwrap().links[0].tokens as u64;
+    let reg = s.jtag_reg_read(0, regs::ibtc(0)).unwrap();
+    assert_eq!(reg, live, "IBTC register mirrors the live token pool");
+    assert!(reg <= initial);
+}
+
+#[test]
+fn ac_register_switches_address_map_modes() {
+    let mut s = sim();
+    assert_eq!(s.address_map().name(), "low-interleave");
+    // Mode 2: linear map.
+    s.jtag_reg_write(0, regs::AC, 2).unwrap();
+    s.clock().unwrap();
+    assert_eq!(s.address_map().name(), "linear");
+    // Mode 1: bank-first.
+    s.jtag_reg_write(0, regs::AC, 1).unwrap();
+    s.clock().unwrap();
+    assert_eq!(s.address_map().name(), "bank-first");
+    // Unknown mode: unchanged.
+    s.jtag_reg_write(0, regs::AC, 99).unwrap();
+    s.clock().unwrap();
+    assert_eq!(s.address_map().name(), "bank-first");
+    // Back to default.
+    s.jtag_reg_write(0, regs::AC, 0).unwrap();
+    s.clock().unwrap();
+    assert_eq!(s.address_map().name(), "low-interleave");
+}
+
+#[test]
+fn ac_map_switch_affects_routing_behaviour() {
+    // Under the linear map, sequential blocks pile into vault 0; under
+    // low-interleave they rotate. Observe through vault stats.
+    let mut s = sim();
+    s.jtag_reg_write(0, regs::AC, 2).unwrap(); // linear
+    s.clock().unwrap();
+    for tag in 0..8u16 {
+        let rd = Packet::request(
+            Command::Rd(BlockSize::B64),
+            0,
+            tag as u64 * 128,
+            tag,
+            0,
+            &[],
+        )
+        .unwrap();
+        s.send(0, 0, rd).unwrap();
+    }
+    for _ in 0..16 {
+        s.clock().unwrap();
+        while s.recv(0, 0).is_ok() {}
+    }
+    let v0 = s.device(0).unwrap().vaults[0].stats.processed;
+    assert_eq!(v0, 8, "linear map sends all sequential blocks to vault 0");
+}

@@ -1,0 +1,106 @@
+//! The optional serialized-link model: when `link_flits_per_cycle` is
+//! set, each link direction honours a physical FLIT beat rate, with debt
+//! carried across cycles for oversized packets.
+
+use hmc_sim::hmc_core::{topology, HmcSim, SimParams};
+use hmc_sim::hmc_host::{run_workload, Host, RunConfig};
+use hmc_sim::hmc_types::{BlockSize, DeviceConfig, StorageMode};
+use hmc_sim::hmc_workloads::{RandomAccess, Stream, StreamMode};
+
+fn sim_with(flits: Option<usize>) -> (HmcSim, Host) {
+    let cfg = DeviceConfig::small()
+        .with_queue_depths(32, 16)
+        .with_storage_mode(StorageMode::TimingOnly);
+    let mut sim = HmcSim::new(1, cfg).unwrap().with_params(SimParams {
+        link_flits_per_cycle: flits,
+        ..SimParams::default()
+    });
+    let host_id = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host_id).unwrap();
+    let host = Host::attach(&sim, host_id).unwrap();
+    (sim, host)
+}
+
+#[test]
+fn read_only_traffic_hits_the_line_rate_exactly() {
+    // RD64 requests are one FLIT each; at 1 FLIT/cycle/link over 4 links
+    // the steady-state inbound rate is exactly 4 requests per cycle.
+    let (mut sim, mut host) = sim_with(Some(1));
+    let mut w = RandomAccess::new(1, 1 << 28, BlockSize::B64, 100, 8_192);
+    let report = run_workload(&mut sim, &mut host, &mut w, RunConfig::default()).unwrap();
+    let rate = report.throughput;
+    assert!(
+        (3.7..=4.01).contains(&rate),
+        "1-FLIT reads over 4 serialized links should run at ~4/cycle, got {rate}"
+    );
+}
+
+#[test]
+fn write_heavy_traffic_amortizes_flit_debt() {
+    // WR64 requests are five FLITs: the long-run rate must be one fifth
+    // of the read-only rate (debt carrying, not per-cycle rounding).
+    let (mut sim, mut host) = sim_with(Some(1));
+    let mut w = Stream::unit(1 << 24, BlockSize::B64, StreamMode::WriteOnly, 4_096);
+    let report = run_workload(&mut sim, &mut host, &mut w, RunConfig::default()).unwrap();
+    let rate = report.throughput;
+    assert!(
+        (0.74..=0.81).contains(&rate),
+        "5-FLIT writes over 4 serialized links should run at ~0.8/cycle, got {rate}"
+    );
+}
+
+#[test]
+fn wider_beat_budgets_scale_throughput() {
+    let run = |flits: Option<usize>| {
+        let (mut sim, mut host) = sim_with(flits);
+        let mut w = RandomAccess::new(2, 1 << 28, BlockSize::B64, 50, 8_192);
+        run_workload(&mut sim, &mut host, &mut w, RunConfig::default())
+            .unwrap()
+            .cycles
+    };
+    let beat1 = run(Some(1));
+    let beat4 = run(Some(4));
+    let unserialized = run(None);
+    assert!(beat1 > beat4, "1-beat links ({beat1}) slower than 4-beat ({beat4})");
+    assert!(
+        beat4 > unserialized,
+        "4-beat links ({beat4}) slower than the packet-arbitration model ({unserialized})"
+    );
+    // Throughput ratio between beat budgets is roughly proportional.
+    let ratio = beat1 as f64 / beat4 as f64;
+    assert!(
+        (2.5..=4.5).contains(&ratio),
+        "quadrupling beats should roughly quadruple throughput (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn serialization_changes_timing_not_results() {
+    let run = |flits: Option<usize>| {
+        let (mut sim, mut host) = sim_with(flits);
+        let mut w = RandomAccess::new(3, 1 << 28, BlockSize::B64, 50, 2_000);
+        let r = run_workload(&mut sim, &mut host, &mut w, RunConfig::default()).unwrap();
+        (r.completed, r.errors)
+    };
+    assert_eq!(run(Some(1)), (2_000, 0));
+    assert_eq!(run(None), (2_000, 0));
+}
+
+#[test]
+fn zero_beat_budget_is_clamped_not_wedged() {
+    // A zero FLIT budget could never drain a packet; the engine clamps
+    // it to one beat instead of deadlocking.
+    let (mut sim, mut host) = sim_with(Some(0));
+    let mut w = RandomAccess::new(4, 1 << 28, BlockSize::B64, 100, 256);
+    let report = run_workload(
+        &mut sim,
+        &mut host,
+        &mut w,
+        RunConfig {
+            max_cycles: 1 << 16,
+            ..RunConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.completed, 256);
+}
