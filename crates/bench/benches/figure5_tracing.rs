@@ -15,6 +15,7 @@ fn run_once(verbosity: Verbosity, sink: Option<Box<dyn TraceSink>>) {
     let opts = SetupOptions {
         verbosity,
         storage: StorageMode::TimingOnly,
+        ..SetupOptions::default()
     };
     let (mut sim, mut host) = paper_setup(DeviceConfig::paper_4link_8bank_2gb(), opts, sink);
     let mut w = paper_workload(1, SCALE);

@@ -8,7 +8,7 @@
 //! ASCII sparkline summary and per-vault utilization totals.
 //!
 //! Usage:
-//!   figure5 [--scale N] [--seed S] [--bin W] [--out DIR]
+//!   figure5 [--scale N] [--seed S] [--bin W] [--out DIR] [--threads N]
 //!
 //! Defaults: 1/256 scale, bin width auto (~200 rows), output CSVs to the
 //! current directory as `figure5_<config>.csv`.
@@ -26,6 +26,7 @@ fn main() {
     let mut seed: u32 = 1;
     let mut bin: u64 = 0; // 0 = auto
     let mut out_dir = String::from(".");
+    let mut threads: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,8 +34,11 @@ fn main() {
             "--seed" => seed = parse(args.next(), "--seed"),
             "--bin" => bin = parse(args.next(), "--bin"),
             "--out" => out_dir = args.next().unwrap_or_else(|| die("--out needs a path")),
+            "--threads" => threads = parse(args.next(), "--threads"),
             "--help" | "-h" => {
-                eprintln!("usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR]");
+                eprintln!(
+                    "usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR] [--threads N]"
+                );
                 return;
             }
             other => die(&format!("unknown argument {other}")),
@@ -58,6 +62,7 @@ fn main() {
         let opts = SetupOptions {
             verbosity: Verbosity::Full,
             storage: StorageMode::TimingOnly,
+            threads,
         };
         let (mut sim, mut host) = paper_setup(cfg, opts, Some(Box::new(series.clone())));
         let mut workload = paper_workload(seed, scale);

@@ -9,7 +9,7 @@
 //!        [--dump-config FILE.json]
 //!        [--workload random|stream|gups|chase|stencil]
 //!        [--requests N] [--seed S] [--read-pct P] [--block BYTES]
-//!        [--error-rate R] [--serialize-flits N]
+//!        [--error-rate R] [--serialize-flits N] [--threads N]
 //!        [--locality] [--stall-queue]
 //!        [--series FILE] [--trace FILE] [--utilization] [--energy]
 //!        [--profile]
@@ -39,6 +39,7 @@ struct Options {
     block: BlockSize,
     error_rate: f64,
     serialize_flits: Option<usize>,
+    threads: usize,
     locality: bool,
     stall_queue: bool,
     series: Option<String>,
@@ -61,6 +62,7 @@ impl Default for Options {
             block: BlockSize::B64,
             error_rate: 0.0,
             serialize_flits: None,
+            threads: 1,
             locality: false,
             stall_queue: false,
             series: None,
@@ -79,7 +81,7 @@ fn usage() -> ! {
          [--dump-config F.json] \
          [--workload random|stream|gups|chase|stencil] [--requests N] \
          [--seed S] [--read-pct P] [--block BYTES] [--error-rate R] \
-         [--serialize-flits N] [--locality] [--stall-queue] \
+         [--serialize-flits N] [--threads N] [--locality] [--stall-queue] \
          [--series FILE] [--trace FILE] [--utilization] [--energy] [--profile]"
     );
     std::process::exit(2);
@@ -156,6 +158,7 @@ fn parse_options() -> Options {
                 }
                 o.serialize_flits = Some(flits);
             }
+            "--threads" => o.threads = next("--threads").parse().unwrap_or_else(|_| usage()),
             "--locality" => o.locality = true,
             "--stall-queue" => o.stall_queue = true,
             "--series" => o.series = Some(next("--series")),
@@ -234,6 +237,7 @@ fn main() {
         } else {
             ConflictPolicy::SkipConflicting
         },
+        threads: o.threads,
         ..SimParams::default()
     });
     if o.error_rate > 0.0 {

@@ -3,11 +3,17 @@
 //! vault window, plus crossbar drain rate, against the paper's random
 //! access workload. Emits CSV for plotting.
 //!
+//! Sweep points are independent simulations, so they run concurrently on
+//! `std::thread::scope` workers (`--jobs`, default = available cores);
+//! each point's simulation is deterministic and the CSV is emitted in
+//! sweep order regardless of completion order.
+//!
 //! Usage:
-//!   sweep [--requests N] [--seed S] [--out FILE]
+//!   sweep [--requests N] [--seed S] [--out FILE] [--jobs N]
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hmc_core::{topology, HmcSim, SimParams};
 use hmc_host::{run_workload, Host, RunConfig};
@@ -60,14 +66,24 @@ fn main() {
     let mut requests: u64 = 32_768;
     let mut seed: u32 = 1;
     let mut out: Option<String> = None;
+    let mut jobs: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--requests" => requests = args.next().and_then(|v| v.parse().ok()).unwrap_or(32_768),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
             "--out" => out = args.next(),
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j: &usize| j >= 1)
+                    .unwrap_or(jobs)
+            }
             "--help" | "-h" => {
-                eprintln!("usage: sweep [--requests N] [--seed S] [--out FILE]");
+                eprintln!("usage: sweep [--requests N] [--seed S] [--out FILE] [--jobs N]");
                 return;
             }
             other => {
@@ -77,21 +93,57 @@ fn main() {
         }
     }
 
-    let mut points = Vec::new();
-    eprintln!("sweeping queue depths ...");
+    // Enumerate the sweep grid first; each tuple is an independent
+    // simulation, so the points run concurrently below.
+    let mut grid: Vec<(usize, usize, Option<usize>, usize)> = Vec::new();
     for xbar in [16usize, 32, 64, 128, 256] {
         for vault in [8usize, 16, 32, 64] {
-            points.push(run_point(requests, seed, xbar, vault, None, 32));
+            grid.push((xbar, vault, None, 32));
         }
     }
-    eprintln!("sweeping vault windows ...");
     for window in [1usize, 2, 4, 8, 16, 32] {
-        points.push(run_point(requests, seed, 128, 64, Some(window), 32));
+        grid.push((128, 64, Some(window), 32));
     }
-    eprintln!("sweeping crossbar drain rates ...");
     for drain in [1usize, 2, 4, 8, 16, 32, 64] {
-        points.push(run_point(requests, seed, 128, 64, None, drain));
+        grid.push((128, 64, None, drain));
     }
+
+    // Scoped worker pool over an atomic work-index: results land in their
+    // grid slot, so the CSV order is deterministic regardless of which
+    // worker finishes first.
+    let jobs = jobs.min(grid.len());
+    eprintln!("sweeping {} points on {jobs} threads ...", grid.len());
+    let mut slots: Vec<Option<Point>> = Vec::new();
+    slots.resize_with(grid.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let grid = &grid;
+        let cursor = &cursor;
+        let mut handles = Vec::new();
+        for _ in 0..jobs {
+            handles.push(s.spawn(move || {
+                let mut local: Vec<(usize, Point)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= grid.len() {
+                        break;
+                    }
+                    let (xbar, vault, window, drain) = grid[i];
+                    local.push((i, run_point(requests, seed, xbar, vault, window, drain)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, p) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(p);
+            }
+        }
+    });
+    let points: Vec<Point> = slots
+        .into_iter()
+        .map(|p| p.expect("every grid point computed"))
+        .collect();
 
     let mut sink: Box<dyn Write> = match &out {
         Some(path) => Box::new(BufWriter::new(File::create(path).expect("create out file"))),

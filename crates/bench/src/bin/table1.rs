@@ -3,17 +3,20 @@
 //! requests (50/50 read/write).
 //!
 //! Usage:
-//!   table1 [--scale N] [--full] [--seed S]
+//!   table1 [--scale N] [--full] [--seed S] [--threads N]
 //!
 //! `--scale N` runs 1/N of the paper's request count (default 16);
 //! `--full` is shorthand for `--scale 1` (the paper's exact request
-//! count; takes a few minutes per configuration).
+//! count; takes a few minutes per configuration). `--threads N` runs
+//! the sharded clock engine with N workers (0 = auto); cycle counts are
+//! bit-identical to the serial engine.
 
-use hmc_bench::table1::{format_table, run_table1};
+use hmc_bench::table1::{format_table, run_table1_threaded};
 
 fn main() {
     let mut scale: u64 = 16;
     let mut seed: u32 = 1;
+    let mut threads: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,16 +33,22 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs an integer"));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: table1 [--scale N] [--full] [--seed S]");
+                eprintln!("usage: table1 [--scale N] [--full] [--seed S] [--threads N]");
                 return;
             }
             other => die(&format!("unknown argument {other}")),
         }
     }
 
-    eprintln!("Running Table I at 1/{scale} scale (seed {seed}) ...");
-    let rows = run_table1(scale, seed, |config, cycles| {
+    eprintln!("Running Table I at 1/{scale} scale (seed {seed}, {threads} threads) ...");
+    let rows = run_table1_threaded(scale, seed, threads, |config, cycles| {
         eprint!("\r  config {} of 4: {cycles:>10} cycles", config + 1);
     });
     eprintln!();

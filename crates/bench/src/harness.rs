@@ -13,6 +13,9 @@ pub struct SetupOptions {
     pub verbosity: Verbosity,
     /// Storage mode (Table I runs use timing-only).
     pub storage: StorageMode,
+    /// Worker threads for the sharded clock engine (`1` = serial, `0` =
+    /// auto-detect; bit-identical either way).
+    pub threads: usize,
 }
 
 impl Default for SetupOptions {
@@ -20,6 +23,7 @@ impl Default for SetupOptions {
         SetupOptions {
             verbosity: Verbosity::Off,
             storage: StorageMode::TimingOnly,
+            threads: 1,
         }
     }
 }
@@ -32,7 +36,9 @@ pub fn paper_setup(
     sink: Option<Box<dyn TraceSink>>,
 ) -> (HmcSim, Host) {
     let config = config.with_storage_mode(opts.storage);
-    let mut sim = HmcSim::new(1, config).expect("paper configs validate");
+    let mut sim = HmcSim::new(1, config)
+        .expect("paper configs validate")
+        .with_threads(opts.threads);
     let host_id = sim.host_cube_id(0);
     topology::build_simple(&mut sim, host_id).expect("simple topology");
     if let Some(sink) = sink {

@@ -41,13 +41,29 @@ pub struct Table1Row {
 /// Run the Table I experiment at `1/scale` of the paper's request count.
 ///
 /// `progress` is invoked as `(config_index, cycles_elapsed)` during runs.
-pub fn run_table1<F: FnMut(usize, u64)>(scale: u64, seed: u32, mut progress: F) -> Vec<Table1Row> {
+pub fn run_table1<F: FnMut(usize, u64)>(scale: u64, seed: u32, progress: F) -> Vec<Table1Row> {
+    run_table1_threaded(scale, seed, 1, progress)
+}
+
+/// [`run_table1`] on the sharded clock engine with `threads` workers.
+/// Cycle counts are bit-identical across thread counts — only wall-clock
+/// time changes.
+pub fn run_table1_threaded<F: FnMut(usize, u64)>(
+    scale: u64,
+    seed: u32,
+    threads: usize,
+    mut progress: F,
+) -> Vec<Table1Row> {
     let requests = scaled_requests(scale);
+    let opts = SetupOptions {
+        threads,
+        ..SetupOptions::default()
+    };
     DeviceConfig::paper_configs()
         .into_iter()
         .enumerate()
         .map(|(i, (label, cfg))| {
-            let (mut sim, mut host) = paper_setup(cfg, SetupOptions::default(), None);
+            let (mut sim, mut host) = paper_setup(cfg, opts, None);
             let mut workload = paper_workload(seed, scale);
             let report = run_workload_with_progress(
                 &mut sim,

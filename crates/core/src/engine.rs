@@ -1,0 +1,638 @@
+//! The sharded clock engine.
+//!
+//! The six sub-cycle stages of paper §IV.C interact with shared device
+//! state (links, crossbars, registers) in stages 1, 2, the crossbar half
+//! of 5, and 6 — those always run on the calling thread. Stages 3
+//! (bank-conflict recognition), 4 (vault processing), and the per-vault
+//! half of stage 5 (response egress selection) touch only one vault's
+//! queues plus read-only routing state, so they are embarrassingly
+//! parallel per vault. This module partitions the vaults of all devices
+//! into contiguous shards over the flat vault index and runs the vault
+//! phase of each shard on a worker thread (`std::thread::scope`),
+//! merging per-shard results in vault-index order.
+//!
+//! **Determinism.** The parallel engine is bit-identical to the serial
+//! one by construction, not by testing alone:
+//!
+//! * vault work never reads or writes another vault's state, so the
+//!   per-vault results are independent of shard scheduling;
+//! * trace events are staged into per-shard [`EventStage`] buffers and
+//!   flushed at one merge point in flat vault order — all stage-3
+//!   conflicts first, then all stage-4 completions, exactly the serial
+//!   emission order;
+//! * the shared halves of stage 5 commit the workers' *egress plans*
+//!   serially in the paper's root-first device order, so crossbar
+//!   capacity is claimed in the same sequence as the serial engine;
+//! * error-register bumps are staged as per-device counts and applied
+//!   at the merge point (saturating adds commute).
+//!
+//! **Zero-allocation hot path.** Every per-cycle buffer (event stages,
+//! drain plans, forward staging, the vault shells that ferry vault
+//! ownership to workers) lives in [`EngineScratch`] or inside the
+//! long-lived shard jobs and is reused with retained capacity; the
+//! steady-state serial `clock()` performs no heap allocation. The
+//! parallel path additionally pays one channel hand-off per shard per
+//! cycle (the bounded rendezvous buffers are preallocated).
+
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+use hmc_trace::{EventKind, EventStage, TraceEvent};
+use hmc_types::address::AddressMap;
+use hmc_types::{CubeId, Cycle, LinkId, Result, VaultId};
+
+use crate::link::Endpoint;
+use crate::params::{ConflictPolicy, RefreshParams};
+use crate::queue::{QueueEntry, UNDECODED};
+use crate::routing::RouteTable;
+use crate::sim::{HmcSim, MAX_CUBES};
+use crate::vault::{Execution, Vault};
+
+/// Links per device are bounded by the specification's four- and
+/// eight-link configurations.
+pub(crate) const MAX_LINKS: usize = 8;
+
+/// Read-only per-cycle inputs shared by every shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CycleInputs {
+    clock: Cycle,
+    conflicts_enabled: bool,
+    window: usize,
+    banks: u16,
+    policy: ConflictPolicy,
+    refresh: Option<RefreshParams>,
+    rsp_drain: usize,
+}
+
+impl Default for CycleInputs {
+    fn default() -> Self {
+        CycleInputs {
+            clock: 0,
+            conflicts_enabled: false,
+            window: 1,
+            banks: 0,
+            policy: ConflictPolicy::SkipConflicting,
+            refresh: None,
+            rsp_drain: 1,
+        }
+    }
+}
+
+/// Reusable per-simulation scratch buffers (owned by [`HmcSim`]).
+#[derive(Debug, Default)]
+pub(crate) struct EngineScratch {
+    /// Stage-3 conflict events, staged in flat vault order.
+    pub(crate) conflicts: EventStage,
+    /// Stage-4 completion/stall/error events, staged in flat vault order.
+    pub(crate) completions: EventStage,
+    /// Stage-5 egress plans, flat in vault order.
+    pub(crate) plans: Vec<Option<LinkId>>,
+    /// One planned-entry count per vault, flat vault order.
+    pub(crate) plan_counts: Vec<u32>,
+    /// Per flat vault: `(offset, len)` into `plans`.
+    pub(crate) plan_index: Vec<(u32, u32)>,
+    /// Per-device error-register bumps staged during the vault phase.
+    pub(crate) err_bumps: [u64; MAX_CUBES],
+    /// Per-device vault shells: empty `Vec`s that swap with
+    /// `Device::vaults` so vault ownership can move to workers and back
+    /// without reallocating.
+    pub(crate) shells: Vec<Vec<Vault>>,
+    /// Stage-1/2 deferred chain-forward staging.
+    pub(crate) forwards: Vec<(QueueEntry, usize, usize)>,
+}
+
+impl EngineScratch {
+    fn reset_cycle(&mut self) {
+        self.conflicts.clear();
+        self.completions.clear();
+        self.plans.clear();
+        self.plan_counts.clear();
+        self.err_bumps = [0; MAX_CUBES];
+    }
+}
+
+/// A contiguous run of one device's vaults owned by a shard job while
+/// the vault phase runs.
+#[derive(Debug)]
+struct Piece {
+    dev: usize,
+    first_vault: usize,
+    vaults: Vec<Vault>,
+}
+
+/// Everything one worker needs for one cycle's vault phase. Jobs own
+/// their data (vaults move in and out each cycle), so the channel
+/// hand-off carries no borrows of the simulation object and the main
+/// thread keeps full access to links/crossbars/registers between the
+/// send and receive points.
+struct ShardJob {
+    pieces: Vec<Piece>,
+    conflicts: EventStage,
+    completions: EventStage,
+    plans: Vec<Option<LinkId>>,
+    plan_counts: Vec<u32>,
+    err_bumps: [u64; MAX_CUBES],
+    inputs: CycleInputs,
+    map: Arc<dyn AddressMap>,
+    routes: RouteTable,
+    remotes: [[Endpoint; MAX_LINKS]; MAX_CUBES],
+}
+
+/// Run the vault phase for every vault a job owns, in flat vault order.
+fn run_shard(job: &mut ShardJob) {
+    job.conflicts.clear();
+    job.completions.clear();
+    job.plans.clear();
+    job.plan_counts.clear();
+    job.err_bumps = [0; MAX_CUBES];
+    let inputs = job.inputs;
+    for piece in &mut job.pieces {
+        let dev_id = piece.dev as CubeId;
+        let remotes = &job.remotes[piece.dev];
+        for (k, vault) in piece.vaults.iter_mut().enumerate() {
+            tick_vault(
+                vault,
+                dev_id,
+                piece.first_vault + k,
+                &inputs,
+                job.map.as_ref(),
+                &mut job.conflicts,
+                &mut job.completions,
+                &mut job.err_bumps,
+            );
+            plan_vault_drain(
+                vault,
+                dev_id,
+                &inputs,
+                &job.routes,
+                remotes,
+                &mut job.plans,
+                &mut job.plan_counts,
+            );
+        }
+    }
+}
+
+/// Stages 3 and 4 for one vault: bank-conflict recognition over the
+/// spatial window (trace only, §IV.C.3), then the windowed request walk
+/// (§IV.C.4). Identical code serves the serial and parallel engines;
+/// trace events and error-register bumps are staged, not emitted.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tick_vault(
+    vault: &mut Vault,
+    dev_id: CubeId,
+    vi: usize,
+    inputs: &CycleInputs,
+    map: &dyn AddressMap,
+    conflicts: &mut EventStage,
+    completions: &mut EventStage,
+    err_bumps: &mut [u64; MAX_CUBES],
+) {
+    // ---- stage 3: recognize bank conflicts (no state modified) ----
+    if inputs.conflicts_enabled {
+        let mut seen: u64 = 0;
+        for idx in 0..inputs.window.min(vault.rqst.len()) {
+            let e = vault.rqst.get(idx).expect("idx bounded");
+            let bank = e.dest_bank;
+            if bank == UNDECODED {
+                continue;
+            }
+            let bit = 1u64 << (bank & 0x3f);
+            if seen & bit != 0 {
+                conflicts.stage(TraceEvent::BankConflict {
+                    cube: dev_id,
+                    vault: vault.id,
+                    bank,
+                    addr: e.packet.addr(),
+                    tag: e.packet.tag(),
+                });
+            } else {
+                seen |= bit;
+            }
+        }
+    }
+
+    // ---- stage 4: windowed request walk ----
+    let mut used: u64 = 0;
+    let mut blocked: u64 = 0;
+    // A bank under periodic refresh is out of service for the whole
+    // cycle (optional extension; None = paper model).
+    if let Some(r) = inputs.refresh {
+        if let Some(b) = r.bank_under_refresh(inputs.clock, vi as u16, inputs.banks) {
+            blocked |= 1u64 << (b & 0x3f);
+        }
+    }
+    let mut idx = 0usize;
+    let mut scanned = 0usize;
+    loop {
+        if scanned >= inputs.window {
+            break;
+        }
+        // Packets are removed mid-walk, so bounds are rechecked every
+        // iteration.
+        let (bank, cmd_res) = {
+            if idx >= vault.rqst.len() {
+                break;
+            }
+            let e = vault.rqst.get(idx).expect("idx checked");
+            (e.dest_bank, e.packet.cmd())
+        };
+        scanned += 1;
+        let bit = 1u64 << (bank & 0x3f);
+        if (used | blocked) & bit != 0 {
+            // A bank conflict within the window: the packet stalls this
+            // cycle (traced by stage 3).
+            if inputs.policy == ConflictPolicy::StallQueue {
+                break;
+            }
+            idx += 1;
+            continue;
+        }
+        let cmd = cmd_res.ok();
+        let needs_rsp = cmd.map(Vault::needs_response).unwrap_or(true);
+        if needs_rsp && vault.rsp.is_full() {
+            let tag = vault.rqst.get(idx).expect("idx checked").packet.tag();
+            completions.stage(TraceEvent::VaultRspStall {
+                cube: dev_id,
+                vault: vi as VaultId,
+                tag,
+            });
+            blocked |= bit;
+            if inputs.policy == ConflictPolicy::StallQueue {
+                break;
+            }
+            idx += 1;
+            continue;
+        }
+
+        let entry = vault.rqst.remove(idx).expect("idx checked");
+        let tag = entry.packet.tag();
+        let bytes = entry.packet.data_bytes() as u32;
+        match vault.execute(entry, map, dev_id, inputs.clock) {
+            Execution::Done | Execution::Responded => {}
+            Execution::RespondedError(status) => {
+                completions.stage(TraceEvent::ErrorResponse {
+                    cube: dev_id,
+                    tag,
+                    status: status.encode(),
+                });
+                err_bumps[dev_id as usize] += 1;
+            }
+        }
+        used |= bit;
+        match cmd {
+            Some(hmc_types::Command::Rd(bs)) => completions.stage(TraceEvent::ReadComplete {
+                cube: dev_id,
+                vault: vi as VaultId,
+                bank,
+                bytes: bs.bytes() as u32,
+                tag,
+            }),
+            Some(c) if c.is_write() => completions.stage(TraceEvent::WriteComplete {
+                cube: dev_id,
+                vault: vi as VaultId,
+                bank,
+                bytes,
+                tag,
+            }),
+            Some(c) if c.is_atomic() => completions.stage(TraceEvent::AtomicComplete {
+                cube: dev_id,
+                vault: vi as VaultId,
+                bank,
+                tag,
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// The per-vault half of stage 5: choose the egress crossbar for up to
+/// `rsp_drain` head entries of the vault response queue. Pure routing —
+/// the commit (capacity checks and the actual moves) replays the plan
+/// serially on the main thread so crossbar slots are claimed in the
+/// serial engine's order.
+pub(crate) fn plan_vault_drain(
+    vault: &Vault,
+    dev_id: CubeId,
+    inputs: &CycleInputs,
+    routes: &RouteTable,
+    remotes: &[Endpoint; MAX_LINKS],
+    plans: &mut Vec<Option<LinkId>>,
+    plan_counts: &mut Vec<u32>,
+) {
+    let n = inputs.rsp_drain.min(vault.rsp.len());
+    for idx in 0..n {
+        let e = vault.rsp.get(idx).expect("idx bounded");
+        // Prefer the link the request arrived on when it reaches the
+        // destination host directly (SLID association).
+        let direct = (e.arrival_link as usize) < MAX_LINKS
+            && remotes[e.arrival_link as usize] == Endpoint::Host(e.dest_cube);
+        let egress = if direct {
+            Some(e.arrival_link)
+        } else {
+            routes.next_hop(dev_id, e.dest_cube)
+        };
+        plans.push(egress);
+    }
+    plan_counts.push(n as u32);
+}
+
+impl HmcSim {
+    /// Snapshot the per-cycle read-only inputs of the vault phase.
+    fn cycle_inputs(&self) -> CycleInputs {
+        CycleInputs {
+            clock: self.clock,
+            conflicts_enabled: self.tracer.enabled(EventKind::BankConflict),
+            window: self.params.window_for(self.config.banks_per_vault),
+            banks: self.config.banks_per_vault,
+            policy: self.params.conflict_policy,
+            refresh: self.params.refresh,
+            rsp_drain: self.params.rsp_drain_per_cycle,
+        }
+    }
+
+    /// Advance the simulation by `cycles` clock cycles.
+    ///
+    /// Results are bit-identical to calling [`HmcSim::clock`] `cycles`
+    /// times regardless of [`crate::params::SimParams::threads`];
+    /// batching exists so the parallel engine can amortize its per-batch
+    /// worker spawn over many cycles.
+    pub fn clock_batch(&mut self, cycles: u64) -> Result<()> {
+        self.ensure_routes()?;
+        let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
+        let shards = self.params.resolved_threads().min(total_vaults).max(1);
+        if shards <= 1 {
+            for _ in 0..cycles {
+                self.clock_cycle_serial();
+            }
+            return Ok(());
+        }
+        self.clock_batch_parallel(cycles, shards);
+        Ok(())
+    }
+
+    /// One serial cycle: the same vault-phase code as the parallel
+    /// engine, run inline as a single shard.
+    pub(crate) fn clock_cycle_serial(&mut self) {
+        self.stage1_child_xbar_requests();
+        self.stage2_root_xbar_requests();
+
+        let inputs = self.cycle_inputs();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.reset_cycle();
+
+        // ---- vault phase: stages 3, 4, and the stage-5 plans ----
+        {
+            let map = self.map.as_ref();
+            let routes = self.routes.as_ref().expect("routes built before clocking");
+            for (di, dev) in self.devices.iter_mut().enumerate() {
+                let dev_id = di as CubeId;
+                let mut remotes = [Endpoint::Unconnected; MAX_LINKS];
+                for (li, l) in dev.links.iter().enumerate().take(MAX_LINKS) {
+                    remotes[li] = l.remote;
+                }
+                for (vi, vault) in dev.vaults.iter_mut().enumerate() {
+                    tick_vault(
+                        vault,
+                        dev_id,
+                        vi,
+                        &inputs,
+                        map,
+                        &mut scratch.conflicts,
+                        &mut scratch.completions,
+                        &mut scratch.err_bumps,
+                    );
+                    plan_vault_drain(
+                        vault,
+                        dev_id,
+                        &inputs,
+                        routes,
+                        &remotes,
+                        &mut scratch.plans,
+                        &mut scratch.plan_counts,
+                    );
+                }
+            }
+        }
+
+        // ---- merge: conflicts, then completions, then register bumps ----
+        scratch.conflicts.flush_into(&mut self.tracer, self.clock);
+        scratch.completions.flush_into(&mut self.tracer, self.clock);
+        for di in 0..self.devices.len() {
+            if scratch.err_bumps[di] > 0 {
+                self.bump_error_register_by(di, scratch.err_bumps[di]);
+            }
+        }
+
+        // ---- stage 5: roots first, then children (§IV.C.5) ----
+        let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
+        scratch.plan_index.resize(total_vaults, (0, 0));
+        let mut off = 0u32;
+        for (flat, &count) in scratch.plan_counts.iter().enumerate() {
+            scratch.plan_index[flat] = (off, count);
+            off += count;
+        }
+        let vpd = self.devices[0].vaults.len();
+        for root_pass in [true, false] {
+            for di in 0..self.devices.len() {
+                if self.devices[di].is_root() != root_pass {
+                    continue;
+                }
+                self.forward_xbar_responses(di);
+                for vi in 0..self.devices[di].vaults.len() {
+                    let (start, len) = scratch.plan_index[di * vpd + vi];
+                    let plan = &scratch.plans[start as usize..(start + len) as usize];
+                    self.commit_vault_drain(di, vi, plan);
+                }
+            }
+        }
+
+        self.scratch = scratch;
+        self.stage6_update_clock();
+    }
+
+    /// The parallel batch engine: one `thread::scope` hosts `shards`
+    /// persistent workers for the whole batch; each cycle, vault
+    /// ownership ping-pongs to the workers through bounded channels and
+    /// the results merge back in shard (= flat vault) order.
+    fn clock_batch_parallel(&mut self, cycles: u64, shards: usize) {
+        let nd = self.devices.len();
+        let vpd = self.devices[0].vaults.len();
+        let total = nd * vpd;
+
+        // Contiguous, balanced shard ranges over the flat vault index.
+        let base = total / shards;
+        let extra = total % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for w in 0..shards {
+            let len = base + usize::from(w < extra);
+            ranges.push((start, start + len));
+            start += len;
+        }
+
+        // Static routing snapshots shared with workers (owned copies, so
+        // jobs carry no borrows of `self`). Topology cannot change while
+        // clocking; the address map is refreshed every cycle because the
+        // AC register may swap it at a stage-6 edge mid-batch.
+        let routes = self.routes.as_ref().expect("routes built").clone();
+        let mut remotes = [[Endpoint::Unconnected; MAX_LINKS]; MAX_CUBES];
+        for (di, d) in self.devices.iter().enumerate() {
+            for (li, l) in d.links.iter().enumerate().take(MAX_LINKS) {
+                remotes[di][li] = l.remote;
+            }
+        }
+
+        // Flat vault index -> (shard, piece) for the distribute step, and
+        // (offset, len) plan slices for the commit step.
+        let mut piece_of = vec![(0u32, 0u32); total];
+        let mut held: Vec<Option<ShardJob>> = Vec::with_capacity(shards);
+        for (w, &(s, e)) in ranges.iter().enumerate() {
+            let mut pieces = Vec::new();
+            let mut f = s;
+            while f < e {
+                let di = f / vpd;
+                let vi = f % vpd;
+                let n = (e - f).min(vpd - vi);
+                for k in 0..n {
+                    piece_of[f + k] = (w as u32, pieces.len() as u32);
+                }
+                pieces.push(Piece {
+                    dev: di,
+                    first_vault: vi,
+                    vaults: Vec::with_capacity(n),
+                });
+                f += n;
+            }
+            held.push(Some(ShardJob {
+                pieces,
+                conflicts: EventStage::new(),
+                completions: EventStage::new(),
+                plans: Vec::new(),
+                plan_counts: Vec::new(),
+                err_bumps: [0; MAX_CUBES],
+                inputs: CycleInputs::default(),
+                map: self.map.clone(),
+                routes: routes.clone(),
+                remotes,
+            }));
+        }
+        let mut plan_index = vec![(0u32, 0u32, 0u32); total];
+        self.scratch.shells.resize_with(nd, Vec::new);
+
+        std::thread::scope(|s| {
+            let mut to_worker = Vec::with_capacity(shards);
+            let mut from_worker = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                let (jtx, jrx) = sync_channel::<ShardJob>(1);
+                let (rtx, rrx) = sync_channel::<ShardJob>(1);
+                to_worker.push(jtx);
+                from_worker.push(rrx);
+                s.spawn(move || {
+                    while let Ok(mut job) = jrx.recv() {
+                        run_shard(&mut job);
+                        if rtx.send(job).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            for _ in 0..cycles {
+                self.stage1_child_xbar_requests();
+                self.stage2_root_xbar_requests();
+                let inputs = self.cycle_inputs();
+
+                // Move every vault out of its device and into its
+                // shard's job (shells and piece buffers retain capacity
+                // across cycles, so this is swap + moves, no allocation).
+                {
+                    let devices = &mut self.devices;
+                    let shells = &mut self.scratch.shells;
+                    for (di, dev) in devices.iter_mut().enumerate() {
+                        std::mem::swap(&mut dev.vaults, &mut shells[di]);
+                    }
+                    for (di, shell) in shells.iter_mut().enumerate() {
+                        for (vi, v) in shell.drain(..).enumerate() {
+                            let (w, p) = piece_of[di * vpd + vi];
+                            held[w as usize]
+                                .as_mut()
+                                .expect("job held between cycles")
+                                .pieces[p as usize]
+                                .vaults
+                                .push(v);
+                        }
+                    }
+                }
+
+                for (w, tx) in to_worker.iter().enumerate() {
+                    let mut job = held[w].take().expect("job held between cycles");
+                    job.inputs = inputs;
+                    job.map = self.map.clone();
+                    tx.send(job).expect("worker alive for the batch");
+                }
+                for (w, rx) in from_worker.iter().enumerate() {
+                    held[w] = Some(rx.recv().expect("worker alive for the batch"));
+                }
+
+                // Restore vault ownership in flat order (shards and the
+                // pieces within them ascend, so each device's vaults
+                // return in index order).
+                for job in held.iter_mut().map(|j| j.as_mut().expect("held")) {
+                    for piece in &mut job.pieces {
+                        for v in piece.vaults.drain(..) {
+                            self.devices[piece.dev].vaults.push(v);
+                        }
+                    }
+                }
+
+                // Merge in shard order: all conflicts, then all
+                // completions — the serial emission order.
+                let clock = self.clock;
+                for job in held.iter_mut().map(|j| j.as_mut().expect("held")) {
+                    job.conflicts.flush_into(&mut self.tracer, clock);
+                }
+                for job in held.iter_mut().map(|j| j.as_mut().expect("held")) {
+                    job.completions.flush_into(&mut self.tracer, clock);
+                }
+                for job in held.iter().map(|j| j.as_ref().expect("held")) {
+                    for (di, &n) in job.err_bumps.iter().enumerate().take(nd) {
+                        if n > 0 {
+                            self.bump_error_register_by(di, n);
+                        }
+                    }
+                }
+
+                // Stage 5: commit the workers' egress plans serially in
+                // root-first device order.
+                for (w, job) in held.iter().enumerate() {
+                    let job = job.as_ref().expect("held");
+                    let (start_flat, _) = ranges[w];
+                    let mut off = 0u32;
+                    for (k, &count) in job.plan_counts.iter().enumerate() {
+                        plan_index[start_flat + k] = (w as u32, off, count);
+                        off += count;
+                    }
+                }
+                for root_pass in [true, false] {
+                    for di in 0..nd {
+                        if self.devices[di].is_root() != root_pass {
+                            continue;
+                        }
+                        self.forward_xbar_responses(di);
+                        for vi in 0..vpd {
+                            let (w, start, len) = plan_index[di * vpd + vi];
+                            let job = held[w as usize].as_ref().expect("held");
+                            let plan =
+                                &job.plans[start as usize..(start + len) as usize];
+                            self.commit_vault_drain(di, vi, plan);
+                        }
+                    }
+                }
+
+                self.stage6_update_clock();
+            }
+            drop(to_worker); // workers observe the hangup and exit
+        });
+    }
+}

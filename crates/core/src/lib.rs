@@ -32,6 +32,7 @@
 pub mod api;
 pub mod builder;
 pub mod device;
+pub(crate) mod engine;
 pub mod fault;
 pub mod inspect;
 pub mod jtag;

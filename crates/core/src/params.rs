@@ -76,6 +76,11 @@ pub struct SimParams {
     pub conflict_policy: ConflictPolicy,
     /// Optional periodic DRAM refresh (`None` = the paper's model).
     pub refresh: Option<RefreshParams>,
+    /// Worker threads for the sharded clock engine. `1` (the default)
+    /// runs the fully serial engine; `0` resolves to the machine's
+    /// available parallelism; `N > 1` shards vault processing across `N`
+    /// scoped threads. All settings produce bit-identical simulations.
+    pub threads: usize,
 }
 
 impl Default for SimParams {
@@ -93,6 +98,7 @@ impl Default for SimParams {
             link_flits_per_cycle: None,
             conflict_policy: ConflictPolicy::SkipConflicting,
             refresh: None,
+            threads: 1,
         }
     }
 }
@@ -101,6 +107,17 @@ impl SimParams {
     /// Resolve the vault window for a device with `banks` banks per vault.
     pub fn window_for(&self, banks: u16) -> usize {
         self.vault_window.unwrap_or(banks as usize).max(1)
+    }
+
+    /// Resolve the worker-thread count: `0` means auto-detect from the
+    /// machine's available parallelism, anything else is taken as-is.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 }
 
@@ -115,6 +132,23 @@ mod tests {
         assert!(p.rsp_drain_per_cycle >= 1);
         assert!(p.hop_budget >= 2);
         assert_eq!(p.conflict_policy, ConflictPolicy::SkipConflicting);
+        assert_eq!(p.threads, 1);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        let p = SimParams::default();
+        assert_eq!(p.resolved_threads(), 1);
+        let p = SimParams {
+            threads: 4,
+            ..SimParams::default()
+        };
+        assert_eq!(p.resolved_threads(), 4);
+        let p = SimParams {
+            threads: 0,
+            ..SimParams::default()
+        };
+        assert!(p.resolved_threads() >= 1);
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //! order to simulate architectural characteristics such as non-uniform
 //! memory access" (§IV.A) — objects are fully independent values here.
 
+use std::sync::Arc;
+
 use hmc_types::address::AddressMap;
 use hmc_types::{CubeId, Cycle, DeviceConfig, HmcError, LinkId, Packet, Result};
 use hmc_trace::{TraceEvent, Tracer};
 
 use crate::device::Device;
+use crate::engine::EngineScratch;
 use crate::link::Endpoint;
 use crate::params::SimParams;
 use crate::queue::QueueEntry;
@@ -36,13 +39,14 @@ pub struct HmcSim {
     pub(crate) config: DeviceConfig,
     pub(crate) params: SimParams,
     pub(crate) devices: Vec<Device>,
-    pub(crate) map: Box<dyn AddressMap>,
+    pub(crate) map: Arc<dyn AddressMap>,
     pub(crate) routes: Option<RouteTable>,
     pub(crate) clock: Cycle,
     pub(crate) tracer: Tracer,
     pub(crate) stats: SimStats,
     pub(crate) ac_mode: u64,
     pub(crate) faults: Option<crate::fault::FaultState>,
+    pub(crate) scratch: EngineScratch,
 }
 
 impl std::fmt::Debug for HmcSim {
@@ -80,7 +84,7 @@ impl HmcSim {
             ));
         }
         let devices = (0..num_devices).map(|i| Device::new(i, &config)).collect();
-        let map = Box::new(config.default_map()?);
+        let map: Arc<dyn AddressMap> = Arc::new(config.default_map()?);
         Ok(HmcSim {
             config,
             params: SimParams::default(),
@@ -92,12 +96,21 @@ impl HmcSim {
             stats: SimStats::default(),
             ac_mode: 0,
             faults: None,
+            scratch: EngineScratch::default(),
         })
     }
 
     /// Replace the simulation parameters (builder style, before clocking).
     pub fn with_params(mut self, params: SimParams) -> Self {
         self.params = params;
+        self
+    }
+
+    /// Set the worker-thread count of the sharded clock engine (builder
+    /// style). `1` = serial, `0` = auto-detect, `N > 1` = that many
+    /// shards; every setting is bit-identical (see [`SimParams::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.params.threads = threads;
         self
     }
 
@@ -110,7 +123,7 @@ impl HmcSim {
                 self.config.geometry()
             )));
         }
-        self.map = map;
+        self.map = Arc::from(map);
         Ok(())
     }
 
@@ -395,15 +408,14 @@ impl HmcSim {
 
     /// Advance the simulation by one clock cycle: the six sub-cycle
     /// stages of Figure 3 in order (paper §IV.C).
+    ///
+    /// With [`SimParams::threads`] above one the vault stages run on the
+    /// sharded engine; results are bit-identical either way. Prefer
+    /// [`HmcSim::clock_batch`] when clocking many cycles between host
+    /// interactions — the parallel engine amortizes its worker start-up
+    /// over the batch.
     pub fn clock(&mut self) -> Result<()> {
-        self.ensure_routes()?;
-        self.stage1_child_xbar_requests();
-        self.stage2_root_xbar_requests();
-        self.stage3_recognize_bank_conflicts();
-        self.stage4_process_vault_requests();
-        self.stage5_register_responses();
-        self.stage6_update_clock();
-        Ok(())
+        self.clock_batch(1)
     }
 
     pub(crate) fn stage6_update_clock(&mut self) {
@@ -424,16 +436,16 @@ impl HmcSim {
         let ac = self.devices[0].registers.read(regs::AC).unwrap_or(0);
         if ac != self.ac_mode {
             let geometry = self.config.geometry();
-            let new_map: Option<Box<dyn AddressMap>> = match ac {
+            let new_map: Option<Arc<dyn AddressMap>> = match ac {
                 0 => hmc_types::LowInterleaveMap::new(geometry)
                     .ok()
-                    .map(|m| Box::new(m) as Box<dyn AddressMap>),
+                    .map(|m| Arc::new(m) as Arc<dyn AddressMap>),
                 1 => hmc_types::BankFirstMap::new(geometry)
                     .ok()
-                    .map(|m| Box::new(m) as Box<dyn AddressMap>),
+                    .map(|m| Arc::new(m) as Arc<dyn AddressMap>),
                 2 => hmc_types::LinearMap::new(geometry)
                     .ok()
-                    .map(|m| Box::new(m) as Box<dyn AddressMap>),
+                    .map(|m| Arc::new(m) as Arc<dyn AddressMap>),
                 // Unknown modes leave the current map in place.
                 _ => None,
             };

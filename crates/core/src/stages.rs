@@ -17,38 +17,40 @@
 //! stage per sub-cycle operation" — a packet cannot jump from the crossbar
 //! interface to a memory bank inside one sub-cycle; it moves crossbar →
 //! vault queue in stage 1/2 and vault queue → bank in stage 4.
+//!
+//! This module owns the stages that touch shared device state: the
+//! crossbar walks of stages 1 and 2, the crossbar half of stage 5, and
+//! the helpers they share. The per-vault stages (3, 4, and the vault
+//! half of 5) live in [`crate::engine`], which runs them either inline
+//! (serial) or sharded across worker threads.
 
 use hmc_trace::{EventKind, TraceEvent};
 use hmc_types::packet::ResponseStatus;
-use hmc_types::{BankId, Command, CubeId, LinkId, Packet, PhysAddr, VaultId};
+use hmc_types::{Command, CubeId, LinkId, Packet, PhysAddr};
 
 use crate::link::Endpoint;
-use crate::params::ConflictPolicy;
 use crate::quad::Quad;
 use crate::queue::{QueueEntry, UNDECODED};
 use crate::sim::HmcSim;
-use crate::vault::{Execution, Vault};
 
 impl HmcSim {
     /// Stage 1: crossbar transactions on child devices (devices without a
     /// host link).
     pub(crate) fn stage1_child_xbar_requests(&mut self) {
-        let order: Vec<usize> = (0..self.devices.len())
-            .filter(|&i| !self.devices[i].is_root())
-            .collect();
-        for di in order {
-            self.process_xbar_requests(di);
+        for di in 0..self.devices.len() {
+            if !self.devices[di].is_root() {
+                self.process_xbar_requests(di);
+            }
         }
     }
 
     /// Stage 2: crossbar request transactions on root devices (devices
     /// connected directly to a host interface).
     pub(crate) fn stage2_root_xbar_requests(&mut self) {
-        let order: Vec<usize> = (0..self.devices.len())
-            .filter(|&i| self.devices[i].is_root())
-            .collect();
-        for di in order {
-            self.process_xbar_requests(di);
+        for di in 0..self.devices.len() {
+            if self.devices[di].is_root() {
+                self.process_xbar_requests(di);
+            }
         }
     }
 
@@ -66,6 +68,11 @@ impl HmcSim {
         // most this many FLITs per cycle when configured. A zero budget
         // could never drain a packet, so it is clamped to one beat.
         let flit_budget = self.params.link_flits_per_cycle.map(|f| f.max(1));
+
+        // Deferred chain-forwards stage in a reusable buffer (capacity
+        // retained across cycles — the steady-state walk allocates
+        // nothing).
+        let mut forwards = std::mem::take(&mut self.scratch.forwards);
 
         for l in 0..num_links {
             // Resolve this link's FLIT budget, paying down debt from
@@ -91,7 +98,7 @@ impl HmcSim {
             // Free-slot snapshot of remote crossbar queues we forward
             // into, so capacity claimed by this walk is not double-booked.
             let mut remote_free: [[Option<usize>; 8]; 8] = [[None; 8]; 8];
-            let mut forwards: Vec<(QueueEntry, usize, usize)> = Vec::new();
+            debug_assert!(forwards.is_empty());
 
             loop {
                 if drained >= max_drain {
@@ -331,220 +338,21 @@ impl HmcSim {
                 self.devices[di].links[l].flit_debt =
                     drained_flits.saturating_sub(budget) as u32;
             }
-            for (entry, r, rl) in forwards {
+            for (entry, r, rl) in forwards.drain(..) {
                 self.devices[r].xbars[rl]
                     .rqst
                     .push(entry)
                     .expect("capacity reserved in snapshot");
             }
         }
-    }
 
-    /// Stage 3: recognize potential bank conflicts on vault request
-    /// queues. "This sub-cycle stage does not modify any internal data
-    /// representations" — it decodes addresses in the spatial window of
-    /// each queue and traces conflicting packets (§IV.C.3).
-    pub(crate) fn stage3_recognize_bank_conflicts(&mut self) {
-        if !self.tracer.enabled(EventKind::BankConflict) {
-            return;
-        }
-        let window = self.params.window_for(self.config.banks_per_vault);
-        let mut events: Vec<TraceEvent> = Vec::new();
-        for (di, dev) in self.devices.iter().enumerate() {
-            for vault in &dev.vaults {
-                let mut seen: u64 = 0;
-                for idx in 0..window.min(vault.rqst.len()) {
-                    let e = vault.rqst.get(idx).expect("idx bounded");
-                    let bank = e.dest_bank;
-                    if bank == UNDECODED {
-                        continue;
-                    }
-                    let bit = 1u64 << (bank & 0x3f);
-                    if seen & bit != 0 {
-                        events.push(TraceEvent::BankConflict {
-                            cube: di as CubeId,
-                            vault: vault.id,
-                            bank,
-                            addr: e.packet.addr(),
-                            tag: e.packet.tag(),
-                        });
-                    } else {
-                        seen |= bit;
-                    }
-                }
-            }
-        }
-        for ev in events {
-            self.emit(ev);
-        }
-    }
-
-    /// Stage 4: process vault queue memory request transactions. Each
-    /// vault walks its request queue in FIFO order within its spatial
-    /// window; packets whose banks are untouched this cycle are processed
-    /// "in equivalent and constant time", conflicting packets stall
-    /// (§IV.C.4). Responses register with the vault response queues.
-    pub(crate) fn stage4_process_vault_requests(&mut self) {
-        let window = self.params.window_for(self.config.banks_per_vault);
-        let policy = self.params.conflict_policy;
-        let n = self.devices.len();
-        let mut completions: Vec<TraceEvent> = Vec::new();
-
-        for di in 0..n {
-            let dev_id = di as CubeId;
-            let nv = self.devices[di].vaults.len();
-            for vi in 0..nv {
-                let mut used: u64 = 0;
-                let mut blocked: u64 = 0;
-                // A bank under periodic refresh is out of service for the
-                // whole cycle (optional extension; None = paper model).
-                if let Some(r) = self.params.refresh {
-                    if let Some(b) =
-                        r.bank_under_refresh(self.clock, vi as u16, self.config.banks_per_vault)
-                    {
-                        blocked |= 1u64 << (b & 0x3f);
-                    }
-                }
-                let mut idx = 0usize;
-                let mut scanned = 0usize;
-                loop {
-                    if scanned >= window {
-                        break;
-                    }
-                    // Re-borrow the vault each step; packets are removed
-                    // mid-walk, so bounds are rechecked every iteration.
-                    let (bank, cmd_res) = {
-                        let vault = &self.devices[di].vaults[vi];
-                        if idx >= vault.rqst.len() {
-                            break;
-                        }
-                        let e = vault.rqst.get(idx).expect("idx checked");
-                        (e.dest_bank, e.packet.cmd())
-                    };
-                    scanned += 1;
-                    let bit = 1u64 << (bank & 0x3f);
-                    if (used | blocked) & bit != 0 {
-                        // A bank conflict within the window: the packet
-                        // stalls this cycle (traced by stage 3).
-                        if policy == ConflictPolicy::StallQueue {
-                            break;
-                        }
-                        idx += 1;
-                        continue;
-                    }
-                    let cmd_ok = cmd_res.ok();
-                    let needs_rsp = cmd_ok.map(Vault::needs_response).unwrap_or(true);
-                    if needs_rsp && self.devices[di].vaults[vi].rsp.is_full() {
-                        let tag = self.devices[di].vaults[vi]
-                            .rqst
-                            .get(idx)
-                            .expect("idx checked")
-                            .packet
-                            .tag();
-                        completions.push(TraceEvent::VaultRspStall {
-                            cube: dev_id,
-                            vault: vi as VaultId,
-                            tag,
-                        });
-                        blocked |= bit;
-                        if policy == ConflictPolicy::StallQueue {
-                            break;
-                        }
-                        idx += 1;
-                        continue;
-                    }
-
-                    let entry = self.devices[di].vaults[vi]
-                        .rqst
-                        .remove(idx)
-                        .expect("idx checked");
-                    let tag = entry.packet.tag();
-                    let bytes = entry.packet.data_bytes() as u32;
-                    let cmd = cmd_ok;
-                    let clock = self.clock;
-                    let map = self.map.as_ref();
-                    let vault = &mut self.devices[di].vaults[vi];
-    let exec = vault.execute(entry, map, dev_id, clock);
-                    let mut was_error = false;
-                    match exec {
-                        Execution::Done => {}
-                        Execution::Respond(resp) => {
-                            if resp.packet.cmd() == Ok(Command::ErrorResponse) {
-                                was_error = true;
-                                completions.push(TraceEvent::ErrorResponse {
-                                    cube: dev_id,
-                                    tag,
-                                    status: resp
-                                        .packet
-                                        .errstat()
-                                        .map(|s| s.encode())
-                                        .unwrap_or(0x7f),
-                                });
-                            }
-                            vault
-                                .rsp
-                                .push(*resp)
-                                .expect("response slot reserved above");
-                        }
-                    }
-                    if was_error {
-                        self.bump_error_register(di);
-                    }
-                    used |= bit;
-                    match cmd {
-                        Some(Command::Rd(bs)) => completions.push(TraceEvent::ReadComplete {
-                            cube: dev_id,
-                            vault: vi as VaultId,
-                            bank,
-                            bytes: bs.bytes() as u32,
-                            tag,
-                        }),
-                        Some(c) if c.is_write() => {
-                            completions.push(TraceEvent::WriteComplete {
-                                cube: dev_id,
-                                vault: vi as VaultId,
-                                bank,
-                                bytes,
-                                tag,
-                            })
-                        }
-                        Some(c) if c.is_atomic() => {
-                            completions.push(TraceEvent::AtomicComplete {
-                                cube: dev_id,
-                                vault: vi as VaultId,
-                                bank,
-                                tag,
-                            })
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-        for ev in completions {
-            self.emit(ev);
-        }
-    }
-
-    /// Stage 5: register response packets with crossbar response queues
-    /// and move them toward their hosts. "Response queues are first
-    /// processed on the root devices, then the attached child devices"
-    /// (§IV.C.5) so root slots free up before children forward into them.
-    pub(crate) fn stage5_register_responses(&mut self) {
-        let mut order: Vec<usize> = (0..self.devices.len())
-            .filter(|&i| self.devices[i].is_root())
-            .collect();
-        order.extend((0..self.devices.len()).filter(|&i| !self.devices[i].is_root()));
-        for di in order {
-            self.forward_xbar_responses(di);
-            self.drain_vault_responses(di);
-        }
+        self.scratch.forwards = forwards;
     }
 
     /// Move responses already in crossbar response queues one step: to a
     /// host-deliverable position, across a chained link, or to the egress
     /// crossbar within this device.
-    fn forward_xbar_responses(&mut self, di: usize) {
+    pub(crate) fn forward_xbar_responses(&mut self, di: usize) {
         let dev_id = di as CubeId;
         let num_links = self.config.num_links as usize;
         let max_drain = self.params.xbar_drain_per_cycle;
@@ -655,64 +463,50 @@ impl HmcSim {
         }
     }
 
-    /// Drain vault response queues into crossbar response queues.
-    fn drain_vault_responses(&mut self, di: usize) {
+    /// The crossbar half of stage 5 for one vault: commit the egress
+    /// plan computed by [`crate::engine::plan_vault_drain`], moving up to
+    /// one plan's worth of responses from the vault response queue into
+    /// crossbar response queues. Crossbar capacity is checked here, at
+    /// commit time, in root-first device order — exactly where and when
+    /// the serial engine checked it.
+    pub(crate) fn commit_vault_drain(&mut self, di: usize, vi: usize, plan: &[Option<LinkId>]) {
         let dev_id = di as CubeId;
-        let nv = self.devices[di].vaults.len();
-        let max_drain = self.params.rsp_drain_per_cycle;
-
-        for vi in 0..nv {
-            for _ in 0..max_drain {
-                let Some((dest, arrival_link, tag)) = ({
-                    let v = &self.devices[di].vaults[vi];
-                    v.rsp
-                        .front()
-                        .map(|e| (e.dest_cube, e.arrival_link, e.packet.tag()))
-                }) else {
+        for &egress in plan {
+            let Some(e_link) = egress else {
+                // Unreachable host: retire the response as misrouted.
+                let Some(entry) = self.devices[di].vaults[vi].rsp.pop() else {
                     break;
                 };
-                // Prefer the link the request arrived on when it reaches
-                // the destination host directly (SLID association).
-                let egress = if self.devices[di]
-                    .links
-                    .get(arrival_link as usize)
-                    .map(|lk| lk.remote == Endpoint::Host(dest))
-                    .unwrap_or(false)
-                {
-                    Some(arrival_link)
-                } else {
-                    self.routes
-                        .as_ref()
-                        .expect("routes built before clocking")
-                        .next_hop(dev_id, dest)
-                };
-                let Some(e_link) = egress else {
-                    // Unreachable host: retire the response as misrouted.
-                    let entry = self.devices[di].vaults[vi].rsp.pop().expect("front seen");
-                    self.emit(TraceEvent::Misroute {
-                        cube: dev_id,
-                        link: arrival_link,
-                        dest_cube: entry.dest_cube,
-                        tag: entry.packet.tag(),
-                    });
-                    continue;
-                };
-                let e_link = e_link as usize;
-                if self.devices[di].xbars[e_link].rsp.is_full() {
-                    self.emit(TraceEvent::XbarRspStall {
-                        cube: dev_id,
-                        link: e_link as LinkId,
-                        tag,
-                    });
-                    break; // FIFO head-of-line: keep response order
-                }
-                let mut entry = self.devices[di].vaults[vi].rsp.pop().expect("front seen");
-                entry.arrival_cycle = self.clock;
-                self.devices[di].xbars[e_link]
+                self.emit(TraceEvent::Misroute {
+                    cube: dev_id,
+                    link: entry.arrival_link,
+                    dest_cube: entry.dest_cube,
+                    tag: entry.packet.tag(),
+                });
+                continue;
+            };
+            let e_link = e_link as usize;
+            if self.devices[di].xbars[e_link].rsp.is_full() {
+                let tag = self.devices[di].vaults[vi]
                     .rsp
-                    .push(entry)
-                    .expect("fullness checked");
+                    .front()
+                    .map(|e| e.packet.tag())
+                    .unwrap_or(0);
+                self.emit(TraceEvent::XbarRspStall {
+                    cube: dev_id,
+                    link: e_link as LinkId,
+                    tag,
+                });
+                break; // FIFO head-of-line: keep response order
             }
+            let Some(mut entry) = self.devices[di].vaults[vi].rsp.pop() else {
+                break;
+            };
+            entry.arrival_cycle = self.clock;
+            self.devices[di].xbars[e_link]
+                .rsp
+                .push(entry)
+                .expect("fullness checked");
         }
     }
 
@@ -721,11 +515,18 @@ impl HmcSim {
     /// Count an error response in the device's global error register
     /// (RO from the host's perspective; updated device-side).
     fn bump_error_register(&mut self, di: usize) {
+        self.bump_error_register_by(di, 1);
+    }
+
+    /// Apply `n` error-register increments at once (the sharded engine
+    /// stages per-device counts during the vault phase; saturating adds
+    /// commute, so a single add of the staged count is exact).
+    pub(crate) fn bump_error_register_by(&mut self, di: usize, n: u64) {
         use crate::register::regs;
         let count = self.devices[di].registers.read(regs::ERR).unwrap_or(0);
         let _ = self.devices[di]
             .registers
-            .set_internal(regs::ERR, count.saturating_add(1));
+            .set_internal(regs::ERR, count.saturating_add(n));
     }
 
     /// Return link-layer flow-control tokens when a packet retires from a
@@ -870,7 +671,3 @@ impl HmcSim {
         let _ = self.devices[di].xbars[l].rsp.push(resp);
     }
 }
-
-/// Expose `BankId` in the module signature for documentation completeness.
-#[allow(dead_code)]
-type _BankIdAlias = BankId;

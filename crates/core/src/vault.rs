@@ -19,6 +19,10 @@ use hmc_types::{Command, CubeId, Cycle, HmcError, Packet, PhysAddr, VaultId};
 
 use crate::queue::{PacketQueue, QueueEntry};
 
+/// Largest data payload a packet can carry (eight 16-byte data FLITs of
+/// the maximal nine-FLIT packet) — sizes the stack staging buffers.
+const MAX_BLOCK_BYTES: usize = 128;
+
 /// Per-vault operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VaultStats {
@@ -35,13 +39,22 @@ pub struct VaultStats {
 }
 
 /// The result of executing one request packet at a vault.
-#[derive(Debug)]
+///
+/// Response entries are registered directly in the vault's response
+/// queue by [`Vault::execute`]; this enum only reports *what happened*
+/// so stage 4 can stage trace events and error-register updates without
+/// a heap-allocated hand-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Execution {
-    /// The request completed; no response is owed (posted commands).
+    /// The request completed; no response is owed (posted commands,
+    /// including posted failures).
     Done,
-    /// The request completed (or failed) and produced a response entry
-    /// that must be registered with the vault response queue.
-    Respond(Box<QueueEntry>),
+    /// The request completed and a normal response was registered in
+    /// the vault response queue.
+    Responded,
+    /// The request failed and an error response with the given status
+    /// was registered in the vault response queue.
+    RespondedError(ResponseStatus),
 }
 
 /// One vault: controller queues plus the memory bank stack.
@@ -80,10 +93,13 @@ impl Vault {
     /// Execute one request packet against this vault's banks.
     ///
     /// The caller (stage 4) has already verified bank availability and —
-    /// for non-posted commands — a free response-queue slot. Failures
-    /// (bad address, bad command) produce error response entries rather
-    /// than simulator errors, mirroring the device's error response
-    /// packets (§IV.C).
+    /// for non-posted commands — a free response-queue slot; any owed
+    /// response is registered directly in [`Vault::rsp`]. Failures (bad
+    /// address, bad command) produce error response entries rather than
+    /// simulator errors, mirroring the device's error response packets
+    /// (§IV.C). The hot path is allocation-free: read/write payloads
+    /// stage through a stack buffer sized for the maximal nine-FLIT
+    /// packet.
     pub fn execute(
         &mut self,
         entry: QueueEntry,
@@ -115,8 +131,9 @@ impl Vault {
 
         let outcome: Result<Option<Packet>, HmcError> = match cmd {
             Command::Rd(bs) => {
-                let mut buf = vec![0u8; bs.bytes()];
-                self.mem.read(decoded, &mut buf).map(|()| {
+                let mut buf = [0u8; MAX_BLOCK_BYTES];
+                let buf = &mut buf[..bs.bytes()];
+                self.mem.read(decoded, buf).map(|()| {
                     self.stats.reads += 1;
                     Some(
                         Packet::response(
@@ -124,15 +141,16 @@ impl Vault {
                             entry.packet.tag(),
                             entry.packet.slid(),
                             ResponseStatus::Ok,
-                            &buf,
+                            buf,
                         )
                         .expect("read response construction cannot fail"),
                     )
                 })
             }
             Command::Wr(_) | Command::PostedWr(_) => {
-                let data = entry.packet.data_as_bytes();
-                self.mem.write(decoded, &data).map(|()| {
+                let mut buf = [0u8; MAX_BLOCK_BYTES];
+                let n = entry.packet.copy_data_to(&mut buf);
+                self.mem.write(decoded, &buf[..n]).map(|()| {
                     self.stats.writes += 1;
                     if cmd.is_posted() {
                         None
@@ -192,7 +210,8 @@ impl Vault {
             }
             Ok(Some(packet)) => {
                 self.stats.processed += 1;
-                Execution::Respond(Box::new(self.response_entry(packet, &entry, device, cycle)))
+                self.register_response(packet, &entry, device, cycle);
+                Execution::Responded
             }
             Err(_) => {
                 self.stats.errors += 1;
@@ -237,16 +256,17 @@ impl Vault {
             &[],
         )
         .expect("error response construction cannot fail");
-        Execution::Respond(Box::new(self.response_entry(packet, request, device, cycle)))
+        self.register_response(packet, request, device, cycle);
+        Execution::RespondedError(status)
     }
 
-    fn response_entry(
-        &self,
+    fn register_response(
+        &mut self,
         packet: Packet,
         request: &QueueEntry,
         device: CubeId,
         cycle: Cycle,
-    ) -> QueueEntry {
+    ) {
         let mut e = QueueEntry::new(packet, device, request.src_cube, cycle);
         // The response inherits the request's device-entry stamp so
         // host-observed latency spans the whole round trip.
@@ -254,7 +274,10 @@ impl Vault {
         // Responses exit the device on the link the request arrived on,
         // preserving the link-stream association (§III.C).
         e.arrival_link = request.arrival_link;
-        e
+        // Stage 4 verified a free slot before executing a command that
+        // owes a response, so this cannot overflow in the engine; a
+        // direct caller that ignored the contract just loses the entry.
+        let _ = self.rsp.push(e);
     }
 
     /// Drop queue contents and counters; reset banks (device reset).
@@ -297,6 +320,11 @@ mod tests {
         e
     }
 
+    /// Pop the response `execute` just registered in the vault queue.
+    fn take_rsp(v: &mut Vault) -> QueueEntry {
+        v.rsp.pop().expect("a response entry was registered")
+    }
+
     #[test]
     fn write_then_read_roundtrip_through_execution() {
         let mut v = vault();
@@ -304,25 +332,21 @@ mod tests {
         let data = [0x5au8; 64];
         // Vault 0 addresses: low-interleave places vault bits just above
         // the 128-byte offset, so address 0 targets vault 0, bank 0.
-        match v.execute(request(Command::Wr(BlockSize::B64), 0, 1, &data), &m, 0, 5) {
-            Execution::Respond(e) => {
-                assert_eq!(e.packet.cmd().unwrap(), Command::WrResponse);
-                assert_eq!(e.packet.tag(), 1);
-                assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::Ok);
-                assert_eq!(e.src_cube, 0);
-                assert_eq!(e.dest_cube, 6, "response returns to the host");
-                assert_eq!(e.arrival_link, 2);
-            }
-            other => panic!("expected response, got {other:?}"),
-        }
-        match v.execute(request(Command::Rd(BlockSize::B64), 0, 2, &[]), &m, 0, 6) {
-            Execution::Respond(e) => {
-                assert_eq!(e.packet.cmd().unwrap(), Command::RdResponse);
-                assert_eq!(e.packet.data_as_bytes(), data.to_vec());
-                assert_eq!(e.packet.response_slid(), 2, "SLID echoed");
-            }
-            other => panic!("expected response, got {other:?}"),
-        }
+        let exec = v.execute(request(Command::Wr(BlockSize::B64), 0, 1, &data), &m, 0, 5);
+        assert_eq!(exec, Execution::Responded);
+        let e = take_rsp(&mut v);
+        assert_eq!(e.packet.cmd().unwrap(), Command::WrResponse);
+        assert_eq!(e.packet.tag(), 1);
+        assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::Ok);
+        assert_eq!(e.src_cube, 0);
+        assert_eq!(e.dest_cube, 6, "response returns to the host");
+        assert_eq!(e.arrival_link, 2);
+        let exec = v.execute(request(Command::Rd(BlockSize::B64), 0, 2, &[]), &m, 0, 6);
+        assert_eq!(exec, Execution::Responded);
+        let e = take_rsp(&mut v);
+        assert_eq!(e.packet.cmd().unwrap(), Command::RdResponse);
+        assert_eq!(e.packet.data_as_bytes(), data.to_vec());
+        assert_eq!(e.packet.response_slid(), 2, "SLID echoed");
         assert_eq!(v.stats.processed, 2);
         assert_eq!(v.stats.reads, 1);
         assert_eq!(v.stats.writes, 1);
@@ -332,15 +356,14 @@ mod tests {
     fn posted_writes_complete_silently() {
         let mut v = vault();
         let m = map();
-        match v.execute(
+        let exec = v.execute(
             request(Command::PostedWr(BlockSize::B32), 0, 3, &[1u8; 32]),
             &m,
             0,
             0,
-        ) {
-            Execution::Done => {}
-            other => panic!("posted write must not respond: {other:?}"),
-        }
+        );
+        assert_eq!(exec, Execution::Done, "posted write must not respond");
+        assert!(v.rsp.is_empty());
         assert_eq!(v.stats.writes, 1);
     }
 
@@ -353,14 +376,12 @@ mod tests {
         payload[8..].copy_from_slice(&20u64.to_le_bytes());
         v.execute(request(Command::TwoAdd8, 0, 1, &payload), &m, 0, 0);
         v.execute(request(Command::TwoAdd8, 0, 2, &payload), &m, 0, 0);
-        match v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0) {
-            Execution::Respond(e) => {
-                let bytes = e.packet.data_as_bytes();
-                assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 20);
-                assert_eq!(u64::from_le_bytes(bytes[8..].try_into().unwrap()), 40);
-            }
-            other => panic!("expected read response, got {other:?}"),
-        }
+        v.rsp.clear();
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0);
+        assert_eq!(exec, Execution::Responded);
+        let bytes = take_rsp(&mut v).packet.data_as_bytes();
+        assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 20);
+        assert_eq!(u64::from_le_bytes(bytes[8..].try_into().unwrap()), 40);
         assert_eq!(v.stats.atomics, 2);
     }
 
@@ -375,14 +396,12 @@ mod tests {
         let mut op = [0u8; 16];
         op[0] = 1;
         v.execute(request(Command::Add16, 0, 2, &op), &m, 0, 0);
-        match v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0) {
-            Execution::Respond(e) => {
-                let bytes = e.packet.data_as_bytes();
-                let val = u128::from_le_bytes(bytes.try_into().unwrap());
-                assert_eq!(val, 1u128 << 64);
-            }
-            other => panic!("{other:?}"),
-        }
+        v.rsp.clear();
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0);
+        assert_eq!(exec, Execution::Responded);
+        let bytes = take_rsp(&mut v).packet.data_as_bytes();
+        let val = u128::from_le_bytes(bytes.try_into().unwrap());
+        assert_eq!(val, 1u128 << 64);
     }
 
     #[test]
@@ -396,16 +415,14 @@ mod tests {
         op[..8].copy_from_slice(&0u64.to_le_bytes()); // data
         op[8..].copy_from_slice(&0x0000_0000_ffff_ffffu64.to_le_bytes()); // mask
         v.execute(request(Command::Bwr, 0, 2, &op), &m, 0, 0);
-        match v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0) {
-            Execution::Respond(e) => {
-                let bytes = e.packet.data_as_bytes();
-                assert_eq!(
-                    u64::from_le_bytes(bytes[..8].try_into().unwrap()),
-                    0xffff_ffff_0000_0000
-                );
-            }
-            other => panic!("{other:?}"),
-        }
+        v.rsp.clear();
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0);
+        assert_eq!(exec, Execution::Responded);
+        let bytes = take_rsp(&mut v).packet.data_as_bytes();
+        assert_eq!(
+            u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            0xffff_ffff_0000_0000
+        );
     }
 
     #[test]
@@ -414,15 +431,16 @@ mod tests {
         let m = map();
         // Beyond the 16-vault x 8-bank x 64-row x 128-byte capacity.
         let over = m.geometry().capacity_bytes();
-        match v.execute(request(Command::Rd(BlockSize::B16), over, 7, &[]), &m, 0, 0) {
-            Execution::Respond(e) => {
-                assert_eq!(e.packet.cmd().unwrap(), Command::ErrorResponse);
-                assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::AddressError);
-                assert_eq!(e.packet.tag(), 7);
-                assert!(e.packet.dinv());
-            }
-            other => panic!("{other:?}"),
-        }
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), over, 7, &[]), &m, 0, 0);
+        assert_eq!(
+            exec,
+            Execution::RespondedError(ResponseStatus::AddressError)
+        );
+        let e = take_rsp(&mut v);
+        assert_eq!(e.packet.cmd().unwrap(), Command::ErrorResponse);
+        assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::AddressError);
+        assert_eq!(e.packet.tag(), 7);
+        assert!(e.packet.dinv());
         assert_eq!(v.stats.errors, 1);
         assert_eq!(v.stats.processed, 0);
     }
@@ -431,12 +449,13 @@ mod tests {
     fn mode_commands_at_a_vault_are_command_errors() {
         let mut v = vault();
         let m = map();
-        match v.execute(request(Command::ModeRead, 0, 1, &[]), &m, 0, 0) {
-            Execution::Respond(e) => {
-                assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::CommandError);
-            }
-            other => panic!("{other:?}"),
-        }
+        let exec = v.execute(request(Command::ModeRead, 0, 1, &[]), &m, 0, 0);
+        assert_eq!(
+            exec,
+            Execution::RespondedError(ResponseStatus::CommandError)
+        );
+        let e = take_rsp(&mut v);
+        assert_eq!(e.packet.errstat().unwrap(), ResponseStatus::CommandError);
     }
 
     #[test]
@@ -444,15 +463,14 @@ mod tests {
         let mut v = vault();
         let m = map();
         let over = m.geometry().capacity_bytes();
-        match v.execute(
+        let exec = v.execute(
             request(Command::PostedWr(BlockSize::B16), over, 1, &[0u8; 16]),
             &m,
             0,
             0,
-        ) {
-            Execution::Done => {}
-            other => panic!("posted failure must be silent: {other:?}"),
-        }
+        );
+        assert_eq!(exec, Execution::Done, "posted failure must be silent");
+        assert!(v.rsp.is_empty());
         assert_eq!(v.stats.errors, 1);
     }
 
@@ -463,10 +481,9 @@ mod tests {
         v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &[1; 16]), &m, 0, 0);
         v.reset();
         assert_eq!(v.stats, VaultStats::default());
-        match v.execute(request(Command::Rd(BlockSize::B16), 0, 2, &[]), &m, 0, 0) {
-            Execution::Respond(e) => assert_eq!(e.packet.data_as_bytes(), vec![0u8; 16]),
-            other => panic!("{other:?}"),
-        }
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 2, &[]), &m, 0, 0);
+        assert_eq!(exec, Execution::Responded);
+        assert_eq!(take_rsp(&mut v).packet.data_as_bytes(), vec![0u8; 16]);
     }
 
     #[test]

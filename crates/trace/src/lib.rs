@@ -14,10 +14,12 @@ pub mod event;
 pub mod power;
 pub mod series;
 pub mod sink;
+pub mod stage;
 pub mod stats;
 
 pub use analysis::{analyze_bandwidth, transaction_efficiency, BandwidthReport, TrafficCounts};
 pub use event::{EventKind, TraceEvent, TraceRecord};
+pub use stage::EventStage;
 pub use power::{estimate_energy, Activity, EnergyModel, EnergyReport};
 pub use series::{SeriesCollector, SeriesRow};
 pub use sink::{

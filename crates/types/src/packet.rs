@@ -346,11 +346,22 @@ impl Packet {
 
     /// Extract the live payload as bytes (little-endian word order).
     pub fn data_as_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.data_bytes());
-        for w in self.data_words() {
-            out.extend_from_slice(&w.to_le_bytes());
-        }
+        let mut out = vec![0u8; self.data_bytes()];
+        self.copy_data_to(&mut out);
         out
+    }
+
+    /// Copy the live payload into `out` without allocating, returning the
+    /// number of bytes written (`data_bytes()`).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than the live payload.
+    pub fn copy_data_to(&self, out: &mut [u8]) -> usize {
+        let n = self.data_bytes();
+        for (chunk, w) in out[..n].chunks_mut(8).zip(self.data_words()) {
+            chunk.copy_from_slice(&w.to_le_bytes()[..chunk.len()]);
+        }
+        n
     }
 
     // ---------------------------------------------------------- construction

@@ -12,7 +12,7 @@ fn run(rate: f64) -> (RunReport, u64, u64) {
         sim.enable_fault_injection(FaultConfig {
             packet_error_rate: rate,
             retry_cycles: 8,
-            seed: 0xbad_1,
+            seed: 0xbad1,
         });
     }
     let host_id = sim.host_cube_id(0);

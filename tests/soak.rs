@@ -6,7 +6,7 @@ use hmc_sim::hmc_core::{decode_response, topology, HmcSim};
 use hmc_sim::hmc_host::{run_workload, Host, RunConfig};
 use hmc_sim::hmc_types::{BlockSize, Command, DeviceConfig, Packet, StorageMode};
 use hmc_sim::hmc_workloads::{
-    Gups, Mixed, RandomAccess, Replay, Stream, StreamMode, UpdateKind, Workload,
+    Gups, Mixed, RandomAccess, Replay, Stream, StreamMode, UpdateKind,
 };
 
 fn build(cfg: DeviceConfig) -> (HmcSim, Host) {
