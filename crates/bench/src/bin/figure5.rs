@@ -8,7 +8,7 @@
 //! ASCII sparkline summary and per-vault utilization totals.
 //!
 //! Usage:
-//!   figure5 [--scale N] [--seed S] [--bin W] [--out DIR] [--threads N]
+//!   figure5 [--scale N] [--seed S] [--bin W] [--out DIR] [--threads N] [--check]
 //!
 //! Defaults: 1/256 scale, bin width auto (~200 rows), output CSVs to the
 //! current directory as `figure5_<config>.csv`.
@@ -27,6 +27,7 @@ fn main() {
     let mut bin: u64 = 0; // 0 = auto
     let mut out_dir = String::from(".");
     let mut threads: usize = 1;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,9 +36,11 @@ fn main() {
             "--bin" => bin = parse(args.next(), "--bin"),
             "--out" => out_dir = args.next().unwrap_or_else(|| die("--out needs a path")),
             "--threads" => threads = parse(args.next(), "--threads"),
+            "--check" => check = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR] [--threads N]"
+                    "usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR] \
+                     [--threads N] [--check]"
                 );
                 return;
             }
@@ -66,8 +69,19 @@ fn main() {
         };
         let (mut sim, mut host) = paper_setup(cfg, opts, Some(Box::new(series.clone())));
         let mut workload = paper_workload(seed, scale);
-        let report = run_workload(&mut sim, &mut host, &mut workload, RunConfig::default())
+        let run_cfg = RunConfig {
+            check_invariants: check,
+            ..RunConfig::default()
+        };
+        let report = run_workload(&mut sim, &mut host, &mut workload, run_cfg)
             .expect("figure5 run completes");
+        if check && report.invariant_violations > 0 {
+            die(&format!(
+                "{label}: {} invariant violation(s); first: {:?}",
+                report.invariant_violations,
+                sim.invariant_violations().first()
+            ));
+        }
 
         let collector = series.0.lock();
         let totals = collector.totals();

@@ -10,7 +10,7 @@
 //!        [--workload random|stream|gups|chase|stencil]
 //!        [--requests N] [--seed S] [--read-pct P] [--block BYTES]
 //!        [--error-rate R] [--serialize-flits N] [--threads N]
-//!        [--locality] [--stall-queue]
+//!        [--locality] [--stall-queue] [--check]
 //!        [--series FILE] [--trace FILE] [--utilization] [--energy]
 //!        [--profile]
 //! ```
@@ -47,6 +47,7 @@ struct Options {
     utilization: bool,
     energy: bool,
     profile: bool,
+    check: bool,
     dump_config: Option<String>,
 }
 
@@ -70,6 +71,7 @@ impl Default for Options {
             utilization: false,
             energy: false,
             profile: false,
+            check: false,
             dump_config: None,
         }
     }
@@ -82,7 +84,8 @@ fn usage() -> ! {
          [--workload random|stream|gups|chase|stencil] [--requests N] \
          [--seed S] [--read-pct P] [--block BYTES] [--error-rate R] \
          [--serialize-flits N] [--threads N] [--locality] [--stall-queue] \
-         [--series FILE] [--trace FILE] [--utilization] [--energy] [--profile]"
+         [--check] [--series FILE] [--trace FILE] [--utilization] [--energy] \
+         [--profile]"
     );
     std::process::exit(2);
 }
@@ -166,6 +169,7 @@ fn parse_options() -> Options {
             "--utilization" => o.utilization = true,
             "--energy" => o.energy = true,
             "--profile" => o.profile = true,
+            "--check" => o.check = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("hmcsim: unknown argument {other}");
@@ -293,7 +297,11 @@ fn main() {
         workload.len_hint().unwrap_or(o.requests),
         o.config_name
     );
-    let report = run_workload(&mut sim, &mut host, workload.as_mut(), RunConfig::default())
+    let run_cfg = RunConfig {
+        check_invariants: o.check,
+        ..RunConfig::default()
+    };
+    let report = run_workload(&mut sim, &mut host, workload.as_mut(), run_cfg)
         .expect("run completes");
 
     println!("cycles            {}", report.cycles);
@@ -312,6 +320,16 @@ fn main() {
             "link errors       {} injected, {} recovered",
             f.injected, f.detected
         );
+    }
+    if o.check {
+        println!("invariants        {} violation(s)", report.invariant_violations);
+        if report.invariant_violations > 0 {
+            eprintln!(
+                "hmcsim: invariant check failed; first violation: {:?}",
+                sim.invariant_violations().first()
+            );
+            std::process::exit(1);
+        }
     }
 
     if o.utilization {

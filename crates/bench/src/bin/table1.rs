@@ -3,20 +3,22 @@
 //! requests (50/50 read/write).
 //!
 //! Usage:
-//!   table1 [--scale N] [--full] [--seed S] [--threads N]
+//!   table1 [--scale N] [--full] [--seed S] [--threads N] [--check]
 //!
 //! `--scale N` runs 1/N of the paper's request count (default 16);
 //! `--full` is shorthand for `--scale 1` (the paper's exact request
 //! count; takes a few minutes per configuration). `--threads N` runs
 //! the sharded clock engine with N workers (0 = auto); cycle counts are
-//! bit-identical to the serial engine.
+//! bit-identical to the serial engine. `--check` arms the per-cycle
+//! protocol invariant checker and fails the run on any violation.
 
-use hmc_bench::table1::{format_table, run_table1_threaded};
+use hmc_bench::table1::{format_table, run_table1_checked};
 
 fn main() {
     let mut scale: u64 = 16;
     let mut seed: u32 = 1;
     let mut threads: usize = 1;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,20 +41,41 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--threads needs an integer"));
             }
+            "--check" => check = true,
             "--help" | "-h" => {
-                eprintln!("usage: table1 [--scale N] [--full] [--seed S] [--threads N]");
+                eprintln!(
+                    "usage: table1 [--scale N] [--full] [--seed S] [--threads N] [--check]"
+                );
                 return;
             }
             other => die(&format!("unknown argument {other}")),
         }
     }
 
-    eprintln!("Running Table I at 1/{scale} scale (seed {seed}, {threads} threads) ...");
-    let rows = run_table1_threaded(scale, seed, threads, |config, cycles| {
+    eprintln!(
+        "Running Table I at 1/{scale} scale (seed {seed}, {threads} threads{}) ...",
+        if check { ", invariants checked" } else { "" }
+    );
+    let rows = run_table1_checked(scale, seed, threads, check, |config, cycles| {
         eprint!("\r  config {} of 4: {cycles:>10} cycles", config + 1);
     });
     eprintln!();
     println!("{}", format_table(&rows, scale));
+    if check {
+        let violations: u64 = rows.iter().map(|r| r.invariant_violations).sum();
+        if violations > 0 {
+            for r in &rows {
+                if r.invariant_violations > 0 {
+                    eprintln!(
+                        "table1: {}: {} invariant violation(s)",
+                        r.label, r.invariant_violations
+                    );
+                }
+            }
+            std::process::exit(1);
+        }
+        println!("Invariant check: 0 violations across all configurations.");
+    }
 }
 
 fn die(msg: &str) -> ! {

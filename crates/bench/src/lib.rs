@@ -13,4 +13,4 @@ pub mod harness;
 pub mod table1;
 
 pub use harness::{paper_setup, scaled_requests, SetupOptions};
-pub use table1::{run_table1, table1_speedups, Table1Row};
+pub use table1::{run_table1, run_table1_checked, table1_speedups, Table1Row};

@@ -36,6 +36,9 @@ pub struct Table1Row {
     pub throughput: f64,
     /// The paper's cycle count for this configuration (full scale).
     pub paper_cycles: u64,
+    /// Protocol invariant violations observed during the run (always 0
+    /// unless the run was made with the invariant checker armed).
+    pub invariant_violations: u64,
 }
 
 /// Run the Table I experiment at `1/scale` of the paper's request count.
@@ -52,6 +55,21 @@ pub fn run_table1_threaded<F: FnMut(usize, u64)>(
     scale: u64,
     seed: u32,
     threads: usize,
+    progress: F,
+) -> Vec<Table1Row> {
+    run_table1_checked(scale, seed, threads, false, progress)
+}
+
+/// [`run_table1_threaded`] with the protocol invariant checker optionally
+/// armed (`check = true` sets [`RunConfig::check_invariants`]). Checked
+/// runs are slower but verify token conservation, queue-slot validity,
+/// tag-lifecycle and CRC invariants on every cycle; violations are
+/// reported per row in [`Table1Row::invariant_violations`].
+pub fn run_table1_checked<F: FnMut(usize, u64)>(
+    scale: u64,
+    seed: u32,
+    threads: usize,
+    check: bool,
     mut progress: F,
 ) -> Vec<Table1Row> {
     let requests = scaled_requests(scale);
@@ -71,6 +89,7 @@ pub fn run_table1_threaded<F: FnMut(usize, u64)>(
                 &mut workload,
                 RunConfig {
                     progress_every: 65_536,
+                    check_invariants: check,
                     ..RunConfig::default()
                 },
                 |cycles, _| progress(i, cycles),
@@ -82,6 +101,7 @@ pub fn run_table1_threaded<F: FnMut(usize, u64)>(
                 requests,
                 throughput: report.throughput,
                 paper_cycles: PAPER_CYCLES[i],
+                invariant_violations: report.invariant_violations,
             }
         })
         .collect()
@@ -143,6 +163,7 @@ mod tests {
                 requests: 33_554_432,
                 throughput: 0.0,
                 paper_cycles: cycles,
+                invariant_violations: 0,
             })
             .collect();
         let (banks, links) = table1_speedups(&rows);
@@ -162,5 +183,17 @@ mod tests {
         let table = format_table(&rows, 8192);
         assert!(table.contains("4-Link; 8-Bank; 2GB"));
         assert!(table.contains("Avg speedup"));
+    }
+
+    #[test]
+    fn checked_run_is_clean_and_cycle_identical_to_unchecked() {
+        // The invariant checker must neither fire on a clean run nor
+        // perturb simulated time (it only observes).
+        let plain = run_table1(8192, 1, |_, _| {});
+        let checked = run_table1_checked(8192, 1, 1, true, |_, _| {});
+        for (p, c) in plain.iter().zip(&checked) {
+            assert_eq!(c.invariant_violations, 0, "{}: violations", c.label);
+            assert_eq!(p.cycles, c.cycles, "{}: checker perturbed timing", c.label);
+        }
     }
 }

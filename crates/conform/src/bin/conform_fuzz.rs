@@ -1,0 +1,135 @@
+//! `conform-fuzz` — the deterministic conformance fuzz campaign.
+//!
+//! ```text
+//! conform-fuzz [--streams N] [--len N] [--seed HEX] [--full-sweep]
+//!              [--repro-dir DIR] [--demo-corruption]
+//! ```
+//!
+//! Runs `N` seeded command streams differentially through the serial
+//! engine, the sharded engine, and the functional oracle, rotating
+//! over the four paper presets and four address maps. Exits non-zero
+//! on the first divergence, after shrinking it and writing a repro
+//! trace. `--demo-corruption` instead *injects* a datapath fault into
+//! one stream and exits zero only if the harness catches and shrinks
+//! it — the checker checking itself.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hmc_conform::{campaign, shrink_case, write_repro, CampaignConfig};
+use hmc_conform::fuzz::campaign_with_corruption;
+use hmc_conform::CorruptSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conform-fuzz [--streams N] [--len N] [--seed HEX] [--full-sweep]\n\
+         \x20                  [--repro-dir DIR] [--demo-corruption]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = CampaignConfig::default();
+    let mut repro_dir = PathBuf::from(".");
+    let mut demo_corruption = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--streams" => cfg.streams = value("--streams").parse().unwrap_or_else(|_| usage()),
+            "--len" => cfg.stream_len = value("--len").parse().unwrap_or_else(|_| usage()),
+            "--seed" => {
+                let v = value("--seed");
+                let v = v.trim_start_matches("0x");
+                cfg.base_seed = u64::from_str_radix(v, 16).unwrap_or_else(|_| usage());
+            }
+            "--full-sweep" => cfg.full_sweep = true,
+            "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")),
+            "--demo-corruption" => demo_corruption = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+
+    if demo_corruption {
+        return run_corruption_demo(&cfg, &repro_dir);
+    }
+
+    println!(
+        "conform-fuzz: {} streams x {} ops, base seed {:#x}, {} thread sweep",
+        cfg.streams,
+        cfg.stream_len,
+        cfg.base_seed,
+        if cfg.full_sweep { "full" } else { "rotating" },
+    );
+    let report = campaign(&cfg);
+    match report.failure {
+        None => {
+            println!(
+                "PASS: {} streams clean, {} responses oracle-checked",
+                report.streams_run, report.responses_checked
+            );
+            ExitCode::SUCCESS
+        }
+        Some((case, failure)) => {
+            eprintln!(
+                "FAIL on stream {} ({}, {} map, seed {:#x}): {failure}",
+                report.streams_run - 1,
+                case.label,
+                case.map.name(),
+                case.seed
+            );
+            eprintln!("shrinking…");
+            let shrunk = shrink_case(&case);
+            let path = repro_dir.join("conform-repro.csv");
+            match write_repro(&shrunk.minimal, &shrunk.failure, &path) {
+                Ok(()) => eprintln!(
+                    "minimal repro: {} of {} ops ({} runs) -> {}",
+                    shrunk.minimal.ops.len(),
+                    shrunk.original_len,
+                    shrunk.runs,
+                    path.display()
+                ),
+                Err(e) => eprintln!("could not write repro file: {e}"),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Self-test mode: inject a known datapath corruption and demand the
+/// harness catch it, shrink it, and write a loadable repro.
+fn run_corruption_demo(cfg: &CampaignConfig, repro_dir: &std::path::Path) -> ExitCode {
+    let demo = CampaignConfig {
+        streams: cfg.streams.clamp(1, 4),
+        ..cfg.clone()
+    };
+    let spec = CorruptSpec { addr: 0, xor: 0xbad0_bad0_bad0_bad0 };
+    let report = campaign_with_corruption(&demo, Some((0, spec)));
+    let Some((case, failure)) = report.failure else {
+        eprintln!("FAIL: seeded corruption was NOT detected");
+        return ExitCode::FAILURE;
+    };
+    println!("seeded corruption detected: {failure}");
+    let shrunk = shrink_case(&case);
+    let path = repro_dir.join("conform-demo-repro.csv");
+    if let Err(e) = write_repro(&shrunk.minimal, &shrunk.failure, &path) {
+        eprintln!("could not write repro file: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "PASS: shrunk {} -> {} ops in {} runs, repro at {}",
+        shrunk.original_len,
+        shrunk.minimal.ops.len(),
+        shrunk.runs,
+        path.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,343 @@
+//! Deterministic command-stream generation and the fuzz campaign.
+//!
+//! Streams come from a 64-bit LCG seeded by the campaign's base seed
+//! and the stream index — no wall-clock, no OS entropy. The campaign
+//! rotates every stream across the four paper device presets and the
+//! four address-map kinds, so a `(base seed, stream index)` pair names
+//! one exact `(preset, map, ops)` case forever.
+
+use hmc_types::{
+    AddressMap, BankFirstMap, BlockSize, CustomMap, DeviceConfig, Field, LinearMap,
+    LowInterleaveMap, MapGeometry,
+};
+use hmc_workloads::{MemOp, OpKind};
+
+use crate::harness::{run_case, CorruptSpec, Failure, FuzzCase, THREAD_SWEEP};
+
+/// A 64-bit linear congruential generator (Knuth's MMIX multiplier)
+/// with a splitmix-style output mix — deterministic, seedable, and
+/// dependency-free.
+#[derive(Debug, Clone, Copy)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// The address-map kinds the campaign sweeps: the three specification
+/// maps plus one [`CustomMap`] ordering none of them uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapKind {
+    /// `[offset][vault][bank][row]` — the specification default.
+    LowInterleave,
+    /// `[offset][bank][vault][row]` — the conflict-prone ablation.
+    BankFirst,
+    /// `[offset][row][bank][vault]` — the DIMM-like layout.
+    Linear,
+    /// `[offset][row][vault][bank]` via [`CustomMap`] — an ordering no
+    /// built-in map provides.
+    Custom,
+}
+
+impl MapKind {
+    /// All kinds, in sweep order.
+    pub const ALL: [MapKind; 4] = [
+        MapKind::LowInterleave,
+        MapKind::BankFirst,
+        MapKind::Linear,
+        MapKind::Custom,
+    ];
+
+    /// Instantiate the map for a device geometry.
+    pub fn make(self, geometry: MapGeometry) -> Box<dyn AddressMap> {
+        match self {
+            MapKind::LowInterleave => {
+                Box::new(LowInterleaveMap::new(geometry).expect("paper geometries validate"))
+            }
+            MapKind::BankFirst => {
+                Box::new(BankFirstMap::new(geometry).expect("paper geometries validate"))
+            }
+            MapKind::Linear => {
+                Box::new(LinearMap::new(geometry).expect("paper geometries validate"))
+            }
+            MapKind::Custom => Box::new(
+                CustomMap::new(geometry, [Field::Row, Field::Vault, Field::Bank])
+                    .expect("paper geometries validate"),
+            ),
+        }
+    }
+
+    /// Sweep-order label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MapKind::LowInterleave => "low-interleave",
+            MapKind::BankFirst => "bank-first",
+            MapKind::Linear => "linear",
+            MapKind::Custom => "custom-rvb",
+        }
+    }
+}
+
+/// Read/write sizes the generator draws from (all ≤ the presets'
+/// 128-byte block).
+const SIZES: [BlockSize; 4] = [BlockSize::B16, BlockSize::B32, BlockSize::B64, BlockSize::B128];
+
+/// Generate one seeded operation stream for a device configuration.
+///
+/// Addresses stay inside a small working set of blocks so that
+/// read-after-write and atomic read-modify-write chains actually
+/// collide; offsets respect each command's span and alignment rules
+/// (atomics 16-byte aligned, BWR 8-byte aligned, reads/writes at
+/// offset 0 so the span never crosses a block).
+pub fn gen_stream(seed: u64, len: usize, config: &DeviceConfig) -> Vec<MemOp> {
+    let block = config.block_size.bytes() as u64;
+    // Working set: a handful of blocks per link keeps collisions hot.
+    let blocks = (config.num_links as u64 * 12).min(config.capacity_bytes / block);
+    let mut lcg = Lcg::new(seed);
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let base = lcg.below(blocks) * block;
+        let op = match lcg.below(100) {
+            0..=39 => MemOp::read(base, SIZES[lcg.below(4) as usize]),
+            40..=64 => MemOp::write(base, SIZES[lcg.below(4) as usize]),
+            65..=74 => MemOp {
+                kind: OpKind::PostedWrite,
+                addr: base,
+                size: SIZES[lcg.below(4) as usize],
+            },
+            75..=84 => MemOp {
+                kind: OpKind::TwoAdd8,
+                addr: base + lcg.below(block / 16) * 16,
+                size: BlockSize::B16,
+            },
+            85..=89 => MemOp {
+                kind: OpKind::Add16,
+                addr: base + lcg.below(block / 16) * 16,
+                size: BlockSize::B16,
+            },
+            _ => MemOp {
+                kind: OpKind::BitWrite,
+                addr: base + lcg.below(block / 8) * 8,
+                size: BlockSize::B16,
+            },
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of streams to run.
+    pub streams: usize,
+    /// Operations per stream.
+    pub stream_len: usize,
+    /// Base seed; stream `i` uses `base_seed ^ splitmix(i)`.
+    pub base_seed: u64,
+    /// Sweep every stream over all of 1/2/4/8 threads instead of the
+    /// default rotation (serial + one parallel count per stream).
+    pub full_sweep: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            streams: 64,
+            stream_len: 48,
+            base_seed: 0xC0FF_EE00,
+            full_sweep: false,
+        }
+    }
+}
+
+/// Campaign outcome.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Streams executed (including the failing one, if any).
+    pub streams_run: usize,
+    /// Total responses checked by the oracle across all engine runs.
+    pub responses_checked: u64,
+    /// The first failing case and its failure, if any.
+    pub failure: Option<(FuzzCase, Failure)>,
+}
+
+impl CampaignReport {
+    /// True when every stream passed.
+    pub fn is_clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Build the case for stream `i` of a campaign: preset, map, and
+/// thread sweep all derive from the stream index, so every preset ×
+/// map × thread-count combination is exercised on a fixed schedule.
+pub fn case_for_stream(cfg: &CampaignConfig, i: usize) -> FuzzCase {
+    let presets = DeviceConfig::paper_configs();
+    let (label, device) = &presets[i % presets.len()];
+    let map = MapKind::ALL[(i / presets.len()) % MapKind::ALL.len()];
+    let seed = cfg.base_seed ^ Lcg::new(i as u64).next_u64();
+    let ops = gen_stream(seed, cfg.stream_len, device);
+    let mut case = FuzzCase::new(label, device.clone(), map, seed, ops);
+    if !cfg.full_sweep {
+        // Rotate the parallel engine's thread count; serial always runs.
+        case.threads = vec![1, THREAD_SWEEP[1 + i % (THREAD_SWEEP.len() - 1)]];
+    }
+    case
+}
+
+/// Run a fuzz campaign, optionally seeding a deliberate corruption
+/// into stream `corrupt_stream` (checker-of-the-checker tests). Stops
+/// at the first failure.
+pub fn campaign_with_corruption(
+    cfg: &CampaignConfig,
+    corrupt: Option<(usize, CorruptSpec)>,
+) -> CampaignReport {
+    let mut checked = 0u64;
+    for i in 0..cfg.streams {
+        let mut case = case_for_stream(cfg, i);
+        if let Some((stream, spec)) = corrupt {
+            if stream == i {
+                // Corrupt the first written address; the fault is only
+                // observable through a later read of that block, so
+                // append one if the stream happens to lack it (keeps
+                // the block-ownership discipline: same block, same
+                // owner link).
+                let addr = match case
+                    .ops
+                    .iter()
+                    .find(|o| matches!(o.kind, OpKind::Write | OpKind::PostedWrite))
+                {
+                    Some(o) => o.addr,
+                    None => {
+                        case.ops.push(MemOp::write(spec.addr, BlockSize::B16));
+                        spec.addr
+                    }
+                };
+                if !case.ops.iter().any(|o| {
+                    o.kind == OpKind::Read && o.addr == addr
+                }) {
+                    case.ops.push(MemOp::read(addr, BlockSize::B16));
+                }
+                case.corrupt = Some(CorruptSpec { addr, xor: spec.xor });
+            }
+        }
+        match run_case(&case) {
+            Ok(out) => checked += out.checked,
+            Err(failure) => {
+                return CampaignReport {
+                    streams_run: i + 1,
+                    responses_checked: checked,
+                    failure: Some((case, failure)),
+                }
+            }
+        }
+    }
+    CampaignReport {
+        streams_run: cfg.streams,
+        responses_checked: checked,
+        failure: None,
+    }
+}
+
+/// Run a clean fuzz campaign (no seeded corruption).
+pub fn campaign(cfg: &CampaignConfig) -> CampaignReport {
+    campaign_with_corruption(cfg, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::owner_link;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let cfg = DeviceConfig::paper_4link_8bank_2gb();
+        assert_eq!(gen_stream(42, 64, &cfg), gen_stream(42, 64, &cfg));
+        assert_ne!(gen_stream(42, 64, &cfg), gen_stream(43, 64, &cfg));
+    }
+
+    #[test]
+    fn generated_ops_respect_span_and_alignment() {
+        let cfg = DeviceConfig::paper_8link_16bank_8gb();
+        let block = cfg.block_size.bytes() as u64;
+        for op in gen_stream(7, 2_000, &cfg) {
+            assert!(op.addr < cfg.capacity_bytes);
+            let off = op.addr % block;
+            match op.kind {
+                OpKind::Read | OpKind::Write | OpKind::PostedWrite => {
+                    assert_eq!(off, 0);
+                    assert!(op.size.bytes() as u64 <= block);
+                }
+                OpKind::TwoAdd8 | OpKind::Add16 => {
+                    assert_eq!(off % 16, 0);
+                    assert!(off + 16 <= block);
+                }
+                OpKind::BitWrite => {
+                    assert_eq!(off % 8, 0);
+                    assert!(off + 8 <= block);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_block_has_a_single_owner_link() {
+        let cfg = DeviceConfig::paper_4link_8bank_2gb();
+        let block = cfg.block_size.bytes() as u64;
+        let ops = gen_stream(11, 1_000, &cfg);
+        let mut owners = std::collections::HashMap::new();
+        for op in &ops {
+            let owner = owner_link(op.addr, block, cfg.num_links);
+            let prev = owners.insert(op.addr / block, owner);
+            assert!(prev.is_none() || prev == Some(owner));
+        }
+    }
+
+    #[test]
+    fn case_schedule_covers_presets_maps_and_threads() {
+        let cfg = CampaignConfig { streams: 16, ..Default::default() };
+        let mut labels = std::collections::HashSet::new();
+        let mut maps = std::collections::HashSet::new();
+        let mut threads = std::collections::HashSet::new();
+        for i in 0..16 {
+            let case = case_for_stream(&cfg, i);
+            labels.insert(case.label.clone());
+            maps.insert(case.map.name());
+            threads.extend(case.threads.iter().copied());
+        }
+        assert_eq!(labels.len(), 4, "all four paper presets");
+        assert_eq!(maps.len(), 4, "all four map kinds");
+        assert!(threads.contains(&2) && threads.contains(&4) && threads.contains(&8));
+    }
+
+    #[test]
+    fn all_map_kinds_instantiate_on_all_presets() {
+        for (_, cfg) in DeviceConfig::paper_configs() {
+            for kind in MapKind::ALL {
+                let map = kind.make(cfg.geometry());
+                assert!(!map.name().is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The differential conformance harness.
+//!
+//! Runs one fuzz case — a seeded operation stream against one device
+//! preset and one address map — through the serial engine and the
+//! sharded parallel engine at each requested thread count, with the
+//! protocol invariant checker armed and the functional [`Oracle`]
+//! checking every response. A case passes only when every engine run
+//! is internally clean (oracle agreement, zero invariant violations,
+//! full quiesce with link tokens back at their initial allotment) and
+//! all runs produce bit-identical observation streams.
+
+use hmc_core::{decode_response, topology, HmcSim};
+use hmc_host::{Pending, TagPool};
+use hmc_types::{Cycle, DeviceConfig, HmcError, LinkId, Packet};
+use hmc_workloads::{MemOp, OpKind};
+
+use crate::fuzz::{Lcg, MapKind};
+use crate::oracle::Oracle;
+
+/// Thread counts every case runs at (1 = the serial engine).
+pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// Tag value reserved for posted (no-response) requests.
+const POSTED_TAG: u16 = 0x1ff;
+
+/// The link that owns a physical address under the fuzzer's
+/// block-ownership discipline: block index modulo the link count.
+/// Confining each block to one link makes per-block completion order
+/// total (§III.C stream ordering), which is what lets the oracle be
+/// exact. See the crate docs.
+pub fn owner_link(addr: u64, block_bytes: u64, num_links: u8) -> LinkId {
+    ((addr / block_bytes) % num_links as u64) as LinkId
+}
+
+/// A deliberate payload corruption, keyed by address so it survives
+/// shrinking: every write-class operation targeting `addr` has its
+/// first payload word XORed with `xor` *after* the oracle has seen the
+/// clean data. The packet is then sealed normally (valid CRC), so the
+/// corruption models a silent datapath fault the oracle must catch on
+/// the next read of that block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptSpec {
+    /// Target address whose writes are corrupted.
+    pub addr: u64,
+    /// XOR pattern applied to the first 8 payload bytes.
+    pub xor: u64,
+}
+
+/// One self-contained fuzz case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Human-readable preset label (diagnostics only).
+    pub label: String,
+    /// Device preset under test.
+    pub config: DeviceConfig,
+    /// Address map under test.
+    pub map: MapKind,
+    /// Stream seed — payloads derive from it deterministically.
+    pub seed: u64,
+    /// The operation stream.
+    pub ops: Vec<MemOp>,
+    /// Optional seeded corruption (conformance-of-the-checker tests).
+    pub corrupt: Option<CorruptSpec>,
+    /// Thread counts to sweep (defaults to [`THREAD_SWEEP`]).
+    pub threads: Vec<usize>,
+}
+
+impl FuzzCase {
+    /// A case over `ops` with the full thread sweep and no corruption.
+    pub fn new(label: &str, config: DeviceConfig, map: MapKind, seed: u64, ops: Vec<MemOp>) -> Self {
+        FuzzCase {
+            label: label.to_string(),
+            config,
+            map,
+            seed,
+            ops,
+            corrupt: None,
+            threads: THREAD_SWEEP.to_vec(),
+        }
+    }
+}
+
+/// One completion observed at a host link: `(op index, cycle, link,
+/// first response data word)`. Bit-identical across engines by the
+/// determinism contract.
+pub type Observation = (u32, Cycle, LinkId, u64);
+
+/// The result of one engine run of a case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineRun {
+    /// Completions in delivery order.
+    pub observations: Vec<Observation>,
+    /// Cycles from first injection to quiesce.
+    pub cycles: Cycle,
+}
+
+/// The result of a full (all-engines) case run.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The serial engine's run (the reference).
+    pub reference: EngineRun,
+    /// Responses checked by the oracle in the reference run.
+    pub checked: u64,
+}
+
+/// A conformance failure: which engine configuration diverged and how.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Thread count of the diverging run (0 = cross-engine comparison).
+    pub threads: usize,
+    /// Human-readable description of the divergence.
+    pub description: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.threads == 0 {
+            write!(f, "cross-engine divergence: {}", self.description)
+        } else {
+            write!(f, "[{} thread(s)] {}", self.threads, self.description)
+        }
+    }
+}
+
+/// Deterministic payload bytes for operation `idx` of a `seed` stream.
+/// Shared by the engine packet builder and the oracle — and by replay
+/// reruns, which is why it depends only on `(seed, idx)`.
+pub fn payload_for(seed: u64, idx: usize, len: usize) -> Vec<u8> {
+    let mut lcg = Lcg::new(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (0..len).map(|_| lcg.next_u64() as u8).collect()
+}
+
+fn is_write_class(kind: OpKind) -> bool {
+    matches!(kind, OpKind::Write | OpKind::PostedWrite)
+}
+
+/// Run one case at one thread count. Internally checks the oracle on
+/// every response, the invariant checker every cycle, and full quiesce
+/// at the end.
+pub fn run_engine(case: &FuzzCase, threads: usize) -> Result<EngineRun, Failure> {
+    let fail = |description: String| Failure { threads, description };
+
+    let mut sim = HmcSim::new(1, case.config.clone())
+        .map_err(|e| fail(format!("sim construction: {e}")))?
+        .with_threads(threads);
+    sim.set_address_map(case.map.make(case.config.geometry()))
+        .map_err(|e| fail(format!("address map: {e}")))?;
+    let host_id = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host_id).map_err(|e| fail(format!("topology: {e}")))?;
+    sim.set_check_invariants(true);
+
+    let block = case.config.block_size.bytes() as u64;
+    let links = case.config.num_links;
+    let mut tags = TagPool::new();
+    let mut tag_op = [u32::MAX; 512];
+    let mut oracle = Oracle::new();
+    let mut observations = Vec::with_capacity(case.ops.len());
+    let mut next = 0usize;
+    let start = sim.current_clock();
+    // Generous deadlock guard: streams quiesce in a few thousand cycles.
+    let max_cycles = 50_000 + 50 * case.ops.len() as u64;
+
+    loop {
+        // Strict in-order injection until the owner link stalls: the
+        // ownership discipline forbids falling back to another link.
+        while next < case.ops.len() {
+            let op = case.ops[next];
+            let link = owner_link(op.addr, block, links);
+            let tag = if op.expects_response() {
+                match tags.alloc(Pending {
+                    addr: op.addr,
+                    cmd: op.command(),
+                    issue_cycle: sim.current_clock(),
+                    dev: 0,
+                    link,
+                }) {
+                    Some(t) => t,
+                    None => break, // all 512 tags in flight
+                }
+            } else {
+                POSTED_TAG
+            };
+            let payload = payload_for(case.seed, next, op.payload_bytes());
+            let mut wire = payload.clone();
+            if let Some(c) = case.corrupt {
+                if c.addr == op.addr && is_write_class(op.kind) && wire.len() >= 8 {
+                    let word = u64::from_le_bytes(wire[..8].try_into().unwrap()) ^ c.xor;
+                    wire[..8].copy_from_slice(&word.to_le_bytes());
+                }
+            }
+            let packet = Packet::request(op.command(), 0, op.addr, tag, link, &wire)
+                .map_err(|e| fail(format!("op #{next}: packet build: {e}")))?;
+            match sim.send(0, link, packet) {
+                Ok(()) => {
+                    let t = op.expects_response().then_some(tag);
+                    if let Some(t) = t {
+                        tag_op[t as usize] = next as u32;
+                    }
+                    oracle.issue(next, &op, t, &payload);
+                    next += 1;
+                }
+                Err(HmcError::Stalled { .. }) => {
+                    if op.expects_response() {
+                        tags.complete(tag);
+                    }
+                    break;
+                }
+                Err(e) => return Err(fail(format!("op #{next}: send: {e}"))),
+            }
+        }
+
+        sim.clock().map_err(|e| fail(format!("clock: {e}")))?;
+
+        // Drain every host link in link order (deterministic).
+        for link in 0..links {
+            loop {
+                let packet = match sim.recv(0, link) {
+                    Ok(p) => p,
+                    Err(HmcError::NoResponse { .. }) => break,
+                    Err(e) => return Err(fail(format!("recv link {link}: {e}"))),
+                };
+                let rsp = decode_response(&packet)
+                    .map_err(|e| fail(format!("link {link}: undecodable response: {e}")))?;
+                let op_index = oracle
+                    .check_response(&rsp)
+                    .map_err(|e| fail(format!("oracle: {e}")))?;
+                if tags.complete(rsp.tag).is_none() {
+                    return Err(fail(format!("tag {} completed twice", rsp.tag)));
+                }
+                debug_assert_eq!(tag_op[rsp.tag as usize], op_index as u32);
+                tag_op[rsp.tag as usize] = u32::MAX;
+                let word = rsp.data.get(..8).map_or(0, |b| {
+                    u64::from_le_bytes(b.try_into().unwrap())
+                });
+                observations.push((op_index as u32, sim.current_clock(), link, word));
+            }
+        }
+
+        if let Some(v) = sim.invariant_violations().first() {
+            return Err(fail(format!(
+                "invariant violation ({} total): {v}",
+                sim.total_invariant_violations()
+            )));
+        }
+
+        let done = next >= case.ops.len() && tags.outstanding() == 0;
+        if done && sim.is_idle() {
+            break;
+        }
+        if sim.current_clock() - start > max_cycles {
+            return Err(fail(format!(
+                "no quiesce after {max_cycles} cycles: {} ops pending, {} tags in flight",
+                case.ops.len() - next,
+                tags.outstanding()
+            )));
+        }
+    }
+
+    // Quiesce conditions: the oracle ledger is empty and every link's
+    // token pool is back at its initial allotment (token conservation).
+    if oracle.outstanding() != 0 {
+        return Err(fail(format!(
+            "{} responses never delivered",
+            oracle.outstanding()
+        )));
+    }
+    let dev = sim.device(0).map_err(|e| fail(format!("{e}")))?;
+    for l in &dev.links {
+        if !l.at_initial_tokens() {
+            return Err(fail(format!(
+                "link {} leaked tokens: {} of {} at quiesce",
+                l.id, l.tokens, l.initial_tokens
+            )));
+        }
+    }
+
+    Ok(EngineRun {
+        observations,
+        cycles: sim.current_clock() - start,
+    })
+}
+
+/// Run one case through the full engine sweep: serial reference first,
+/// then each parallel thread count, comparing bit-for-bit.
+pub fn run_case(case: &FuzzCase) -> Result<CaseOutcome, Failure> {
+    let reference = run_engine(case, 1)?;
+    let checked = reference.observations.len() as u64;
+    for &t in case.threads.iter().filter(|&&t| t > 1) {
+        let run = run_engine(case, t)?;
+        if run != reference {
+            let at = run
+                .observations
+                .iter()
+                .zip(&reference.observations)
+                .position(|(a, b)| a != b)
+                .map_or_else(
+                    || "stream lengths or cycle counts differ".to_string(),
+                    |i| {
+                        format!(
+                            "first divergence at completion #{i}: serial {:?}, {t}-thread {:?}",
+                            reference.observations[i], run.observations[i]
+                        )
+                    },
+                );
+            return Err(Failure {
+                threads: 0,
+                description: format!(
+                    "{t}-thread run diverges from serial ({} vs {} completions, {} vs {} cycles): {at}",
+                    run.observations.len(),
+                    reference.observations.len(),
+                    run.cycles,
+                    reference.cycles,
+                ),
+            });
+        }
+    }
+    Ok(CaseOutcome { reference, checked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::BlockSize;
+
+    fn tiny_case(ops: Vec<MemOp>) -> FuzzCase {
+        let mut case = FuzzCase::new(
+            "tiny",
+            DeviceConfig::small(),
+            MapKind::LowInterleave,
+            7,
+            ops,
+        );
+        case.threads = vec![1, 2];
+        case
+    }
+
+    #[test]
+    fn owner_link_partitions_blocks() {
+        for b in 0..64u64 {
+            let addr = b * 128;
+            assert_eq!(owner_link(addr, 128, 4), (b % 4) as LinkId);
+            assert_eq!(
+                owner_link(addr, 128, 4),
+                owner_link(addr + 127, 128, 4),
+                "a block has one owner"
+            );
+        }
+    }
+
+    #[test]
+    fn payloads_are_deterministic_and_distinct() {
+        assert_eq!(payload_for(1, 0, 16), payload_for(1, 0, 16));
+        assert_ne!(payload_for(1, 0, 16), payload_for(1, 1, 16));
+        assert_ne!(payload_for(1, 0, 16), payload_for(2, 0, 16));
+    }
+
+    #[test]
+    fn a_handwritten_stream_passes() {
+        let block = 128u64;
+        let ops = vec![
+            MemOp::write(0, BlockSize::B128),
+            MemOp::read(0, BlockSize::B128),
+            MemOp::write(block, BlockSize::B64),
+            MemOp::read(block, BlockSize::B64),
+            MemOp { kind: OpKind::TwoAdd8, addr: 2 * block + 16, size: BlockSize::B16 },
+            MemOp::read(2 * block, BlockSize::B32),
+        ];
+        let out = run_case(&tiny_case(ops)).unwrap();
+        assert_eq!(out.checked, 6, "six non-posted ops, six responses");
+        assert!(out.reference.cycles > 0);
+    }
+
+    #[test]
+    fn corruption_is_caught_by_the_oracle() {
+        let ops = vec![MemOp::write(0, BlockSize::B64), MemOp::read(0, BlockSize::B64)];
+        let mut case = tiny_case(ops);
+        case.corrupt = Some(CorruptSpec { addr: 0, xor: 0x1 });
+        let err = run_case(&case).unwrap_err();
+        assert!(err.description.contains("mismatch"), "{err}");
+    }
+}

@@ -449,6 +449,9 @@ impl HmcSim {
 
         self.scratch = scratch;
         self.stage6_update_clock();
+        if self.params.check_invariants {
+            self.inv_check_cycle();
+        }
     }
 
     /// The parallel batch engine: one `thread::scope` hosts `shards`
@@ -631,6 +634,9 @@ impl HmcSim {
                 }
 
                 self.stage6_update_clock();
+                if self.params.check_invariants {
+                    self.inv_check_cycle();
+                }
             }
             drop(to_worker); // workers observe the hangup and exit
         });

@@ -1,0 +1,431 @@
+//! The protocol invariant checker.
+//!
+//! A conformance layer behind [`crate::params::SimParams::check_invariants`]:
+//! when the
+//! flag is off (the default) every hook below costs one branch and the
+//! clock hot path stays allocation-free; when it is on, the simulation
+//! object cross-checks itself every cycle against the properties the
+//! packet protocol guarantees:
+//!
+//! * **queue-slot validity** — no queue ever exceeds its configured
+//!   depth, every resident packet has a legal FLIT count, and decoded
+//!   vault/bank coordinates stay inside the device geometry;
+//! * **token conservation** — for every host link, the live token count
+//!   plus the FLITs parked in that link's crossbar request queue equals
+//!   the initial allotment (IBTC semantics, paper §IV.A);
+//! * **tag lifecycle** — a 9-bit tag is never reused by a host while a
+//!   response for it is still owed, and every delivered response
+//!   correlates to an in-flight tag;
+//! * **CRC validity** — every packet delivered to a host carries an
+//!   intact CRC-32/Koopman seal;
+//! * **stream-order preservation** — responses for requests that entered
+//!   on the same link and target the same vault and bank are delivered
+//!   in issue order (the §III.C link→bank stream-order guarantee; weak
+//!   ordering may only reorder *across* streams).
+//!
+//! Violations are recorded, not panicked, so differential harnesses (the
+//! `hmc-conform` crate) can shrink a failing input down to a minimal
+//! reproduction after the fact.
+
+use std::collections::HashMap;
+
+use hmc_types::{CubeId, LinkId, Packet, PhysAddr, MAX_PACKET_FLITS};
+
+use crate::link::Endpoint;
+use crate::queue::QueueEntry;
+use crate::sim::HmcSim;
+
+/// Recorded violations are capped so a hard failure loop cannot grow the
+/// report without bound; the total count keeps rising past the cap.
+const MAX_RECORDED: usize = 64;
+
+/// One in-flight (host, tag) pair: `None` stream for register traffic.
+#[derive(Debug, Clone, Copy)]
+struct TagInfo {
+    stream: Option<u64>,
+    seq: u64,
+}
+
+/// Per-stream issue and delivery sequence counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamSeq {
+    next_issue: u64,
+    last_delivered: Option<u64>,
+}
+
+/// Checker state, lazily boxed onto [`HmcSim`] when the flag is on.
+#[derive(Debug, Default)]
+pub struct InvariantState {
+    /// (host << 16 | tag) -> in-flight info.
+    in_flight: HashMap<u32, TagInfo>,
+    /// Packed (dev, link, vault, bank) -> sequence counters.
+    streams: HashMap<u64, StreamSeq>,
+    /// First [`MAX_RECORDED`] violation descriptions.
+    violations: Vec<String>,
+    /// Total violations observed (may exceed `violations.len()`).
+    total: u64,
+}
+
+impl InvariantState {
+    fn record(&mut self, msg: String) {
+        self.total += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(msg);
+        }
+    }
+}
+
+fn tag_key(host: CubeId, tag: u16) -> u32 {
+    ((host as u32) << 16) | tag as u32
+}
+
+fn stream_key(dev: CubeId, link: LinkId, vault: u16, bank: u16) -> u64 {
+    ((dev as u64) << 48) | ((link as u64) << 40) | ((vault as u64) << 20) | bank as u64
+}
+
+impl HmcSim {
+    /// Flip the invariant checker on or off after construction (the
+    /// builder path is [`crate::params::SimParams::check_invariants`]).
+    pub fn set_check_invariants(&mut self, on: bool) {
+        self.params.check_invariants = on;
+        if !on {
+            self.inv = None;
+        }
+    }
+
+    /// Violations recorded so far (empty when the checker is off or the
+    /// run is clean). At most the first 64 are retained.
+    pub fn invariant_violations(&self) -> &[String] {
+        self.inv
+            .as_ref()
+            .map(|s| s.violations.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total violation count, including any past the recording cap.
+    pub fn total_invariant_violations(&self) -> u64 {
+        self.inv.as_ref().map(|s| s.total).unwrap_or(0)
+    }
+
+    /// Drop recorded violations and in-flight tracking (fresh run).
+    pub fn clear_invariant_state(&mut self) {
+        self.inv = None;
+    }
+
+    fn inv_state(&mut self) -> &mut InvariantState {
+        self.inv.get_or_insert_with(Default::default)
+    }
+
+    /// Send-side hook: tag-lifecycle and stream-sequence bookkeeping.
+    /// Called only when the flag is on, after the packet is accepted.
+    pub(crate) fn inv_record_send(&mut self, dev: CubeId, link: LinkId, host: CubeId, p: &Packet) {
+        let cmd = match p.cmd() {
+            Ok(c) => c,
+            Err(_) => return, // send() already rejected it
+        };
+        if cmd.is_flow() || cmd.response_command().is_none() {
+            // Flow packets carry no tag; posted requests owe no response,
+            // so their shared tag (0x1ff) is exempt from the lifecycle.
+            return;
+        }
+        let stream = if cmd.is_mode() {
+            None // register traffic has no vault/bank stream
+        } else {
+            PhysAddr::new(p.addr())
+                .ok()
+                .and_then(|a| self.map.decode(a).ok())
+                .map(|d| stream_key(dev, link, d.vault, d.bank))
+        };
+        let tag = p.tag();
+        let state = self.inv_state();
+        let seq = match stream {
+            Some(k) => {
+                let s = state.streams.entry(k).or_default();
+                let seq = s.next_issue;
+                s.next_issue += 1;
+                seq
+            }
+            None => 0,
+        };
+        if state
+            .in_flight
+            .insert(tag_key(host, tag), TagInfo { stream, seq })
+            .is_some()
+        {
+            state.record(format!(
+                "tag reuse: host {host} reissued tag {tag:#x} while a response was in flight"
+            ));
+        }
+    }
+
+    /// Receive-side hook: egress CRC, tag correlation, stream order.
+    /// Called only when the flag is on, after an entry leaves a host
+    /// link's response queue.
+    pub(crate) fn inv_check_recv(&mut self, dev: CubeId, link: LinkId, entry: &QueueEntry) {
+        let host = match self
+            .devices
+            .get(dev as usize)
+            .and_then(|d| d.links.get(link as usize))
+            .map(|l| l.remote)
+        {
+            Some(Endpoint::Host(h)) => h,
+            _ => return,
+        };
+        let p = &entry.packet;
+        if !p.verify_crc() {
+            let tag = p.tag();
+            self.inv_state().record(format!(
+                "egress CRC: packet tag {tag:#x} delivered on dev {dev} link {link} \
+                 fails CRC-32/Koopman verification"
+            ));
+        }
+        let cmd = match p.cmd() {
+            Ok(c) if c.is_response() => c,
+            Ok(c) => {
+                let m = c.mnemonic();
+                self.inv_state().record(format!(
+                    "egress class: non-response packet {m} delivered on dev {dev} link {link}"
+                ));
+                return;
+            }
+            Err(_) => {
+                let raw = p.raw_cmd();
+                self.inv_state().record(format!(
+                    "egress class: undecodable command {raw:#x} delivered on dev {dev} link {link}"
+                ));
+                return;
+            }
+        };
+        let _ = cmd;
+        let tag = p.tag();
+        let state = self.inv_state();
+        match state.in_flight.remove(&tag_key(host, tag)) {
+            None => state.record(format!(
+                "tag correlation: response tag {tag:#x} on dev {dev} link {link} \
+                 matches no in-flight request of host {host}"
+            )),
+            Some(info) => {
+                if let Some(k) = info.stream {
+                    let last = state.streams.get(&k).and_then(|s| s.last_delivered);
+                    if let Some(last) = last {
+                        if info.seq <= last {
+                            state.record(format!(
+                                "stream order: tag {tag:#x} (issue seq {}) delivered after \
+                                 seq {last} of the same (link, vault, bank) stream {k:#x}",
+                                info.seq
+                            ));
+                        }
+                    }
+                    if last.is_none_or(|l| info.seq > l) {
+                        state.streams.entry(k).or_default().last_delivered = Some(info.seq);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whole-device structural sweep, run at the end of every cycle while
+    /// the flag is on: queue-slot validity and token conservation.
+    pub(crate) fn inv_check_cycle(&mut self) {
+        let mut found: Vec<String> = Vec::new();
+        let banks = self.config.banks_per_vault;
+        let vaults = self.config.num_vaults;
+        let clock = self.clock;
+        let check_entry = |found: &mut Vec<String>, what: &str, e: &QueueEntry| {
+            let flits = e.packet.lng();
+            if flits == 0 || flits > MAX_PACKET_FLITS {
+                found.push(format!(
+                    "queue slot: {what} holds a packet with illegal length {flits} FLITs \
+                     (tag {:#x}, cycle {clock})",
+                    e.packet.tag()
+                ));
+            }
+            if e.is_decoded() && (e.dest_vault >= vaults || e.dest_bank >= banks) {
+                found.push(format!(
+                    "queue slot: {what} decoded out of range (vault {} / bank {}, \
+                     geometry {vaults}x{banks}, tag {:#x})",
+                    e.dest_vault,
+                    e.dest_bank,
+                    e.packet.tag()
+                ));
+            }
+        };
+        for d in &self.devices {
+            let di = d.id;
+            for (li, x) in d.xbars.iter().enumerate() {
+                for (name, q) in [("rqst", &x.rqst), ("rsp", &x.rsp)] {
+                    if q.len() > q.depth() {
+                        found.push(format!(
+                            "queue depth: dev {di} xbar {li} {name} holds {} of {} slots",
+                            q.len(),
+                            q.depth()
+                        ));
+                    }
+                    for e in q.iter() {
+                        check_entry(&mut found, &format!("dev {di} xbar {li} {name}"), e);
+                    }
+                }
+            }
+            for v in &d.vaults {
+                for (name, q) in [("rqst", &v.rqst), ("rsp", &v.rsp)] {
+                    if q.len() > q.depth() {
+                        found.push(format!(
+                            "queue depth: dev {di} vault {} {name} holds {} of {} slots",
+                            v.id,
+                            q.len(),
+                            q.depth()
+                        ));
+                    }
+                }
+                for e in v.rqst.iter() {
+                    check_entry(&mut found, &format!("dev {di} vault {}", v.id), e);
+                    if e.is_decoded() && e.dest_vault != v.id {
+                        found.push(format!(
+                            "routing: packet for vault {} resident in vault {} of dev {di} \
+                             (tag {:#x})",
+                            e.dest_vault,
+                            v.id,
+                            e.packet.tag()
+                        ));
+                    }
+                }
+            }
+            for (l, x) in d.links.iter().zip(&d.xbars) {
+                if l.tokens > l.initial_tokens {
+                    found.push(format!(
+                        "token overflow: dev {di} link {} holds {} of {} tokens",
+                        l.id, l.tokens, l.initial_tokens
+                    ));
+                }
+                if l.is_host_link() {
+                    let parked = x.rqst.resident_flits();
+                    if l.tokens + parked != l.initial_tokens {
+                        found.push(format!(
+                            "token conservation: dev {di} link {} has {} live + {} parked \
+                             tokens against an initial allotment of {} (cycle {clock})",
+                            l.id, l.tokens, parked, l.initial_tokens
+                        ));
+                    }
+                }
+            }
+        }
+        if !found.is_empty() {
+            let state = self.inv_state();
+            for msg in found {
+                state.record(msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SimParams;
+    use crate::topology;
+    use hmc_types::{BlockSize, Command, DeviceConfig};
+
+    fn sim() -> HmcSim {
+        let mut s = HmcSim::new(1, DeviceConfig::small())
+            .unwrap()
+            .with_params(SimParams {
+                check_invariants: true,
+                ..SimParams::default()
+            });
+        let host = s.host_cube_id(0);
+        topology::build_simple(&mut s, host).unwrap();
+        s
+    }
+
+    fn read(addr: u64, tag: u16, link: u8) -> Packet {
+        Packet::request(Command::Rd(BlockSize::B64), 0, addr, tag, link, &[]).unwrap()
+    }
+
+    #[test]
+    fn clean_run_records_nothing() {
+        let mut s = sim();
+        for tag in 0..4 {
+            s.send(0, 0, read(tag as u64 * 64, tag, 0)).unwrap();
+        }
+        for _ in 0..16 {
+            s.clock().unwrap();
+            for l in 0..4 {
+                while s.recv(0, l).is_ok() {}
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(s.invariant_violations(), &[] as &[String]);
+        assert_eq!(s.total_invariant_violations(), 0);
+    }
+
+    #[test]
+    fn tag_reuse_while_in_flight_is_flagged() {
+        let mut s = sim();
+        s.send(0, 0, read(0, 7, 0)).unwrap();
+        s.send(0, 1, read(64, 7, 1)).unwrap();
+        assert_eq!(s.total_invariant_violations(), 1);
+        assert!(s.invariant_violations()[0].contains("tag reuse"));
+    }
+
+    #[test]
+    fn orphan_response_is_flagged() {
+        use hmc_types::packet::ResponseStatus;
+        let mut s = sim();
+        let rsp =
+            Packet::response(Command::RdResponse, 9, 0, ResponseStatus::Ok, &[0u8; 64]).unwrap();
+        let entry = QueueEntry::new(rsp, 0, s.host_cube_id(0), 0);
+        s.devices[0].xbars[0].rsp.push(entry).unwrap();
+        let _ = s.recv(0, 0).unwrap();
+        assert_eq!(s.total_invariant_violations(), 1);
+        assert!(s.invariant_violations()[0].contains("tag correlation"));
+    }
+
+    #[test]
+    fn corrupted_egress_crc_is_flagged() {
+        use hmc_types::packet::ResponseStatus;
+        let mut s = sim();
+        s.send(0, 0, read(0, 3, 0)).unwrap();
+        let mut rsp =
+            Packet::response(Command::RdResponse, 3, 0, ResponseStatus::Ok, &[0u8; 64]).unwrap();
+        rsp.set_crc(rsp.crc() ^ 0x8000_0000);
+        let entry = QueueEntry::new(rsp, 0, s.host_cube_id(0), 0);
+        s.devices[0].xbars[0].rsp.push(entry).unwrap();
+        let _ = s.recv(0, 0).unwrap();
+        assert!(s
+            .invariant_violations()
+            .iter()
+            .any(|v| v.contains("egress CRC")));
+    }
+
+    #[test]
+    fn token_imbalance_is_flagged_by_the_cycle_sweep() {
+        let mut s = sim();
+        s.devices[0].links[0].tokens -= 1; // simulate a leak
+        s.clock().unwrap();
+        assert!(s
+            .invariant_violations()
+            .iter()
+            .any(|v| v.contains("token conservation")));
+    }
+
+    #[test]
+    fn checker_off_keeps_no_state() {
+        let mut s = HmcSim::new(1, DeviceConfig::small()).unwrap();
+        let host = s.host_cube_id(0);
+        topology::build_simple(&mut s, host).unwrap();
+        s.send(0, 0, read(0, 1, 0)).unwrap();
+        s.clock().unwrap();
+        assert_eq!(s.invariant_violations(), &[] as &[String]);
+        assert_eq!(s.total_invariant_violations(), 0);
+    }
+
+    #[test]
+    fn recording_caps_but_keeps_counting() {
+        let mut state = InvariantState::default();
+        for i in 0..(MAX_RECORDED + 10) {
+            state.record(format!("v{i}"));
+        }
+        assert_eq!(state.violations.len(), MAX_RECORDED);
+        assert_eq!(state.total, (MAX_RECORDED + 10) as u64);
+    }
+}

@@ -35,6 +35,7 @@ pub mod device;
 pub(crate) mod engine;
 pub mod fault;
 pub mod inspect;
+pub mod invariants;
 pub mod jtag;
 pub mod link;
 pub mod params;
@@ -54,6 +55,7 @@ pub use builder::{build_mem_request, decode_response, ResponseInfo};
 pub use device::Device;
 pub use fault::{FaultConfig, FaultState};
 pub use inspect::{DeviceSnapshot, QueueLocation};
+pub use invariants::InvariantState;
 pub use link::{Endpoint, Link};
 pub use params::{ConflictPolicy, RefreshParams, SimParams};
 pub use quad::Quad;

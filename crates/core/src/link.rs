@@ -105,6 +105,14 @@ impl Link {
         self.tokens = (self.tokens + flits).min(self.initial_tokens);
     }
 
+    /// True when the token pool is back to its initial allotment — i.e.
+    /// every FLIT ever taken for this link has been returned. A quiesced
+    /// simulation must satisfy this on every connected link (token
+    /// conservation; checked by the invariant sweep and the soak tests).
+    pub fn at_initial_tokens(&self) -> bool {
+        self.tokens == self.initial_tokens
+    }
+
     /// Restore the reset state (connectivity is preserved; tokens refill).
     pub fn reset_tokens(&mut self) {
         self.tokens = self.initial_tokens;

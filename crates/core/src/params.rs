@@ -81,6 +81,14 @@ pub struct SimParams {
     /// available parallelism; `N > 1` shards vault processing across `N`
     /// scoped threads. All settings produce bit-identical simulations.
     pub threads: usize,
+    /// Run the protocol invariant checker every cycle: queue-slot
+    /// validity, per-link token conservation, tag uniqueness while in
+    /// flight, CRC validity of egress packets, and per-stream order
+    /// preservation. `false` (the default) costs a single branch per
+    /// cycle and keeps the hot path allocation-free; violations found
+    /// while `true` are recorded on the simulation object (see
+    /// `HmcSim::invariant_violations`).
+    pub check_invariants: bool,
 }
 
 impl Default for SimParams {
@@ -99,6 +107,7 @@ impl Default for SimParams {
             conflict_policy: ConflictPolicy::SkipConflicting,
             refresh: None,
             threads: 1,
+            check_invariants: false,
         }
     }
 }

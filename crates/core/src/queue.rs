@@ -173,6 +173,13 @@ impl PacketQueue {
         self.slots.iter()
     }
 
+    /// Total FLITs resident across all occupied slots. Token-conservation
+    /// checks compare this against the FLITs outstanding on the feeding
+    /// link.
+    pub fn resident_flits(&self) -> u32 {
+        self.slots.iter().map(|e| e.packet.lng() as u32).sum()
+    }
+
     /// Drop every entry (device reset).
     pub fn clear(&mut self) {
         self.slots.clear();

@@ -47,6 +47,9 @@ pub struct HmcSim {
     pub(crate) ac_mode: u64,
     pub(crate) faults: Option<crate::fault::FaultState>,
     pub(crate) scratch: EngineScratch,
+    /// Invariant-checker state; `None` until the first hook fires with
+    /// [`SimParams::check_invariants`] set (zero-cost when off).
+    pub(crate) inv: Option<Box<crate::invariants::InvariantState>>,
 }
 
 impl std::fmt::Debug for HmcSim {
@@ -97,6 +100,7 @@ impl HmcSim {
             ac_mode: 0,
             faults: None,
             scratch: EngineScratch::default(),
+            inv: None,
         })
     }
 
@@ -355,6 +359,9 @@ impl HmcSim {
         if !d.links[link as usize].take_tokens(flits) {
             return Err(HmcError::Stalled { cube: dev, link });
         }
+        if self.params.check_invariants {
+            self.inv_record_send(dev, link, host, &packet);
+        }
         let mut entry = QueueEntry::new(packet, host, dest, self.clock);
         entry.arrival_link = link;
         // Error simulation: the packet may be corrupted in SERDES transit.
@@ -397,6 +404,9 @@ impl HmcSim {
         match d.xbars[link as usize].rsp.pop() {
             Some(entry) => {
                 self.stats.received += 1;
+                if self.params.check_invariants {
+                    self.inv_check_recv(dev, link, &entry);
+                }
                 let latency = self.clock.saturating_sub(entry.entry_cycle);
                 Ok((entry.packet, latency))
             }
@@ -468,6 +478,7 @@ impl HmcSim {
         }
         self.clock = 0;
         self.stats = SimStats::default();
+        self.inv = None;
     }
 
     pub(crate) fn emit(&mut self, event: TraceEvent) {

@@ -22,6 +22,10 @@ pub struct RunConfig {
     pub max_cycles: u64,
     /// Progress callback interval in cycles (0 = no callbacks).
     pub progress_every: u64,
+    /// Enable the engine's protocol invariant checker for the run
+    /// (`SimParams::check_invariants`); violations found are counted in
+    /// [`RunReport::invariant_violations`].
+    pub check_invariants: bool,
 }
 
 impl Default for RunConfig {
@@ -30,6 +34,7 @@ impl Default for RunConfig {
             target_cube: 0,
             max_cycles: 1 << 34,
             progress_every: 0,
+            check_invariants: false,
         }
     }
 }
@@ -55,6 +60,9 @@ pub struct RunReport {
     pub max_latency: Cycle,
     /// Requests per cycle (throughput).
     pub throughput: f64,
+    /// Protocol invariant violations observed (always zero unless
+    /// [`RunConfig::check_invariants`] was set).
+    pub invariant_violations: u64,
 }
 
 /// Run `workload` to completion through `host` against `sim`.
@@ -83,6 +91,10 @@ where
     W: Workload + ?Sized,
     F: FnMut(Cycle, u64),
 {
+    if cfg.check_invariants {
+        sim.set_check_invariants(true);
+    }
+    let start_violations = sim.total_invariant_violations();
     let start_cycle = sim.current_clock();
     let start_stats = host.stats;
     let mut pending: Option<MemOp> = None;
@@ -154,6 +166,7 @@ where
         } else {
             0.0
         },
+        invariant_violations: sim.total_invariant_violations() - start_violations,
     })
 }
 

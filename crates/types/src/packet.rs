@@ -51,7 +51,7 @@
 use crate::command::Command;
 use crate::crc::Crc32k;
 use crate::error::{HmcError, Result};
-use crate::flit::{FLIT_BYTES, MAX_DATA_WORDS};
+use crate::flit::{FLIT_BYTES, MAX_DATA_BYTES, MAX_DATA_WORDS};
 use crate::{CubeId, LinkId};
 
 /// Mask helpers: `field!(word, lo, width)` extracts, `set_field!` deposits.
@@ -320,9 +320,13 @@ impl Packet {
 
     // ------------------------------------------------------------- payload
 
-    /// Live payload size in bytes as implied by the LNG field.
+    /// Live payload size in bytes as implied by the LNG field, clamped
+    /// to the eight-FLIT payload storage: the 4-bit LNG field of a
+    /// corrupted packet can claim up to 15 FLITs, and accessors (CRC
+    /// verification in particular) must not read past the packet for
+    /// it. [`Packet::validate`] rejects such lengths outright.
     pub fn data_bytes(&self) -> usize {
-        self.lng().saturating_sub(1) * FLIT_BYTES
+        (self.lng().saturating_sub(1) * FLIT_BYTES).min(MAX_DATA_BYTES)
     }
 
     /// Live payload as a word slice.

@@ -59,12 +59,16 @@ impl Replay {
     }
 
     /// Parse the CSV form produced by [`Replay::write_csv`].
+    ///
+    /// Blank lines, `#`-prefixed comment lines (conformance repro files
+    /// carry their provenance this way), and the `kind,addr,size` header
+    /// are skipped wherever they appear.
     pub fn read_csv<R: BufRead>(r: R) -> Result<Self> {
         let mut ops = Vec::new();
         for (lineno, line) in r.lines().enumerate() {
             let line = line.map_err(|e| HmcError::Internal(format!("trace read: {e}")))?;
             let line = line.trim();
-            if line.is_empty() || (lineno == 0 && line.starts_with("kind")) {
+            if line.is_empty() || line.starts_with('#') || line.starts_with("kind") {
                 continue;
             }
             let mut parts = line.split(',');
@@ -216,5 +220,12 @@ mod tests {
     fn blank_lines_and_header_are_skipped() {
         let parsed = Replay::read_csv("kind,addr,size\n\nRD,0x40,64\n\n".as_bytes()).unwrap();
         assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn comment_lines_are_skipped() {
+        let text = "# hmc-conform reproduction\n# seed: 0x5eed\nkind,addr,size\nRD,0x40,64\n# trailing note\nWR,0x80,16\n";
+        let parsed = Replay::read_csv(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
     }
 }

@@ -4,12 +4,16 @@
 //! tests drive identical seeded workloads through `threads = 1` and
 //! `threads = 4` simulations and compare everything observable.
 
-use hmc_sim::hmc_core::{topology, HmcSim};
+use hmc_sim::hmc_core::{topology, FaultConfig, HmcSim};
 use hmc_sim::hmc_trace::{CountingSink, EventKind, SharedSink, Tracer, Verbosity};
 use hmc_sim::hmc_types::{BlockSize, Command, DeviceConfig, Packet};
 
 /// One observed response: delivery cycle, link, tag, first payload word.
 type Observation = (u64, u8, u16, u64);
+
+/// Everything [`run`] observes: the response stream, per-kind trace-event
+/// counts, and the completion cycle.
+type RunResult = (Vec<Observation>, Vec<u64>, u64);
 
 /// A deterministic glibc-style LCG — the workload generator for these
 /// tests, kept local so the op stream can never drift under us.
@@ -25,10 +29,25 @@ impl Lcg {
 /// Drive `requests` mixed reads/writes through one device of `cfg` with
 /// the given thread count; record every response in delivery order plus
 /// the per-kind trace-event counts and final cycle/statistics.
-fn run(cfg: DeviceConfig, threads: usize, requests: u64, seed: u64) -> (Vec<Observation>, Vec<u64>, u64) {
+fn run(cfg: DeviceConfig, threads: usize, requests: u64, seed: u64) -> RunResult {
+    run_with_faults(cfg, threads, requests, seed, None).0
+}
+
+/// [`run`], optionally with link-error injection armed; also returns the
+/// fault statistics `(injected, detected)` for determinism comparison.
+fn run_with_faults(
+    cfg: DeviceConfig,
+    threads: usize,
+    requests: u64,
+    seed: u64,
+    faults: Option<FaultConfig>,
+) -> (RunResult, (u64, u64)) {
     let mut sim = HmcSim::new(1, cfg).unwrap().with_threads(threads);
     let host = sim.host_cube_id(0);
     topology::build_simple(&mut sim, host).unwrap();
+    if let Some(f) = faults {
+        sim.enable_fault_injection(f);
+    }
     let counting = SharedSink::new(CountingSink::default());
     sim.set_tracer(Tracer::new(Verbosity::Full, Box::new(counting.clone())));
 
@@ -87,9 +106,15 @@ fn run(cfg: DeviceConfig, threads: usize, requests: u64, seed: u64) -> (Vec<Obse
         );
     }
 
+    let fault_stats = sim
+        .fault_state()
+        .map_or((0, 0), |f| (f.injected, f.detected));
     let counters = &counting.0.lock().counters;
     let counts: Vec<u64> = EventKind::ALL.iter().map(|&k| counters.get(k)).collect();
-    (observations, counts, sim.current_clock())
+    (
+        (observations, counts, sim.current_clock()),
+        fault_stats,
+    )
 }
 
 fn assert_bit_identical(cfg: DeviceConfig, requests: u64, seed: u64) {
@@ -124,6 +149,49 @@ fn small_config_is_bit_identical_across_threads() {
 #[test]
 fn paper_4link_8bank_is_bit_identical_across_threads() {
     assert_bit_identical(DeviceConfig::paper_4link_8bank_2gb(), 2_000, 42);
+}
+
+#[test]
+fn fault_injection_is_bit_identical_across_one_two_four_eight_threads() {
+    // Error injection adds a second seeded random stream (the SERDES
+    // corruption rolls) and the retry/retransmission timing path; all of
+    // it must stay on the deterministic serial schedule regardless of
+    // shard count. Compare full observable state across 1/2/4/8 threads.
+    let faults = FaultConfig {
+        packet_error_rate: 0.02,
+        retry_cycles: 6,
+        seed: 0xFA_0175,
+    };
+    let cfg = DeviceConfig::small();
+    let (reference, ref_faults) =
+        run_with_faults(cfg.clone(), 1, 1_500, 0xACC01ADE, Some(faults));
+    assert!(
+        ref_faults.0 > 0 && ref_faults.1 > 0,
+        "the error rate must actually inject and detect corruptions \
+         (injected {}, detected {})",
+        ref_faults.0,
+        ref_faults.1
+    );
+    for threads in [2, 4, 8] {
+        let (run, fault_stats) =
+            run_with_faults(cfg.clone(), threads, 1_500, 0xACC01ADE, Some(faults));
+        assert_eq!(
+            fault_stats, ref_faults,
+            "{threads}-thread injected/detected counters diverge from serial"
+        );
+        assert_eq!(
+            run.2, reference.2,
+            "{threads}-thread completion cycle diverges from serial"
+        );
+        assert_eq!(
+            run.0, reference.0,
+            "{threads}-thread response stream diverges from serial"
+        );
+        assert_eq!(
+            run.1, reference.1,
+            "{threads}-thread trace-event counts diverge from serial"
+        );
+    }
 }
 
 #[test]

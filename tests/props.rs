@@ -115,6 +115,61 @@ proptest! {
     }
 
     #[test]
+    fn all_map_kinds_are_bijective_on_paper_geometries(
+        kind in 0usize..4,
+        preset in 0usize..4,
+        addr_seed in any::<u64>(),
+        other_seed in any::<u64>(),
+    ) {
+        // The four map kinds the conformance fuzzer sweeps (three
+        // specification maps plus a custom ordering), over the real
+        // paper geometries — up to the 8 GB preset, which spans the
+        // full 33-bit offset range of the 34-bit HMC address space.
+        let g = DeviceConfig::paper_configs()[preset].1.geometry();
+        let maps: [Box<dyn AddressMap>; 4] = [
+            Box::new(LowInterleaveMap::new(g).unwrap()),
+            Box::new(BankFirstMap::new(g).unwrap()),
+            Box::new(LinearMap::new(g).unwrap()),
+            Box::new(CustomMap::new(g, [Field::Row, Field::Vault, Field::Bank]).unwrap()),
+        ];
+        let m = &maps[kind];
+
+        // decode ∘ encode is the identity on every in-capacity address…
+        let addr = PhysAddr::new(addr_seed % g.capacity_bytes()).unwrap();
+        let d = m.decode(addr).unwrap();
+        prop_assert!(d.vault < g.vaults);
+        prop_assert!(d.bank < g.banks);
+        prop_assert!(d.row < g.rows);
+        prop_assert!(d.offset < g.block_bytes);
+        prop_assert_eq!(m.encode(d).unwrap(), addr);
+
+        // …and injective: distinct addresses never decode to the same
+        // (vault, bank, row, offset) coordinates.
+        let other = PhysAddr::new(other_seed % g.capacity_bytes()).unwrap();
+        let e = m.decode(other).unwrap();
+        if addr != other {
+            prop_assert!(
+                (d.vault, d.bank, d.row, d.offset) != (e.vault, e.bank, e.row, e.offset),
+                "coordinate collision between {:#x} and {:#x}",
+                addr.raw(), other.raw()
+            );
+        }
+
+        // Same (vault, bank, row) block => the addresses differ only in
+        // their offset bits (blocks never alias).
+        if (d.vault, d.bank, d.row) == (e.vault, e.bank, e.row) {
+            let back = m.encode(hmc_sim::hmc_types::DecodedAddr { offset: e.offset, ..d }).unwrap();
+            prop_assert_eq!(back, other, "block aliasing between distinct addresses");
+        }
+
+        // Addresses past the device capacity are rejected, not wrapped.
+        if g.capacity_bytes() < (1 << hmc_sim::hmc_types::PhysAddr::BITS) {
+            let beyond = PhysAddr::new(g.capacity_bytes()).unwrap();
+            prop_assert!(m.decode(beyond).is_err());
+        }
+    }
+
+    #[test]
     fn standard_maps_agree_on_offset_and_ranges(addr_seed in any::<u64>()) {
         let g = MapGeometry { block_bytes: 128, vaults: 32, banks: 16, rows: 1 << 12 };
         let addr = PhysAddr::new(addr_seed % g.capacity_bytes()).unwrap();

@@ -193,6 +193,63 @@ fn sustained_pressure_against_tiny_queues_never_wedges() {
 }
 
 #[test]
+fn million_request_run_returns_every_token_and_drains_every_queue() {
+    // Token conservation at scale: after a 1M-request mixed run the
+    // device must quiesce completely — zero resident packets anywhere in
+    // the structure hierarchy and every link's IBTC token pool back at
+    // exactly its initial allotment. A single leaked FLIT fails this.
+    let (mut sim, mut host) = build(
+        DeviceConfig::paper_4link_8bank_2gb().with_storage_mode(StorageMode::TimingOnly),
+    );
+    let initial: Vec<u32> = sim.device(0).unwrap().links.iter().map(|l| l.tokens).collect();
+    let mut w = RandomAccess::new(21, 1 << 26, BlockSize::B64, 50, 1_000_000);
+    let report = run_workload(&mut sim, &mut host, &mut w, RunConfig::default()).unwrap();
+    assert_eq!(report.injected, 1_000_000);
+    assert_eq!(report.completed, 1_000_000);
+    assert_eq!(report.errors, 0);
+
+    assert!(sim.is_idle(), "device must quiesce after the run");
+    assert_eq!(sim.total_occupancy(), 0, "no packet may remain in any queue");
+    let dev = sim.device(0).unwrap();
+    for (l, &init) in dev.links.iter().zip(&initial) {
+        assert!(
+            l.at_initial_tokens(),
+            "link {} leaked tokens: {}/{} at quiesce",
+            l.id,
+            l.tokens,
+            l.initial_tokens
+        );
+        assert_eq!(l.tokens, init, "link {} token pool drifted", l.id);
+    }
+}
+
+#[test]
+fn invariant_checked_soak_reports_zero_violations() {
+    // The same stack with the protocol invariant checker armed through
+    // the driver flag: a clean run must report exactly zero violations.
+    let (mut sim, mut host) = build(
+        DeviceConfig::paper_4link_16bank_4gb().with_storage_mode(StorageMode::Functional),
+    );
+    let mut w = mixed_workload(13);
+    let report = run_workload(
+        &mut sim,
+        &mut host,
+        &mut w,
+        RunConfig {
+            check_invariants: true,
+            ..RunConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.completed, 7_000);
+    assert_eq!(
+        report.invariant_violations, 0,
+        "first violation: {:?}",
+        sim.invariant_violations().first()
+    );
+}
+
+#[test]
 fn profile_predictions_match_observed_utilization() {
     use hmc_sim::hmc_workloads::profile;
     // Profile the workload statically, run it, and compare the hottest
