@@ -25,9 +25,7 @@ use hmc_trace::{
     Tracer, Verbosity,
 };
 use hmc_types::{BlockSize, DeviceConfig, StorageMode};
-use hmc_workloads::{
-    Gups, PointerChase, RandomAccess, Stencil, Stream, StreamMode, UpdateKind, Workload,
-};
+use hmc_workloads::{Workload, WorkloadSpec};
 
 struct Options {
     config: DeviceConfig,
@@ -123,17 +121,10 @@ fn parse_options() -> Options {
             }
             "--config" => {
                 o.config_name = next("--config");
-                o.config = match o.config_name.as_str() {
-                    "4l8b" => DeviceConfig::paper_4link_8bank_2gb(),
-                    "4l16b" => DeviceConfig::paper_4link_16bank_4gb(),
-                    "8l8b" => DeviceConfig::paper_8link_8bank_4gb(),
-                    "8l16b" => DeviceConfig::paper_8link_16bank_8gb(),
-                    "small" => DeviceConfig::small(),
-                    other => {
-                        eprintln!("hmcsim: unknown config {other}");
-                        usage()
-                    }
-                };
+                o.config = DeviceConfig::by_name(&o.config_name).unwrap_or_else(|| {
+                    eprintln!("hmcsim: unknown config {}", o.config_name);
+                    usage()
+                });
             }
             "--workload" => o.workload = next("--workload"),
             "--requests" => o.requests = next("--requests").parse().unwrap_or_else(|_| usage()),
@@ -182,43 +173,14 @@ fn parse_options() -> Options {
 
 fn build_workload(o: &Options) -> Box<dyn Workload> {
     let working_set = o.config.capacity_bytes.min(2 << 30);
-    match o.workload.as_str() {
-        "random" => Box::new(RandomAccess::new(
-            o.seed,
-            working_set,
-            o.block,
-            o.read_pct,
-            o.requests,
-        )),
-        "stream" => Box::new(Stream::unit(
-            working_set,
-            o.block,
-            StreamMode::Copy,
-            o.requests,
-        )),
-        "gups" => Box::new(Gups::new(
-            o.seed,
-            working_set,
-            UpdateKind::Add16,
-            o.requests,
-        )),
-        "chase" => Box::new(PointerChase::new(
-            o.seed as u64,
-            1 << 26,
-            o.block,
-            o.requests,
-        )),
-        "stencil" => {
-            // Square-ish grid sized to roughly the requested op count.
-            let cells = (o.requests / 5).max(9);
-            let side = ((cells as f64).sqrt() as u64 + 2).max(3);
-            Box::new(Stencil::new(side, side, o.block, 1))
-        }
-        other => {
-            eprintln!("hmcsim: unknown workload {other}");
+    WorkloadSpec::new(&o.workload, o.seed, working_set, o.requests)
+        .with_block(o.block)
+        .with_read_pct(o.read_pct)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("hmcsim: {e}");
             usage()
-        }
-    }
+        })
 }
 
 fn main() {

@@ -32,6 +32,9 @@ pub struct SimStats {
     pub received: u64,
     /// Clock cycles executed.
     pub cycles: u64,
+    /// Sends rejected because the link's token pool ran dry (flow-control
+    /// back-pressure, as opposed to a full crossbar queue).
+    pub token_stalls: u64,
 }
 
 /// One HMC-Sim simulation object.
@@ -221,6 +224,30 @@ impl HmcSim {
         self.devices.iter().map(|d| d.total_occupancy()).sum()
     }
 
+    /// True when the simulation is fully quiescent: no packet resident in
+    /// any queue *and* every connected link's token pool is back at its
+    /// initial allotment (no FLIT still in transit anywhere).
+    ///
+    /// This is the condition a serving drain waits for before declaring a
+    /// device safe to tear down — stronger than [`HmcSim::is_idle`], which
+    /// only checks queue occupancy.
+    pub fn is_quiesced(&self) -> bool {
+        self.is_idle()
+            && self.devices.iter().all(|d| {
+                d.links
+                    .iter()
+                    .filter(|l| l.remote != Endpoint::Unconnected)
+                    .all(|l| l.at_initial_tokens())
+            })
+    }
+
+    /// The active routing table, building it first if the topology has
+    /// changed since the last build. Fails if the topology is invalid.
+    pub fn route_table(&mut self) -> Result<&RouteTable> {
+        self.ensure_routes()?;
+        Ok(self.routes.as_ref().expect("ensure_routes built the table"))
+    }
+
     // ------------------------------------------------------------ topology
 
     /// Connect device `dev` link `link` to host cube `host`.
@@ -357,6 +384,7 @@ impl HmcSim {
             return Err(HmcError::Stalled { cube: dev, link });
         }
         if !d.links[link as usize].take_tokens(flits) {
+            self.stats.token_stalls += 1;
             return Err(HmcError::Stalled { cube: dev, link });
         }
         if self.params.check_invariants {

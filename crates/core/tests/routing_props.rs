@@ -1,0 +1,194 @@
+//! Routing properties over the Figure 1 topology presets.
+//!
+//! For every (source device, destination cube) pair on small chain, ring,
+//! mesh, and torus instances, the route table's hop-by-hop paths must be
+//! loop-free and minimal — the same length as a breadth-first shortest
+//! path computed independently from the link wiring. BFS-built tables make
+//! this sound like a tautology, but the property pins the whole pipeline:
+//! builder wiring, endpoint bookkeeping, and table indexing, any of which
+//! a refactor could silently break.
+
+use std::collections::VecDeque;
+
+use hmc_core::{topology, Endpoint, HmcSim};
+use hmc_types::{CubeId, DeviceConfig};
+
+/// All device-device and device-host edges as an adjacency list over cube
+/// IDs (hosts included), rebuilt here from the wiring so the reference
+/// distances share nothing with `RouteTable`'s own BFS.
+fn adjacency(sim: &HmcSim, num_cubes: usize) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); num_cubes];
+    for dev in 0..sim.num_devices() {
+        let d = sim.device(dev).unwrap();
+        for link in &d.links {
+            let peer = match link.remote {
+                Endpoint::Device(c, _) => c as usize,
+                Endpoint::Host(h) => h as usize,
+                Endpoint::Unconnected => continue,
+            };
+            if !adj[dev as usize].contains(&peer) {
+                adj[dev as usize].push(peer);
+            }
+            if !adj[peer].contains(&(dev as usize)) {
+                adj[peer].push(dev as usize);
+            }
+        }
+    }
+    adj
+}
+
+fn bfs_distances(adj: &[Vec<usize>], from: usize) -> Vec<Option<usize>> {
+    let mut dist = vec![None; adj.len()];
+    dist[from] = Some(0);
+    let mut queue = VecDeque::from([from]);
+    while let Some(cur) = queue.pop_front() {
+        for &next in &adj[cur] {
+            if dist[next].is_none() {
+                dist[next] = Some(dist[cur].unwrap() + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    dist
+}
+
+/// Follow next-hop links from `source` toward `target`, asserting
+/// loop-freedom, and return the hop count.
+fn walk(sim: &mut HmcSim, source: CubeId, target: CubeId, label: &str) -> usize {
+    let num_devices = sim.num_devices();
+    let mut cur = source;
+    let mut hops = 0usize;
+    let mut visited = vec![false; num_devices as usize];
+    loop {
+        assert!(
+            !visited[cur as usize],
+            "{label}: path {source}->{target} revisits device {cur}"
+        );
+        visited[cur as usize] = true;
+        let link = sim
+            .route_table()
+            .unwrap()
+            .next_hop(cur, target)
+            .unwrap_or_else(|| panic!("{label}: no route {cur}->{target}"));
+        let remote = sim.device(cur).unwrap().links[link as usize].remote;
+        hops += 1;
+        match remote {
+            Endpoint::Device(c, _) => {
+                if c == target {
+                    return hops;
+                }
+                cur = c;
+            }
+            Endpoint::Host(h) => {
+                assert_eq!(h, target, "{label}: hop from {cur} leads to the wrong host");
+                return hops;
+            }
+            Endpoint::Unconnected => {
+                panic!("{label}: route {cur}->{target} points at an unconnected link")
+            }
+        }
+        assert!(
+            hops <= num_devices as usize + 1,
+            "{label}: path {source}->{target} exceeds the device count"
+        );
+    }
+}
+
+/// The property: every routable pair's walked path is loop-free (checked
+/// in `walk`) and exactly as long as the independent BFS shortest path.
+fn assert_minimal_loop_free_routes(mut sim: HmcSim, label: &str) {
+    let n = sim.num_devices() as usize;
+    let host = sim.host_cube_id(0) as usize;
+    let num_cubes = sim.route_table().unwrap().num_targets();
+    assert!(host < num_cubes);
+    let adj = adjacency(&sim, num_cubes);
+
+    let mut checked = 0usize;
+    for source in 0..n {
+        let dist = bfs_distances(&adj, source);
+        for target in (0..n).chain([host]) {
+            if target == source {
+                assert_eq!(
+                    sim.route_table().unwrap().next_hop(source as CubeId, target as CubeId),
+                    None,
+                    "{label}: self-route must be None"
+                );
+                continue;
+            }
+            let shortest = dist[target]
+                .unwrap_or_else(|| panic!("{label}: {source}->{target} unreachable in wiring"));
+            let walked = walk(&mut sim, source as CubeId, target as CubeId, label);
+            assert_eq!(
+                walked, shortest,
+                "{label}: path {source}->{target} is {walked} hops, shortest is {shortest}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= n * n, "{label}: property checked too few pairs");
+}
+
+fn small_sim(n: u8) -> HmcSim {
+    HmcSim::new(n, DeviceConfig::small()).unwrap()
+}
+
+fn eight_link_sim(n: u8) -> HmcSim {
+    HmcSim::new(
+        n,
+        DeviceConfig::paper_8link_8bank_4gb().with_queue_depths(8, 4),
+    )
+    .unwrap()
+}
+
+#[test]
+fn chain_routes_are_loop_free_and_minimal() {
+    for n in [1u8, 2, 3, 4, 6] {
+        let mut sim = small_sim(n);
+        let host = sim.host_cube_id(0);
+        topology::build_chain(&mut sim, host).unwrap();
+        assert_minimal_loop_free_routes(sim, &format!("chain[{n}]"));
+    }
+}
+
+#[test]
+fn ring_routes_are_loop_free_and_minimal() {
+    // Odd and even rings: even rings have equal-length two-way ties the
+    // table must break consistently; odd rings have a strict shorter way.
+    for n in [3u8, 4, 5, 6] {
+        let mut sim = small_sim(n);
+        let host = sim.host_cube_id(0);
+        topology::build_ring(&mut sim, host).unwrap();
+        assert_minimal_loop_free_routes(sim, &format!("ring[{n}]"));
+    }
+}
+
+#[test]
+fn mesh_routes_are_loop_free_and_minimal() {
+    for (w, h) in [(2u8, 2u8), (3, 2), (2, 3), (3, 1), (1, 4)] {
+        let mut sim = small_sim(w * h);
+        let host = sim.host_cube_id(0);
+        topology::build_mesh(&mut sim, w, h, host).unwrap();
+        assert_minimal_loop_free_routes(sim, &format!("mesh[{w}x{h}]"));
+    }
+}
+
+#[test]
+fn torus_routes_are_loop_free_and_minimal() {
+    // 2x2 is the largest square torus the 3-bit CUB space admits; also
+    // check the rectangular 2x3 (6 devices + host = 7 cubes).
+    for (w, h) in [(2u8, 2u8), (3, 2)] {
+        let mut sim = eight_link_sim(w * h);
+        let host = sim.host_cube_id(0);
+        topology::build_torus(&mut sim, w, h, host).unwrap();
+        assert_minimal_loop_free_routes(sim, &format!("torus[{w}x{h}]"));
+    }
+}
+
+#[test]
+fn the_simple_topology_is_all_single_hop() {
+    let mut sim = small_sim(1);
+    let host = sim.host_cube_id(0);
+    topology::build_simple(&mut sim, host).unwrap();
+    assert_eq!(sim.route_table().unwrap().next_hop(0, host), Some(0));
+    assert_minimal_loop_free_routes(sim, "simple[1]");
+}

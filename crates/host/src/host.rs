@@ -12,7 +12,7 @@
 //! the potential to reduce memory latency and reduce internal memory
 //! device contention").
 
-use hmc_core::builder::decode_response;
+use hmc_core::builder::{decode_response, ResponseInfo};
 use hmc_core::HmcSim;
 use hmc_types::{CubeId, Cycle, HmcError, LinkId, Packet, PhysAddr, Result};
 use hmc_workloads::MemOp;
@@ -75,6 +75,8 @@ pub struct HostStats {
     pub errors: u64,
     /// Send attempts rejected with a stall.
     pub send_stalls: u64,
+    /// Injection attempts deferred because all 512 tags were in flight.
+    pub tag_stalls: u64,
     /// Responses whose tag could not be correlated.
     pub orphans: u64,
 }
@@ -184,6 +186,7 @@ impl Host {
         let cmd = op.command();
         let expects_response = op.expects_response();
         if expects_response && self.tags.exhausted() {
+            self.stats.tag_stalls += 1;
             return Ok(false);
         }
         let (order, num_ports) = self.pick_ports(sim, target, op);
@@ -236,6 +239,18 @@ impl Host {
     /// Drain every pending response from all ports, correlating tags and
     /// recording latencies. Returns the number of responses consumed.
     pub fn drain(&mut self, sim: &mut HmcSim) -> Result<usize> {
+        self.drain_with(sim, |_, _| {})
+    }
+
+    /// [`Host::drain`] that hands every *correlated* response (decoded
+    /// info plus its latency in cycles) to `capture`, in the exact order
+    /// responses come off the links. This is how a serving session
+    /// forwards device responses to a remote client without changing the
+    /// drain schedule the in-process driver uses.
+    pub fn drain_with<F>(&mut self, sim: &mut HmcSim, mut capture: F) -> Result<usize>
+    where
+        F: FnMut(ResponseInfo, Cycle),
+    {
         let mut drained = 0;
         for &(dev, link) in &self.ports {
             loop {
@@ -250,6 +265,7 @@ impl Host {
                             Some(_ctx) => {
                                 self.stats.completed += 1;
                                 self.latency.record(latency);
+                                capture(info, latency);
                             }
                             None => {
                                 self.stats.orphans += 1;

@@ -13,6 +13,8 @@ pub mod driver;
 pub mod host;
 pub mod tags;
 
-pub use driver::{run_workload, run_workload_with_progress, RunConfig, RunReport};
+pub use driver::{
+    run_workload, run_workload_captured, run_workload_with_progress, RunConfig, RunReport,
+};
 pub use host::{Host, HostStats, LatencyStats, LinkSelection};
 pub use tags::{Pending, TagPool, NUM_TAGS};

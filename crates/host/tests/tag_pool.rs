@@ -1,0 +1,158 @@
+//! Tag-space coverage: exhaustion of the 512-tag pool as a typed,
+//! panic-free stall, and out-of-order response correlation — the HMC
+//! property ("responses may arrive out of order", paper §V.C) the tag
+//! pool exists to serve.
+
+use hmc_core::{topology, HmcSim};
+use hmc_host::{Host, Pending, TagPool, NUM_TAGS};
+use hmc_types::{BlockSize, Command, DeviceConfig};
+use hmc_workloads::MemOp;
+
+fn ctx(addr: u64) -> Pending {
+    Pending {
+        addr,
+        cmd: Command::Rd(BlockSize::B64),
+        issue_cycle: 0,
+        dev: 0,
+        link: 0,
+    }
+}
+
+fn deep_sim() -> HmcSim {
+    // Queues deep enough to hold 512 requests without a send stall, so
+    // tag exhaustion is the *only* backpressure in play.
+    let mut s = HmcSim::new(1, DeviceConfig::small().with_queue_depths(256, 128)).unwrap();
+    let host = s.host_cube_id(0);
+    topology::build_simple(&mut s, host).unwrap();
+    s
+}
+
+#[test]
+fn the_pool_exhausts_at_512_without_panicking() {
+    let mut pool = TagPool::new();
+    let mut handed_out = Vec::new();
+    for i in 0..NUM_TAGS as u64 {
+        let tag = pool.alloc(ctx(i * 64)).expect("tags 0..511 all allocate");
+        handed_out.push(tag);
+    }
+    assert!(pool.exhausted());
+    assert_eq!(pool.outstanding(), NUM_TAGS);
+    // Every tag distinct, every tag a legal 9-bit value.
+    let mut sorted = handed_out.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), NUM_TAGS, "no tag handed out twice");
+    assert!(handed_out.iter().all(|&t| t < 512));
+    // Allocation past the limit is a None, not a panic, and changes
+    // nothing.
+    for _ in 0..10 {
+        assert_eq!(pool.alloc(ctx(0xdead)), None);
+    }
+    assert_eq!(pool.outstanding(), NUM_TAGS);
+    // One completion frees exactly one slot.
+    assert!(pool.complete(handed_out[0]).is_some());
+    assert!(!pool.exhausted());
+    assert_eq!(pool.alloc(ctx(1)), Some(handed_out[0]), "freed tag recycles");
+}
+
+#[test]
+fn exhaustion_through_the_host_is_a_typed_stall() {
+    let mut sim = deep_sim();
+    let mut host = Host::attach(&sim, sim.host_cube_id(0)).unwrap();
+    for i in 0..512u64 {
+        let op = MemOp::read((i % 256) * 128, BlockSize::B64);
+        assert!(host.try_issue(&mut sim, 0, &op).unwrap(), "op {i}");
+    }
+    assert_eq!(host.outstanding(), 512);
+    assert_eq!(host.stats.tag_stalls, 0);
+
+    // The 513th response-expecting op must come back Ok(false) — a
+    // retryable stall, not an error, not a panic — and be accounted as a
+    // tag stall, distinct from queue-full send stalls.
+    let op = MemOp::read(0, BlockSize::B64);
+    for attempt in 1..=3u64 {
+        assert!(!host.try_issue(&mut sim, 0, &op).unwrap());
+        assert_eq!(host.stats.tag_stalls, attempt);
+    }
+    assert_eq!(host.stats.send_stalls, 0, "no port was even tried");
+    assert_eq!(host.stats.injected, 512);
+
+    // Posted traffic needs no tag, so it still flows at exhaustion.
+    let posted = MemOp {
+        kind: hmc_workloads::OpKind::PostedWrite,
+        addr: 0,
+        size: BlockSize::B64,
+    };
+    assert!(host.try_issue(&mut sim, 0, &posted).unwrap());
+
+    // Draining responses frees tags and the stalled op then issues.
+    for _ in 0..10_000 {
+        sim.clock().unwrap();
+        host.drain(&mut sim).unwrap();
+        if host.outstanding() < 512 {
+            break;
+        }
+    }
+    assert!(host.outstanding() < 512, "device never answered");
+    assert!(host.try_issue(&mut sim, 0, &op).unwrap());
+    assert_eq!(host.stats.orphans, 0);
+}
+
+#[test]
+fn out_of_order_completion_correlates_by_tag() {
+    let mut pool = TagPool::new();
+    let tags: Vec<u16> = (0..16u64)
+        .map(|i| pool.alloc(ctx(0x1000 + i * 0x40)).unwrap())
+        .collect();
+    // Complete in a scrambled order; each completion must return the
+    // context allocated under that tag, not arrival-order context.
+    let scrambled = [7usize, 0, 15, 3, 11, 1, 14, 2, 9, 5, 13, 4, 10, 6, 12, 8];
+    for &i in &scrambled {
+        let got = pool.complete(tags[i]).expect("in-flight tag completes");
+        assert_eq!(got.addr, 0x1000 + (i as u64) * 0x40, "tag {i} context");
+    }
+    assert_eq!(pool.outstanding(), 0);
+    // A second completion of the same tags is a correlation failure, not
+    // a panic.
+    for &t in &tags {
+        assert!(pool.complete(t).is_none());
+    }
+}
+
+#[test]
+fn host_correlation_survives_out_of_order_device_responses() {
+    // End-to-end: issue reads across all four links; vault pipelines and
+    // crossbar arbitration reorder responses relative to issue order. The
+    // host must still correlate every response to its issue context.
+    let mut sim = deep_sim();
+    let mut host = Host::attach(&sim, sim.host_cube_id(0)).unwrap();
+    let n = 64u64;
+    for i in 0..n {
+        // Stride across vaults so the requests fan out and race.
+        let op = MemOp::read((i * 37 % 256) * 128, BlockSize::B64);
+        assert!(host.try_issue(&mut sim, 0, &op).unwrap(), "op {i}");
+    }
+    let mut completed = 0u64;
+    let mut observed = Vec::new();
+    for _ in 0..10_000 {
+        sim.clock().unwrap();
+        host.drain_with(&mut sim, |info, latency| {
+            completed += 1;
+            observed.push((info.tag, latency));
+        })
+        .unwrap();
+        if completed == n {
+            break;
+        }
+    }
+    assert_eq!(completed, n, "every read answered");
+    assert_eq!(host.stats.completed, n);
+    assert_eq!(host.stats.orphans, 0, "no correlation failures");
+    assert_eq!(host.outstanding(), 0);
+    // Each tag seen exactly once.
+    let mut tags: Vec<u16> = observed.iter().map(|&(t, _)| t).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags.len() as u64, n, "no tag answered twice");
+    assert!(observed.iter().all(|&(_, lat)| lat >= 1));
+}

@@ -1,0 +1,185 @@
+//! `hmc-serve` — the simulation service daemon.
+//!
+//! ```text
+//! hmc-serve [--socket PATH] [--listen ADDR] [--max-sessions N]
+//!           [--threads N] [--inflight N] [--responses N] [--slice N]
+//!           [--idle-timeout SECS] [--drain-timeout SECS]
+//! ```
+//!
+//! At least one of `--socket` (Unix-domain) or `--listen` (TCP) is
+//! required. SIGTERM and SIGINT trigger the graceful drain: stop
+//! accepting, quiesce every session's device, flush responses, exit 0
+//! (1 if the drain window expired with sessions still busy).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hmc_serve::{DrainOutcome, Server, ServerConfig, SessionLimits};
+
+// No libc crate in this workspace: bind the two POSIX symbols the daemon
+// needs directly. The handler only sets an atomic flag — the one thing
+// that is async-signal-safe — and the accept/read loops poll it.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN_REQUESTED.store(true, Ordering::Release);
+}
+
+struct Options {
+    socket: Option<PathBuf>,
+    listen: Option<String>,
+    max_sessions: usize,
+    threads: usize,
+    inflight: usize,
+    responses: usize,
+    slice: u64,
+    idle_timeout: u64,
+    drain_timeout: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        let d = ServerConfig::default();
+        let l = SessionLimits::default();
+        Options {
+            socket: None,
+            listen: None,
+            max_sessions: d.max_sessions,
+            threads: d.threads,
+            inflight: l.inflight_limit,
+            responses: l.response_limit,
+            slice: l.slice_cycles,
+            idle_timeout: 300,
+            drain_timeout: 30,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmc-serve [--socket PATH] [--listen ADDR] [--max-sessions N] \
+         [--threads N] [--inflight N] [--responses N] [--slice N] \
+         [--idle-timeout SECS (0 = never)] [--drain-timeout SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut o = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("hmc-serve: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => o.socket = Some(PathBuf::from(next("--socket"))),
+            "--listen" => o.listen = Some(next("--listen")),
+            "--max-sessions" => {
+                o.max_sessions = next("--max-sessions").parse().unwrap_or_else(|_| usage())
+            }
+            "--threads" => o.threads = next("--threads").parse().unwrap_or_else(|_| usage()),
+            "--inflight" => o.inflight = next("--inflight").parse().unwrap_or_else(|_| usage()),
+            "--responses" => o.responses = next("--responses").parse().unwrap_or_else(|_| usage()),
+            "--slice" => o.slice = next("--slice").parse().unwrap_or_else(|_| usage()),
+            "--idle-timeout" => {
+                o.idle_timeout = next("--idle-timeout").parse().unwrap_or_else(|_| usage())
+            }
+            "--drain-timeout" => {
+                o.drain_timeout = next("--drain-timeout").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("hmc-serve: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    if o.socket.is_none() && o.listen.is_none() {
+        eprintln!("hmc-serve: need --socket and/or --listen");
+        usage()
+    }
+    if o.max_sessions == 0 || o.inflight == 0 || o.responses == 0 || o.slice == 0 {
+        eprintln!("hmc-serve: --max-sessions/--inflight/--responses/--slice must be nonzero");
+        usage()
+    }
+    o
+}
+
+fn main() {
+    let o = parse_options();
+    let cfg = ServerConfig {
+        max_sessions: o.max_sessions,
+        threads: o.threads,
+        limits: SessionLimits {
+            inflight_limit: o.inflight,
+            response_limit: o.responses,
+            slice_cycles: o.slice,
+        },
+        idle_timeout: if o.idle_timeout == 0 {
+            None
+        } else {
+            Some(Duration::from_secs(o.idle_timeout))
+        },
+        ..ServerConfig::default()
+    };
+
+    let mut server = Server::new(cfg);
+    if let Some(path) = &o.socket {
+        server.bind_uds(path).unwrap_or_else(|e| {
+            eprintln!("hmc-serve: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("hmc-serve: listening on {}", path.display());
+    }
+    if let Some(addr) = &o.listen {
+        let local = server.bind_tcp(addr).unwrap_or_else(|e| {
+            eprintln!("hmc-serve: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("hmc-serve: listening on tcp {local}");
+    }
+
+    // Relay SIGTERM/SIGINT into the server's shutdown flag. The static
+    // atomic decouples the handler from the server object; a bridge
+    // thread forwards it.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    let flag: Arc<AtomicBool> = server.shutdown_flag();
+    std::thread::spawn(move || loop {
+        if SHUTDOWN_REQUESTED.load(Ordering::Acquire) {
+            flag.store(true, Ordering::Release);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+
+    eprintln!(
+        "hmc-serve: ready ({} worker(s), {} session cap)",
+        o.threads.max(1),
+        o.max_sessions
+    );
+    match server.run(Duration::from_secs(o.drain_timeout)) {
+        DrainOutcome::Drained => {
+            eprintln!("hmc-serve: drained cleanly");
+            std::process::exit(0);
+        }
+        DrainOutcome::TimedOut => {
+            eprintln!("hmc-serve: drain timed out with sessions still busy");
+            std::process::exit(1);
+        }
+    }
+}

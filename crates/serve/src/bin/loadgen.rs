@@ -1,0 +1,372 @@
+//! `loadgen` — concurrent load generator for `hmc-serve`.
+//!
+//! ```text
+//! loadgen (--socket PATH | --connect ADDR) [--sessions N] [--requests N]
+//!         [--workload random|stream|gups|chase|stencil] [--preset NAME]
+//!         [--seed S] [--read-pct P] [--block BYTES] [--batch N]
+//!         [--poll-max N] [--json FILE]
+//! ```
+//!
+//! Each session runs on its own thread with its own connection: open a
+//! session, submit the workload in batches (BUSY backpressure is polled
+//! through, never buffered client-side), poll responses until every
+//! expected one arrived, verify zero lost or duplicated tags, snapshot
+//! stats, close. The report carries per-session and aggregate simulated
+//! throughput plus p50/p95/p99 response latency, as JSON on stdout or to
+//! `--json FILE`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hmc_serve::{workload_to_wire, Client, SubmitResult};
+use hmc_trace::{percentile_sorted, LatencyPercentiles};
+use hmc_types::{BlockSize, DeviceConfig, WireOp};
+use hmc_workloads::WorkloadSpec;
+use serde::Serialize;
+
+struct Options {
+    socket: Option<PathBuf>,
+    connect: Option<String>,
+    sessions: usize,
+    requests: u64,
+    workload: String,
+    preset: String,
+    seed: u32,
+    read_pct: u8,
+    block: usize,
+    batch: usize,
+    poll_max: u32,
+    json: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            socket: None,
+            connect: None,
+            sessions: 4,
+            requests: 20_000,
+            workload: "random".into(),
+            preset: "small".into(),
+            seed: 1,
+            read_pct: 50,
+            block: 64,
+            batch: 1024,
+            poll_max: 512,
+            json: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen (--socket PATH | --connect ADDR) [--sessions N] \
+         [--requests N] [--workload random|stream|gups|chase|stencil] \
+         [--preset 4l8b|4l16b|8l8b|8l16b|small] [--seed S] [--read-pct P] \
+         [--block BYTES] [--batch N] [--poll-max N] [--json FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut o = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => o.socket = Some(PathBuf::from(next("--socket"))),
+            "--connect" => o.connect = Some(next("--connect")),
+            "--sessions" => o.sessions = next("--sessions").parse().unwrap_or_else(|_| usage()),
+            "--requests" => o.requests = next("--requests").parse().unwrap_or_else(|_| usage()),
+            "--workload" => o.workload = next("--workload"),
+            "--preset" => o.preset = next("--preset"),
+            "--seed" => o.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--read-pct" => o.read_pct = next("--read-pct").parse().unwrap_or_else(|_| usage()),
+            "--block" => o.block = next("--block").parse().unwrap_or_else(|_| usage()),
+            "--batch" => o.batch = next("--batch").parse().unwrap_or_else(|_| usage()),
+            "--poll-max" => o.poll_max = next("--poll-max").parse().unwrap_or_else(|_| usage()),
+            "--json" => o.json = Some(PathBuf::from(next("--json"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("loadgen: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    if o.socket.is_none() && o.connect.is_none() {
+        eprintln!("loadgen: need --socket or --connect");
+        usage()
+    }
+    if o.sessions == 0 || o.batch == 0 {
+        eprintln!("loadgen: --sessions and --batch must be nonzero");
+        usage()
+    }
+    o
+}
+
+/// One session's results, a plain row for the JSON report.
+#[derive(Debug, Clone, Serialize)]
+struct SessionReport {
+    session: u64,
+    requests: u64,
+    responses: u64,
+    sim_cycles: u64,
+    sim_throughput: f64,
+    p50_latency: u64,
+    p95_latency: u64,
+    p99_latency: u64,
+    max_latency: u64,
+    send_stalls: u64,
+    tag_stalls: u64,
+    token_stalls: u64,
+    busy_rejections: u64,
+    errors: u64,
+}
+
+/// The whole run, aggregate + per-session rows.
+#[derive(Debug, Clone, Serialize)]
+struct LoadgenReport {
+    sessions: u64,
+    workload: String,
+    preset: String,
+    requests_per_session: u64,
+    total_requests: u64,
+    total_responses: u64,
+    wall_seconds: f64,
+    ops_per_second: f64,
+    aggregate_p50_latency: u64,
+    aggregate_p95_latency: u64,
+    aggregate_p99_latency: u64,
+    lost_tags: u64,
+    duplicated_tags: u64,
+    per_session: Vec<SessionReport>,
+}
+
+struct SessionOutcome {
+    report: SessionReport,
+    latencies: Vec<u64>,
+    lost: u64,
+    duplicated: u64,
+}
+
+fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
+    let mut client = match (&o.socket, &o.connect) {
+        (Some(path), _) => Client::connect_uds(path),
+        (_, Some(addr)) => Client::connect_tcp(addr),
+        _ => unreachable!("validated in parse_options"),
+    }
+    .map_err(|e| format!("session {index}: {e}"))?;
+
+    let session = client
+        .open_session_preset(&o.preset, 0, 0)
+        .map_err(|e| format!("session {index}: open: {e}"))?;
+
+    // Distinct seeds per session: concurrent identical streams would
+    // still be valid, but distinct ones exercise the device mix better.
+    let capacity = DeviceConfig::by_name(&o.preset)
+        .map(|c| c.capacity_bytes)
+        .unwrap_or(1 << 31);
+    let block = BlockSize::from_bytes(o.block).map_err(|e| format!("--block: {e}"))?;
+    let spec = WorkloadSpec::new(
+        &o.workload,
+        o.seed.wrapping_add(index as u32),
+        capacity.min(2 << 30),
+        o.requests,
+    )
+    .with_block(block)
+    .with_read_pct(o.read_pct);
+    let mut workload = spec.build().map_err(|e| e.to_string())?;
+    let ops = workload_to_wire(workload.as_mut());
+    let expected: u64 = ops
+        .iter()
+        .filter(|op| op.kind != WireOp::KIND_POSTED_WRITE)
+        .count() as u64;
+
+    let mut received = 0u64;
+    let mut latencies: Vec<u64> = Vec::with_capacity(expected as usize);
+    let mut busy_rejections = 0u64;
+    let mut errors = 0u64;
+    // Tag-conservation accounting: the server owns tag assignment, but a
+    // client can still detect duplication (more responses than requests
+    // in any window of 512, the tag space) via per-tag balance.
+    let mut tag_seen = vec![0i64; 512];
+    let mut duplicated = 0u64;
+
+    let mut rest: &[WireOp] = &ops;
+    while !rest.is_empty() || received < expected {
+        if !rest.is_empty() {
+            let take = rest.len().min(o.batch);
+            match client
+                .submit(session, &rest[..take])
+                .map_err(|e| format!("session {index}: submit: {e}"))?
+            {
+                SubmitResult::Accepted { accepted, .. } => {
+                    rest = &rest[accepted as usize..];
+                }
+                SubmitResult::Busy { .. } => {
+                    busy_rejections += 1;
+                }
+            }
+        }
+        let poll = client
+            .poll(session, o.poll_max)
+            .map_err(|e| format!("session {index}: poll: {e}"))?;
+        for r in &poll.items {
+            received += 1;
+            latencies.push(r.latency);
+            if !r.ok {
+                errors += 1;
+            }
+            let slot = &mut tag_seen[(r.tag as usize) % 512];
+            *slot += 1;
+            // More responses for one tag than total batches could ever
+            // re-issue it means duplication; flag gross violations.
+            if *slot > (o.requests as i64) {
+                duplicated += 1;
+            }
+        }
+        if poll.items.is_empty() && !rest.is_empty() {
+            // Backpressured and nothing to read yet: brief breather.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    let stats = client
+        .stats(session)
+        .map_err(|e| format!("session {index}: stats: {e}"))?;
+    let lost = expected.saturating_sub(received) + stats.orphans;
+    let final_stats = client
+        .close(session)
+        .map_err(|e| format!("session {index}: close: {e}"))?;
+    if final_stats.outstanding != 0 {
+        return Err(format!(
+            "session {index}: closed with {} outstanding",
+            final_stats.outstanding
+        ));
+    }
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let report = SessionReport {
+        session,
+        requests: ops.len() as u64,
+        responses: received,
+        sim_cycles: final_stats.cycles,
+        sim_throughput: if final_stats.cycles > 0 {
+            final_stats.injected as f64 / final_stats.cycles as f64
+        } else {
+            0.0
+        },
+        p50_latency: percentile_sorted(&sorted, 50.0),
+        p95_latency: percentile_sorted(&sorted, 95.0),
+        p99_latency: percentile_sorted(&sorted, 99.0),
+        max_latency: final_stats.max_latency,
+        send_stalls: final_stats.send_stalls,
+        tag_stalls: final_stats.tag_stalls,
+        token_stalls: final_stats.token_stalls,
+        busy_rejections,
+        errors,
+    };
+    Ok(SessionOutcome {
+        report,
+        latencies,
+        lost,
+        duplicated,
+    })
+}
+
+fn main() {
+    let o = parse_options();
+    let started = Instant::now();
+
+    let outcomes: Vec<Result<SessionOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..o.sessions)
+            .map(|i| {
+                let o = &o;
+                scope.spawn(move || drive_session(o, i))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let mut failed = false;
+    let mut sessions = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(s) => sessions.push(s),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    let mut all_latencies = Vec::new();
+    for s in &sessions {
+        all_latencies.extend_from_slice(&s.latencies);
+    }
+    let agg = LatencyPercentiles::from_samples(&mut all_latencies);
+    let total_requests: u64 = sessions.iter().map(|s| s.report.requests).sum();
+    let total_responses: u64 = sessions.iter().map(|s| s.report.responses).sum();
+    let lost_tags: u64 = sessions.iter().map(|s| s.lost).sum();
+    let duplicated_tags: u64 = sessions.iter().map(|s| s.duplicated).sum();
+
+    let report = LoadgenReport {
+        sessions: o.sessions as u64,
+        workload: o.workload.clone(),
+        preset: o.preset.clone(),
+        requests_per_session: o.requests,
+        total_requests,
+        total_responses,
+        wall_seconds,
+        ops_per_second: if wall_seconds > 0.0 {
+            total_requests as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        aggregate_p50_latency: agg.p50,
+        aggregate_p95_latency: agg.p95,
+        aggregate_p99_latency: agg.p99,
+        lost_tags,
+        duplicated_tags,
+        per_session: sessions.iter().map(|s| s.report.clone()).collect(),
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match &o.json {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("loadgen: {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!("loadgen: report written to {}", path.display());
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "loadgen: {} sessions x {} requests in {:.2}s ({:.0} ops/s), \
+         p50/p95/p99 = {}/{}/{} cycles, {} lost, {} duplicated",
+        o.sessions,
+        o.requests,
+        wall_seconds,
+        report.ops_per_second,
+        agg.p50,
+        agg.p95,
+        agg.p99,
+        lost_tags,
+        duplicated_tags
+    );
+    if lost_tags > 0 || duplicated_tags > 0 {
+        eprintln!("loadgen: TAG CONSERVATION VIOLATED");
+        std::process::exit(1);
+    }
+}

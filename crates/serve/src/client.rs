@@ -1,0 +1,294 @@
+//! Blocking client for the `hmc-serve` wire protocol.
+//!
+//! One [`Client`] wraps one connection; sessions are cheap handles on
+//! the server side, so a client may open several. All calls are
+//! synchronous request/reply — the server replies to every frame in
+//! order on a given connection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use hmc_types::{
+    BusyReason, Frame, HmcError, Result, WireOp, WireResponse, WireStats, WIRE_VERSION,
+};
+
+use crate::manager::frame_error;
+use crate::proto::{write_frame, FrameReader, ReadOutcome};
+
+/// The server's reply to a submission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitResult {
+    /// A batch prefix was admitted.
+    Accepted {
+        /// Operations admitted (prefix of the batch).
+        accepted: u32,
+        /// Inflight-queue slots left after admission.
+        queue_free: u32,
+    },
+    /// Typed backpressure: nothing admitted, retry after the hint.
+    Busy {
+        /// Why ([`BusyReason`] byte).
+        reason: u8,
+        /// Suggested retry delay in milliseconds.
+        retry_hint_ms: u32,
+    },
+}
+
+/// One `Poll` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollResult {
+    /// Responses returned, oldest first.
+    pub items: Vec<WireResponse>,
+    /// Requests still awaiting device responses.
+    pub outstanding: u32,
+    /// True when the session is fully drained server-side.
+    pub idle: bool,
+}
+
+/// The server's greeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Server protocol version.
+    pub version: u16,
+    /// Admission cap on concurrent sessions.
+    pub max_sessions: u32,
+    /// Sessions open at greeting time.
+    pub active_sessions: u32,
+}
+
+enum Stream {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking protocol client.
+pub struct Client {
+    stream: Stream,
+    reader: FrameReader,
+    /// The server's greeting, captured during connect.
+    pub server: ServerInfo,
+}
+
+impl Client {
+    /// Connect over a Unix-domain socket and exchange greetings.
+    pub fn connect_uds(path: &Path) -> Result<Client> {
+        let stream = UnixStream::connect(path)
+            .map_err(|e| HmcError::Wire(format!("connect {}: {e}", path.display())))?;
+        Self::finish_connect(Stream::Uds(stream))
+    }
+
+    /// Connect over TCP and exchange greetings.
+    pub fn connect_tcp(addr: &str) -> Result<Client> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| HmcError::Wire(format!("connect {addr}: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| HmcError::Wire(format!("nodelay: {e}")))?;
+        Self::finish_connect(Stream::Tcp(stream))
+    }
+
+    fn finish_connect(stream: Stream) -> Result<Client> {
+        let mut client = Client {
+            stream,
+            reader: FrameReader::new(),
+            server: ServerInfo {
+                version: 0,
+                max_sessions: 0,
+                active_sessions: 0,
+            },
+        };
+        let reply = client.roundtrip(&Frame::Hello {
+            version: WIRE_VERSION,
+        })?;
+        match reply {
+            Frame::HelloAck {
+                version,
+                max_sessions,
+                active_sessions,
+            } => {
+                client.server = ServerInfo {
+                    version,
+                    max_sessions,
+                    active_sessions,
+                };
+                Ok(client)
+            }
+            other => Err(frame_error(&other)),
+        }
+    }
+
+    /// Send one frame and block for the reply.
+    pub fn roundtrip(&mut self, frame: &Frame) -> Result<Frame> {
+        write_frame(&mut self.stream, frame)?;
+        loop {
+            match self.reader.poll(&mut self.stream)? {
+                ReadOutcome::Frame(f) => return Ok(f),
+                ReadOutcome::Eof => {
+                    return Err(HmcError::Wire("server closed the connection".into()))
+                }
+                ReadOutcome::TimedOut => continue,
+            }
+        }
+    }
+
+    /// Open a session from a preset name. `0` limits take server defaults.
+    pub fn open_session_preset(
+        &mut self,
+        preset: &str,
+        inflight_limit: u32,
+        response_limit: u32,
+    ) -> Result<u64> {
+        self.open_session(preset, "", inflight_limit, response_limit)
+    }
+
+    /// Open a session from a `DeviceConfig` JSON document.
+    pub fn open_session_json(
+        &mut self,
+        config_json: &str,
+        inflight_limit: u32,
+        response_limit: u32,
+    ) -> Result<u64> {
+        self.open_session("", config_json, inflight_limit, response_limit)
+    }
+
+    fn open_session(
+        &mut self,
+        preset: &str,
+        config_json: &str,
+        inflight_limit: u32,
+        response_limit: u32,
+    ) -> Result<u64> {
+        let reply = self.roundtrip(&Frame::OpenSession {
+            preset: preset.to_string(),
+            config_json: config_json.to_string(),
+            inflight_limit,
+            response_limit,
+        })?;
+        match reply {
+            Frame::SessionOpened { session } => Ok(session),
+            other => Err(frame_error(&other)),
+        }
+    }
+
+    /// Submit a batch of operations. BUSY is a normal return, not an
+    /// error — callers poll and retry.
+    pub fn submit(&mut self, session: u64, ops: &[WireOp]) -> Result<SubmitResult> {
+        let reply = self.roundtrip(&Frame::SubmitBatch {
+            session,
+            ops: ops.to_vec(),
+        })?;
+        match reply {
+            Frame::BatchAccepted {
+                accepted,
+                queue_free,
+            } => Ok(SubmitResult::Accepted {
+                accepted,
+                queue_free,
+            }),
+            Frame::Busy {
+                reason,
+                retry_hint_ms,
+            } => Ok(SubmitResult::Busy {
+                reason,
+                retry_hint_ms,
+            }),
+            other => Err(frame_error(&other)),
+        }
+    }
+
+    /// Submit a whole batch, retrying BUSY with short sleeps and
+    /// resubmitting unaccepted suffixes until every op is admitted.
+    pub fn submit_all(&mut self, session: u64, ops: &[WireOp]) -> Result<()> {
+        let mut rest = ops;
+        while !rest.is_empty() {
+            match self.submit(session, rest)? {
+                SubmitResult::Accepted { accepted, .. } => {
+                    rest = &rest[accepted as usize..];
+                }
+                SubmitResult::Busy { retry_hint_ms, .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        u64::from(retry_hint_ms.clamp(1, 50)),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Poll up to `max` responses (`0` = server default).
+    pub fn poll(&mut self, session: u64, max: u32) -> Result<PollResult> {
+        let reply = self.roundtrip(&Frame::Poll { session, max })?;
+        match reply {
+            Frame::Responses {
+                items,
+                outstanding,
+                idle,
+            } => Ok(PollResult {
+                items,
+                outstanding,
+                idle,
+            }),
+            other => Err(frame_error(&other)),
+        }
+    }
+
+    /// Snapshot the session's metrics.
+    pub fn stats(&mut self, session: u64) -> Result<WireStats> {
+        match self.roundtrip(&Frame::SnapshotStats { session })? {
+            Frame::Stats(s) => Ok(s),
+            other => Err(frame_error(&other)),
+        }
+    }
+
+    /// Close the session, returning its final metrics.
+    pub fn close(&mut self, session: u64) -> Result<WireStats> {
+        match self.roundtrip(&Frame::CloseSession { session })? {
+            Frame::Closed(s) => Ok(s),
+            other => Err(frame_error(&other)),
+        }
+    }
+
+    /// Ask the server to begin its graceful drain.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.roundtrip(&Frame::Shutdown)? {
+            Frame::ShuttingDown => Ok(()),
+            other => Err(frame_error(&other)),
+        }
+    }
+}
+
+/// Decode a BUSY reason for reports.
+pub fn busy_reason_label(reason: u8) -> &'static str {
+    match BusyReason::from_u8(reason) {
+        Some(BusyReason::SessionsFull) => "sessions-full",
+        Some(BusyReason::InflightFull) => "inflight-full",
+        Some(BusyReason::ResponsesFull) => "responses-full",
+        None => "unknown",
+    }
+}

@@ -1,0 +1,39 @@
+//! # hmc-serve
+//!
+//! A concurrent simulation service for the HMC-Sim stack. Clients connect
+//! over Unix-domain sockets or TCP and speak a length-prefixed binary
+//! protocol (`hmc_types::wire`): open a session backed by a private
+//! simulated device, submit batches of memory operations, poll completed
+//! responses, snapshot metrics, close. A bounded worker pool pumps every
+//! session with the exact per-cycle schedule of the in-process driver, so
+//! served responses are bit-identical to `hmc_host::run_workload` output —
+//! the service adds multi-tenancy and a network boundary, never timing
+//! drift.
+//!
+//! Admission control and backpressure are explicit protocol citizens:
+//! a concurrent-session cap, bounded per-session inflight queues (typed
+//! BUSY frames instead of unbounded buffering), bounded response buffers
+//! that pause the pump until polled, idle-session reaping, and a graceful
+//! drain on SIGTERM (stop accepting, quiesce every device, flush
+//! responses, exit 0).
+//!
+//! The `hmc-serve` binary is the daemon; `loadgen` drives N concurrent
+//! sessions with `hmc-workloads` traffic and reports throughput and
+//! latency percentiles as JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod manager;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, PollResult, ServerInfo, SubmitResult};
+pub use manager::{ServerConfig, SessionManager};
+pub use proto::{write_frame, FrameReader, ReadOutcome};
+pub use server::{DrainOutcome, Server};
+pub use session::{
+    memop_to_wire, wire_to_memop, workload_to_wire, PumpOutcome, SessionLimits, SessionState,
+};

@@ -1,0 +1,199 @@
+//! Stream framing for the wire protocol.
+//!
+//! `hmc-types::wire` defines the frame data model and its byte codec;
+//! this module reads and writes those frames over blocking byte streams.
+//! [`FrameReader`] accumulates partial reads so a read timeout (used by
+//! server connection threads to poll the shutdown flag) never loses
+//! framing mid-frame.
+
+use std::io::{ErrorKind, Read, Write};
+
+use hmc_types::{Frame, HmcError, Result, MAX_FRAME_LEN};
+
+/// The outcome of one [`FrameReader::poll`] call.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// The peer closed the stream cleanly (no partial frame pending).
+    Eof,
+    /// The read timed out or would block; call again later. Any partial
+    /// frame stays buffered.
+    TimedOut,
+}
+
+/// An incremental length-prefixed frame reader.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to complete one frame from `stream`.
+    ///
+    /// Blocking semantics follow the stream's own (set a read timeout on
+    /// the socket to get periodic [`ReadOutcome::TimedOut`] returns).
+    pub fn poll(&mut self, stream: &mut impl Read) -> Result<ReadOutcome> {
+        loop {
+            if let Some(frame) = self.try_decode()? {
+                return Ok(ReadOutcome::Frame(frame));
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(ReadOutcome::Eof)
+                    } else {
+                        Err(HmcError::Wire(format!(
+                            "peer closed the stream mid-frame ({} bytes buffered)",
+                            self.buf.len()
+                        )))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(ReadOutcome::TimedOut);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(HmcError::Wire(format!("read failed: {e}"))),
+            }
+        }
+    }
+
+    /// Decode one frame from the buffer if a complete one is present.
+    fn try_decode(&mut self) -> Result<Option<Frame>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(HmcError::Wire(format!(
+                "frame length {len} outside (0, {MAX_FRAME_LEN}]"
+            )));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(&self.buf[4..total])?;
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+/// Write one frame to `stream` (blocking, flushed).
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> Result<()> {
+    let bytes = frame.encode_framed();
+    stream
+        .write_all(&bytes)
+        .and_then(|()| stream.flush())
+        .map_err(|e| HmcError::Wire(format!("write failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_through_a_stream() {
+        let frames = [
+            Frame::Hello { version: 1 },
+            Frame::SessionOpened { session: 9 },
+            Frame::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut stream = Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        for f in &frames {
+            match reader.poll(&mut stream).unwrap() {
+                ReadOutcome::Frame(got) => assert_eq!(&got, f),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(matches!(
+            reader.poll(&mut stream).unwrap(),
+            ReadOutcome::Eof
+        ));
+    }
+
+    /// Yields one byte per read, then `WouldBlock` — models a socket with
+    /// a read timeout delivering data slowly.
+    struct Dribble {
+        bytes: Vec<u8>,
+        pos: usize,
+        served_this_poll: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.served_this_poll || self.pos >= self.bytes.len() {
+                self.served_this_poll = false;
+                return Err(std::io::Error::from(ErrorKind::WouldBlock));
+            }
+            out[0] = self.bytes[self.pos];
+            self.pos += 1;
+            self.served_this_poll = true;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn dribbled_bytes_reassemble_one_frame() {
+        let f = Frame::Poll {
+            session: 3,
+            max: 100,
+        };
+        let bytes = f.encode_framed();
+        let n = bytes.len();
+        let mut stream = Dribble {
+            bytes,
+            pos: 0,
+            served_this_poll: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut polls = 0;
+        loop {
+            match reader.poll(&mut stream).unwrap() {
+                ReadOutcome::Frame(got) => {
+                    assert_eq!(got, f);
+                    assert!(polls >= n - 1, "one poll per byte: {polls} < {}", n - 1);
+                    return;
+                }
+                ReadOutcome::TimedOut => polls += 1,
+                ReadOutcome::Eof => panic!("unexpected EOF"),
+            }
+            assert!(polls < 10_000, "frame never completed");
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let f = Frame::Hello { version: 1 };
+        let bytes = f.encode_framed();
+        let mut stream = Cursor::new(bytes[..bytes.len() - 1].to_vec());
+        let mut reader = FrameReader::new();
+        assert!(reader.poll(&mut stream).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut reader = FrameReader::new();
+        assert!(reader.poll(&mut Cursor::new(wire)).is_err());
+        let mut reader = FrameReader::new();
+        assert!(reader
+            .poll(&mut Cursor::new(0u32.to_le_bytes().to_vec()))
+            .is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! Socket frontends: accept loops, per-connection frame dispatch, and
+//! the graceful-drain choreography.
+//!
+//! Listeners run nonblocking with a short poll interval so the accept
+//! loop notices the shutdown flag promptly (a raw SIGTERM handler can
+//! only set an atomic — it cannot interrupt a blocking accept portably).
+//! Connection threads use socket read timeouts for the same reason.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hmc_types::{Frame, HmcError, Result, WireErrorCode, WIRE_VERSION};
+
+use crate::manager::{ServerConfig, SessionManager};
+use crate::proto::{write_frame, FrameReader, ReadOutcome};
+
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// How a server run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// Every session quiesced inside the drain window.
+    Drained,
+    /// The drain window expired with sessions still busy.
+    TimedOut,
+}
+
+/// A running service: listeners + manager + worker pool.
+pub struct Server {
+    mgr: SessionManager,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    uds: Vec<(UnixListener, PathBuf)>,
+    tcp: Vec<TcpListener>,
+}
+
+impl Server {
+    /// Create the service and start its worker pool (no listeners yet).
+    pub fn new(cfg: ServerConfig) -> Server {
+        let (mgr, workers) = SessionManager::start(cfg);
+        Server {
+            mgr,
+            workers,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            uds: Vec::new(),
+            tcp: Vec::new(),
+        }
+    }
+
+    /// The session manager (loopback tests drive it directly).
+    pub fn manager(&self) -> SessionManager {
+        self.mgr.clone()
+    }
+
+    /// The flag that stops the accept loop; a signal handler or another
+    /// thread sets it to trigger the graceful drain.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// Bind a Unix-domain listener. A stale socket file from a previous
+    /// run is removed first.
+    pub fn bind_uds(&mut self, path: &Path) -> Result<()> {
+        if path.exists() {
+            std::fs::remove_file(path)
+                .map_err(|e| HmcError::Wire(format!("{}: {e}", path.display())))?;
+        }
+        let listener = UnixListener::bind(path)
+            .map_err(|e| HmcError::Wire(format!("bind {}: {e}", path.display())))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| HmcError::Wire(format!("nonblocking: {e}")))?;
+        self.uds.push((listener, path.to_path_buf()));
+        Ok(())
+    }
+
+    /// Bind a TCP listener. Returns the bound address (use port 0 to let
+    /// the OS pick).
+    pub fn bind_tcp(&mut self, addr: &str) -> Result<std::net::SocketAddr> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| HmcError::Wire(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| HmcError::Wire(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| HmcError::Wire(format!("nonblocking: {e}")))?;
+        self.tcp.push(listener);
+        Ok(local)
+    }
+
+    /// Serve until the shutdown flag is set, then drain gracefully:
+    /// stop accepting, pump every session to quiescence (bounded by
+    /// `drain_timeout`), stop the workers, and remove socket files.
+    ///
+    /// Idle-session reaping runs on the accept loop's cadence.
+    pub fn run(mut self, drain_timeout: Duration) -> DrainOutcome {
+        let live_conns = Arc::new(AtomicUsize::new(0));
+        let conn_exit = Arc::new(AtomicBool::new(false));
+        let mut reap_tick = 0u32;
+
+        while !self.shutdown.load(Ordering::Acquire) {
+            let mut accepted = false;
+            for (listener, _) in &self.uds {
+                while let Ok((stream, _)) = listener.accept() {
+                    accepted = true;
+                    self.spawn_conn(UdsOrTcp::Uds(stream), &live_conns, &conn_exit);
+                }
+            }
+            for listener in &self.tcp {
+                while let Ok((stream, _)) = listener.accept() {
+                    accepted = true;
+                    self.spawn_conn(UdsOrTcp::Tcp(stream), &live_conns, &conn_exit);
+                }
+            }
+            if !accepted {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            reap_tick += 1;
+            if reap_tick >= 40 {
+                reap_tick = 0;
+                let reaped = self.mgr.reap_idle();
+                if reaped > 0 {
+                    eprintln!("hmc-serve: reaped {reaped} idle session(s)");
+                }
+            }
+        }
+
+        // Graceful drain: stop accepting (listeners drop below), refuse
+        // new work, pump buffered work dry, then stop the pool.
+        drop(std::mem::take(&mut self.tcp));
+        self.mgr.begin_drain();
+        let outcome = if self.mgr.wait_drained(drain_timeout) {
+            DrainOutcome::Drained
+        } else {
+            DrainOutcome::TimedOut
+        };
+
+        // Give connected clients a moment to poll flushed responses,
+        // then retire connection threads.
+        conn_exit.store(true, Ordering::Release);
+        let conn_deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while live_conns.load(Ordering::Acquire) > 0
+            && std::time::Instant::now() < conn_deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        self.mgr.stop_workers();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        for (listener, path) in self.uds.drain(..) {
+            drop(listener);
+            let _ = std::fs::remove_file(&path);
+        }
+        outcome
+    }
+
+    fn spawn_conn(
+        &self,
+        stream: UdsOrTcp,
+        live_conns: &Arc<AtomicUsize>,
+        conn_exit: &Arc<AtomicBool>,
+    ) {
+        let mgr = self.mgr.clone();
+        let shutdown = self.shutdown.clone();
+        let exit = conn_exit.clone();
+        let live = live_conns.clone();
+        live.fetch_add(1, Ordering::AcqRel);
+        let _ = std::thread::Builder::new()
+            .name("hmc-serve-conn".into())
+            .spawn(move || {
+                let _guard = DecrementOnDrop(live);
+                if let Err(e) = serve_connection(stream, &mgr, &shutdown, &exit) {
+                    // Client protocol violations end the connection only.
+                    eprintln!("hmc-serve: connection error: {e}");
+                }
+            });
+    }
+}
+
+struct DecrementOnDrop(Arc<AtomicUsize>);
+impl Drop for DecrementOnDrop {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+enum UdsOrTcp {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl UdsOrTcp {
+    fn prepare(&self) -> std::io::Result<()> {
+        match self {
+            UdsOrTcp::Uds(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_TIMEOUT))
+            }
+            UdsOrTcp::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                s.set_read_timeout(Some(READ_TIMEOUT))
+            }
+        }
+    }
+}
+
+impl Read for UdsOrTcp {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            UdsOrTcp::Uds(s) => s.read(buf),
+            UdsOrTcp::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for UdsOrTcp {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            UdsOrTcp::Uds(s) => s.write(buf),
+            UdsOrTcp::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            UdsOrTcp::Uds(s) => s.flush(),
+            UdsOrTcp::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection's request/reply loop. The first frame must be `Hello`
+/// with a matching protocol version.
+fn serve_connection(
+    mut stream: UdsOrTcp,
+    mgr: &SessionManager,
+    shutdown: &AtomicBool,
+    conn_exit: &AtomicBool,
+) -> Result<()> {
+    stream
+        .prepare()
+        .map_err(|e| HmcError::Wire(format!("socket options: {e}")))?;
+    let mut reader = FrameReader::new();
+    let mut greeted = false;
+    loop {
+        if conn_exit.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let frame = match reader.poll(&mut stream)? {
+            ReadOutcome::Frame(f) => f,
+            ReadOutcome::Eof => return Ok(()),
+            ReadOutcome::TimedOut => continue,
+        };
+        let reply = match &frame {
+            Frame::Hello { version } => {
+                if *version != WIRE_VERSION {
+                    let reply = Frame::Error {
+                        code: WireErrorCode::VersionMismatch as u8,
+                        message: format!(
+                            "client speaks v{version}, server speaks v{WIRE_VERSION}"
+                        ),
+                    };
+                    write_frame(&mut stream, &reply)?;
+                    return Ok(());
+                }
+                greeted = true;
+                Frame::HelloAck {
+                    version: WIRE_VERSION,
+                    max_sessions: mgr.max_sessions() as u32,
+                    active_sessions: mgr.active_sessions() as u32,
+                }
+            }
+            Frame::Shutdown => {
+                write_frame(&mut stream, &Frame::ShuttingDown)?;
+                shutdown.store(true, Ordering::Release);
+                continue;
+            }
+            _ if !greeted => {
+                let reply = Frame::Error {
+                    code: WireErrorCode::BadFrame as u8,
+                    message: "the first frame must be Hello".into(),
+                };
+                write_frame(&mut stream, &reply)?;
+                return Ok(());
+            }
+            other => mgr.handle(other),
+        };
+        write_frame(&mut stream, &reply)?;
+    }
+}

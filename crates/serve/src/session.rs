@@ -1,0 +1,448 @@
+//! One serving session: a private simulated device plus the host-side
+//! state that pumps client-submitted operations through it.
+//!
+//! Determinism contract: for a fixed op stream, the pump executes the
+//! *exact* per-cycle schedule of `hmc_host::run_workload` — inject until
+//! stall, clock once, drain — so responses seen through the service are
+//! bit-identical (tag, data, per-stream order) to an in-process driver
+//! run. That is why the pump clocks one cycle at a time while responses
+//! are outstanding: a multi-cycle `clock_batch` would change the drain
+//! cadence, and with it the tag-reuse order. Batched advances are
+//! reserved for the idle settle phase, where only posted traffic (which
+//! carries no tags) is still draining.
+
+use std::collections::VecDeque;
+
+use hmc_core::{topology, HmcSim};
+use hmc_host::Host;
+use hmc_types::{
+    BlockSize, CubeId, DeviceConfig, HmcError, Result, WireOp, WireResponse, WireStats,
+};
+use hmc_workloads::{MemOp, OpKind, Workload};
+
+/// Per-session limits and pacing, fixed at open time.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLimits {
+    /// Bound on queued-but-not-yet-injected operations. Submissions past
+    /// this bound are rejected with BUSY, never buffered.
+    pub inflight_limit: usize,
+    /// Bound on buffered completed responses. The pump pauses when the
+    /// buffer is full and resumes as the client polls it down.
+    pub response_limit: usize,
+    /// Cycles one scheduling quantum may execute before the worker yields
+    /// the session back to the run queue.
+    pub slice_cycles: u64,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            inflight_limit: 4096,
+            response_limit: 8192,
+            slice_cycles: 4096,
+        }
+    }
+}
+
+/// Why the pump stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpOutcome {
+    /// Nothing left to do: no queued ops, no outstanding tags, device
+    /// quiescent. The session leaves the run queue until new work arrives.
+    Idle,
+    /// The response buffer reached its bound; pumping resumes after the
+    /// client polls responses off.
+    Paused,
+    /// The slice budget ran out with work remaining; reschedule.
+    Working,
+}
+
+/// Convert a wire operation into a [`MemOp`].
+pub fn wire_to_memop(op: &WireOp) -> Result<MemOp> {
+    let kind = match op.kind {
+        WireOp::KIND_READ => OpKind::Read,
+        WireOp::KIND_WRITE => OpKind::Write,
+        WireOp::KIND_POSTED_WRITE => OpKind::PostedWrite,
+        WireOp::KIND_TWO_ADD8 => OpKind::TwoAdd8,
+        WireOp::KIND_ADD16 => OpKind::Add16,
+        WireOp::KIND_BIT_WRITE => OpKind::BitWrite,
+        other => return Err(HmcError::Wire(format!("unknown op kind {other}"))),
+    };
+    let size = BlockSize::from_bytes(op.size_bytes as usize)
+        .map_err(|e| HmcError::Wire(e.to_string()))?;
+    Ok(MemOp {
+        kind,
+        addr: op.addr,
+        size,
+    })
+}
+
+/// Convert a [`MemOp`] into its wire form.
+pub fn memop_to_wire(op: &MemOp) -> WireOp {
+    let kind = match op.kind {
+        OpKind::Read => WireOp::KIND_READ,
+        OpKind::Write => WireOp::KIND_WRITE,
+        OpKind::PostedWrite => WireOp::KIND_POSTED_WRITE,
+        OpKind::TwoAdd8 => WireOp::KIND_TWO_ADD8,
+        OpKind::Add16 => WireOp::KIND_ADD16,
+        OpKind::BitWrite => WireOp::KIND_BIT_WRITE,
+    };
+    WireOp {
+        kind,
+        addr: op.addr,
+        size_bytes: op.size.bytes() as u16,
+    }
+}
+
+/// Convert a whole workload into wire operations (loadgen, tests).
+pub fn workload_to_wire(workload: &mut dyn Workload) -> Vec<WireOp> {
+    let mut ops = Vec::new();
+    while let Some(op) = workload.next_op() {
+        ops.push(memop_to_wire(&op));
+    }
+    ops
+}
+
+/// One session's simulation and queues. Owned behind the manager's
+/// per-session mutex; all methods take `&mut self`.
+pub struct SessionState {
+    sim: HmcSim,
+    host: Host,
+    target: CubeId,
+    limits: SessionLimits,
+    /// Ops admitted but not yet accepted by the device, in issue order.
+    inflight: VecDeque<MemOp>,
+    /// The op currently being retried after a stall (mirror of the
+    /// driver's `pending` slot — it must retry *before* newer ops).
+    pending: Option<MemOp>,
+    /// Completed responses awaiting a client poll.
+    responses: VecDeque<WireResponse>,
+}
+
+impl SessionState {
+    /// Build a fresh single-device session from a validated config.
+    pub fn new(config: DeviceConfig, limits: SessionLimits) -> Result<SessionState> {
+        config.validate()?;
+        let mut sim = HmcSim::new(1, config)?;
+        let host_id = sim.host_cube_id(0);
+        topology::build_simple(&mut sim, host_id)?;
+        let host = Host::attach(&sim, host_id)?;
+        Ok(SessionState {
+            sim,
+            host,
+            target: 0,
+            limits,
+            inflight: VecDeque::new(),
+            pending: None,
+            responses: VecDeque::new(),
+        })
+    }
+
+    /// The session's limits.
+    pub fn limits(&self) -> SessionLimits {
+        self.limits
+    }
+
+    /// Free slots in the inflight queue.
+    pub fn queue_free(&self) -> usize {
+        self.limits
+            .inflight_limit
+            .saturating_sub(self.inflight.len())
+    }
+
+    /// Admit a prefix of `ops` bounded by the inflight queue's free space.
+    /// Returns how many were admitted (0 means the caller should send
+    /// BUSY). Malformed ops fail the whole batch before any admission.
+    pub fn submit(&mut self, ops: &[WireOp]) -> Result<usize> {
+        let mut decoded = Vec::with_capacity(ops.len());
+        for op in ops {
+            decoded.push(wire_to_memop(op)?);
+        }
+        let take = decoded.len().min(self.queue_free());
+        self.inflight.extend(decoded.drain(..take));
+        Ok(take)
+    }
+
+    /// Move up to `max` buffered responses out, oldest first.
+    pub fn take_responses(&mut self, max: usize) -> Vec<WireResponse> {
+        let n = self.responses.len().min(max.max(1));
+        self.responses.drain(..n).collect()
+    }
+
+    /// True when the session still has simulation work to do (pumping
+    /// would make progress).
+    pub fn has_work(&self) -> bool {
+        self.pending.is_some()
+            || !self.inflight.is_empty()
+            || self.host.outstanding() > 0
+            || !self.sim.is_quiesced()
+    }
+
+    /// True when the response buffer has reached its bound.
+    pub fn paused(&self) -> bool {
+        self.responses.len() >= self.limits.response_limit
+    }
+
+    /// True when the session is fully drained: nothing queued, nothing
+    /// outstanding, device quiescent. (Buffered responses may remain for
+    /// the client to poll.)
+    pub fn drained(&self) -> bool {
+        !self.has_work()
+    }
+
+    /// Requests currently awaiting device responses.
+    pub fn outstanding(&self) -> usize {
+        self.host.outstanding()
+    }
+
+    /// Execute one scheduling quantum (at most `limits.slice_cycles`).
+    ///
+    /// Each iteration replays the driver loop exactly: inject from the
+    /// inflight queue until a stall (keeping a stalled op in `pending` so
+    /// it retries first), clock one cycle, drain — capturing correlated
+    /// responses into the session buffer. Once every tagged response is
+    /// home and the queue is dry, residual posted traffic is settled with
+    /// batched clock advances (no tags in flight, so cadence is free).
+    pub fn pump(&mut self) -> Result<PumpOutcome> {
+        let mut budget = self.limits.slice_cycles.max(1);
+        while budget > 0 {
+            if self.paused() {
+                return Ok(PumpOutcome::Paused);
+            }
+            // Inject until a stall, tag exhaustion, or an empty queue.
+            loop {
+                let op = match self.pending.take() {
+                    Some(op) => op,
+                    None => match self.inflight.pop_front() {
+                        Some(op) => op,
+                        None => break,
+                    },
+                };
+                if self.host.try_issue(&mut self.sim, self.target, &op)? {
+                    continue;
+                }
+                self.pending = Some(op);
+                break;
+            }
+
+            if self.pending.is_none() && self.inflight.is_empty() && self.host.outstanding() == 0
+            {
+                if self.sim.is_quiesced() {
+                    return Ok(PumpOutcome::Idle);
+                }
+                // Only untagged posted traffic remains; batch-settle it.
+                let advance = budget.min(32);
+                self.sim.clock_batch(advance)?;
+                self.host.drain(&mut self.sim)?;
+                budget -= advance;
+                continue;
+            }
+
+            self.sim.clock()?;
+            let responses = &mut self.responses;
+            self.host.drain_with(&mut self.sim, |info, latency| {
+                responses.push_back(WireResponse {
+                    tag: info.tag,
+                    ok: info.is_ok(),
+                    latency,
+                    data: info.data,
+                });
+            })?;
+            budget -= 1;
+        }
+        Ok(PumpOutcome::Working)
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn snapshot(&self) -> WireStats {
+        let hs = self.host.stats;
+        let ss = self.sim.stats();
+        WireStats {
+            cycles: ss.cycles,
+            injected: hs.injected,
+            completed: hs.completed,
+            posted: hs.posted,
+            errors: hs.errors,
+            send_stalls: hs.send_stalls,
+            tag_stalls: hs.tag_stalls,
+            token_stalls: ss.token_stalls,
+            orphans: hs.orphans,
+            outstanding: self.host.outstanding() as u32,
+            queue_occupancy: self.sim.total_occupancy() as u32,
+            inflight: (self.inflight.len() + usize::from(self.pending.is_some())) as u32,
+            buffered_responses: self.responses.len() as u32,
+            mean_latency: self.host.latency.mean(),
+            max_latency: self.host.latency.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_workloads::WorkloadSpec;
+
+    fn small_session(limits: SessionLimits) -> SessionState {
+        SessionState::new(DeviceConfig::small(), limits).unwrap()
+    }
+
+    fn pump_to_idle(s: &mut SessionState) {
+        for _ in 0..10_000 {
+            match s.pump().unwrap() {
+                PumpOutcome::Idle => return,
+                PumpOutcome::Paused => panic!("unexpected pause"),
+                PumpOutcome::Working => {}
+            }
+        }
+        panic!("session never went idle");
+    }
+
+    #[test]
+    fn op_conversion_roundtrips() {
+        for kind in [
+            OpKind::Read,
+            OpKind::Write,
+            OpKind::PostedWrite,
+            OpKind::TwoAdd8,
+            OpKind::Add16,
+            OpKind::BitWrite,
+        ] {
+            let op = MemOp {
+                kind,
+                addr: 0x1000,
+                size: BlockSize::B64,
+            };
+            assert_eq!(wire_to_memop(&memop_to_wire(&op)).unwrap(), op);
+        }
+        assert!(wire_to_memop(&WireOp {
+            kind: 99,
+            addr: 0,
+            size_bytes: 64
+        })
+        .is_err());
+        assert!(wire_to_memop(&WireOp {
+            kind: WireOp::KIND_READ,
+            addr: 0,
+            size_bytes: 17
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn a_batch_runs_to_idle_and_answers_everything() {
+        let mut s = small_session(SessionLimits::default());
+        let mut w = WorkloadSpec::new("random", 5, 1 << 24, 1_000).build().unwrap();
+        let ops = workload_to_wire(w.as_mut());
+        let expected = ops
+            .iter()
+            .filter(|o| wire_to_memop(o).unwrap().expects_response())
+            .count();
+        assert_eq!(s.submit(&ops).unwrap(), ops.len());
+        pump_to_idle(&mut s);
+        assert_eq!(s.responses.len(), expected);
+        assert_eq!(s.outstanding(), 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.completed as usize, expected);
+        assert_eq!(snap.orphans, 0);
+        assert!(snap.cycles > 0);
+    }
+
+    #[test]
+    fn submissions_beyond_the_inflight_bound_are_clipped() {
+        let limits = SessionLimits {
+            inflight_limit: 16,
+            ..SessionLimits::default()
+        };
+        let mut s = small_session(limits);
+        let ops: Vec<WireOp> = (0..40)
+            .map(|i| WireOp {
+                kind: WireOp::KIND_READ,
+                addr: i * 64,
+                size_bytes: 64,
+            })
+            .collect();
+        assert_eq!(s.submit(&ops).unwrap(), 16);
+        assert_eq!(s.queue_free(), 0);
+        assert_eq!(s.submit(&ops).unwrap(), 0, "full queue admits nothing");
+        pump_to_idle(&mut s);
+        assert_eq!(s.queue_free(), 16);
+    }
+
+    #[test]
+    fn the_pump_pauses_on_a_full_response_buffer() {
+        let limits = SessionLimits {
+            response_limit: 8,
+            ..SessionLimits::default()
+        };
+        let mut s = small_session(limits);
+        let ops: Vec<WireOp> = (0..64)
+            .map(|i| WireOp {
+                kind: WireOp::KIND_READ,
+                addr: i * 64,
+                size_bytes: 64,
+            })
+            .collect();
+        assert_eq!(s.submit(&ops).unwrap(), 64);
+        let mut paused = false;
+        for _ in 0..10_000 {
+            match s.pump().unwrap() {
+                PumpOutcome::Paused => {
+                    paused = true;
+                    break;
+                }
+                PumpOutcome::Idle => break,
+                PumpOutcome::Working => {}
+            }
+        }
+        assert!(paused, "an 8-deep buffer must pause a 64-read batch");
+        assert!(s.responses.len() >= 8);
+        // Polling responses off unblocks the pump.
+        let mut got = s.take_responses(64).len();
+        for _ in 0..10_000 {
+            match s.pump().unwrap() {
+                PumpOutcome::Idle => break,
+                _ => got += s.take_responses(64).len(),
+            }
+        }
+        got += s.take_responses(64).len();
+        assert_eq!(got, 64);
+    }
+
+    #[test]
+    fn malformed_ops_fail_the_whole_batch_atomically() {
+        let mut s = small_session(SessionLimits::default());
+        let ops = [
+            WireOp {
+                kind: WireOp::KIND_READ,
+                addr: 0,
+                size_bytes: 64,
+            },
+            WireOp {
+                kind: 200,
+                addr: 64,
+                size_bytes: 64,
+            },
+        ];
+        assert!(s.submit(&ops).is_err());
+        assert_eq!(s.queue_free(), SessionLimits::default().inflight_limit);
+        assert!(!s.has_work());
+    }
+
+    #[test]
+    fn posted_only_batches_quiesce() {
+        let mut s = small_session(SessionLimits::default());
+        let ops: Vec<WireOp> = (0..32)
+            .map(|i| WireOp {
+                kind: WireOp::KIND_POSTED_WRITE,
+                addr: i * 64,
+                size_bytes: 64,
+            })
+            .collect();
+        s.submit(&ops).unwrap();
+        pump_to_idle(&mut s);
+        assert!(s.take_responses(100).is_empty(), "posted ops answer nothing");
+        let snap = s.snapshot();
+        assert_eq!(snap.posted, 32);
+        assert_eq!(snap.queue_occupancy, 0);
+    }
+}

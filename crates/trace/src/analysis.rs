@@ -139,6 +139,41 @@ pub fn analyze_bandwidth(
     }
 }
 
+/// p50/p95/p99 latency summary, the tail metrics a serving benchmark
+/// reports alongside throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct LatencyPercentiles {
+    /// Median latency.
+    pub p50: u64,
+    /// 95th-percentile latency.
+    pub p95: u64,
+    /// 99th-percentile latency.
+    pub p99: u64,
+}
+
+impl LatencyPercentiles {
+    /// Compute p50/p95/p99 from raw samples (sorted internally).
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        samples.sort_unstable();
+        LatencyPercentiles {
+            p50: percentile_sorted(samples, 50.0),
+            p95: percentile_sorted(samples, 95.0),
+            p99: percentile_sorted(samples, 99.0),
+        }
+    }
+}
+
+/// The `p`-th percentile (nearest-rank method) of an ascending-sorted
+/// sample set; 0 for an empty set.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +250,26 @@ mod tests {
         assert_eq!(report.data_bytes_per_cycle, 0.0);
         assert_eq!(report.utilization, 0.0);
         assert_eq!(report.efficiency, 0.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&sorted, 50.0), 50);
+        assert_eq!(percentile_sorted(&sorted, 95.0), 95);
+        assert_eq!(percentile_sorted(&sorted, 99.0), 99);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 100);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1);
+        assert_eq!(percentile_sorted(&[], 50.0), 0);
+        assert_eq!(percentile_sorted(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn latency_percentiles_sort_their_input() {
+        let mut samples = vec![30, 10, 20, 90, 40, 50, 60, 70, 80, 100];
+        let p = LatencyPercentiles::from_samples(&mut samples);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p95, 100);
+        assert_eq!(p.p99, 100);
     }
 }

@@ -17,7 +17,10 @@ pub mod sink;
 pub mod stage;
 pub mod stats;
 
-pub use analysis::{analyze_bandwidth, transaction_efficiency, BandwidthReport, TrafficCounts};
+pub use analysis::{
+    analyze_bandwidth, percentile_sorted, transaction_efficiency, BandwidthReport,
+    LatencyPercentiles, TrafficCounts,
+};
 pub use event::{EventKind, TraceEvent, TraceRecord};
 pub use stage::EventStage;
 pub use power::{estimate_energy, Activity, EnergyModel, EnergyReport};
@@ -26,4 +29,4 @@ pub use sink::{
     CountingSink, MultiSink, NullSink, SharedSink, TextSink, TraceSink, Tracer, VecSink,
     Verbosity,
 };
-pub use stats::{EventCounters, VaultUtilization};
+pub use stats::{EventCounters, StatsSnapshot, VaultUtilization};

@@ -65,6 +65,44 @@ impl EventCounters {
     }
 }
 
+/// A flat, serializable snapshot of one run's (or one serving session's)
+/// counters — the payload behind `hmc-serve`'s snapshot-stats frame and a
+/// convenient JSON row for benchmark reports.
+///
+/// Every field is a plain scalar so the struct serializes identically
+/// everywhere; producers fill it from `HostStats`, `SimStats`, and
+/// `LatencyStats` (all in other crates, so the assembly happens at the
+/// call site).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct StatsSnapshot {
+    /// Simulated cycles executed.
+    pub cycles: u64,
+    /// Requests accepted by the device.
+    pub injected: u64,
+    /// Responses received and correlated.
+    pub completed: u64,
+    /// Posted (no-response) requests injected.
+    pub posted: u64,
+    /// Error responses observed.
+    pub errors: u64,
+    /// Send attempts rejected with a queue-full stall.
+    pub send_stalls: u64,
+    /// Injection attempts deferred because all 512 tags were in flight.
+    pub tag_stalls: u64,
+    /// Sends rejected for lack of link flow-control tokens.
+    pub token_stalls: u64,
+    /// Responses whose tag could not be correlated.
+    pub orphans: u64,
+    /// Requests currently awaiting responses.
+    pub outstanding: u64,
+    /// Packets resident in device queues at snapshot time.
+    pub queue_occupancy: u64,
+    /// Mean request latency in simulated cycles.
+    pub mean_latency: f64,
+    /// Maximum request latency in simulated cycles.
+    pub max_latency: u64,
+}
+
 /// Per-vault utilization tallies: the quantities Figure 5 plots per vault
 /// (bank conflicts, read requests, write requests).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]

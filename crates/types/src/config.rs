@@ -139,6 +139,19 @@ impl DeviceConfig {
         ]
     }
 
+    /// Look up a preset by its short CLI/service name (`4l8b`, `4l16b`,
+    /// `8l8b`, `8l16b`, `small`). Returns `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<DeviceConfig> {
+        match name {
+            "4l8b" => Some(Self::paper_4link_8bank_2gb()),
+            "4l16b" => Some(Self::paper_4link_16bank_4gb()),
+            "8l8b" => Some(Self::paper_8link_8bank_4gb()),
+            "8l16b" => Some(Self::paper_8link_16bank_8gb()),
+            "small" => Some(Self::small()),
+            _ => None,
+        }
+    }
+
     // ------------------------------------------------------------- builders
 
     /// Replace the storage mode (builder style).

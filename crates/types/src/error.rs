@@ -69,6 +69,8 @@ pub enum HmcError {
     },
     /// A vault-level structural fault was detected during processing.
     Internal(String),
+    /// A wire-protocol frame could not be encoded or decoded.
+    Wire(String),
 }
 
 impl HmcError {
@@ -130,6 +132,7 @@ impl fmt::Display for HmcError {
                 write!(f, "{what} index {index} out of range (limit {limit})")
             }
             HmcError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
+            HmcError::Wire(msg) => write!(f, "wire protocol error: {msg}"),
         }
     }
 }

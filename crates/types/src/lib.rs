@@ -26,6 +26,7 @@ pub mod error;
 pub mod flit;
 pub mod packet;
 pub mod units;
+pub mod wire;
 
 pub use address::{
     AddressMap, BankFirstMap, CustomMap, DecodedAddr, Field, LinearMap, LowInterleaveMap,
@@ -37,6 +38,9 @@ pub use error::{HmcError, Result};
 pub use flit::{FLIT_BYTES, MAX_DATA_BYTES, MAX_PACKET_BYTES, MAX_PACKET_FLITS};
 pub use packet::{Packet, ResponseStatus};
 pub use units::LinkSpeed;
+pub use wire::{
+    BusyReason, Frame, WireErrorCode, WireOp, WireResponse, WireStats, MAX_FRAME_LEN, WIRE_VERSION,
+};
 
 /// Identifier of a cube (device) within a simulation object.
 ///

@@ -18,6 +18,7 @@ pub mod pointer_chase;
 pub mod profile;
 pub mod random_access;
 pub mod replay;
+pub mod spec;
 pub mod stencil;
 pub mod stream;
 
@@ -29,5 +30,6 @@ pub use op::{MemOp, OpKind, Workload};
 pub use pointer_chase::PointerChase;
 pub use profile::{profile, AddressProfile};
 pub use random_access::{RandomAccess, PAPER_REQUESTS, PAPER_WORKING_SET};
+pub use spec::{WorkloadSpec, WORKLOAD_NAMES};
 pub use stencil::Stencil;
 pub use stream::{Stream, StreamMode};

@@ -1,0 +1,70 @@
+//! Round-trip coverage for the shipped device configuration files.
+//!
+//! Every JSON file under `configs/` must load, validate, and — for the
+//! four paper-geometry files plus `small.json` — match the corresponding
+//! built-in preset field-for-field, so a config handed to `hmc-serve` or
+//! the CLI by file is indistinguishable from one selected by name.
+
+use std::path::PathBuf;
+
+use hmc_types::DeviceConfig;
+
+fn configs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("configs")
+}
+
+fn load(name: &str) -> DeviceConfig {
+    let path = configs_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn every_shipped_config_loads_and_validates() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(configs_dir()).expect("configs/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let config: DeviceConfig = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+    assert!(seen >= 5, "expected at least the five shipped configs, found {seen}");
+}
+
+#[test]
+fn the_paper_geometry_files_match_their_presets_field_for_field() {
+    // (file, preset name) — `DeviceConfig` derives `PartialEq`, so this
+    // comparison covers every field, including queue depths and SERDES
+    // lane counts.
+    for (file, preset) in [
+        ("4l8b.json", "4l8b"),
+        ("4l16b.json", "4l16b"),
+        ("8l8b.json", "8l8b"),
+        ("8l16b.json", "8l16b"),
+        ("small.json", "small"),
+    ] {
+        let from_file = load(file);
+        let built_in = DeviceConfig::by_name(preset).expect("preset exists");
+        assert_eq!(
+            from_file, built_in,
+            "configs/{file} drifted from the {preset} preset"
+        );
+    }
+}
+
+#[test]
+fn configs_survive_a_serialize_deserialize_round_trip() {
+    for (_, config) in DeviceConfig::paper_configs() {
+        let json = serde_json::to_string(&config).unwrap();
+        let back: DeviceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+}
