@@ -1,0 +1,108 @@
+//! `bench_emit` — measure engine throughput and emit `BENCH_*.json`
+//! trajectory records.
+//!
+//! Runs the canonical workload shapes (dense, bursty, sparse) in both
+//! engine modes, prints a stepped-vs-fast-forward comparison table, and
+//! writes one JSON record per run plus one summary per shape into the
+//! output directory. CI archives the files as the performance trajectory.
+//!
+//! Usage:
+//!   bench_emit [--out DIR] [--threads N] [--workload dense|bursty|sparse|all]
+//!              [--min-sparse-speedup X]
+//!
+//! `--min-sparse-speedup X` exits nonzero if the sparse-shape speedup
+//! falls below `X` — the CI guard for the fast-forward win.
+
+use std::path::PathBuf;
+
+use hmc_bench::emit::{compare, shape_by_name, write_record, write_summary, SHAPES};
+
+fn main() {
+    let mut out = PathBuf::from("results");
+    let mut threads: usize = 1;
+    let mut workload = String::from("all");
+    let mut min_sparse_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path"))),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs an integer"));
+            }
+            "--workload" => {
+                workload = args.next().unwrap_or_else(|| die("--workload needs a name"));
+            }
+            "--min-sparse-speedup" => {
+                min_sparse_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--min-sparse-speedup needs a number")),
+                );
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_emit [--out DIR] [--threads N] \
+                     [--workload dense|bursty|sparse|all] [--min-sparse-speedup X]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let shapes: Vec<_> = if workload == "all" {
+        SHAPES.to_vec()
+    } else {
+        vec![shape_by_name(&workload)
+            .unwrap_or_else(|| die(&format!("unknown workload {workload}")))]
+    };
+    std::fs::create_dir_all(&out).unwrap_or_else(|e| die(&format!("{}: {e}", out.display())));
+
+    println!(
+        "{:<8} {:>16} {:>16} {:>9}  (cycles/sec, {threads} thread{})",
+        "workload",
+        "stepped",
+        "fast-forward",
+        "speedup",
+        if threads == 1 { "" } else { "s" }
+    );
+    let mut failed = false;
+    for shape in shapes {
+        let (stepped, fast, summary) = compare(shape, threads);
+        println!(
+            "{:<8} {:>16.3e} {:>16.3e} {:>8.2}x",
+            summary.workload,
+            summary.stepped_cycles_per_sec,
+            summary.fast_forward_cycles_per_sec,
+            summary.speedup
+        );
+        for r in [&stepped, &fast] {
+            let path =
+                write_record(&out, r).unwrap_or_else(|e| die(&format!("write record: {e}")));
+            eprintln!("bench_emit: wrote {}", path.display());
+        }
+        let path =
+            write_summary(&out, &summary).unwrap_or_else(|e| die(&format!("write summary: {e}")));
+        eprintln!("bench_emit: wrote {}", path.display());
+        if let Some(min) = min_sparse_speedup {
+            if summary.workload == "sparse" && summary.speedup < min {
+                eprintln!(
+                    "bench_emit: sparse speedup {:.2}x below required {min}x",
+                    summary.speedup
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_emit: {msg}");
+    std::process::exit(2);
+}

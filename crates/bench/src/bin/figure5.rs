@@ -9,6 +9,7 @@
 //!
 //! Usage:
 //!   figure5 [--scale N] [--seed S] [--bin W] [--out DIR] [--threads N] [--check]
+//!           [--fast-forward]
 //!
 //! Defaults: 1/256 scale, bin width auto (~200 rows), output CSVs to the
 //! current directory as `figure5_<config>.csv`.
@@ -28,6 +29,7 @@ fn main() {
     let mut out_dir = String::from(".");
     let mut threads: usize = 1;
     let mut check = false;
+    let mut fast_forward = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,10 +39,11 @@ fn main() {
             "--out" => out_dir = args.next().unwrap_or_else(|| die("--out needs a path")),
             "--threads" => threads = parse(args.next(), "--threads"),
             "--check" => check = true,
+            "--fast-forward" => fast_forward = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR] \
-                     [--threads N] [--check]"
+                     [--threads N] [--check] [--fast-forward]"
                 );
                 return;
             }
@@ -66,11 +69,13 @@ fn main() {
             verbosity: Verbosity::Full,
             storage: StorageMode::TimingOnly,
             threads,
+            fast_forward,
         };
         let (mut sim, mut host) = paper_setup(cfg, opts, Some(Box::new(series.clone())));
         let mut workload = paper_workload(seed, scale);
         let run_cfg = RunConfig {
             check_invariants: check,
+            fast_forward,
             ..RunConfig::default()
         };
         let report = run_workload(&mut sim, &mut host, &mut workload, run_cfg)

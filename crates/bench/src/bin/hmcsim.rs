@@ -10,7 +10,7 @@
 //!        [--workload random|stream|gups|chase|stencil]
 //!        [--requests N] [--seed S] [--read-pct P] [--block BYTES]
 //!        [--error-rate R] [--serialize-flits N] [--threads N]
-//!        [--locality] [--stall-queue] [--check]
+//!        [--locality] [--stall-queue] [--check] [--fast-forward]
 //!        [--series FILE] [--trace FILE] [--utilization] [--energy]
 //!        [--profile]
 //! ```
@@ -46,6 +46,7 @@ struct Options {
     energy: bool,
     profile: bool,
     check: bool,
+    fast_forward: bool,
     dump_config: Option<String>,
 }
 
@@ -70,6 +71,7 @@ impl Default for Options {
             energy: false,
             profile: false,
             check: false,
+            fast_forward: false,
             dump_config: None,
         }
     }
@@ -82,8 +84,8 @@ fn usage() -> ! {
          [--workload random|stream|gups|chase|stencil] [--requests N] \
          [--seed S] [--read-pct P] [--block BYTES] [--error-rate R] \
          [--serialize-flits N] [--threads N] [--locality] [--stall-queue] \
-         [--check] [--series FILE] [--trace FILE] [--utilization] [--energy] \
-         [--profile]"
+         [--check] [--fast-forward] [--series FILE] [--trace FILE] \
+         [--utilization] [--energy] [--profile]"
     );
     std::process::exit(2);
 }
@@ -161,6 +163,7 @@ fn parse_options() -> Options {
             "--energy" => o.energy = true,
             "--profile" => o.profile = true,
             "--check" => o.check = true,
+            "--fast-forward" => o.fast_forward = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("hmcsim: unknown argument {other}");
@@ -204,6 +207,7 @@ fn main() {
             ConflictPolicy::SkipConflicting
         },
         threads: o.threads,
+        fast_forward: o.fast_forward,
         ..SimParams::default()
     });
     if o.error_rate > 0.0 {

@@ -9,7 +9,7 @@
 //! sweep order regardless of completion order.
 //!
 //! Usage:
-//!   sweep [--requests N] [--seed S] [--out FILE] [--jobs N]
+//!   sweep [--requests N] [--seed S] [--out FILE] [--jobs N] [--fast-forward]
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -37,6 +37,7 @@ fn run_point(
     vault_depth: usize,
     window: Option<usize>,
     drain: usize,
+    fast_forward: bool,
 ) -> Point {
     let cfg = DeviceConfig::paper_4link_8bank_2gb()
         .with_storage_mode(StorageMode::TimingOnly)
@@ -44,6 +45,7 @@ fn run_point(
     let mut sim = HmcSim::new(1, cfg).unwrap().with_params(SimParams {
         vault_window: window,
         xbar_drain_per_cycle: drain,
+        fast_forward,
         ..SimParams::default()
     });
     let host_id = sim.host_cube_id(0);
@@ -69,6 +71,7 @@ fn main() {
     let mut jobs: usize = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut fast_forward = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,8 +85,12 @@ fn main() {
                     .filter(|&j: &usize| j >= 1)
                     .unwrap_or(jobs)
             }
+            "--fast-forward" => fast_forward = true,
             "--help" | "-h" => {
-                eprintln!("usage: sweep [--requests N] [--seed S] [--out FILE] [--jobs N]");
+                eprintln!(
+                    "usage: sweep [--requests N] [--seed S] [--out FILE] [--jobs N] \
+                     [--fast-forward]"
+                );
                 return;
             }
             other => {
@@ -129,7 +136,10 @@ fn main() {
                         break;
                     }
                     let (xbar, vault, window, drain) = grid[i];
-                    local.push((i, run_point(requests, seed, xbar, vault, window, drain)));
+                    local.push((
+                        i,
+                        run_point(requests, seed, xbar, vault, window, drain, fast_forward),
+                    ));
                 }
                 local
             }));

@@ -4,6 +4,7 @@
 //!
 //! Usage:
 //!   table1 [--scale N] [--full] [--seed S] [--threads N] [--check]
+//!          [--fast-forward]
 //!
 //! `--scale N` runs 1/N of the paper's request count (default 16);
 //! `--full` is shorthand for `--scale 1` (the paper's exact request
@@ -11,14 +12,18 @@
 //! the sharded clock engine with N workers (0 = auto); cycle counts are
 //! bit-identical to the serial engine. `--check` arms the per-cycle
 //! protocol invariant checker and fails the run on any violation.
+//! `--fast-forward` arms the engine's event-driven fast-forward mode
+//! (cycle counts stay bit-identical to stepped execution).
 
-use hmc_bench::table1::{format_table, run_table1_checked};
+use hmc_bench::table1::{format_table, run_table1_with};
+use hmc_bench::SetupOptions;
 
 fn main() {
     let mut scale: u64 = 16;
     let mut seed: u32 = 1;
     let mut threads: usize = 1;
     let mut check = false;
+    let mut fast_forward = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -42,9 +47,11 @@ fn main() {
                     .unwrap_or_else(|| die("--threads needs an integer"));
             }
             "--check" => check = true,
+            "--fast-forward" => fast_forward = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: table1 [--scale N] [--full] [--seed S] [--threads N] [--check]"
+                    "usage: table1 [--scale N] [--full] [--seed S] [--threads N] [--check] \
+                     [--fast-forward]"
                 );
                 return;
             }
@@ -56,7 +63,12 @@ fn main() {
         "Running Table I at 1/{scale} scale (seed {seed}, {threads} threads{}) ...",
         if check { ", invariants checked" } else { "" }
     );
-    let rows = run_table1_checked(scale, seed, threads, check, |config, cycles| {
+    let opts = SetupOptions {
+        threads,
+        fast_forward,
+        ..SetupOptions::default()
+    };
+    let rows = run_table1_with(scale, seed, opts, check, |config, cycles| {
         eprint!("\r  config {} of 4: {cycles:>10} cycles", config + 1);
     });
     eprintln!();

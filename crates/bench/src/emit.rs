@@ -1,0 +1,311 @@
+//! `BENCH_*.json` emitter: machine-readable engine-throughput records.
+//!
+//! Each record captures one measured run — workload shape, engine mode,
+//! thread count, simulated cycles, wall time and the derived cycles/sec —
+//! so CI can archive a trajectory of engine performance over time and
+//! EXPERIMENTS.md tables can be regenerated from artifacts instead of
+//! prose. Files are named `BENCH_<workload>_<mode>_t<threads>.json`; the
+//! summary comparing stepped against fast-forward for one workload is
+//! `BENCH_summary_<workload>_t<threads>.json`.
+//!
+//! The workload shapes mirror the engine's differential tests: rounds of
+//! (send a burst of reads, batch-clock a gap, drain responses). `dense`
+//! keeps the queues busy nearly every cycle, `bursty` alternates short
+//! bursts with medium gaps, and `sparse` models an idle-heavy device
+//! where almost every cycle is dead — the shape the event-driven
+//! fast-forward mode exists for.
+
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use hmc_core::{HmcSim, SimParams};
+use hmc_types::{BlockSize, Command, DeviceConfig, LinkId, Packet, StorageMode};
+use serde::{Deserialize, Serialize};
+
+/// Schema tag stamped into every emitted record.
+pub const SCHEMA: &str = "hmc-bench/1";
+
+/// The burst/gap shape of one measured workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadShape {
+    /// Workload name, used in filenames and records.
+    pub name: &'static str,
+    /// Number of (burst, gap, drain) rounds.
+    pub bursts: u64,
+    /// Reads sent per burst, round-robin across the four host links.
+    pub burst_len: u16,
+    /// Cycles batch-clocked after each burst.
+    pub gap: u64,
+}
+
+/// The three canonical shapes: dense, bursty and sparse.
+pub const SHAPES: [WorkloadShape; 3] = [
+    WorkloadShape {
+        name: "dense",
+        bursts: 400,
+        burst_len: 24,
+        gap: 32,
+    },
+    WorkloadShape {
+        name: "bursty",
+        bursts: 150,
+        burst_len: 16,
+        gap: 512,
+    },
+    WorkloadShape {
+        name: "sparse",
+        bursts: 40,
+        burst_len: 4,
+        gap: 20_000,
+    },
+];
+
+/// Look up a canonical shape by name.
+pub fn shape_by_name(name: &str) -> Option<WorkloadShape> {
+    SHAPES.into_iter().find(|s| s.name == name)
+}
+
+/// One measured engine-throughput run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Record schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Workload shape name (`dense`, `bursty`, `sparse`).
+    pub workload: String,
+    /// Engine mode: `stepped` or `fast-forward`.
+    pub mode: String,
+    /// Worker threads (1 = serial engine).
+    pub threads: u64,
+    /// Simulated clock cycles elapsed over the run.
+    pub simulated_cycles: u64,
+    /// Wall-clock time for the run, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Requests injected.
+    pub requests: u64,
+    /// Responses drained.
+    pub responses: u64,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time_secs: u64,
+}
+
+/// Stepped-vs-fast-forward comparison for one workload shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSummary {
+    /// Record schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Workload shape name.
+    pub workload: String,
+    /// Worker threads both runs used.
+    pub threads: u64,
+    /// Stepped-mode simulated cycles per second.
+    pub stepped_cycles_per_sec: f64,
+    /// Fast-forward-mode simulated cycles per second.
+    pub fast_forward_cycles_per_sec: f64,
+    /// `fast_forward_cycles_per_sec / stepped_cycles_per_sec`.
+    pub speedup: f64,
+}
+
+fn mode_name(fast_forward: bool) -> &'static str {
+    if fast_forward {
+        "fast-forward"
+    } else {
+        "stepped"
+    }
+}
+
+fn unix_now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn emit_sim(threads: usize, fast_forward: bool) -> HmcSim {
+    let cfg = DeviceConfig::small().with_storage_mode(StorageMode::TimingOnly);
+    let mut sim = HmcSim::new(1, cfg)
+        .expect("small config validates")
+        .with_params(SimParams {
+            threads,
+            fast_forward,
+            ..SimParams::default()
+        });
+    for l in 0..4 {
+        sim.connect_host(0, l, sim.host_cube_id(0))
+            .expect("host link wires");
+    }
+    sim
+}
+
+fn drain(sim: &mut HmcSim, responses: &mut u64) {
+    for link in 0..4 {
+        while sim.recv(0, link).is_ok() {
+            *responses += 1;
+        }
+    }
+}
+
+/// Measure one workload shape in one engine mode. The schedule is
+/// deterministic given the shape, so stepped and fast-forward runs
+/// simulate the identical cycle span — only wall time differs.
+pub fn measure(shape: WorkloadShape, fast_forward: bool, threads: usize) -> BenchRecord {
+    let mut sim = emit_sim(threads, fast_forward);
+    let mut requests = 0u64;
+    let mut responses = 0u64;
+    let start = Instant::now();
+    let mut tag = 0u16;
+    for burst in 0..shape.bursts {
+        for i in 0..shape.burst_len {
+            let link = (i % 4) as LinkId;
+            let addr = (burst * 0x9e37 + i as u64 * 0x1_0000) % (1 << 30);
+            loop {
+                let p = Packet::request(Command::Rd(BlockSize::B64), 0, addr, tag, link, &[])
+                    .expect("read request builds");
+                match sim.send(0, link, p) {
+                    Ok(()) => break,
+                    // Crossbar full: give the device a cycle and free
+                    // link buffers before retrying the same request.
+                    Err(_) => {
+                        sim.clock_batch(1).expect("clock");
+                        drain(&mut sim, &mut responses);
+                    }
+                }
+            }
+            // Tags are a 9-bit field; reuse is safe here because far
+            // fewer than 512 requests are ever outstanding at once.
+            tag = (tag + 1) % (1 << 9);
+            requests += 1;
+        }
+        sim.clock_batch(shape.gap).expect("clock");
+        drain(&mut sim, &mut responses);
+    }
+    while !sim.is_idle() {
+        sim.clock_batch(64).expect("clock");
+        drain(&mut sim, &mut responses);
+    }
+    let wall = start.elapsed();
+    let simulated_cycles = sim.current_clock();
+    let wall_ns = wall.as_nanos().max(1) as u64;
+    BenchRecord {
+        schema: SCHEMA.into(),
+        workload: shape.name.into(),
+        mode: mode_name(fast_forward).into(),
+        threads: threads.max(1) as u64,
+        simulated_cycles,
+        wall_ns,
+        cycles_per_sec: simulated_cycles as f64 * 1e9 / wall_ns as f64,
+        requests,
+        responses,
+        unix_time_secs: unix_now_secs(),
+    }
+}
+
+/// Measure one shape in both modes and fold the comparison.
+pub fn compare(shape: WorkloadShape, threads: usize) -> (BenchRecord, BenchRecord, BenchSummary) {
+    let stepped = measure(shape, false, threads);
+    let fast = measure(shape, true, threads);
+    let summary = BenchSummary {
+        schema: SCHEMA.into(),
+        workload: shape.name.into(),
+        threads: threads.max(1) as u64,
+        stepped_cycles_per_sec: stepped.cycles_per_sec,
+        fast_forward_cycles_per_sec: fast.cycles_per_sec,
+        speedup: fast.cycles_per_sec / stepped.cycles_per_sec.max(f64::MIN_POSITIVE),
+    };
+    (stepped, fast, summary)
+}
+
+/// File name for a record: `BENCH_<workload>_<mode>_t<threads>.json`.
+pub fn record_file_name(record: &BenchRecord) -> String {
+    format!(
+        "BENCH_{}_{}_t{}.json",
+        record.workload, record.mode, record.threads
+    )
+}
+
+/// File name for a summary: `BENCH_summary_<workload>_t<threads>.json`.
+pub fn summary_file_name(summary: &BenchSummary) -> String {
+    format!("BENCH_summary_{}_t{}.json", summary.workload, summary.threads)
+}
+
+/// Write one record into `dir`, returning the path written.
+pub fn write_record(dir: &Path, record: &BenchRecord) -> std::io::Result<PathBuf> {
+    let path = dir.join(record_file_name(record));
+    let json = serde_json::to_string_pretty(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// Write one summary into `dir`, returning the path written.
+pub fn write_summary(dir: &Path, summary: &BenchSummary) -> std::io::Result<PathBuf> {
+    let path = dir.join(summary_file_name(summary));
+    let json = serde_json::to_string_pretty(summary)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WorkloadShape {
+        WorkloadShape {
+            name: "sparse",
+            bursts: 3,
+            burst_len: 4,
+            gap: 2_000,
+        }
+    }
+
+    #[test]
+    fn both_modes_simulate_the_identical_span() {
+        let stepped = measure(tiny(), false, 1);
+        let fast = measure(tiny(), true, 1);
+        assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
+        assert_eq!(stepped.requests, fast.requests);
+        assert_eq!(stepped.responses, fast.responses);
+        assert_eq!(stepped.responses, 12, "every read must answer");
+        assert_eq!(stepped.mode, "stepped");
+        assert_eq!(fast.mode, "fast-forward");
+        assert!(stepped.cycles_per_sec > 0.0);
+        assert!(fast.cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let (stepped, fast, summary) = compare(tiny(), 1);
+        for r in [&stepped, &fast] {
+            let json = serde_json::to_string(r).unwrap();
+            let back: BenchRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, r);
+        }
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: BenchSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+        assert!(summary.speedup > 0.0);
+    }
+
+    #[test]
+    fn emitted_files_land_where_named() {
+        let dir = std::env::temp_dir().join("hmc_bench_emit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let record = measure(tiny(), true, 1);
+        let path = write_record(&dir, &record).unwrap();
+        assert!(path.ends_with("BENCH_sparse_fast-forward_t1.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: BenchRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, record);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn canonical_shapes_resolve_by_name() {
+        for s in SHAPES {
+            assert_eq!(shape_by_name(s.name).unwrap().name, s.name);
+        }
+        assert!(shape_by_name("nope").is_none());
+    }
+}

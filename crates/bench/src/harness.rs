@@ -16,6 +16,10 @@ pub struct SetupOptions {
     /// Worker threads for the sharded clock engine (`1` = serial, `0` =
     /// auto-detect; bit-identical either way).
     pub threads: usize,
+    /// Arm the engine's event-driven fast-forward mode
+    /// (`SimParams::fast_forward`); bit-identical to stepped execution,
+    /// pays off on batch-clocked idle-heavy schedules.
+    pub fast_forward: bool,
 }
 
 impl Default for SetupOptions {
@@ -24,6 +28,7 @@ impl Default for SetupOptions {
             verbosity: Verbosity::Off,
             storage: StorageMode::TimingOnly,
             threads: 1,
+            fast_forward: false,
         }
     }
 }
@@ -38,7 +43,8 @@ pub fn paper_setup(
     let config = config.with_storage_mode(opts.storage);
     let mut sim = HmcSim::new(1, config)
         .expect("paper configs validate")
-        .with_threads(opts.threads);
+        .with_threads(opts.threads)
+        .with_fast_forward(opts.fast_forward);
     let host_id = sim.host_cube_id(0);
     topology::build_simple(&mut sim, host_id).expect("simple topology");
     if let Some(sink) = sink {

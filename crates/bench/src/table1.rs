@@ -70,13 +70,27 @@ pub fn run_table1_checked<F: FnMut(usize, u64)>(
     seed: u32,
     threads: usize,
     check: bool,
-    mut progress: F,
+    progress: F,
 ) -> Vec<Table1Row> {
-    let requests = scaled_requests(scale);
     let opts = SetupOptions {
         threads,
         ..SetupOptions::default()
     };
+    run_table1_with(scale, seed, opts, check, progress)
+}
+
+/// [`run_table1_checked`] over explicit [`SetupOptions`] — the full knob
+/// set, including the engine's fast-forward mode. Cycle counts are
+/// bit-identical across every option combination; only wall-clock time
+/// changes.
+pub fn run_table1_with<F: FnMut(usize, u64)>(
+    scale: u64,
+    seed: u32,
+    opts: SetupOptions,
+    check: bool,
+    mut progress: F,
+) -> Vec<Table1Row> {
+    let requests = scaled_requests(scale);
     DeviceConfig::paper_configs()
         .into_iter()
         .enumerate()
@@ -90,6 +104,7 @@ pub fn run_table1_checked<F: FnMut(usize, u64)>(
                 RunConfig {
                     progress_every: 65_536,
                     check_invariants: check,
+                    fast_forward: opts.fast_forward,
                     ..RunConfig::default()
                 },
                 |cycles, _| progress(i, cycles),
@@ -183,6 +198,20 @@ mod tests {
         let table = format_table(&rows, 8192);
         assert!(table.contains("4-Link; 8-Bank; 2GB"));
         assert!(table.contains("Avg speedup"));
+    }
+
+    #[test]
+    fn fast_forward_rows_are_cycle_identical_to_stepped() {
+        let stepped = run_table1(8192, 1, |_, _| {});
+        let opts = SetupOptions {
+            fast_forward: true,
+            ..SetupOptions::default()
+        };
+        let fast = run_table1_with(8192, 1, opts, false, |_, _| {});
+        for (s, f) in stepped.iter().zip(&fast) {
+            assert_eq!(s.cycles, f.cycles, "{}: fast-forward perturbed timing", s.label);
+            assert_eq!(s.requests, f.requests);
+        }
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! conform-fuzz [--streams N] [--len N] [--seed HEX] [--full-sweep]
-//!              [--repro-dir DIR] [--demo-corruption]
+//!              [--fast-forward] [--repro-dir DIR] [--demo-corruption]
 //! ```
 //!
 //! Runs `N` seeded command streams differentially through the serial
-//! engine, the sharded engine, and the functional oracle, rotating
-//! over the four paper presets and four address maps. Exits non-zero
+//! engine, the sharded engine — each also in event-driven fast-forward
+//! mode — and the functional oracle, rotating over the four paper
+//! presets and four address maps. `--fast-forward` forces a seeded
+//! idle gap (the fast-forward engine's jump fodder) onto every stream
+//! instead of the default two-of-three rotation. Exits non-zero
 //! on the first divergence, after shrinking it and writing a repro
 //! trace. `--demo-corruption` instead *injects* a datapath fault into
 //! one stream and exits zero only if the harness catches and shrinks
@@ -23,7 +26,7 @@ use hmc_conform::CorruptSpec;
 fn usage() -> ! {
     eprintln!(
         "usage: conform-fuzz [--streams N] [--len N] [--seed HEX] [--full-sweep]\n\
-         \x20                  [--repro-dir DIR] [--demo-corruption]"
+         \x20                  [--fast-forward] [--repro-dir DIR] [--demo-corruption]"
     );
     std::process::exit(2)
 }
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
                 cfg.base_seed = u64::from_str_radix(v, 16).unwrap_or_else(|_| usage());
             }
             "--full-sweep" => cfg.full_sweep = true,
+            "--fast-forward" => cfg.fast_forward = true,
             "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")),
             "--demo-corruption" => demo_corruption = true,
             "--help" | "-h" => usage(),

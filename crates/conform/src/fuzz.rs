@@ -156,8 +156,15 @@ pub struct CampaignConfig {
     /// Base seed; stream `i` uses `base_seed ^ splitmix(i)`.
     pub base_seed: u64,
     /// Sweep every stream over all of 1/2/4/8 threads instead of the
-    /// default rotation (serial + one parallel count per stream).
+    /// default rotation (serial + one parallel count per stream). A
+    /// full sweep also forces the fast-forward axis on every stream,
+    /// giving the complete {1,2,4,8} threads × {stepped, fast-forward}
+    /// grid.
     pub full_sweep: bool,
+    /// Force the stepped-vs-fast-forward axis and a seeded idle gap
+    /// onto every stream, instead of the default rotation (the axis on
+    /// every stream, gaps on two of every three).
+    pub fast_forward: bool,
 }
 
 impl Default for CampaignConfig {
@@ -167,6 +174,7 @@ impl Default for CampaignConfig {
             stream_len: 48,
             base_seed: 0xC0FF_EE00,
             full_sweep: false,
+            fast_forward: false,
         }
     }
 }
@@ -202,6 +210,14 @@ pub fn case_for_stream(cfg: &CampaignConfig, i: usize) -> FuzzCase {
     if !cfg.full_sweep {
         // Rotate the parallel engine's thread count; serial always runs.
         case.threads = vec![1, THREAD_SWEEP[1 + i % (THREAD_SWEEP.len() - 1)]];
+    }
+    // The fast-forward axis runs on every stream; idle gaps (the jumps
+    // that make the axis bite) rotate onto two of every three streams
+    // with seeded shape, unless forced everywhere.
+    if cfg.fast_forward || !i.is_multiple_of(3) {
+        let mut gap = Lcg::new(seed ^ 0x6a70);
+        case.gap_every = 2 + gap.below(4);
+        case.gap_cycles = 200 + gap.below(4_000);
     }
     case
 }
@@ -329,6 +345,22 @@ mod tests {
         assert_eq!(labels.len(), 4, "all four paper presets");
         assert_eq!(maps.len(), 4, "all four map kinds");
         assert!(threads.contains(&2) && threads.contains(&4) && threads.contains(&8));
+    }
+
+    #[test]
+    fn gap_rotation_covers_both_shapes_and_the_force_flag_gaps_all() {
+        let cfg = CampaignConfig { streams: 12, ..Default::default() };
+        let gapped = (0..12)
+            .filter(|&i| case_for_stream(&cfg, i).gap_cycles > 0)
+            .count();
+        assert_eq!(gapped, 8, "two of every three streams carry a gap");
+        for i in 0..12 {
+            let case = case_for_stream(&cfg, i);
+            assert!(case.fast_forward, "the axis runs on every stream");
+            assert_eq!(case.gap_every > 0, case.gap_cycles > 0);
+        }
+        let forced = CampaignConfig { fast_forward: true, ..cfg };
+        assert!((0..12).all(|i| case_for_stream(&forced, i).gap_cycles > 0));
     }
 
     #[test]

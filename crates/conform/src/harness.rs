@@ -2,12 +2,15 @@
 //!
 //! Runs one fuzz case — a seeded operation stream against one device
 //! preset and one address map — through the serial engine and the
-//! sharded parallel engine at each requested thread count, with the
-//! protocol invariant checker armed and the functional [`Oracle`]
-//! checking every response. A case passes only when every engine run
-//! is internally clean (oracle agreement, zero invariant violations,
-//! full quiesce with link tokens back at their initial allotment) and
-//! all runs produce bit-identical observation streams.
+//! sharded parallel engine at each requested thread count, each
+//! optionally crossed with the engine's event-driven fast-forward mode
+//! (the stepped-vs-fast-forward axis), with the protocol invariant
+//! checker armed and the functional [`Oracle`] checking every response.
+//! Cases may also batch-clock seeded idle gaps mid-stream, which is
+//! where fast-forward actually jumps. A case passes only when every
+//! engine run is internally clean (oracle agreement, zero invariant
+//! violations, full quiesce with link tokens back at their initial
+//! allotment) and all runs produce bit-identical observation streams.
 
 use hmc_core::{decode_response, topology, HmcSim};
 use hmc_host::{Pending, TagPool};
@@ -63,10 +66,21 @@ pub struct FuzzCase {
     pub corrupt: Option<CorruptSpec>,
     /// Thread counts to sweep (defaults to [`THREAD_SWEEP`]).
     pub threads: Vec<usize>,
+    /// Also run every swept engine in fast-forward mode and demand
+    /// bit-identical observations (the stepped-vs-fast-forward axis).
+    pub fast_forward: bool,
+    /// Batch-clock an idle gap every this many injection rounds
+    /// (0 = no gaps). Gaps are part of the case, so every engine run
+    /// executes the identical gap schedule; they exist to push the
+    /// fast-forward engine through real jumps mid-stream.
+    pub gap_every: u64,
+    /// Length of each injected idle gap in cycles.
+    pub gap_cycles: u64,
 }
 
 impl FuzzCase {
-    /// A case over `ops` with the full thread sweep and no corruption.
+    /// A case over `ops` with the full thread sweep, the fast-forward
+    /// axis armed, no gaps and no corruption.
     pub fn new(label: &str, config: DeviceConfig, map: MapKind, seed: u64, ops: Vec<MemOp>) -> Self {
         FuzzCase {
             label: label.to_string(),
@@ -76,6 +90,9 @@ impl FuzzCase {
             ops,
             corrupt: None,
             threads: THREAD_SWEEP.to_vec(),
+            fast_forward: true,
+            gap_every: 0,
+            gap_cycles: 0,
         }
     }
 }
@@ -134,15 +151,28 @@ fn is_write_class(kind: OpKind) -> bool {
     matches!(kind, OpKind::Write | OpKind::PostedWrite)
 }
 
-/// Run one case at one thread count. Internally checks the oracle on
-/// every response, the invariant checker every cycle, and full quiesce
-/// at the end.
-pub fn run_engine(case: &FuzzCase, threads: usize) -> Result<EngineRun, Failure> {
-    let fail = |description: String| Failure { threads, description };
+/// Human-readable engine mode for failure messages.
+pub fn mode_name(fast_forward: bool) -> &'static str {
+    if fast_forward {
+        "fast-forward"
+    } else {
+        "stepped"
+    }
+}
+
+/// Run one case at one thread count in one engine mode. Internally
+/// checks the oracle on every response, the invariant checker every
+/// cycle, and full quiesce at the end.
+pub fn run_engine(case: &FuzzCase, threads: usize, fast_forward: bool) -> Result<EngineRun, Failure> {
+    let fail = |description: String| Failure {
+        threads,
+        description: format!("[{} mode] {description}", mode_name(fast_forward)),
+    };
 
     let mut sim = HmcSim::new(1, case.config.clone())
         .map_err(|e| fail(format!("sim construction: {e}")))?
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_fast_forward(fast_forward);
     sim.set_address_map(case.map.make(case.config.geometry()))
         .map_err(|e| fail(format!("address map: {e}")))?;
     let host_id = sim.host_cube_id(0);
@@ -158,7 +188,11 @@ pub fn run_engine(case: &FuzzCase, threads: usize) -> Result<EngineRun, Failure>
     let mut next = 0usize;
     let start = sim.current_clock();
     // Generous deadlock guard: streams quiesce in a few thousand cycles.
+    // Injected idle gaps are batch-clocked and accounted separately so
+    // they never trip the guard.
     let max_cycles = 50_000 + 50 * case.ops.len() as u64;
+    let mut round = 0u64;
+    let mut gap_total = 0u64;
 
     loop {
         // Strict in-order injection until the owner link stalls: the
@@ -210,6 +244,16 @@ pub fn run_engine(case: &FuzzCase, threads: usize) -> Result<EngineRun, Failure>
         }
 
         sim.clock().map_err(|e| fail(format!("clock: {e}")))?;
+        round += 1;
+        if case.gap_every > 0 && case.gap_cycles > 0 && round.is_multiple_of(case.gap_every) {
+            // The seeded idle gap: identical schedule in every engine
+            // run (round counting is deterministic), so the observation
+            // streams stay comparable while the fast-forward engine
+            // gets real mid-stream jumps to prove itself on.
+            sim.clock_batch(case.gap_cycles)
+                .map_err(|e| fail(format!("gap clock: {e}")))?;
+            gap_total += case.gap_cycles;
+        }
 
         // Drain every host link in link order (deterministic).
         for link in 0..links {
@@ -247,7 +291,7 @@ pub fn run_engine(case: &FuzzCase, threads: usize) -> Result<EngineRun, Failure>
         if done && sim.is_idle() {
             break;
         }
-        if sim.current_clock() - start > max_cycles {
+        if sim.current_clock() - start - gap_total > max_cycles {
             return Err(fail(format!(
                 "no quiesce after {max_cycles} cycles: {} ops pending, {} tags in flight",
                 case.ops.len() - next,
@@ -280,38 +324,53 @@ pub fn run_engine(case: &FuzzCase, threads: usize) -> Result<EngineRun, Failure>
     })
 }
 
-/// Run one case through the full engine sweep: serial reference first,
-/// then each parallel thread count, comparing bit-for-bit.
+/// Run one case through the full engine sweep: the serial stepped
+/// reference first, then every requested thread count crossed with the
+/// engine-mode axis (stepped, and fast-forward when the case arms it),
+/// comparing bit-for-bit.
 pub fn run_case(case: &FuzzCase) -> Result<CaseOutcome, Failure> {
-    let reference = run_engine(case, 1)?;
+    let reference = run_engine(case, 1, false)?;
     let checked = reference.observations.len() as u64;
-    for &t in case.threads.iter().filter(|&&t| t > 1) {
-        let run = run_engine(case, t)?;
-        if run != reference {
-            let at = run
-                .observations
-                .iter()
-                .zip(&reference.observations)
-                .position(|(a, b)| a != b)
-                .map_or_else(
-                    || "stream lengths or cycle counts differ".to_string(),
-                    |i| {
-                        format!(
-                            "first divergence at completion #{i}: serial {:?}, {t}-thread {:?}",
-                            reference.observations[i], run.observations[i]
-                        )
-                    },
-                );
-            return Err(Failure {
-                threads: 0,
-                description: format!(
-                    "{t}-thread run diverges from serial ({} vs {} completions, {} vs {} cycles): {at}",
-                    run.observations.len(),
-                    reference.observations.len(),
-                    run.cycles,
-                    reference.cycles,
-                ),
-            });
+    let modes: &[bool] = if case.fast_forward {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    for &t in case.threads.iter() {
+        for &ff in modes {
+            if t <= 1 && !ff {
+                continue; // the reference itself
+            }
+            let run = run_engine(case, t, ff)?;
+            if run != reference {
+                let mode = mode_name(ff);
+                let at = run
+                    .observations
+                    .iter()
+                    .zip(&reference.observations)
+                    .position(|(a, b)| a != b)
+                    .map_or_else(
+                        || "stream lengths or cycle counts differ".to_string(),
+                        |i| {
+                            format!(
+                                "first divergence at completion #{i}: \
+                                 serial stepped {:?}, {t}-thread {mode} {:?}",
+                                reference.observations[i], run.observations[i]
+                            )
+                        },
+                    );
+                return Err(Failure {
+                    threads: 0,
+                    description: format!(
+                        "{t}-thread {mode} run diverges from serial stepped \
+                         ({} vs {} completions, {} vs {} cycles): {at}",
+                        run.observations.len(),
+                        reference.observations.len(),
+                        run.cycles,
+                        reference.cycles,
+                    ),
+                });
+            }
         }
     }
     Ok(CaseOutcome { reference, checked })
@@ -368,6 +427,39 @@ mod tests {
         let out = run_case(&tiny_case(ops)).unwrap();
         assert_eq!(out.checked, 6, "six non-posted ops, six responses");
         assert!(out.reference.cycles > 0);
+    }
+
+    #[test]
+    fn gapped_streams_run_the_fast_forward_axis_bit_identically() {
+        let block = 128u64;
+        let ops = vec![
+            MemOp::write(0, BlockSize::B64),
+            MemOp::read(0, BlockSize::B64),
+            MemOp::write(block, BlockSize::B128),
+            MemOp::read(block, BlockSize::B128),
+            MemOp::read(2 * block, BlockSize::B32),
+            MemOp::read(3 * block, BlockSize::B16),
+        ];
+        let mut case = tiny_case(ops);
+        case.threads = vec![1, 4];
+        case.gap_every = 2;
+        case.gap_cycles = 5_000;
+        assert!(case.fast_forward, "the axis defaults on");
+        let out = run_case(&case).unwrap();
+        assert_eq!(out.checked, 6);
+        // The gaps really ran: two rounds in, one 5k gap minimum.
+        assert!(out.reference.cycles >= 5_000, "cycles {}", out.reference.cycles);
+    }
+
+    #[test]
+    fn failure_reports_carry_the_engine_mode() {
+        let f = Failure {
+            threads: 3,
+            description: format!("[{} mode] boom", mode_name(true)),
+        };
+        assert!(format!("{f}").contains("fast-forward"));
+        assert!(format!("{f}").contains("[3 thread(s)]"));
+        assert_eq!(mode_name(false), "stepped");
     }
 
     #[test]

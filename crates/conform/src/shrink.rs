@@ -92,6 +92,14 @@ pub fn write_repro(case: &FuzzCase, failure: &Failure, path: &Path) -> std::io::
     writeln!(out, "# preset: {}", case.label)?;
     writeln!(out, "# map: {}", case.map.name())?;
     writeln!(out, "# seed: {:#x}", case.seed)?;
+    writeln!(out, "# fast-forward axis: {}", case.fast_forward)?;
+    if case.gap_every > 0 {
+        writeln!(
+            out,
+            "# idle gaps: {} cycles every {} rounds",
+            case.gap_cycles, case.gap_every
+        )?;
+    }
     if let Some(c) = case.corrupt {
         writeln!(out, "# corrupt: addr={:#x} xor={:#x}", c.addr, c.xor)?;
     }

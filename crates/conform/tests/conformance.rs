@@ -20,6 +20,7 @@ fn mini_campaign() -> CampaignConfig {
         stream_len: 32,
         base_seed: 0xD1FF_5EED,
         full_sweep: false,
+        fast_forward: false,
     }
 }
 
@@ -45,6 +46,7 @@ fn full_thread_sweep_passes_on_one_stream_per_preset() {
         stream_len: 32,
         base_seed: 0xFADE,
         full_sweep: true,
+        fast_forward: false,
     };
     let report = campaign(&cfg);
     assert!(report.is_clean(), "{:?}", report.failure.map(|(_, f)| f.to_string()));
@@ -121,5 +123,23 @@ fn campaign_schedule_is_reproducible() {
         assert_eq!(a.ops, b.ops);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.map, b.map);
+        assert_eq!(a.gap_every, b.gap_every);
+        assert_eq!(a.gap_cycles, b.gap_cycles);
     }
+}
+
+#[test]
+fn forced_fast_forward_campaign_is_clean() {
+    // Every stream gapped, every engine run doubled across the
+    // stepped/fast-forward axis.
+    let cfg = CampaignConfig {
+        streams: 8,
+        stream_len: 24,
+        base_seed: 0x0FF0_FF00,
+        full_sweep: false,
+        fast_forward: true,
+    };
+    let report = campaign(&cfg);
+    assert!(report.is_clean(), "{:?}", report.failure.map(|(_, f)| f.to_string()));
+    assert_eq!(report.streams_run, 8);
 }

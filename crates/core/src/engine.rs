@@ -354,21 +354,181 @@ impl HmcSim {
     /// Advance the simulation by `cycles` clock cycles.
     ///
     /// Results are bit-identical to calling [`HmcSim::clock`] `cycles`
-    /// times regardless of [`crate::params::SimParams::threads`];
-    /// batching exists so the parallel engine can amortize its per-batch
-    /// worker spawn over many cycles.
+    /// times regardless of [`crate::params::SimParams::threads`] and
+    /// [`crate::params::SimParams::fast_forward`]; batching exists so the
+    /// parallel engine can amortize its per-batch worker spawn over many
+    /// cycles, and so the fast-forward engine has a span of cycles to
+    /// jump across.
     pub fn clock_batch(&mut self, cycles: u64) -> Result<()> {
         self.ensure_routes()?;
         let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
         let shards = self.params.resolved_threads().min(total_vaults).max(1);
         if shards <= 1 {
-            for _ in 0..cycles {
-                self.clock_cycle_serial();
+            if self.params.fast_forward {
+                let mut done = 0u64;
+                while done < cycles {
+                    let dead = self.quiescent_horizon(cycles - done);
+                    if dead > 0 {
+                        self.fast_forward_jump(dead);
+                        done += dead;
+                    } else {
+                        self.clock_cycle_serial();
+                        done += 1;
+                    }
+                }
+            } else {
+                for _ in 0..cycles {
+                    self.clock_cycle_serial();
+                }
             }
             return Ok(());
         }
         self.clock_batch_parallel(cycles, shards);
         Ok(())
+    }
+
+    /// The number of upcoming cycles — capped at `max` — during which
+    /// every stage of every device is provably quiescent: no queue walk
+    /// would move, mutate, or retire a packet, and no trace event would
+    /// be emitted. Zero means the next cycle may do observable work and
+    /// must run stepped.
+    ///
+    /// A cycle is *dead* exactly when, for every device:
+    ///
+    /// * each non-empty crossbar request queue is gated for the whole
+    ///   cycle — its link's FLIT debt covers the cycle's beat budget
+    ///   (walk skipped outright) or its head entry is held by a link
+    ///   retransmission timer (walk breaks at the head) — and the gate
+    ///   provably holds until a computable future cycle;
+    /// * each crossbar response queue holds only entries parked in
+    ///   host-deliverable position (waiting on a host `recv`, which only
+    ///   the host can trigger);
+    /// * each vault response queue is empty (any entry would be planned
+    ///   and committed by stage 5);
+    /// * each non-empty vault request queue has its entire scan window
+    ///   parked behind the bank this vault currently holds under refresh
+    ///   — and, when bank-conflict tracing is enabled, the window holds
+    ///   at most one entry, because stage 3 re-emits `BankConflict` every
+    ///   cycle for same-bank window pairs.
+    ///
+    /// The returned horizon is the minimum over all gates' wake-up edges
+    /// (debt paydown completion, retry-timer expiry, the next
+    /// [`RefreshParams::window_edge_after`]), clamped to `max` and to the
+    /// remaining `u64` clock range. Everything the walks *would* do in
+    /// dead cycles (FLIT-debt decay) is replayed exactly by
+    /// [`HmcSim::fast_forward_jump`].
+    pub(crate) fn quiescent_horizon(&self, max: u64) -> u64 {
+        let max = max.min(u64::MAX - self.clock);
+        if max == 0 {
+            return 0;
+        }
+        let mut horizon = max;
+        let flit_budget = self.params.link_flits_per_cycle.map(|f| f.max(1));
+        let faults_on = self.faults.is_some();
+        let conflicts_enabled = self.tracer.enabled(EventKind::BankConflict);
+        let window = self.params.window_for(self.config.banks_per_vault);
+        let banks = self.config.banks_per_vault;
+        let num_links = self.config.num_links as usize;
+
+        for dev in &self.devices {
+            for l in 0..num_links {
+                let xbar = &dev.xbars[l];
+                if !xbar.rqst.is_empty() {
+                    let debt_dead = flit_budget
+                        .map(|f| dev.links[l].debt_dead_cycles(f))
+                        .unwrap_or(0);
+                    let retry_dead = if faults_on {
+                        match xbar.rqst.front() {
+                            Some(e) if e.retry_gated(self.clock) => e.retry_until - self.clock,
+                            _ => 0,
+                        }
+                    } else {
+                        0
+                    };
+                    // Debt gating skips the walk outright; once the debt
+                    // is sub-budget the walk runs and breaks on the
+                    // retry-gated head (zeroing the residual debt), so
+                    // the link sleeps until the *later* of the two edges.
+                    let dead = debt_dead.max(retry_dead);
+                    if dead == 0 {
+                        return 0;
+                    }
+                    horizon = horizon.min(dead);
+                }
+                if !xbar.rsp.is_empty() {
+                    let remote = dev.links[l].remote;
+                    if !xbar.rsp_all_parked(|e| remote == Endpoint::Host(e.dest_cube)) {
+                        return 0;
+                    }
+                }
+            }
+            for quad in &dev.quads {
+                for vi in quad.vault_range() {
+                    let vault = &dev.vaults[vi];
+                    if !vault.rsp.is_empty() {
+                        return 0;
+                    }
+                    if vault.rqst.is_empty() {
+                        continue;
+                    }
+                    let Some(r) = self.params.refresh else {
+                        return 0;
+                    };
+                    let Some(bank) = r.bank_under_refresh(self.clock, vi as u16, banks) else {
+                        return 0;
+                    };
+                    if conflicts_enabled && window.min(vault.rqst.len()) > 1 {
+                        // Stage 3 would re-emit BankConflict each cycle.
+                        return 0;
+                    }
+                    if !vault.rqst_window_parked_on(bank, window) {
+                        return 0;
+                    }
+                    let dead = r.window_edge_after(self.clock).saturating_sub(self.clock);
+                    if dead == 0 {
+                        return 0;
+                    }
+                    horizon = horizon.min(dead);
+                }
+            }
+        }
+        horizon
+    }
+
+    /// Jump the clock across `dead` cycles proven quiescent by
+    /// [`HmcSim::quiescent_horizon`], reproducing exactly the state a
+    /// stepped engine would reach:
+    ///
+    /// * FLIT debt decays by `dead` cycles' worth of beat budget
+    ///   ([`crate::link::Link::decay_flit_debt`] mirrors the stepped
+    ///   walk's decrement-then-zero sequence);
+    /// * stage 6 runs once — its per-cycle effects are idempotent across
+    ///   dead cycles (the register tick only clears already-cleared RWS
+    ///   state, the IBTC mirror rewrites unchanged token counts, and an
+    ///   AC map swap can only trigger on the first edge since no register
+    ///   writes happen mid-jump) — and the clock/cycle counters advance
+    ///   by the full jump;
+    /// * when invariant checking is on, the sweep runs once per jump
+    ///   rather than once per skipped cycle: on a clean run both schedules
+    ///   observe zero violations, and a violating state is caught at the
+    ///   jump edge (see DESIGN.md on the per-jump checking policy).
+    pub(crate) fn fast_forward_jump(&mut self, dead: u64) {
+        debug_assert!(dead >= 1, "zero-length jumps must run stepped");
+        if let Some(f) = self.params.link_flits_per_cycle.map(|f| f.max(1)) {
+            for dev in &mut self.devices {
+                for link in &mut dev.links {
+                    if link.flit_debt > 0 {
+                        link.decay_flit_debt(dead, f);
+                    }
+                }
+            }
+        }
+        self.stage6_update_clock();
+        self.clock += dead - 1;
+        self.stats.cycles += dead - 1;
+        if self.params.check_invariants {
+            self.inv_check_cycle();
+        }
     }
 
     /// One serial cycle: the same vault-phase code as the parallel
@@ -541,7 +701,20 @@ impl HmcSim {
                 });
             }
 
-            for _ in 0..cycles {
+            let mut done = 0u64;
+            while done < cycles {
+                // Fast-forward composes with sharding: the horizon scan
+                // and jump run on the coordinating thread while workers
+                // stay parked on their channel `recv`; stepped cycles
+                // resume the ping-pong unchanged.
+                if self.params.fast_forward {
+                    let dead = self.quiescent_horizon(cycles - done);
+                    if dead > 0 {
+                        self.fast_forward_jump(dead);
+                        done += dead;
+                        continue;
+                    }
+                }
                 self.stage1_child_xbar_requests();
                 self.stage2_root_xbar_requests();
                 let inputs = self.cycle_inputs();
@@ -637,8 +810,244 @@ impl HmcSim {
                 if self.params.check_invariants {
                     self.inv_check_cycle();
                 }
+                done += 1;
             }
             drop(to_worker); // workers observe the hangup and exit
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fault::FaultConfig;
+    use crate::params::{RefreshParams, SimParams};
+    use crate::queue::QueueEntry;
+    use crate::sim::HmcSim;
+    use hmc_types::{BlockSize, Command, DeviceConfig, LinkId, Packet};
+
+    fn sim_with(params: SimParams) -> HmcSim {
+        let mut s = HmcSim::new(1, DeviceConfig::small())
+            .unwrap()
+            .with_params(params);
+        for l in 0..4 {
+            s.connect_host(0, l, s.host_cube_id(0)).unwrap();
+        }
+        s
+    }
+
+    fn ff_params() -> SimParams {
+        SimParams {
+            fast_forward: true,
+            ..SimParams::default()
+        }
+    }
+
+    fn read_packet(addr: u64, tag: u16, link: LinkId) -> Packet {
+        Packet::request(Command::Rd(BlockSize::B64), 0, addr, tag, link, &[]).unwrap()
+    }
+
+    /// Drive `sim` through the same bursty schedule every differential
+    /// test uses: `bursts` rounds of (send `k` reads, batch-clock a long
+    /// mostly-dead gap, drain all responses). Returns every received
+    /// (tag, latency) in drain order plus the final (clock, cycles).
+    fn bursty_run(sim: &mut HmcSim, bursts: u64, k: u16, gap: u64) -> (Vec<(u16, u64)>, u64, u64) {
+        let mut got = Vec::new();
+        let mut tag = 0u16;
+        for burst in 0..bursts {
+            for i in 0..k {
+                let link = (i % 4) as LinkId;
+                let addr = (burst * 0x9e37 + i as u64 * 0x1_0000) % (1 << 30);
+                sim.send(0, link, read_packet(addr, tag, link)).unwrap();
+                tag += 1;
+            }
+            sim.clock_batch(gap).unwrap();
+            for link in 0..4 {
+                while let Ok((p, lat)) = sim.recv_with_latency(0, link) {
+                    got.push((p.tag(), lat));
+                }
+            }
+        }
+        (got, sim.current_clock(), sim.stats().cycles)
+    }
+
+    #[test]
+    fn empty_sim_fast_forwards_whole_batches() {
+        let mut s = sim_with(ff_params());
+        s.clock_batch(10_000).unwrap();
+        assert_eq!(s.current_clock(), 10_000);
+        assert_eq!(s.stats().cycles, 10_000);
+        // The horizon itself reports the full remaining span.
+        assert_eq!(s.quiescent_horizon(500), 500);
+        assert_eq!(s.quiescent_horizon(0), 0, "zero span never jumps");
+    }
+
+    #[test]
+    fn any_live_stage_forces_stepping() {
+        let mut s = sim_with(ff_params());
+        s.send(0, 0, read_packet(0, 1, 0)).unwrap();
+        assert_eq!(
+            s.quiescent_horizon(100),
+            0,
+            "a pending crossbar request is live"
+        );
+    }
+
+    #[test]
+    fn link_debt_gates_the_jump_by_exact_paydown() {
+        let mut s = sim_with(SimParams {
+            link_flits_per_cycle: Some(2),
+            ..ff_params()
+        });
+        s.send(0, 0, read_packet(0, 1, 0)).unwrap();
+        s.devices[0].links[0].flit_debt = 7;
+        // 7 FLITs at 2/cycle: cycles 1..=3 are full-budget skips, the
+        // fourth cycle walks with the 1-FLIT remainder.
+        assert_eq!(s.quiescent_horizon(100), 3);
+        s.devices[0].links[0].flit_debt = 1;
+        assert_eq!(s.quiescent_horizon(100), 0, "sub-budget debt walks now");
+    }
+
+    #[test]
+    fn refresh_parked_window_jumps_to_the_window_edge() {
+        let refresh = RefreshParams {
+            interval: 100,
+            duration: 10,
+        };
+        let mut s = sim_with(SimParams {
+            refresh: Some(refresh),
+            ..ff_params()
+        });
+        let vault = 3u16;
+        let banks = s.config.banks_per_vault;
+        let bank = refresh
+            .bank_under_refresh(0, vault, banks)
+            .expect("cycle 0 is inside the first window");
+        let mut e = QueueEntry::new(read_packet(0, 9, 0), 1, 0, 0);
+        e.dest_vault = vault;
+        e.dest_bank = bank;
+        s.devices[0].vaults[vault as usize].rqst.push(e).unwrap();
+
+        // Entire (single-entry) window parked on the refreshed bank:
+        // dead until the window edge at cycle 10.
+        assert_eq!(s.quiescent_horizon(100), 10);
+
+        // A request for any other bank is serviceable immediately.
+        let other = (bank + 1) % banks;
+        s.devices[0].vaults[vault as usize]
+            .rqst
+            .get_mut(0)
+            .unwrap()
+            .dest_bank = other;
+        assert_eq!(s.quiescent_horizon(100), 0);
+
+        // Without refresh configured a pending vault request is live.
+        s.params.refresh = None;
+        s.devices[0].vaults[vault as usize]
+            .rqst
+            .get_mut(0)
+            .unwrap()
+            .dest_bank = bank;
+        assert_eq!(s.quiescent_horizon(100), 0);
+    }
+
+    #[test]
+    fn retry_timer_blocks_until_its_expiry_cycle() {
+        let mut s = sim_with(ff_params());
+        s.enable_fault_injection(FaultConfig {
+            packet_error_rate: 0.0,
+            retry_cycles: 8,
+            seed: 1,
+        });
+        s.send(0, 0, read_packet(0, 1, 0)).unwrap();
+        {
+            let e = s.devices[0].xbars[0].rqst.get_mut(0).unwrap();
+            e.retry_until = 5;
+        }
+        // Clock 0: gated for exactly 5 cycles; the expiry cycle itself
+        // must run stepped (the walk moves the packet that cycle).
+        assert_eq!(s.quiescent_horizon(100), 5);
+        s.fast_forward_jump(5);
+        assert_eq!(s.current_clock(), 5);
+        assert_eq!(
+            s.quiescent_horizon(100),
+            0,
+            "the retry fires on the jump-target cycle"
+        );
+        // A corrupt head is live regardless of the timer: detection
+        // mutates state and emits LinkRetry.
+        let e = s.devices[0].xbars[0].rqst.get_mut(0).unwrap();
+        e.retry_until = 50;
+        e.corrupt = true;
+        assert_eq!(s.quiescent_horizon(100), 0);
+    }
+
+    #[test]
+    fn horizon_clamps_at_clock_overflow_proximity() {
+        let mut s = sim_with(ff_params());
+        s.clock = u64::MAX - 5;
+        assert_eq!(s.quiescent_horizon(1_000), 5);
+        s.fast_forward_jump(5);
+        assert_eq!(s.clock, u64::MAX, "jump lands exactly on the ceiling");
+        assert_eq!(s.quiescent_horizon(1_000), 0, "no headroom left");
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_on_bursty_traffic() {
+        let params = SimParams {
+            refresh: Some(RefreshParams {
+                interval: 64,
+                duration: 6,
+            }),
+            link_flits_per_cycle: Some(4),
+            ..SimParams::default()
+        };
+        let mut stepped = sim_with(params);
+        let mut fast = sim_with(SimParams {
+            fast_forward: true,
+            ..params
+        });
+        let a = bursty_run(&mut stepped, 6, 12, 400);
+        let b = bursty_run(&mut fast, 6, 12, 400);
+        assert_eq!(a, b, "fast-forward must be bit-identical to stepped");
+    }
+
+    #[test]
+    fn sharded_fast_forward_matches_serial_stepped() {
+        let params = SimParams {
+            refresh: Some(RefreshParams {
+                interval: 64,
+                duration: 6,
+            }),
+            ..SimParams::default()
+        };
+        let mut serial = sim_with(params);
+        let mut sharded_ff = sim_with(SimParams {
+            fast_forward: true,
+            threads: 4,
+            ..params
+        });
+        let a = bursty_run(&mut serial, 5, 16, 300);
+        let b = bursty_run(&mut sharded_ff, 5, 16, 300);
+        assert_eq!(a, b, "fast-forward composes with the sharded engine");
+    }
+
+    #[test]
+    fn faulty_links_stay_bit_identical_under_fast_forward() {
+        let faults = FaultConfig {
+            packet_error_rate: 0.3,
+            retry_cycles: 11,
+            seed: 0xDEAD_BEEF,
+        };
+        let mut stepped = sim_with(SimParams::default());
+        let mut fast = sim_with(ff_params());
+        stepped.enable_fault_injection(faults);
+        fast.enable_fault_injection(faults);
+        let a = bursty_run(&mut stepped, 6, 8, 250);
+        let b = bursty_run(&mut fast, 6, 8, 250);
+        assert_eq!(a, b, "retry timers must fire identically across jumps");
+        assert!(
+            stepped.fault_state().unwrap().detected > 0,
+            "the schedule must actually exercise retries"
+        );
     }
 }

@@ -118,6 +118,25 @@ impl Link {
         self.tokens = self.initial_tokens;
         self.flit_debt = 0;
     }
+
+    /// Whole cycles the crossbar walk for this link is guaranteed to be
+    /// skipped outright while accumulated FLIT debt pays down at
+    /// `flits_per_cycle` beats per cycle (the `debt >= budget` branch of
+    /// the stepped walk). The first cycle with sub-budget debt runs the
+    /// walk and is therefore not counted.
+    pub fn debt_dead_cycles(&self, flits_per_cycle: usize) -> u64 {
+        self.flit_debt as u64 / flits_per_cycle.max(1) as u64
+    }
+
+    /// Pay down `cycles` cycles' worth of FLIT debt, exactly as that many
+    /// stepped walks would have: full-budget decrements while the debt
+    /// covers the budget, then a zeroing write on the first sub-budget
+    /// cycle (the stepped walk's trailing `drained - budget` store with
+    /// nothing drained). Used by fast-forward jumps over dead cycles.
+    pub fn decay_flit_debt(&mut self, cycles: u64, flits_per_cycle: usize) {
+        let paid = (flits_per_cycle.max(1) as u64).saturating_mul(cycles);
+        self.flit_debt = (self.flit_debt as u64).saturating_sub(paid) as u32;
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +186,47 @@ mod tests {
         assert_eq!(l.tokens, 9);
         l.return_tokens(100);
         assert_eq!(l.tokens, 18, "saturates at the initial allotment");
+    }
+
+    #[test]
+    fn debt_dead_cycles_count_full_budget_skips() {
+        let mut l = Link::new(0, 4);
+        assert_eq!(l.debt_dead_cycles(2), 0, "no debt, no dead cycles");
+        l.flit_debt = 5;
+        // Cycles 1 and 2 are skipped (5 -> 3 -> 1); cycle 3 walks with a
+        // partial budget, so only two cycles are provably dead.
+        assert_eq!(l.debt_dead_cycles(2), 2);
+        assert_eq!(l.debt_dead_cycles(0), 5, "zero budget clamps to one beat");
+    }
+
+    #[test]
+    fn debt_decay_matches_the_stepped_walk() {
+        // Stepped reference: debt -= f while debt >= f, then one walk
+        // with partial budget zeroes it.
+        let stepped = |mut debt: u32, f: u32, cycles: u64| -> u32 {
+            for _ in 0..cycles {
+                if debt >= f {
+                    debt -= f;
+                } else {
+                    debt = 0; // walk ran; trailing store zeroes sub-budget debt
+                }
+            }
+            debt
+        };
+        for debt in [0u32, 1, 2, 5, 9, 17] {
+            for f in [1usize, 2, 3, 9] {
+                for cycles in [0u64, 1, 2, 3, 10] {
+                    let mut l = Link::new(0, 4);
+                    l.flit_debt = debt;
+                    l.decay_flit_debt(cycles, f);
+                    assert_eq!(
+                        l.flit_debt,
+                        stepped(debt, f as u32, cycles),
+                        "debt={debt} f={f} cycles={cycles}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,31 @@ impl RefreshParams {
             None
         }
     }
+
+    /// The first cycle strictly after `cycle` at which the refresh
+    /// schedule changes state: the end of an in-progress window, or the
+    /// start of the next window (which also rotates the refreshed bank
+    /// when windows run back-to-back, `duration >= interval`). The
+    /// fast-forward horizon uses this as the wake-up edge for vaults
+    /// parked behind a bank under refresh. Saturates at `u64::MAX` near
+    /// clock overflow; a zero interval (refresh inert) never produces an
+    /// edge.
+    pub fn window_edge_after(&self, cycle: u64) -> u64 {
+        if self.interval == 0 {
+            return u64::MAX;
+        }
+        let start = (cycle / self.interval) * self.interval;
+        let dur = self.duration.min(self.interval);
+        if cycle - start < dur {
+            if dur == self.interval {
+                start.saturating_add(self.interval)
+            } else {
+                start.saturating_add(dur)
+            }
+        } else {
+            start.saturating_add(self.interval)
+        }
+    }
 }
 
 /// Per-simulation tunables.
@@ -89,6 +114,15 @@ pub struct SimParams {
     /// while `true` are recorded on the simulation object (see
     /// `HmcSim::invariant_violations`).
     pub check_invariants: bool,
+    /// Event-driven fast-forward: before each cycle the engine computes a
+    /// quiescence horizon — the earliest cycle at which any queue could
+    /// make observable progress (queue-head ready times, refresh window
+    /// edges, retry timers, FLIT-debt paydown) — and jumps the clock
+    /// straight to it when every stage is provably dead in between,
+    /// falling back to stepped execution otherwise. Bit-identical to the
+    /// stepped engine (state, stats, trace events) by construction;
+    /// `false` (the default) preserves the fully stepped behaviour.
+    pub fast_forward: bool,
 }
 
 impl Default for SimParams {
@@ -108,6 +142,7 @@ impl Default for SimParams {
             refresh: None,
             threads: 1,
             check_invariants: false,
+            fast_forward: false,
         }
     }
 }
@@ -205,6 +240,72 @@ mod tests {
             duration: 0,
         };
         assert_eq!(r.bank_under_refresh(5, 0, 8), None);
+    }
+
+    #[test]
+    fn window_edges_bracket_refresh_windows() {
+        let r = RefreshParams {
+            interval: 100,
+            duration: 10,
+        };
+        // In-window: the edge is the window's end.
+        assert_eq!(r.window_edge_after(0), 10);
+        assert_eq!(r.window_edge_after(9), 10);
+        // Out-of-window: the edge is the next window's start.
+        assert_eq!(r.window_edge_after(10), 100);
+        assert_eq!(r.window_edge_after(99), 100);
+        assert_eq!(r.window_edge_after(100), 110);
+        // Edges are always strictly in the future, so fast-forward jumps
+        // make progress.
+        for cycle in 0..350 {
+            assert!(r.window_edge_after(cycle) > cycle, "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_windows_rotate_at_interval_boundaries() {
+        // duration >= interval: the device is always in-window; the only
+        // edge is the bank rotation at each interval boundary.
+        let r = RefreshParams {
+            interval: 50,
+            duration: 50,
+        };
+        assert_eq!(r.window_edge_after(0), 50);
+        assert_eq!(r.window_edge_after(49), 50);
+        assert_eq!(r.window_edge_after(50), 100);
+        let r = RefreshParams {
+            interval: 50,
+            duration: 120,
+        };
+        assert_eq!(r.window_edge_after(10), 50, "duration clamps to interval");
+    }
+
+    #[test]
+    fn window_edge_saturates_near_clock_overflow() {
+        let r = RefreshParams {
+            interval: u64::MAX,
+            duration: u64::MAX,
+        };
+        // start = 0, dur == interval: edge saturates instead of wrapping.
+        assert_eq!(r.window_edge_after(5), u64::MAX);
+        let r = RefreshParams {
+            interval: 1 << 62,
+            duration: 1 << 62,
+        };
+        let near_max = u64::MAX - 10;
+        let edge = r.window_edge_after(near_max);
+        assert!(edge >= near_max, "no wrap-around");
+        // Inert refresh never produces an edge.
+        let r = RefreshParams {
+            interval: 0,
+            duration: 9,
+        };
+        assert_eq!(r.window_edge_after(123), u64::MAX);
+    }
+
+    #[test]
+    fn fast_forward_defaults_off() {
+        assert!(!SimParams::default().fast_forward);
     }
 
     #[test]

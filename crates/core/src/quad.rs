@@ -38,6 +38,14 @@ impl Quad {
     pub fn of_vault(vault: VaultId) -> QuadId {
         (vault / VAULTS_PER_QUAD) as QuadId
     }
+
+    /// The contiguous flat-index range of this quad's vaults, for walks
+    /// that scan a device quad by quad (e.g. the fast-forward quiescence
+    /// horizon) while preserving flat vault order.
+    pub fn vault_range(&self) -> std::ops::Range<usize> {
+        let base = self.vaults[0] as usize;
+        base..base + VAULTS_PER_QUAD as usize
+    }
 }
 
 #[cfg(test)]
@@ -61,6 +69,18 @@ mod tests {
         assert!(q2.owns(11));
         assert!(!q2.owns(12));
         assert!(!q2.owns(7));
+    }
+
+    #[test]
+    fn vault_ranges_tile_the_flat_index() {
+        let mut next = 0usize;
+        for quad in 0..8u8 {
+            let r = Quad::new(quad).vault_range();
+            assert_eq!(r.start, next, "ranges are contiguous");
+            assert_eq!(r.len(), VAULTS_PER_QUAD as usize);
+            next = r.end;
+        }
+        assert_eq!(next, 32);
     }
 
     #[test]

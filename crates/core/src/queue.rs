@@ -69,6 +69,18 @@ impl QueueEntry {
     pub fn is_decoded(&self) -> bool {
         self.dest_vault != UNDECODED
     }
+
+    /// True while the entry is held for link retransmission at `clock`:
+    /// the crossbar already detected the corruption (clearing `corrupt`
+    /// and arming `retry_until`) and the retry timer has not yet expired.
+    /// A still-`corrupt` entry is *not* gated — its detection is itself
+    /// an observable state change the crossbar walk must perform. Shared
+    /// by the stepped walk (which breaks the link on a gated head) and
+    /// the fast-forward horizon (which treats the gated span as dead
+    /// time).
+    pub fn retry_gated(&self, clock: Cycle) -> bool {
+        !self.corrupt && self.retry_until > clock
+    }
 }
 
 /// A fixed-depth FIFO of queue slots.
@@ -276,6 +288,18 @@ mod tests {
         assert_eq!(e.hops, 0);
         assert!(!e.is_decoded());
         assert_eq!(e.dest_vault, UNDECODED);
+    }
+
+    #[test]
+    fn retry_gating_tracks_timer_and_corruption() {
+        let mut e = entry(1);
+        assert!(!e.retry_gated(0), "fresh entries are not gated");
+        e.retry_until = 10;
+        assert!(e.retry_gated(5));
+        assert!(e.retry_gated(9));
+        assert!(!e.retry_gated(10), "timer expiry cycle is live");
+        e.corrupt = true;
+        assert!(!e.retry_gated(5), "undetected corruption is live work");
     }
 
     #[test]

@@ -121,6 +121,26 @@ impl HmcSim {
         self
     }
 
+    /// Enable or disable the event-driven fast-forward engine mode
+    /// (builder style). Bit-identical to stepped execution — see
+    /// [`SimParams::fast_forward`].
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.params.fast_forward = on;
+        self
+    }
+
+    /// Switch the fast-forward engine mode on a live simulation. Safe at
+    /// any clock boundary: the mode only changes how dead cycles are
+    /// traversed, never what any cycle does.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.params.fast_forward = on;
+    }
+
+    /// True when the fast-forward engine mode is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.params.fast_forward
+    }
+
     /// Replace the address map (must match the device geometry).
     pub fn set_address_map(&mut self, map: Box<dyn AddressMap>) -> Result<()> {
         let g = map.geometry();

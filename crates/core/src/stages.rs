@@ -129,9 +129,9 @@ impl HmcSim {
                 // packets corrupted in link transit; the retransmission
                 // penalty holds the packet (and its stream) in place.
                 if self.faults.is_some() {
-                    let (corrupt, retry_until) = {
+                    let (corrupt, gated) = {
                         let e = self.devices[di].xbars[l].rqst.get(idx).expect("idx checked");
-                        (e.corrupt, e.retry_until)
+                        (e.corrupt, e.retry_gated(self.clock))
                     };
                     if corrupt {
                         let retry = self.faults.as_ref().expect("checked").config.retry_cycles;
@@ -151,10 +151,11 @@ impl HmcSim {
                         idx += 1;
                         continue;
                     }
-                    if retry_until > self.clock {
+                    if gated {
                         // Retransmission in flight: the packet (and, to
                         // preserve stream order, everything behind it on
-                        // this link) waits.
+                        // this link) waits. Same gate the fast-forward
+                        // horizon models via `QueueEntry::retry_gated`.
                         break;
                     }
                 }

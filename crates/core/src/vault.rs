@@ -90,6 +90,22 @@ impl Vault {
         cmd.response_command().is_some()
     }
 
+    /// True when every request in the head `window` slots of the request
+    /// queue is decoded to `bank` — i.e. the whole per-cycle scan window
+    /// is parked behind one blocked bank and a stage-4 walk cannot make
+    /// progress. Undecoded entries count as *not* parked (defensive: the
+    /// crossbar decodes before enqueueing, but an undecoded entry must
+    /// never be fast-forwarded past). Empty queues are trivially parked.
+    pub fn rqst_window_parked_on(&self, bank: hmc_types::BankId, window: usize) -> bool {
+        let n = window.min(self.rqst.len());
+        (0..n).all(|i| {
+            self.rqst
+                .get(i)
+                .map(|e| e.is_decoded() && e.dest_bank == bank)
+                .unwrap_or(false)
+        })
+    }
+
     /// Execute one request packet against this vault's banks.
     ///
     /// The caller (stage 4) has already verified bank availability and —
@@ -323,6 +339,35 @@ mod tests {
     /// Pop the response `execute` just registered in the vault queue.
     fn take_rsp(v: &mut Vault) -> QueueEntry {
         v.rsp.pop().expect("a response entry was registered")
+    }
+
+    #[test]
+    fn window_parking_requires_every_slot_on_the_blocked_bank() {
+        let mut v = vault();
+        assert!(v.rqst_window_parked_on(3, 8), "empty queue is parked");
+        let mut a = request(Command::Rd(BlockSize::B64), 0, 1, &[]);
+        a.dest_vault = 0;
+        a.dest_bank = 3;
+        let mut b = request(Command::Rd(BlockSize::B64), 0, 2, &[]);
+        b.dest_vault = 0;
+        b.dest_bank = 3;
+        v.rqst.push(a).unwrap();
+        v.rqst.push(b).unwrap();
+        assert!(v.rqst_window_parked_on(3, 8));
+        assert!(!v.rqst_window_parked_on(4, 8), "different blocked bank");
+        // A window shorter than the queue only inspects the head slots.
+        let mut c = request(Command::Rd(BlockSize::B64), 0, 3, &[]);
+        c.dest_vault = 0;
+        c.dest_bank = 5;
+        v.rqst.push(c).unwrap();
+        assert!(v.rqst_window_parked_on(3, 2));
+        assert!(!v.rqst_window_parked_on(3, 3), "entry on bank 5 in window");
+        // Undecoded entries are never parked.
+        let mut u = v.rqst.pop().unwrap();
+        u.dest_vault = crate::queue::UNDECODED;
+        u.dest_bank = crate::queue::UNDECODED;
+        v.rqst.push_front(u);
+        assert!(!v.rqst_window_parked_on(3, 1));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use hmc_types::LinkId;
 
-use crate::queue::PacketQueue;
+use crate::queue::{PacketQueue, QueueEntry};
 
 /// The crossbar logic stage attached to one link: a request queue (host →
 /// vaults) and a response queue (vaults → host).
@@ -43,6 +43,16 @@ impl Crossbar {
     pub fn occupancy(&self) -> usize {
         self.rqst.len() + self.rsp.len()
     }
+
+    /// True when every queued response is already parked in a position
+    /// the response walk will not move it from — per the caller's
+    /// `parked` predicate (typically "deliverable to the host attached to
+    /// this link, waiting on a host `recv`"). An empty queue is trivially
+    /// parked. The fast-forward horizon uses this to prove the response
+    /// direction of a crossbar dead.
+    pub fn rsp_all_parked(&self, parked: impl Fn(&QueueEntry) -> bool) -> bool {
+        self.rsp.iter().all(parked)
+    }
 }
 
 #[cfg(test)]
@@ -72,6 +82,16 @@ mod tests {
         assert!(x.rqst.is_full());
         assert!(x.rsp.is_empty(), "request traffic must not occupy response slots");
         assert_eq!(x.occupancy(), 2);
+    }
+
+    #[test]
+    fn parked_predicate_covers_every_response() {
+        let mut x = Crossbar::new(0, 4);
+        assert!(x.rsp_all_parked(|_| false), "empty queue is parked");
+        x.rsp.push(entry(0)).unwrap();
+        x.rsp.push(entry(1)).unwrap();
+        assert!(x.rsp_all_parked(|e| e.packet.tag() < 2));
+        assert!(!x.rsp_all_parked(|e| e.packet.tag() < 1));
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub struct RunConfig {
     /// (`SimParams::check_invariants`); violations found are counted in
     /// [`RunReport::invariant_violations`].
     pub check_invariants: bool,
+    /// Arm the engine's event-driven fast-forward mode for the run
+    /// (`SimParams::fast_forward`). The driver's own loop steps
+    /// cycle-by-cycle — its inject/drain granularity *is* the schedule —
+    /// so the mode only pays off for callers that batch-clock the same
+    /// sim before or after the run (bench harnesses, serve pumps).
+    /// Reports are bit-identical either way.
+    pub fast_forward: bool,
 }
 
 impl Default for RunConfig {
@@ -36,6 +43,7 @@ impl Default for RunConfig {
             max_cycles: 1 << 34,
             progress_every: 0,
             check_invariants: false,
+            fast_forward: false,
         }
     }
 }
@@ -126,6 +134,9 @@ where
 {
     if cfg.check_invariants {
         sim.set_check_invariants(true);
+    }
+    if cfg.fast_forward {
+        sim.set_fast_forward(true);
     }
     let start_violations = sim.total_invariant_violations();
     let start_cycle = sim.current_clock();
@@ -301,6 +312,25 @@ mod tests {
         let mut w2 = RandomAccess::new(7, 1 << 24, BlockSize::B64, 50, 800);
         let plain = run_workload(&mut s, &mut h2, &mut w2, RunConfig::default()).unwrap();
         assert_eq!(report, plain);
+    }
+
+    #[test]
+    fn fast_forward_runs_produce_identical_reports() {
+        let mut s = sim();
+        let mut h = Host::attach(&s, s.host_cube_id(0)).unwrap();
+        let mut w = RandomAccess::new(11, 1 << 24, BlockSize::B64, 50, 1_200);
+        let stepped = run_workload(&mut s, &mut h, &mut w, RunConfig::default()).unwrap();
+
+        s.reset();
+        let mut h2 = Host::attach(&s, s.host_cube_id(0)).unwrap();
+        let mut w2 = RandomAccess::new(11, 1 << 24, BlockSize::B64, 50, 1_200);
+        let cfg = RunConfig {
+            fast_forward: true,
+            ..RunConfig::default()
+        };
+        let fast = run_workload(&mut s, &mut h2, &mut w2, cfg).unwrap();
+        assert!(s.fast_forward(), "the run must arm the engine mode");
+        assert_eq!(stepped, fast);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! hmc-serve [--socket PATH] [--listen ADDR] [--max-sessions N]
 //!           [--threads N] [--inflight N] [--responses N] [--slice N]
-//!           [--idle-timeout SECS] [--drain-timeout SECS]
+//!           [--idle-timeout SECS] [--drain-timeout SECS] [--fast-forward]
 //! ```
 //!
 //! At least one of `--socket` (Unix-domain) or `--listen` (TCP) is
@@ -44,6 +44,7 @@ struct Options {
     slice: u64,
     idle_timeout: u64,
     drain_timeout: u64,
+    fast_forward: bool,
 }
 
 impl Default for Options {
@@ -60,6 +61,7 @@ impl Default for Options {
             slice: l.slice_cycles,
             idle_timeout: 300,
             drain_timeout: 30,
+            fast_forward: l.fast_forward,
         }
     }
 }
@@ -68,7 +70,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: hmc-serve [--socket PATH] [--listen ADDR] [--max-sessions N] \
          [--threads N] [--inflight N] [--responses N] [--slice N] \
-         [--idle-timeout SECS (0 = never)] [--drain-timeout SECS]"
+         [--idle-timeout SECS (0 = never)] [--drain-timeout SECS] \
+         [--fast-forward]"
     );
     std::process::exit(2);
 }
@@ -99,6 +102,7 @@ fn parse_options() -> Options {
             "--drain-timeout" => {
                 o.drain_timeout = next("--drain-timeout").parse().unwrap_or_else(|_| usage())
             }
+            "--fast-forward" => o.fast_forward = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("hmc-serve: unknown argument {other}");
@@ -126,6 +130,7 @@ fn main() {
             inflight_limit: o.inflight,
             response_limit: o.responses,
             slice_cycles: o.slice,
+            fast_forward: o.fast_forward,
         },
         idle_timeout: if o.idle_timeout == 0 {
             None
@@ -168,9 +173,10 @@ fn main() {
     });
 
     eprintln!(
-        "hmc-serve: ready ({} worker(s), {} session cap)",
+        "hmc-serve: ready ({} worker(s), {} session cap{})",
         o.threads.max(1),
-        o.max_sessions
+        o.max_sessions,
+        if o.fast_forward { ", fast-forward" } else { "" }
     );
     match server.run(Duration::from_secs(o.drain_timeout)) {
         DrainOutcome::Drained => {

@@ -4,7 +4,8 @@
 //! loadgen (--socket PATH | --connect ADDR) [--sessions N] [--requests N]
 //!         [--workload random|stream|gups|chase|stencil] [--preset NAME]
 //!         [--seed S] [--read-pct P] [--block BYTES] [--batch N]
-//!         [--poll-max N] [--json FILE]
+//!         [--poll-max N] [--idle-gap CYCLES] [--idle-every OPS]
+//!         [--json FILE]
 //! ```
 //!
 //! Each session runs on its own thread with its own connection: open a
@@ -14,6 +15,16 @@
 //! stats, close. The report carries per-session and aggregate simulated
 //! throughput plus p50/p95/p99 response latency, as JSON on stdout or to
 //! `--json FILE`.
+//!
+//! `--idle-gap` switches the stream to open-loop arrivals: after every
+//! `--idle-every` memory operations an idle-gap op (`WireOp::idle`) is
+//! interleaved, telling the session's device to run that many cycles
+//! with no injection — a client that thinks between bursts rather than
+//! saturating the queue. Against a server in `--fast-forward` mode the
+//! dead cycles are jumped instead of stepped, so the same open-loop run
+//! finishes in a fraction of the wall time with identical responses;
+//! the report's `wall_seconds`/`sim_cycles` pair is the before/after
+//! evidence.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -36,6 +47,8 @@ struct Options {
     block: usize,
     batch: usize,
     poll_max: u32,
+    idle_gap: u64,
+    idle_every: u64,
     json: Option<PathBuf>,
 }
 
@@ -53,6 +66,8 @@ impl Default for Options {
             block: 64,
             batch: 1024,
             poll_max: 512,
+            idle_gap: 0,
+            idle_every: 32,
             json: None,
         }
     }
@@ -63,7 +78,9 @@ fn usage() -> ! {
         "usage: loadgen (--socket PATH | --connect ADDR) [--sessions N] \
          [--requests N] [--workload random|stream|gups|chase|stencil] \
          [--preset 4l8b|4l16b|8l8b|8l16b|small] [--seed S] [--read-pct P] \
-         [--block BYTES] [--batch N] [--poll-max N] [--json FILE]"
+         [--block BYTES] [--batch N] [--poll-max N] \
+         [--idle-gap CYCLES (0 = closed-loop)] [--idle-every OPS] \
+         [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -90,6 +107,10 @@ fn parse_options() -> Options {
             "--block" => o.block = next("--block").parse().unwrap_or_else(|_| usage()),
             "--batch" => o.batch = next("--batch").parse().unwrap_or_else(|_| usage()),
             "--poll-max" => o.poll_max = next("--poll-max").parse().unwrap_or_else(|_| usage()),
+            "--idle-gap" => o.idle_gap = next("--idle-gap").parse().unwrap_or_else(|_| usage()),
+            "--idle-every" => {
+                o.idle_every = next("--idle-every").parse().unwrap_or_else(|_| usage())
+            }
             "--json" => o.json = Some(PathBuf::from(next("--json"))),
             "--help" | "-h" => usage(),
             other => {
@@ -106,6 +127,10 @@ fn parse_options() -> Options {
         eprintln!("loadgen: --sessions and --batch must be nonzero");
         usage()
     }
+    if o.idle_gap > 0 && o.idle_every == 0 {
+        eprintln!("loadgen: --idle-every must be nonzero with --idle-gap");
+        usage()
+    }
     o
 }
 
@@ -115,6 +140,7 @@ struct SessionReport {
     session: u64,
     requests: u64,
     responses: u64,
+    idle_gaps: u64,
     sim_cycles: u64,
     sim_throughput: f64,
     p50_latency: u64,
@@ -135,8 +161,11 @@ struct LoadgenReport {
     workload: String,
     preset: String,
     requests_per_session: u64,
+    idle_gap_cycles: u64,
+    idle_every_ops: u64,
     total_requests: u64,
     total_responses: u64,
+    total_sim_cycles: u64,
     wall_seconds: f64,
     ops_per_second: f64,
     aggregate_p50_latency: u64,
@@ -181,10 +210,27 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
     .with_block(block)
     .with_read_pct(o.read_pct);
     let mut workload = spec.build().map_err(|e| e.to_string())?;
-    let ops = workload_to_wire(workload.as_mut());
+    let mut ops = workload_to_wire(workload.as_mut());
+    let mut idle_gaps = 0u64;
+    if o.idle_gap > 0 {
+        // Open-loop arrivals: a think-time gap after every idle_every
+        // memory ops. The gap is part of the submitted stream, so the
+        // server runs the identical schedule whether it steps or jumps.
+        let mut spaced = Vec::with_capacity(ops.len() + ops.len() / o.idle_every as usize + 1);
+        for (i, op) in ops.iter().enumerate() {
+            spaced.push(*op);
+            if (i as u64 + 1).is_multiple_of(o.idle_every) {
+                spaced.push(WireOp::idle(o.idle_gap));
+                idle_gaps += 1;
+            }
+        }
+        ops = spaced;
+    }
     let expected: u64 = ops
         .iter()
-        .filter(|op| op.kind != WireOp::KIND_POSTED_WRITE)
+        .filter(|op| {
+            op.kind != WireOp::KIND_POSTED_WRITE && op.kind != WireOp::KIND_IDLE
+        })
         .count() as u64;
 
     let mut received = 0u64;
@@ -254,8 +300,9 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
     sorted.sort_unstable();
     let report = SessionReport {
         session,
-        requests: ops.len() as u64,
+        requests: ops.iter().filter(|op| op.kind != WireOp::KIND_IDLE).count() as u64,
         responses: received,
+        idle_gaps,
         sim_cycles: final_stats.cycles,
         sim_throughput: if final_stats.cycles > 0 {
             final_stats.injected as f64 / final_stats.cycles as f64
@@ -320,13 +367,17 @@ fn main() {
     let lost_tags: u64 = sessions.iter().map(|s| s.lost).sum();
     let duplicated_tags: u64 = sessions.iter().map(|s| s.duplicated).sum();
 
+    let total_sim_cycles: u64 = sessions.iter().map(|s| s.report.sim_cycles).sum();
     let report = LoadgenReport {
         sessions: o.sessions as u64,
         workload: o.workload.clone(),
         preset: o.preset.clone(),
         requests_per_session: o.requests,
+        idle_gap_cycles: o.idle_gap,
+        idle_every_ops: o.idle_every,
         total_requests,
         total_responses,
+        total_sim_cycles,
         wall_seconds,
         ops_per_second: if wall_seconds > 0.0 {
             total_requests as f64 / wall_seconds

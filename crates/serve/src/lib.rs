@@ -35,5 +35,6 @@ pub use manager::{ServerConfig, SessionManager};
 pub use proto::{write_frame, FrameReader, ReadOutcome};
 pub use server::{DrainOutcome, Server};
 pub use session::{
-    memop_to_wire, wire_to_memop, workload_to_wire, PumpOutcome, SessionLimits, SessionState,
+    memop_to_wire, wire_to_memop, wire_to_session_op, workload_to_wire, PumpOutcome,
+    SessionLimits, SessionOp, SessionState,
 };

@@ -187,6 +187,7 @@ impl SessionManager {
             inflight_limit: clamp(inflight_limit, defaults.inflight_limit),
             response_limit: clamp(response_limit, defaults.response_limit),
             slice_cycles: defaults.slice_cycles,
+            fast_forward: defaults.fast_forward,
         };
 
         let state = match SessionState::new(config, limits) {

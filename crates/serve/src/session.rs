@@ -9,7 +9,12 @@
 //! are outstanding: a multi-cycle `clock_batch` would change the drain
 //! cadence, and with it the tag-reuse order. Batched advances are
 //! reserved for the idle settle phase, where only posted traffic (which
-//! carries no tags) is still draining.
+//! carries no tags) is still draining, and for client-scheduled
+//! [`SessionOp::Idle`] gaps, whose span is part of the submitted stream
+//! and therefore deterministic too. Sessions opened with
+//! [`SessionLimits::fast_forward`] arm the engine's event-driven
+//! fast-forward mode, which turns those batched advances over dead
+//! cycles into O(1) jumps without changing any observable.
 
 use std::collections::VecDeque;
 
@@ -32,6 +37,11 @@ pub struct SessionLimits {
     /// Cycles one scheduling quantum may execute before the worker yields
     /// the session back to the run queue.
     pub slice_cycles: u64,
+    /// Arm the engine's event-driven fast-forward mode for this session's
+    /// device. Responses and stats stay bit-identical (the pump's
+    /// schedule does not change); batched advances — idle gaps and the
+    /// posted-settle phase — get cheap when every stage is quiescent.
+    pub fast_forward: bool,
 }
 
 impl Default for SessionLimits {
@@ -40,6 +50,7 @@ impl Default for SessionLimits {
             inflight_limit: 4096,
             response_limit: 8192,
             slice_cycles: 4096,
+            fast_forward: false,
         }
     }
 }
@@ -57,7 +68,30 @@ pub enum PumpOutcome {
     Working,
 }
 
-/// Convert a wire operation into a [`MemOp`].
+/// One admitted session operation: a memory op to inject, or a
+/// client-scheduled idle gap the device runs through without injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOp {
+    /// A memory operation bound for the device.
+    Mem(MemOp),
+    /// Run the device this many cycles with no injection.
+    Idle(u64),
+}
+
+/// Convert a wire operation into a [`SessionOp`].
+pub fn wire_to_session_op(op: &WireOp) -> Result<SessionOp> {
+    if op.kind == WireOp::KIND_IDLE {
+        if op.addr == 0 {
+            return Err(HmcError::Wire("idle gap of zero cycles".into()));
+        }
+        return Ok(SessionOp::Idle(op.addr));
+    }
+    wire_to_memop(op).map(SessionOp::Mem)
+}
+
+/// Convert a wire operation into a [`MemOp`]. Idle gaps are not memory
+/// operations and are rejected here; use [`wire_to_session_op`] for the
+/// full session vocabulary.
 pub fn wire_to_memop(op: &WireOp) -> Result<MemOp> {
     let kind = match op.kind {
         WireOp::KIND_READ => OpKind::Read,
@@ -111,7 +145,7 @@ pub struct SessionState {
     target: CubeId,
     limits: SessionLimits,
     /// Ops admitted but not yet accepted by the device, in issue order.
-    inflight: VecDeque<MemOp>,
+    inflight: VecDeque<SessionOp>,
     /// The op currently being retried after a stall (mirror of the
     /// driver's `pending` slot — it must retry *before* newer ops).
     pending: Option<MemOp>,
@@ -123,7 +157,7 @@ impl SessionState {
     /// Build a fresh single-device session from a validated config.
     pub fn new(config: DeviceConfig, limits: SessionLimits) -> Result<SessionState> {
         config.validate()?;
-        let mut sim = HmcSim::new(1, config)?;
+        let mut sim = HmcSim::new(1, config)?.with_fast_forward(limits.fast_forward);
         let host_id = sim.host_cube_id(0);
         topology::build_simple(&mut sim, host_id)?;
         let host = Host::attach(&sim, host_id)?;
@@ -156,7 +190,7 @@ impl SessionState {
     pub fn submit(&mut self, ops: &[WireOp]) -> Result<usize> {
         let mut decoded = Vec::with_capacity(ops.len());
         for op in ops {
-            decoded.push(wire_to_memop(op)?);
+            decoded.push(wire_to_session_op(op)?);
         }
         let take = decoded.len().min(self.queue_free());
         self.inflight.extend(decoded.drain(..take));
@@ -203,19 +237,52 @@ impl SessionState {
     /// responses into the session buffer. Once every tagged response is
     /// home and the queue is dry, residual posted traffic is settled with
     /// batched clock advances (no tags in flight, so cadence is free).
+    ///
+    /// An [`SessionOp::Idle`] gap at the queue head runs before anything
+    /// behind it: the gap models client think time, so ops submitted
+    /// after it must wait the full gap out. Gaps advance with batched
+    /// clocks (draining responses throughout) — under a fast-forward
+    /// session each batch jumps the dead cycles instead of stepping them.
     pub fn pump(&mut self) -> Result<PumpOutcome> {
         let mut budget = self.limits.slice_cycles.max(1);
         while budget > 0 {
             if self.paused() {
                 return Ok(PumpOutcome::Paused);
             }
-            // Inject until a stall, tag exhaustion, or an empty queue.
+            // Serve an idle gap at the queue head before injecting.
+            if self.pending.is_none() {
+                if let Some(SessionOp::Idle(gap)) = self.inflight.front_mut() {
+                    let advance = (*gap).min(budget);
+                    self.sim.clock_batch(advance)?;
+                    let responses = &mut self.responses;
+                    self.host.drain_with(&mut self.sim, |info, latency| {
+                        responses.push_back(WireResponse {
+                            tag: info.tag,
+                            ok: info.is_ok(),
+                            latency,
+                            data: info.data,
+                        });
+                    })?;
+                    *gap -= advance;
+                    if *gap == 0 {
+                        self.inflight.pop_front();
+                    }
+                    budget -= advance;
+                    continue;
+                }
+            }
+            // Inject until a stall, tag exhaustion, an empty queue, or an
+            // idle gap behind the memory ops.
             loop {
                 let op = match self.pending.take() {
                     Some(op) => op,
-                    None => match self.inflight.pop_front() {
-                        Some(op) => op,
-                        None => break,
+                    None => match self.inflight.front() {
+                        Some(SessionOp::Mem(op)) => {
+                            let op = *op;
+                            self.inflight.pop_front();
+                            op
+                        }
+                        Some(SessionOp::Idle(_)) | None => break,
                     },
                 };
                 if self.host.try_issue(&mut self.sim, self.target, &op)? {
@@ -426,6 +493,85 @@ mod tests {
         assert!(s.submit(&ops).is_err());
         assert_eq!(s.queue_free(), SessionLimits::default().inflight_limit);
         assert!(!s.has_work());
+    }
+
+    #[test]
+    fn idle_gaps_advance_the_device_without_injection() {
+        let mut s = small_session(SessionLimits::default());
+        let read = |i: u64| WireOp {
+            kind: WireOp::KIND_READ,
+            addr: i * 64,
+            size_bytes: 64,
+        };
+        let mut ops: Vec<WireOp> = (0..8).map(read).collect();
+        ops.push(WireOp::idle(50_000));
+        ops.extend((8..16).map(read));
+        assert_eq!(s.submit(&ops).unwrap(), ops.len());
+        pump_to_idle(&mut s);
+        let snap = s.snapshot();
+        assert!(
+            snap.cycles >= 50_000,
+            "the gap must elapse on the device clock, got {}",
+            snap.cycles
+        );
+        assert_eq!(s.take_responses(100).len(), 16, "gaps answer nothing");
+        assert_eq!(snap.completed, 16);
+    }
+
+    #[test]
+    fn fast_forward_sessions_are_bit_identical_to_stepped() {
+        let run = |fast_forward: bool| {
+            let mut s = small_session(SessionLimits {
+                fast_forward,
+                ..SessionLimits::default()
+            });
+            let mut ops = Vec::new();
+            for i in 0u64..24 {
+                ops.push(WireOp {
+                    kind: if i % 3 == 0 {
+                        WireOp::KIND_WRITE
+                    } else {
+                        WireOp::KIND_READ
+                    },
+                    addr: i * 128,
+                    size_bytes: 64,
+                });
+                if i % 6 == 5 {
+                    ops.push(WireOp::idle(9_000));
+                }
+            }
+            assert_eq!(s.submit(&ops).unwrap(), ops.len());
+            pump_to_idle(&mut s);
+            let responses = s.take_responses(1_000);
+            (responses, s.snapshot())
+        };
+        let (stepped_rsp, stepped_snap) = run(false);
+        let (fast_rsp, fast_snap) = run(true);
+        assert_eq!(stepped_rsp, fast_rsp, "responses must match exactly");
+        assert_eq!(stepped_snap.cycles, fast_snap.cycles);
+        assert_eq!(stepped_snap.completed, fast_snap.completed);
+        assert_eq!(stepped_snap.mean_latency, fast_snap.mean_latency);
+        assert!(stepped_snap.cycles >= 4 * 9_000, "the gaps elapsed");
+    }
+
+    #[test]
+    fn zero_cycle_idle_gaps_fail_the_batch() {
+        let mut s = small_session(SessionLimits::default());
+        let ops = [
+            WireOp {
+                kind: WireOp::KIND_READ,
+                addr: 0,
+                size_bytes: 64,
+            },
+            WireOp::idle(0),
+        ];
+        assert!(s.submit(&ops).is_err());
+        assert!(!s.has_work(), "atomic rejection admits nothing");
+        assert!(wire_to_memop(&WireOp::idle(5)).is_err(), "not a memory op");
+        assert_eq!(
+            wire_to_session_op(&WireOp::idle(5)).unwrap(),
+            SessionOp::Idle(5)
+        );
     }
 
     #[test]

@@ -49,6 +49,20 @@ impl WireOp {
     pub const KIND_ADD16: u8 = 4;
     /// Masked 8-byte bit-write.
     pub const KIND_BIT_WRITE: u8 = 5;
+    /// Client-scheduled idle gap: run the device for `addr` cycles with
+    /// no injection (open-loop arrival modeling). Produces no response;
+    /// `size_bytes` is ignored. Sessions in fast-forward mode jump these
+    /// dead cycles instead of stepping them.
+    pub const KIND_IDLE: u8 = 6;
+
+    /// An idle-gap operation spanning `cycles` device cycles.
+    pub fn idle(cycles: u64) -> WireOp {
+        WireOp {
+            kind: WireOp::KIND_IDLE,
+            addr: cycles,
+            size_bytes: 0,
+        }
+    }
 }
 
 /// One completed response as carried by a `Responses` frame.

@@ -1,0 +1,234 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! A minimal-but-real timing harness exposing the API surface the
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `sample_size`/`throughput`, `bench_function`,
+//! `Bencher::iter`/`iter_batched`, and `black_box`. Each benchmark runs
+//! a short warm-up then `sample_size` timed samples and prints the
+//! median per-iteration time (plus throughput when configured). No
+//! statistics beyond that — the numbers are honest wall-clock medians,
+//! good enough for the relative comparisons EXPERIMENTS.md records.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (accepted, not acted on: the
+/// stand-in always times per-batch with per-iteration setup outside the
+/// timed region).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&name.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Close the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut samples = Vec::with_capacity(sample_size);
+    // One warm-up sample, discarded.
+    let mut b = Bencher::default();
+    f(&mut b);
+    for _ in 0..sample_size {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if b.iters > 0 {
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+    let rate = |per_iter: u64| -> String {
+        if median <= 0.0 {
+            return String::from("inf");
+        }
+        let per_sec = per_iter as f64 * 1e9 / median;
+        format!("{per_sec:.3e}")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("{name}: {median:.1} ns/iter, {} elem/s", rate(n));
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("{name}: {median:.1} ns/iter, {} B/s", rate(n));
+        }
+        None => println!("{name}: {median:.1} ns/iter"),
+    }
+}
+
+/// Times the closed-over routine.
+#[derive(Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed batch of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const ITERS: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Time `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        const ITERS: u64 = 8;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += ITERS;
+    }
+}
+
+/// Group benchmark functions under one registration point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_their_routines() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0, "the routine must actually execute");
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_output() {
+        let mut c = Criterion::default();
+        let mut seen = Vec::new();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 7u32, |x| seen.push(x), BatchSize::SmallInput)
+        });
+        assert!(seen.iter().all(|&x| x == 7));
+        assert!(!seen.is_empty());
+    }
+}

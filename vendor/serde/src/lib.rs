@@ -1,0 +1,400 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the narrow serde surface it actually uses: derivable
+//! [`Serialize`]/[`Deserialize`] traits over a self-describing JSON-like
+//! [`value::Value`] data model. `serde_json` (vendored next door) renders
+//! and parses that model as standard JSON text.
+//!
+//! Scope, deliberately minimal:
+//!
+//! * structs with named fields and enums with unit variants (derive);
+//! * primitives, `String`, `Option<T>`, `Vec<T>`, fixed-size arrays and
+//!   tuples of serializable values;
+//! * no `#[serde(...)]` attributes, borrowed deserialization, or custom
+//!   (de)serializer plumbing — the workspace uses none of them.
+//!
+//! The derive macros come from the companion `serde_derive` crate and
+//! expand to [`Serialize::to_value`]/[`Deserialize::from_value`] impls,
+//! so generated code is ordinary inspectable Rust.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The self-describing data model every serializable type lowers to.
+
+    /// A JSON-shaped value tree. Object fields keep insertion order so
+    /// emitted JSON is deterministic (field declaration order).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null` (also the encoding of `Option::None`).
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// JSON number.
+        Number(Number),
+        /// JSON string.
+        String(String),
+        /// JSON array.
+        Array(Vec<Value>),
+        /// JSON object, as ordered key/value pairs.
+        Object(Vec<(String, Value)>),
+    }
+
+    /// A JSON number, preserving integer exactness beyond `f64` range.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// Non-negative integer literal.
+        U64(u64),
+        /// Negative integer literal.
+        I64(i64),
+        /// Fractional or exponent-form literal.
+        F64(f64),
+    }
+
+    impl Value {
+        /// The object fields, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization error type and derive-support helpers.
+
+    use crate::value::Value;
+
+    /// Why a [`Value`](crate::value::Value) could not be converted into
+    /// the requested type.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// An error with the given message.
+        pub fn custom(message: impl Into<String>) -> Self {
+            Error {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Look up `name` in an object's fields and deserialize it. Used by
+    /// derived struct impls; a missing field is an error (the workspace
+    /// uses no `#[serde(default)]`).
+    pub fn field<T: crate::Deserialize>(
+        fields: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        let v = fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` for `{ty}`")))?;
+        T::from_value(v).map_err(|e| Error::custom(format!("field `{name}` of `{ty}`: {e}")))
+    }
+}
+
+use value::{Number, Value};
+
+/// A type that can lower itself into the [`value::Value`] data model.
+pub trait Serialize {
+    /// The value-tree encoding of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from the [`value::Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree, validating shape and ranges.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let wide = match v {
+                    Value::Number(Number::U64(n)) => *n,
+                    Value::Number(Number::I64(n)) if *n >= 0 => *n as u64,
+                    Value::Number(Number::F64(f))
+                        if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+                    {
+                        *f as u64
+                    }
+                    other => {
+                        return Err(de::Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::U64(n as u64))
+                } else {
+                    Value::Number(Number::I64(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let wide: i64 = match v {
+                    Value::Number(Number::I64(n)) => *n,
+                    Value::Number(Number::U64(n)) => i64::try_from(*n).map_err(|_| {
+                        de::Error::custom(format!("integer {n} out of i64 range"))
+                    })?,
+                    Value::Number(Number::F64(f)) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(de::Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Number(Number::F64(f)) => Ok(*f),
+            Value::Number(Number::U64(n)) => Ok(*n as f64),
+            Value::Number(Number::I64(n)) => Ok(*n as f64),
+            other => Err(de::Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| de::Error::custom(format!("expected array, got {v:?}")))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::{Number, Value};
+    use super::{de, Deserialize, Serialize};
+
+    #[test]
+    fn primitives_roundtrip_through_the_value_model() {
+        assert_eq!(42u16.to_value(), Value::Number(Number::U64(42)));
+        assert_eq!(u16::from_value(&42u16.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn integers_check_range_on_the_way_in() {
+        let big = Value::Number(Number::U64(300));
+        assert!(u8::from_value(&big).is_err());
+        let neg = Value::Number(Number::I64(-1));
+        assert!(u64::from_value(&neg).is_err());
+        assert_eq!(i64::from_value(&neg).unwrap(), -1);
+    }
+
+    #[test]
+    fn options_and_vecs_nest() {
+        let v: Option<Vec<u8>> = Some(vec![1, 2, 3]);
+        let val = v.to_value();
+        assert_eq!(
+            val,
+            Value::Array(vec![
+                Value::Number(Number::U64(1)),
+                Value::Number(Number::U64(2)),
+                Value::Number(Number::U64(3)),
+            ])
+        );
+        let back: Option<Vec<u8>> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, v);
+        let none: Option<u8> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing_names() {
+        let obj = vec![("present".to_string(), Value::Number(Number::U64(1)))];
+        assert_eq!(de::field::<u8>(&obj, "present", "T").unwrap(), 1);
+        let err = de::field::<u8>(&obj, "absent", "T").unwrap_err();
+        assert!(err.to_string().contains("absent"));
+    }
+}

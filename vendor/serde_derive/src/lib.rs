@@ -1,0 +1,267 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes the workspace derives on:
+//!
+//! * structs with named fields — serialized as a JSON object whose keys
+//!   are the field names in declaration order;
+//! * enums whose variants all carry no data — serialized as the variant
+//!   name as a JSON string (matching real serde's external tagging for
+//!   unit variants).
+//!
+//! The input token stream is parsed by hand (no `syn`/`quote`, which are
+//! unavailable offline); unsupported shapes — tuple structs, generic
+//! types, data-carrying variants, `#[serde(...)]` attributes — produce a
+//! `compile_error!` naming the limitation rather than silently wrong
+//! code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we parsed out of the derive input.
+enum Shape {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error expansion")
+}
+
+/// Skip one attribute (`#` followed by a bracket group, with an optional
+/// `!` for inner attributes) starting at `i`; returns the next index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '!') {
+                    i += 1;
+                }
+                if matches!(&tokens[i..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!(
+            "serde stand-in derives support only structs and enums, got `{kind}`"
+        ));
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derives do not support generic type `{name}`"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde stand-in derives support only brace-bodied types; `{name}` has none"
+            ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            j = skip_vis(&body, skip_attrs(&body, j));
+            let field = match body.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => return Err(format!("expected a field name in `{name}`, got {other:?}")),
+            };
+            j += 1;
+            if !matches!(body.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                return Err(format!(
+                    "serde stand-in derives support only named fields (struct `{name}`)"
+                ));
+            }
+            j += 1;
+            // Skip the type up to the next top-level comma. Commas inside
+            // angle brackets (`HashMap<K, V>`) are tracked by depth;
+            // groups are single tokens so need no tracking.
+            let mut angle = 0i32;
+            while j < body.len() {
+                match &body[j] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1; // past the comma (or the end)
+            fields.push(field);
+        }
+        if fields.is_empty() {
+            return Err(format!("struct `{name}` has no named fields to derive over"));
+        }
+        Ok(Shape::Struct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            j = skip_attrs(&body, j);
+            let variant = match body.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => {
+                    return Err(format!("expected a variant name in `{name}`, got {other:?}"))
+                }
+            };
+            j += 1;
+            match body.get(j) {
+                None => {}
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => j += 1,
+                _ => {
+                    return Err(format!(
+                        "serde stand-in derives support only unit variants (enum `{name}`)"
+                    ))
+                }
+            }
+            variants.push(variant);
+        }
+        if variants.is_empty() {
+            return Err(format!("enum `{name}` has no variants to derive over"));
+        }
+        Ok(Shape::Enum { name, variants })
+    }
+}
+
+/// Derive `Serialize` (the vendored stand-in's trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::value::Value::String({v:?}.to_string())"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derive `Deserialize` (the vendored stand-in's trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__fields, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         let __fields = __v.as_object().ok_or_else(|| \
+                             ::serde::de::Error::custom(format!(\
+                                 \"expected an object for `{name}`, got {{__v:?}}\")))?;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         let __s = __v.as_str().ok_or_else(|| \
+                             ::serde::de::Error::custom(format!(\
+                                 \"expected a string for `{name}`, got {{__v:?}}\")))?;\n\
+                         match __s {{\n\
+                             {},\n\
+                             other => Err(::serde::de::Error::custom(format!(\
+                                 \"unknown `{name}` variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
