@@ -9,7 +9,7 @@
 //!
 //! Usage:
 //!   figure5 [--scale N] [--seed S] [--bin W] [--out DIR] [--threads N] [--check]
-//!           [--fast-forward]
+//!           [--fast-forward] [--timing classic|ddr]
 //!
 //! Defaults: 1/256 scale, bin width auto (~200 rows), output CSVs to the
 //! current directory as `figure5_<config>.csv`.
@@ -18,9 +18,10 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use hmc_bench::harness::{paper_setup, paper_workload, SetupOptions};
+use hmc_core::TimingParams;
 use hmc_host::{run_workload, RunConfig};
 use hmc_trace::{SeriesCollector, SharedSink, Verbosity};
-use hmc_types::{DeviceConfig, StorageMode};
+use hmc_types::{DeviceConfig, StorageMode, TimingKind};
 
 fn main() {
     let mut scale: u64 = 256;
@@ -30,6 +31,7 @@ fn main() {
     let mut threads: usize = 1;
     let mut check = false;
     let mut fast_forward = false;
+    let mut timing = TimingKind::Classic;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,10 +42,16 @@ fn main() {
             "--threads" => threads = parse(args.next(), "--threads"),
             "--check" => check = true,
             "--fast-forward" => fast_forward = true,
+            "--timing" => {
+                timing = args
+                    .next()
+                    .and_then(|v| TimingKind::by_name(&v))
+                    .unwrap_or_else(|| die("--timing needs `classic` or `ddr`"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR] \
-                     [--threads N] [--check] [--fast-forward]"
+                     [--threads N] [--check] [--fast-forward] [--timing classic|ddr]"
                 );
                 return;
             }
@@ -70,6 +78,7 @@ fn main() {
             storage: StorageMode::TimingOnly,
             threads,
             fast_forward,
+            timing: TimingParams::of(timing),
         };
         let (mut sim, mut host) = paper_setup(cfg, opts, Some(Box::new(series.clone())));
         let mut workload = paper_workload(seed, scale);

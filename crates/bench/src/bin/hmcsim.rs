@@ -11,6 +11,7 @@
 //!        [--requests N] [--seed S] [--read-pct P] [--block BYTES]
 //!        [--error-rate R] [--serialize-flits N] [--threads N]
 //!        [--locality] [--stall-queue] [--check] [--fast-forward]
+//!        [--timing classic|ddr]
 //!        [--series FILE] [--trace FILE] [--utilization] [--energy]
 //!        [--profile]
 //! ```
@@ -18,13 +19,13 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use hmc_core::{topology, ConflictPolicy, FaultConfig, HmcSim, SimParams};
+use hmc_core::{topology, ConflictPolicy, FaultConfig, HmcSim, SimParams, TimingParams};
 use hmc_host::{run_workload, Host, LinkSelection, RunConfig};
 use hmc_trace::{
     estimate_energy, EnergyModel, MultiSink, SeriesCollector, SharedSink, TextSink,
     Tracer, Verbosity,
 };
-use hmc_types::{BlockSize, DeviceConfig, StorageMode};
+use hmc_types::{BlockSize, DeviceConfig, StorageMode, TimingKind};
 use hmc_workloads::{Workload, WorkloadSpec};
 
 struct Options {
@@ -47,6 +48,7 @@ struct Options {
     profile: bool,
     check: bool,
     fast_forward: bool,
+    timing: TimingKind,
     dump_config: Option<String>,
 }
 
@@ -72,6 +74,7 @@ impl Default for Options {
             profile: false,
             check: false,
             fast_forward: false,
+            timing: TimingKind::Classic,
             dump_config: None,
         }
     }
@@ -84,8 +87,8 @@ fn usage() -> ! {
          [--workload random|stream|gups|chase|stencil] [--requests N] \
          [--seed S] [--read-pct P] [--block BYTES] [--error-rate R] \
          [--serialize-flits N] [--threads N] [--locality] [--stall-queue] \
-         [--check] [--fast-forward] [--series FILE] [--trace FILE] \
-         [--utilization] [--energy] [--profile]"
+         [--check] [--fast-forward] [--timing classic|ddr] [--series FILE] \
+         [--trace FILE] [--utilization] [--energy] [--profile]"
     );
     std::process::exit(2);
 }
@@ -164,6 +167,13 @@ fn parse_options() -> Options {
             "--profile" => o.profile = true,
             "--check" => o.check = true,
             "--fast-forward" => o.fast_forward = true,
+            "--timing" => {
+                let name = next("--timing");
+                o.timing = TimingKind::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("hmcsim: --timing needs `classic` or `ddr`, got {name}");
+                    usage()
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("hmcsim: unknown argument {other}");
@@ -208,6 +218,7 @@ fn main() {
         },
         threads: o.threads,
         fast_forward: o.fast_forward,
+        timing: TimingParams::of(o.timing),
         ..SimParams::default()
     });
     if o.error_rate > 0.0 {
@@ -281,6 +292,13 @@ fn main() {
         "latency           mean {:.1}, max {} cycles",
         report.mean_latency, report.max_latency
     );
+    if o.timing == TimingKind::Ddr {
+        let s = sim.stats();
+        println!(
+            "row buffer        {} hits, {} misses, {} precharges",
+            s.row_hits, s.row_misses, s.precharges
+        );
+    }
     if let Some(f) = sim.fault_state() {
         println!(
             "link errors       {} injected, {} recovered",

@@ -10,14 +10,15 @@
 //!
 //! Usage:
 //!   sweep [--requests N] [--seed S] [--out FILE] [--jobs N] [--fast-forward]
+//!         [--timing classic|ddr]
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use hmc_core::{topology, HmcSim, SimParams};
+use hmc_core::{topology, HmcSim, SimParams, TimingParams};
 use hmc_host::{run_workload, Host, RunConfig};
-use hmc_types::{BlockSize, DeviceConfig, StorageMode};
+use hmc_types::{BlockSize, DeviceConfig, StorageMode, TimingKind};
 use hmc_workloads::RandomAccess;
 
 struct Point {
@@ -30,6 +31,7 @@ struct Point {
     mean_latency: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     requests: u64,
     seed: u32,
@@ -38,6 +40,7 @@ fn run_point(
     window: Option<usize>,
     drain: usize,
     fast_forward: bool,
+    timing: TimingKind,
 ) -> Point {
     let cfg = DeviceConfig::paper_4link_8bank_2gb()
         .with_storage_mode(StorageMode::TimingOnly)
@@ -46,6 +49,7 @@ fn run_point(
         vault_window: window,
         xbar_drain_per_cycle: drain,
         fast_forward,
+        timing: TimingParams::of(timing),
         ..SimParams::default()
     });
     let host_id = sim.host_cube_id(0);
@@ -72,6 +76,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut fast_forward = false;
+    let mut timing = TimingKind::Classic;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -86,10 +91,19 @@ fn main() {
                     .unwrap_or(jobs)
             }
             "--fast-forward" => fast_forward = true,
+            "--timing" => {
+                timing = args
+                    .next()
+                    .and_then(|v| TimingKind::by_name(&v))
+                    .unwrap_or_else(|| {
+                        eprintln!("sweep: --timing needs `classic` or `ddr`");
+                        std::process::exit(2);
+                    })
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sweep [--requests N] [--seed S] [--out FILE] [--jobs N] \
-                     [--fast-forward]"
+                     [--fast-forward] [--timing classic|ddr]"
                 );
                 return;
             }
@@ -138,7 +152,16 @@ fn main() {
                     let (xbar, vault, window, drain) = grid[i];
                     local.push((
                         i,
-                        run_point(requests, seed, xbar, vault, window, drain, fast_forward),
+                        run_point(
+                            requests,
+                            seed,
+                            xbar,
+                            vault,
+                            window,
+                            drain,
+                            fast_forward,
+                            timing,
+                        ),
                     ));
                 }
                 local

@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //!   table1 [--scale N] [--full] [--seed S] [--threads N] [--check]
-//!          [--fast-forward]
+//!          [--fast-forward] [--timing classic|ddr]
 //!
 //! `--scale N` runs 1/N of the paper's request count (default 16);
 //! `--full` is shorthand for `--scale 1` (the paper's exact request
@@ -13,10 +13,15 @@
 //! bit-identical to the serial engine. `--check` arms the per-cycle
 //! protocol invariant checker and fails the run on any violation.
 //! `--fast-forward` arms the engine's event-driven fast-forward mode
-//! (cycle counts stay bit-identical to stepped execution).
+//! (cycle counts stay bit-identical to stepped execution). `--timing`
+//! selects the vault timing backend: the paper's constant-time conflict
+//! model (`classic`, default) or the cycle-accurate DDR state machine
+//! (`ddr`).
 
 use hmc_bench::table1::{format_table, run_table1_with};
 use hmc_bench::SetupOptions;
+use hmc_core::TimingParams;
+use hmc_types::TimingKind;
 
 fn main() {
     let mut scale: u64 = 16;
@@ -24,6 +29,7 @@ fn main() {
     let mut threads: usize = 1;
     let mut check = false;
     let mut fast_forward = false;
+    let mut timing = TimingKind::Classic;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,10 +54,16 @@ fn main() {
             }
             "--check" => check = true,
             "--fast-forward" => fast_forward = true,
+            "--timing" => {
+                timing = args
+                    .next()
+                    .and_then(|v| TimingKind::by_name(&v))
+                    .unwrap_or_else(|| die("--timing needs `classic` or `ddr`"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: table1 [--scale N] [--full] [--seed S] [--threads N] [--check] \
-                     [--fast-forward]"
+                     [--fast-forward] [--timing classic|ddr]"
                 );
                 return;
             }
@@ -60,12 +72,14 @@ fn main() {
     }
 
     eprintln!(
-        "Running Table I at 1/{scale} scale (seed {seed}, {threads} threads{}) ...",
+        "Running Table I at 1/{scale} scale (seed {seed}, {threads} threads, {} timing{}) ...",
+        timing.name(),
         if check { ", invariants checked" } else { "" }
     );
     let opts = SetupOptions {
         threads,
         fast_forward,
+        timing: TimingParams::of(timing),
         ..SetupOptions::default()
     };
     let rows = run_table1_with(scale, seed, opts, check, |config, cycles| {

@@ -4,9 +4,10 @@
 //! thread count, simulated cycles, wall time and the derived cycles/sec —
 //! so CI can archive a trajectory of engine performance over time and
 //! EXPERIMENTS.md tables can be regenerated from artifacts instead of
-//! prose. Files are named `BENCH_<workload>_<mode>_t<threads>.json`; the
-//! summary comparing stepped against fast-forward for one workload is
-//! `BENCH_summary_<workload>_t<threads>.json`.
+//! prose. Files are named
+//! `BENCH_<workload>_<mode>_<timing>_t<threads>.json`; the summary
+//! comparing stepped against fast-forward for one workload under one
+//! timing backend is `BENCH_summary_<workload>_<timing>_t<threads>.json`.
 //!
 //! The workload shapes mirror the engine's differential tests: rounds of
 //! (send a burst of reads, batch-clock a gap, drain responses). `dense`
@@ -18,8 +19,8 @@
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use hmc_core::{HmcSim, SimParams};
-use hmc_types::{BlockSize, Command, DeviceConfig, LinkId, Packet, StorageMode};
+use hmc_core::{HmcSim, SimParams, TimingParams};
+use hmc_types::{BlockSize, Command, DeviceConfig, LinkId, Packet, StorageMode, TimingKind};
 use serde::{Deserialize, Serialize};
 
 /// Schema tag stamped into every emitted record.
@@ -74,6 +75,10 @@ pub struct BenchRecord {
     pub workload: String,
     /// Engine mode: `stepped` or `fast-forward`.
     pub mode: String,
+    /// Vault timing backend: `classic` or `ddr` (defaults to empty on
+    /// records written before the field existed).
+    #[serde(default)]
+    pub timing: String,
     /// Worker threads (1 = serial engine).
     pub threads: u64,
     /// Simulated clock cycles elapsed over the run.
@@ -97,6 +102,9 @@ pub struct BenchSummary {
     pub schema: String,
     /// Workload shape name.
     pub workload: String,
+    /// Vault timing backend both runs used (`classic` or `ddr`).
+    #[serde(default)]
+    pub timing: String,
     /// Worker threads both runs used.
     pub threads: u64,
     /// Stepped-mode simulated cycles per second.
@@ -122,13 +130,14 @@ fn unix_now_secs() -> u64 {
         .unwrap_or(0)
 }
 
-fn emit_sim(threads: usize, fast_forward: bool) -> HmcSim {
+fn emit_sim(threads: usize, fast_forward: bool, timing: TimingKind) -> HmcSim {
     let cfg = DeviceConfig::small().with_storage_mode(StorageMode::TimingOnly);
     let mut sim = HmcSim::new(1, cfg)
         .expect("small config validates")
         .with_params(SimParams {
             threads,
             fast_forward,
+            timing: TimingParams::of(timing),
             ..SimParams::default()
         });
     for l in 0..4 {
@@ -146,11 +155,17 @@ fn drain(sim: &mut HmcSim, responses: &mut u64) {
     }
 }
 
-/// Measure one workload shape in one engine mode. The schedule is
-/// deterministic given the shape, so stepped and fast-forward runs
-/// simulate the identical cycle span — only wall time differs.
-pub fn measure(shape: WorkloadShape, fast_forward: bool, threads: usize) -> BenchRecord {
-    let mut sim = emit_sim(threads, fast_forward);
+/// Measure one workload shape in one engine mode under one timing
+/// backend. The schedule is deterministic given the shape, so stepped
+/// and fast-forward runs simulate the identical cycle span — only wall
+/// time differs.
+pub fn measure(
+    shape: WorkloadShape,
+    fast_forward: bool,
+    threads: usize,
+    timing: TimingKind,
+) -> BenchRecord {
+    let mut sim = emit_sim(threads, fast_forward, timing);
     let mut requests = 0u64;
     let mut responses = 0u64;
     let start = Instant::now();
@@ -191,6 +206,7 @@ pub fn measure(shape: WorkloadShape, fast_forward: bool, threads: usize) -> Benc
         schema: SCHEMA.into(),
         workload: shape.name.into(),
         mode: mode_name(fast_forward).into(),
+        timing: timing.name().into(),
         threads: threads.max(1) as u64,
         simulated_cycles,
         wall_ns,
@@ -201,13 +217,19 @@ pub fn measure(shape: WorkloadShape, fast_forward: bool, threads: usize) -> Benc
     }
 }
 
-/// Measure one shape in both modes and fold the comparison.
-pub fn compare(shape: WorkloadShape, threads: usize) -> (BenchRecord, BenchRecord, BenchSummary) {
-    let stepped = measure(shape, false, threads);
-    let fast = measure(shape, true, threads);
+/// Measure one shape in both modes under one timing backend and fold
+/// the comparison.
+pub fn compare(
+    shape: WorkloadShape,
+    threads: usize,
+    timing: TimingKind,
+) -> (BenchRecord, BenchRecord, BenchSummary) {
+    let stepped = measure(shape, false, threads, timing);
+    let fast = measure(shape, true, threads, timing);
     let summary = BenchSummary {
         schema: SCHEMA.into(),
         workload: shape.name.into(),
+        timing: timing.name().into(),
         threads: threads.max(1) as u64,
         stepped_cycles_per_sec: stepped.cycles_per_sec,
         fast_forward_cycles_per_sec: fast.cycles_per_sec,
@@ -216,17 +238,22 @@ pub fn compare(shape: WorkloadShape, threads: usize) -> (BenchRecord, BenchRecor
     (stepped, fast, summary)
 }
 
-/// File name for a record: `BENCH_<workload>_<mode>_t<threads>.json`.
+/// File name for a record:
+/// `BENCH_<workload>_<mode>_<timing>_t<threads>.json`.
 pub fn record_file_name(record: &BenchRecord) -> String {
     format!(
-        "BENCH_{}_{}_t{}.json",
-        record.workload, record.mode, record.threads
+        "BENCH_{}_{}_{}_t{}.json",
+        record.workload, record.mode, record.timing, record.threads
     )
 }
 
-/// File name for a summary: `BENCH_summary_<workload>_t<threads>.json`.
+/// File name for a summary:
+/// `BENCH_summary_<workload>_<timing>_t<threads>.json`.
 pub fn summary_file_name(summary: &BenchSummary) -> String {
-    format!("BENCH_summary_{}_t{}.json", summary.workload, summary.threads)
+    format!(
+        "BENCH_summary_{}_{}_t{}.json",
+        summary.workload, summary.timing, summary.threads
+    )
 }
 
 /// Write one record into `dir`, returning the path written.
@@ -262,8 +289,8 @@ mod tests {
 
     #[test]
     fn both_modes_simulate_the_identical_span() {
-        let stepped = measure(tiny(), false, 1);
-        let fast = measure(tiny(), true, 1);
+        let stepped = measure(tiny(), false, 1, TimingKind::Classic);
+        let fast = measure(tiny(), true, 1, TimingKind::Classic);
         assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
         assert_eq!(stepped.requests, fast.requests);
         assert_eq!(stepped.responses, fast.responses);
@@ -275,8 +302,18 @@ mod tests {
     }
 
     #[test]
+    fn ddr_backend_spans_match_across_modes_too() {
+        let stepped = measure(tiny(), false, 1, TimingKind::Ddr);
+        let fast = measure(tiny(), true, 1, TimingKind::Ddr);
+        assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
+        assert_eq!(stepped.responses, fast.responses);
+        assert_eq!(stepped.responses, 12, "every read must answer");
+        assert_eq!(stepped.timing, "ddr");
+    }
+
+    #[test]
     fn records_round_trip_through_json() {
-        let (stepped, fast, summary) = compare(tiny(), 1);
+        let (stepped, fast, summary) = compare(tiny(), 1, TimingKind::Classic);
         for r in [&stepped, &fast] {
             let json = serde_json::to_string(r).unwrap();
             let back: BenchRecord = serde_json::from_str(&json).unwrap();
@@ -292,9 +329,9 @@ mod tests {
     fn emitted_files_land_where_named() {
         let dir = std::env::temp_dir().join("hmc_bench_emit_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let record = measure(tiny(), true, 1);
+        let record = measure(tiny(), true, 1, TimingKind::Ddr);
         let path = write_record(&dir, &record).unwrap();
-        assert!(path.ends_with("BENCH_sparse_fast-forward_t1.json"));
+        assert!(path.ends_with("BENCH_sparse_fast-forward_ddr_t1.json"));
         let text = std::fs::read_to_string(&path).unwrap();
         let back: BenchRecord = serde_json::from_str(&text).unwrap();
         assert_eq!(back, record);

@@ -1,6 +1,6 @@
 //! Shared experiment setup.
 
-use hmc_core::{topology, HmcSim};
+use hmc_core::{topology, HmcSim, TimingParams};
 use hmc_host::Host;
 use hmc_trace::{TraceSink, Tracer, Verbosity};
 use hmc_types::{DeviceConfig, StorageMode};
@@ -20,6 +20,10 @@ pub struct SetupOptions {
     /// (`SimParams::fast_forward`); bit-identical to stepped execution,
     /// pays off on batch-clocked idle-heavy schedules.
     pub fast_forward: bool,
+    /// Vault timing backend (`SimParams::timing`): the paper's
+    /// constant-time conflict model by default, or the cycle-accurate
+    /// DDR state machine.
+    pub timing: TimingParams,
 }
 
 impl Default for SetupOptions {
@@ -29,6 +33,7 @@ impl Default for SetupOptions {
             storage: StorageMode::TimingOnly,
             threads: 1,
             fast_forward: false,
+            timing: TimingParams::default(),
         }
     }
 }
@@ -44,7 +49,8 @@ pub fn paper_setup(
     let mut sim = HmcSim::new(1, config)
         .expect("paper configs validate")
         .with_threads(opts.threads)
-        .with_fast_forward(opts.fast_forward);
+        .with_fast_forward(opts.fast_forward)
+        .with_timing(opts.timing);
     let host_id = sim.host_cube_id(0);
     topology::build_simple(&mut sim, host_id).expect("simple topology");
     if let Some(sink) = sink {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! conform-fuzz [--streams N] [--len N] [--seed HEX] [--full-sweep]
-//!              [--fast-forward] [--repro-dir DIR] [--demo-corruption]
+//!              [--fast-forward] [--timing classic|ddr|both]
+//!              [--repro-dir DIR] [--demo-corruption]
 //! ```
 //!
 //! Runs `N` seeded command streams differentially through the serial
@@ -10,7 +11,11 @@
 //! mode — and the functional oracle, rotating over the four paper
 //! presets and four address maps. `--fast-forward` forces a seeded
 //! idle gap (the fast-forward engine's jump fodder) onto every stream
-//! instead of the default two-of-three rotation. Exits non-zero
+//! instead of the default two-of-three rotation. `--timing` selects
+//! the vault timing backend the streams run under — `both` runs the
+//! whole campaign once per backend, so every stream is checked under
+//! the classic constant-time model *and* the cycle-accurate DDR state
+//! machine. Exits non-zero
 //! on the first divergence, after shrinking it and writing a repro
 //! trace. `--demo-corruption` instead *injects* a datapath fault into
 //! one stream and exits zero only if the harness catches and shrinks
@@ -22,11 +27,13 @@ use std::process::ExitCode;
 use hmc_conform::{campaign, shrink_case, write_repro, CampaignConfig};
 use hmc_conform::fuzz::campaign_with_corruption;
 use hmc_conform::CorruptSpec;
+use hmc_types::TimingKind;
 
 fn usage() -> ! {
     eprintln!(
         "usage: conform-fuzz [--streams N] [--len N] [--seed HEX] [--full-sweep]\n\
-         \x20                  [--fast-forward] [--repro-dir DIR] [--demo-corruption]"
+         \x20                  [--fast-forward] [--timing classic|ddr|both]\n\
+         \x20                  [--repro-dir DIR] [--demo-corruption]"
     );
     std::process::exit(2)
 }
@@ -35,6 +42,7 @@ fn main() -> ExitCode {
     let mut cfg = CampaignConfig::default();
     let mut repro_dir = PathBuf::from(".");
     let mut demo_corruption = false;
+    let mut timings: Vec<TimingKind> = vec![TimingKind::Classic];
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +60,19 @@ fn main() -> ExitCode {
             }
             "--full-sweep" => cfg.full_sweep = true,
             "--fast-forward" => cfg.fast_forward = true,
+            "--timing" => {
+                let v = value("--timing");
+                timings = match v.as_str() {
+                    "both" => TimingKind::ALL.to_vec(),
+                    other => match TimingKind::by_name(other) {
+                        Some(k) => vec![k],
+                        None => {
+                            eprintln!("--timing needs `classic`, `ddr`, or `both`");
+                            usage()
+                        }
+                    },
+                };
+            }
             "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")),
             "--demo-corruption" => demo_corruption = true,
             "--help" | "-h" => usage(),
@@ -66,46 +87,59 @@ fn main() -> ExitCode {
         return run_corruption_demo(&cfg, &repro_dir);
     }
 
-    println!(
-        "conform-fuzz: {} streams x {} ops, base seed {:#x}, {} thread sweep",
-        cfg.streams,
-        cfg.stream_len,
-        cfg.base_seed,
-        if cfg.full_sweep { "full" } else { "rotating" },
-    );
-    let report = campaign(&cfg);
-    match report.failure {
-        None => {
-            println!(
-                "PASS: {} streams clean, {} responses oracle-checked",
-                report.streams_run, report.responses_checked
-            );
-            ExitCode::SUCCESS
-        }
-        Some((case, failure)) => {
-            eprintln!(
-                "FAIL on stream {} ({}, {} map, seed {:#x}): {failure}",
-                report.streams_run - 1,
-                case.label,
-                case.map.name(),
-                case.seed
-            );
-            eprintln!("shrinking…");
-            let shrunk = shrink_case(&case);
-            let path = repro_dir.join("conform-repro.csv");
-            match write_repro(&shrunk.minimal, &shrunk.failure, &path) {
-                Ok(()) => eprintln!(
-                    "minimal repro: {} of {} ops ({} runs) -> {}",
-                    shrunk.minimal.ops.len(),
-                    shrunk.original_len,
-                    shrunk.runs,
-                    path.display()
-                ),
-                Err(e) => eprintln!("could not write repro file: {e}"),
+    let mut streams_clean = 0usize;
+    let mut responses_checked = 0u64;
+    for kind in &timings {
+        let cfg = CampaignConfig {
+            timing: *kind,
+            ..cfg.clone()
+        };
+        println!(
+            "conform-fuzz: {} streams x {} ops, base seed {:#x}, {} thread sweep, {} timing",
+            cfg.streams,
+            cfg.stream_len,
+            cfg.base_seed,
+            if cfg.full_sweep { "full" } else { "rotating" },
+            kind.name(),
+        );
+        let report = campaign(&cfg);
+        match report.failure {
+            None => {
+                streams_clean += report.streams_run;
+                responses_checked += report.responses_checked;
             }
-            ExitCode::FAILURE
+            Some((case, failure)) => {
+                eprintln!(
+                    "FAIL on stream {} ({}, {} map, seed {:#x}, {} timing): {failure}",
+                    report.streams_run - 1,
+                    case.label,
+                    case.map.name(),
+                    case.seed,
+                    case.timing.name(),
+                );
+                eprintln!("shrinking…");
+                let shrunk = shrink_case(&case);
+                let path = repro_dir.join("conform-repro.csv");
+                match write_repro(&shrunk.minimal, &shrunk.failure, &path) {
+                    Ok(()) => eprintln!(
+                        "minimal repro: {} of {} ops ({} runs) -> {}",
+                        shrunk.minimal.ops.len(),
+                        shrunk.original_len,
+                        shrunk.runs,
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("could not write repro file: {e}"),
+                }
+                return ExitCode::FAILURE;
+            }
         }
     }
+    println!(
+        "PASS: {streams_clean} streams clean across {} backend(s), \
+         {responses_checked} responses oracle-checked",
+        timings.len()
+    );
+    ExitCode::SUCCESS
 }
 
 /// Self-test mode: inject a known datapath corruption and demand the

@@ -8,7 +8,7 @@
 
 use hmc_types::{
     AddressMap, BankFirstMap, BlockSize, CustomMap, DeviceConfig, Field, LinearMap,
-    LowInterleaveMap, MapGeometry,
+    LowInterleaveMap, MapGeometry, TimingKind,
 };
 use hmc_workloads::{MemOp, OpKind};
 
@@ -165,6 +165,10 @@ pub struct CampaignConfig {
     /// onto every stream, instead of the default rotation (the axis on
     /// every stream, gaps on two of every three).
     pub fast_forward: bool,
+    /// Vault timing backend every stream runs under. Classic by
+    /// default, so pinned-seed campaigns from before the backend axis
+    /// existed keep their exact behaviour.
+    pub timing: TimingKind,
 }
 
 impl Default for CampaignConfig {
@@ -175,6 +179,7 @@ impl Default for CampaignConfig {
             base_seed: 0xC0FF_EE00,
             full_sweep: false,
             fast_forward: false,
+            timing: TimingKind::Classic,
         }
     }
 }
@@ -206,7 +211,7 @@ pub fn case_for_stream(cfg: &CampaignConfig, i: usize) -> FuzzCase {
     let map = MapKind::ALL[(i / presets.len()) % MapKind::ALL.len()];
     let seed = cfg.base_seed ^ Lcg::new(i as u64).next_u64();
     let ops = gen_stream(seed, cfg.stream_len, device);
-    let mut case = FuzzCase::new(label, device.clone(), map, seed, ops);
+    let mut case = FuzzCase::new(label, device.clone(), map, seed, ops).with_timing(cfg.timing);
     if !cfg.full_sweep {
         // Rotate the parallel engine's thread count; serial always runs.
         case.threads = vec![1, THREAD_SWEEP[1 + i % (THREAD_SWEEP.len() - 1)]];

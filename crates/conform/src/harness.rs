@@ -12,9 +12,9 @@
 //! violations, full quiesce with link tokens back at their initial
 //! allotment) and all runs produce bit-identical observation streams.
 
-use hmc_core::{decode_response, topology, HmcSim};
+use hmc_core::{decode_response, topology, HmcSim, TimingParams};
 use hmc_host::{Pending, TagPool};
-use hmc_types::{Cycle, DeviceConfig, HmcError, LinkId, Packet};
+use hmc_types::{Cycle, DeviceConfig, HmcError, LinkId, Packet, TimingKind};
 use hmc_workloads::{MemOp, OpKind};
 
 use crate::fuzz::{Lcg, MapKind};
@@ -76,6 +76,11 @@ pub struct FuzzCase {
     pub gap_every: u64,
     /// Length of each injected idle gap in cycles.
     pub gap_cycles: u64,
+    /// Vault timing backend every engine run uses. One case runs one
+    /// backend — cycle counts are only comparable within a backend —
+    /// so the cross-backend axis is a second `run_case` with the other
+    /// kind (see [`run_case_cross_timing`]).
+    pub timing: TimingKind,
 }
 
 impl FuzzCase {
@@ -93,7 +98,14 @@ impl FuzzCase {
             fast_forward: true,
             gap_every: 0,
             gap_cycles: 0,
+            timing: TimingKind::Classic,
         }
+    }
+
+    /// The same case under another timing backend (builder style).
+    pub fn with_timing(mut self, timing: TimingKind) -> Self {
+        self.timing = timing;
+        self
     }
 }
 
@@ -164,15 +176,21 @@ pub fn mode_name(fast_forward: bool) -> &'static str {
 /// checks the oracle on every response, the invariant checker every
 /// cycle, and full quiesce at the end.
 pub fn run_engine(case: &FuzzCase, threads: usize, fast_forward: bool) -> Result<EngineRun, Failure> {
+    let timing = case.timing;
     let fail = |description: String| Failure {
         threads,
-        description: format!("[{} mode] {description}", mode_name(fast_forward)),
+        description: format!(
+            "[{} mode, {} timing] {description}",
+            mode_name(fast_forward),
+            timing.name()
+        ),
     };
 
     let mut sim = HmcSim::new(1, case.config.clone())
         .map_err(|e| fail(format!("sim construction: {e}")))?
         .with_threads(threads)
-        .with_fast_forward(fast_forward);
+        .with_fast_forward(fast_forward)
+        .with_timing(TimingParams::of(case.timing));
     sim.set_address_map(case.map.make(case.config.geometry()))
         .map_err(|e| fail(format!("address map: {e}")))?;
     let host_id = sim.host_cube_id(0);
@@ -362,8 +380,9 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseOutcome, Failure> {
                 return Err(Failure {
                     threads: 0,
                     description: format!(
-                        "{t}-thread {mode} run diverges from serial stepped \
+                        "{t}-thread {mode} run ({} timing) diverges from serial stepped \
                          ({} vs {} completions, {} vs {} cycles): {at}",
+                        case.timing.name(),
                         run.observations.len(),
                         reference.observations.len(),
                         run.cycles,
@@ -374,6 +393,69 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseOutcome, Failure> {
         }
     }
     Ok(CaseOutcome { reference, checked })
+}
+
+/// Functional (cycle-free) projection of a run for cross-backend
+/// comparison: completions sorted by op index, carrying `(op, link,
+/// data word)`. Two timing backends schedule the same case differently
+/// — completions can interleave differently across links — but every
+/// op must complete exactly once, on its owner link, with identical
+/// data.
+pub fn functional_observations(run: &EngineRun) -> Vec<(u32, LinkId, u64)> {
+    let mut v: Vec<(u32, LinkId, u64)> = run
+        .observations
+        .iter()
+        .map(|&(op, _, link, word)| (op, link, word))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// The outcome of one case run under both timing backends.
+#[derive(Debug, Clone)]
+pub struct CrossTimingOutcome {
+    /// The classic backend's full-sweep run.
+    pub classic: CaseOutcome,
+    /// The DDR backend's full-sweep run.
+    pub ddr: CaseOutcome,
+    /// `ddr cycles − classic cycles` for the serial stepped reference —
+    /// reported, never asserted: the backends are *supposed* to differ
+    /// here.
+    pub latency_delta: i64,
+}
+
+/// Run one case under both timing backends — each through the full
+/// thread × engine-mode sweep of [`run_case`] — and demand the
+/// functional observation streams (op, link, data) agree bit-for-bit.
+/// Cycle counts are excluded from the comparison and surfaced as
+/// [`CrossTimingOutcome::latency_delta`] instead.
+pub fn run_case_cross_timing(case: &FuzzCase) -> Result<CrossTimingOutcome, Failure> {
+    let classic = run_case(&case.clone().with_timing(TimingKind::Classic))?;
+    let ddr = run_case(&case.clone().with_timing(TimingKind::Ddr))?;
+    let a = functional_observations(&classic.reference);
+    let b = functional_observations(&ddr.reference);
+    if a != b {
+        let at = a
+            .iter()
+            .zip(&b)
+            .position(|(x, y)| x != y)
+            .map_or_else(
+                || format!("{} vs {} completions", a.len(), b.len()),
+                |i| format!("first divergence at op-sorted #{i}: classic {:?}, ddr {:?}", a[i], b[i]),
+            );
+        return Err(Failure {
+            threads: 0,
+            description: format!(
+                "cross-backend functional divergence (classic vs ddr): {at}"
+            ),
+        });
+    }
+    let latency_delta = ddr.reference.cycles as i64 - classic.reference.cycles as i64;
+    Ok(CrossTimingOutcome {
+        classic,
+        ddr,
+        latency_delta,
+    })
 }
 
 #[cfg(test)]

@@ -92,6 +92,7 @@ pub fn write_repro(case: &FuzzCase, failure: &Failure, path: &Path) -> std::io::
     writeln!(out, "# preset: {}", case.label)?;
     writeln!(out, "# map: {}", case.map.name())?;
     writeln!(out, "# seed: {:#x}", case.seed)?;
+    writeln!(out, "# timing: {}", case.timing.name())?;
     writeln!(out, "# fast-forward axis: {}", case.fast_forward)?;
     if case.gap_every > 0 {
         writeln!(

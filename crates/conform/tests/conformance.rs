@@ -5,11 +5,12 @@
 
 use std::io::BufReader;
 
-use hmc_conform::fuzz::{campaign_with_corruption, case_for_stream};
+use hmc_conform::fuzz::{campaign_with_corruption, case_for_stream, gen_stream};
 use hmc_conform::{
-    campaign, run_case, shrink_case, write_repro, CampaignConfig, CorruptSpec, FuzzCase, MapKind,
+    campaign, run_case, run_case_cross_timing, shrink_case, write_repro, CampaignConfig,
+    CorruptSpec, FuzzCase, MapKind,
 };
-use hmc_types::DeviceConfig;
+use hmc_types::{DeviceConfig, TimingKind};
 use hmc_workloads::{OpKind, Replay, Workload};
 
 /// Enough streams to hit every (preset, map) pair once: 4 presets
@@ -21,6 +22,7 @@ fn mini_campaign() -> CampaignConfig {
         base_seed: 0xD1FF_5EED,
         full_sweep: false,
         fast_forward: false,
+        timing: TimingKind::Classic,
     }
 }
 
@@ -47,6 +49,7 @@ fn full_thread_sweep_passes_on_one_stream_per_preset() {
         base_seed: 0xFADE,
         full_sweep: true,
         fast_forward: false,
+        timing: TimingKind::Classic,
     };
     let report = campaign(&cfg);
     assert!(report.is_clean(), "{:?}", report.failure.map(|(_, f)| f.to_string()));
@@ -138,8 +141,79 @@ fn forced_fast_forward_campaign_is_clean() {
         base_seed: 0x0FF0_FF00,
         full_sweep: false,
         fast_forward: true,
+        timing: TimingKind::Classic,
     };
     let report = campaign(&cfg);
     assert!(report.is_clean(), "{:?}", report.failure.map(|(_, f)| f.to_string()));
     assert_eq!(report.streams_run, 8);
+}
+
+#[test]
+fn ddr_campaign_with_pinned_seed_is_clean() {
+    // The DDR backend through the full harness: oracle agreement,
+    // invariant checks, thread sweep, fast-forward axis, quiesce — all
+    // under the cycle-accurate state machine, at a pinned seed so this
+    // is the same guard every CI run executes.
+    let cfg = CampaignConfig {
+        streams: 16,
+        stream_len: 32,
+        base_seed: 0xC0FF_EE02,
+        full_sweep: false,
+        fast_forward: false,
+        timing: TimingKind::Ddr,
+    };
+    let report = campaign(&cfg);
+    if let Some((case, failure)) = &report.failure {
+        panic!(
+            "ddr stream on {} / {} (seed {:#x}) diverged: {failure}",
+            case.label,
+            case.map.name(),
+            case.seed
+        );
+    }
+    assert_eq!(report.streams_run, 16);
+}
+
+#[test]
+fn ddr_full_thread_sweep_passes_stepped_and_fast_forward() {
+    // The acceptance sweep: DdrTiming at 1/2/4/8 threads, each crossed
+    // with the stepped and fast-forward engine modes, bit-identical.
+    let cfg = CampaignConfig {
+        streams: 4,
+        stream_len: 32,
+        base_seed: 0xFADE,
+        full_sweep: true,
+        fast_forward: true,
+        timing: TimingKind::Ddr,
+    };
+    let report = campaign(&cfg);
+    assert!(report.is_clean(), "{:?}", report.failure.map(|(_, f)| f.to_string()));
+}
+
+#[test]
+fn backends_agree_functionally_on_every_preset_and_map() {
+    // The backend-differential axis of the conformance suite: the same
+    // seeded stream on every preset × address map, run to completion
+    // under the classic constant-time model and the DDR state machine.
+    // Responses (op, owner link, data) must match bit-for-bit; cycle
+    // counts are expected to differ and are only reported.
+    let mut deltas = Vec::new();
+    for (pi, (label, device)) in DeviceConfig::paper_configs().iter().enumerate() {
+        for (mi, map) in MapKind::ALL.into_iter().enumerate() {
+            let seed = 0x5EED_0000 + (pi * 4 + mi) as u64;
+            let ops = gen_stream(seed, 24, device);
+            let mut case = FuzzCase::new(label, device.clone(), map, seed, ops);
+            case.threads = vec![1, 4];
+            let out = run_case_cross_timing(&case)
+                .unwrap_or_else(|f| panic!("{label} / {}: {f}", map.name()));
+            assert!(out.classic.checked > 0);
+            assert_eq!(out.classic.checked, out.ddr.checked);
+            deltas.push((label.to_string(), map.name(), out.latency_delta));
+        }
+    }
+    assert_eq!(deltas.len(), 16, "all preset x map pairs ran");
+    // Reported, not asserted: how much slower (or faster) DDR ran.
+    for (preset, map, delta) in &deltas {
+        eprintln!("latency delta ({preset}, {map}): ddr - classic = {delta} cycles");
+    }
 }

@@ -20,6 +20,7 @@
 use hmc_types::units::GIB;
 use hmc_types::{
     BlockSize, Command, CubeId, DeviceConfig, HmcError, LinkId, Packet, Result, StorageMode,
+    TimingKind,
 };
 
 use crate::builder;
@@ -65,6 +66,7 @@ pub fn hmcsim_init(
         lanes_per_link: if num_links == 8 { 8 } else { 16 },
         block_size: BlockSize::B128,
         storage_mode: StorageMode::Functional,
+        timing: TimingKind::Classic,
     };
     HmcSim::new(num_devs, config)
 }
@@ -133,6 +135,14 @@ pub fn hmcsim_decode_memresponse(packet: &Packet) -> Result<builder::ResponseInf
 /// [`crate::params::SimParams::fast_forward`]).
 pub fn hmcsim_set_fast_forward(sim: &mut HmcSim, enable: bool) {
     sim.set_fast_forward(enable);
+}
+
+/// Select the vault timing backend by kind, keeping default DDR
+/// parameters. An extension beyond the C API: the C library hard-wires
+/// the constant-time conflict model; here it is one of the pluggable
+/// [`crate::timing::VaultTiming`] backends.
+pub fn hmcsim_set_timing(sim: &mut HmcSim, kind: TimingKind) {
+    sim.set_timing(crate::timing::TimingParams::of(kind));
 }
 
 /// Side-band JTAG register read (§V.D).
@@ -226,6 +236,26 @@ mod tests {
         assert_eq!(hmcsim_decode_memresponse(&response).unwrap().tag, 3);
         hmcsim_set_fast_forward(&mut hmc, false);
         assert!(!hmc.fast_forward());
+    }
+
+    #[test]
+    fn timing_backend_toggle_reaches_the_params() {
+        let mut hmc = hmcsim_init(1, 4, 16, 4, 8, 16, 2, 8).unwrap();
+        assert_eq!(hmc.timing().kind, TimingKind::Classic, "classic by default");
+        hmcsim_set_timing(&mut hmc, TimingKind::Ddr);
+        assert_eq!(hmc.timing().kind, TimingKind::Ddr);
+        // The Figure 4 sequence still completes under the DDR backend.
+        let host = hmc.host_cube_id(0);
+        for i in 0..4 {
+            hmcsim_link_config(&mut hmc, host, 0, i, i, LinkType::HostDev).unwrap();
+        }
+        let packet =
+            hmcsim_build_memrequest(0, 0x4000, 3, Command::Rd(BlockSize::B32), 1, &[]).unwrap();
+        hmcsim_send(&mut hmc, 0, 1, packet).unwrap();
+        hmc.clock_batch(64).unwrap();
+        let response = hmcsim_recv(&mut hmc, 0, 1).expect("response well within the batch");
+        assert_eq!(hmcsim_decode_memresponse(&response).unwrap().tag, 3);
+        assert_eq!(hmc.stats().row_misses, 1, "first touch activates the row");
     }
 
     #[test]

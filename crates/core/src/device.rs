@@ -93,7 +93,7 @@ impl Device {
             + self
                 .vaults
                 .iter()
-                .map(|v| v.rqst.len() + v.rsp.len())
+                .map(|v| v.rqst.len() + v.rsp.len() + v.pending.len())
                 .sum::<usize>()
     }
 

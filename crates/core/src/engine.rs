@@ -46,6 +46,7 @@ use crate::params::{ConflictPolicy, RefreshParams};
 use crate::queue::{QueueEntry, UNDECODED};
 use crate::routing::RouteTable;
 use crate::sim::{HmcSim, MAX_CUBES};
+use crate::timing::RowOutcome;
 use crate::vault::{Execution, Vault};
 
 /// Links per device are bounded by the specification's four- and
@@ -57,6 +58,9 @@ pub(crate) const MAX_LINKS: usize = 8;
 pub(crate) struct CycleInputs {
     clock: Cycle,
     conflicts_enabled: bool,
+    /// Row-buffer trace events (RowHit/RowMiss/Precharge) are enabled on
+    /// the sink; the `SimStats` row counters bump regardless.
+    row_events: bool,
     window: usize,
     banks: u16,
     policy: ConflictPolicy,
@@ -69,6 +73,7 @@ impl Default for CycleInputs {
         CycleInputs {
             clock: 0,
             conflicts_enabled: false,
+            row_events: false,
             window: 1,
             banks: 0,
             policy: ConflictPolicy::SkipConflicting,
@@ -93,6 +98,9 @@ pub(crate) struct EngineScratch {
     pub(crate) plan_index: Vec<(u32, u32)>,
     /// Per-device error-register bumps staged during the vault phase.
     pub(crate) err_bumps: [u64; MAX_CUBES],
+    /// Row-buffer outcome counts staged during the vault phase:
+    /// `[hits, misses, precharges]` (all zero under the classic backend).
+    pub(crate) row_counts: [u64; 3],
     /// Per-device vault shells: empty `Vec`s that swap with
     /// `Device::vaults` so vault ownership can move to workers and back
     /// without reallocating.
@@ -108,6 +116,7 @@ impl EngineScratch {
         self.plans.clear();
         self.plan_counts.clear();
         self.err_bumps = [0; MAX_CUBES];
+        self.row_counts = [0; 3];
     }
 }
 
@@ -132,6 +141,7 @@ struct ShardJob {
     plans: Vec<Option<LinkId>>,
     plan_counts: Vec<u32>,
     err_bumps: [u64; MAX_CUBES],
+    row_counts: [u64; 3],
     inputs: CycleInputs,
     map: Arc<dyn AddressMap>,
     routes: RouteTable,
@@ -145,6 +155,7 @@ fn run_shard(job: &mut ShardJob) {
     job.plans.clear();
     job.plan_counts.clear();
     job.err_bumps = [0; MAX_CUBES];
+    job.row_counts = [0; 3];
     let inputs = job.inputs;
     for piece in &mut job.pieces {
         let dev_id = piece.dev as CubeId;
@@ -159,6 +170,7 @@ fn run_shard(job: &mut ShardJob) {
                 &mut job.conflicts,
                 &mut job.completions,
                 &mut job.err_bumps,
+                &mut job.row_counts,
             );
             plan_vault_drain(
                 vault,
@@ -177,6 +189,15 @@ fn run_shard(job: &mut ShardJob) {
 /// spatial window (trace only, §IV.C.3), then the windowed request walk
 /// (§IV.C.4). Identical code serves the serial and parallel engines;
 /// trace events and error-register bumps are staged, not emitted.
+///
+/// Timing decisions inside the walk are delegated to the vault's
+/// [`crate::timing::VaultTiming`] backend: a bank that already issued
+/// this cycle (classic) or is paying DDR command spacing answers
+/// `blocked_until(..) != None` and its packet stalls exactly like the
+/// original `used`-bitmask check; an admitted packet's grant carries the
+/// data-ready cycle (`execute` parks late data in `Vault::pending`) and
+/// the row-buffer outcome (staged as RowHit/RowMiss/Precharge events and
+/// counted into `row_counts`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn tick_vault(
     vault: &mut Vault,
@@ -187,7 +208,14 @@ pub(crate) fn tick_vault(
     conflicts: &mut EventStage,
     completions: &mut EventStage,
     err_bumps: &mut [u64; MAX_CUBES],
+    row_counts: &mut [u64; 3],
 ) {
+    // Release pending responses whose data became ready, before the walk
+    // (their freed capacity admits new requests this cycle).
+    if !vault.pending.is_empty() {
+        vault.release_ready(inputs.clock);
+    }
+
     // ---- stage 3: recognize bank conflicts (no state modified) ----
     if inputs.conflicts_enabled {
         let mut seen: u64 = 0;
@@ -213,7 +241,6 @@ pub(crate) fn tick_vault(
     }
 
     // ---- stage 4: windowed request walk ----
-    let mut used: u64 = 0;
     let mut blocked: u64 = 0;
     // A bank under periodic refresh is out of service for the whole
     // cycle (optional extension; None = paper model).
@@ -230,18 +257,31 @@ pub(crate) fn tick_vault(
         }
         // Packets are removed mid-walk, so bounds are rechecked every
         // iteration.
-        let (bank, cmd_res) = {
+        let (bank, row, cmd_res) = {
             if idx >= vault.rqst.len() {
                 break;
             }
             let e = vault.rqst.get(idx).expect("idx checked");
-            (e.dest_bank, e.packet.cmd())
+            (e.dest_bank, e.dest_row, e.packet.cmd())
         };
         scanned += 1;
         let bit = 1u64 << (bank & 0x3f);
-        if (used | blocked) & bit != 0 {
-            // A bank conflict within the window: the packet stalls this
-            // cycle (traced by stage 3).
+        if (blocked & bit != 0)
+            || vault
+                .timing
+                .blocked_until(bank, row, inputs.clock)
+                .is_some()
+        {
+            // The bank is held — refresh or response-stall for the rest
+            // of the cycle, or the timing backend (already issued this
+            // cycle under classic; paying command spacing under DDR).
+            // Window conflicts are traced by stage 3. The bank bit is
+            // latched so no younger packet to the same bank can overtake
+            // a timing-stalled elder this cycle: `blocked_until` is
+            // row-dependent under DDR (a row hit would be admissible
+            // while a row conflict waits out tRAS), and per-(link,
+            // vault, bank) delivery order must hold regardless.
+            blocked |= bit;
             if inputs.policy == ConflictPolicy::StallQueue {
                 break;
             }
@@ -250,7 +290,7 @@ pub(crate) fn tick_vault(
         }
         let cmd = cmd_res.ok();
         let needs_rsp = cmd.map(Vault::needs_response).unwrap_or(true);
-        if needs_rsp && vault.rsp.is_full() {
+        if needs_rsp && vault.rsp_capacity_full() {
             let tag = vault.rqst.get(idx).expect("idx checked").packet.tag();
             completions.stage(TraceEvent::VaultRspStall {
                 cube: dev_id,
@@ -268,7 +308,43 @@ pub(crate) fn tick_vault(
         let entry = vault.rqst.remove(idx).expect("idx checked");
         let tag = entry.packet.tag();
         let bytes = entry.packet.data_bytes() as u32;
-        match vault.execute(entry, map, dev_id, inputs.clock) {
+        let grant = vault.timing.try_issue(bank, row, inputs.clock);
+        match grant.outcome {
+            RowOutcome::None => {}
+            RowOutcome::Hit => row_counts[0] += 1,
+            RowOutcome::Miss => row_counts[1] += 1,
+            RowOutcome::Conflict => row_counts[1] += 1,
+        }
+        if grant.pre_cycle.is_some() {
+            row_counts[2] += 1;
+        }
+        if inputs.row_events && grant.outcome != RowOutcome::None {
+            if grant.pre_cycle.is_some() {
+                completions.stage(TraceEvent::Precharge {
+                    cube: dev_id,
+                    vault: vi as VaultId,
+                    bank,
+                    tag,
+                });
+            }
+            completions.stage(match grant.outcome {
+                RowOutcome::Hit => TraceEvent::RowHit {
+                    cube: dev_id,
+                    vault: vi as VaultId,
+                    bank,
+                    row,
+                    tag,
+                },
+                _ => TraceEvent::RowMiss {
+                    cube: dev_id,
+                    vault: vi as VaultId,
+                    bank,
+                    row,
+                    tag,
+                },
+            });
+        }
+        match vault.execute(entry, map, dev_id, inputs.clock, grant.data_ready) {
             Execution::Done | Execution::Responded => {}
             Execution::RespondedError(status) => {
                 completions.stage(TraceEvent::ErrorResponse {
@@ -279,7 +355,6 @@ pub(crate) fn tick_vault(
                 err_bumps[dev_id as usize] += 1;
             }
         }
-        used |= bit;
         match cmd {
             Some(hmc_types::Command::Rd(bs)) => completions.stage(TraceEvent::ReadComplete {
                 cube: dev_id,
@@ -343,6 +418,7 @@ impl HmcSim {
         CycleInputs {
             clock: self.clock,
             conflicts_enabled: self.tracer.enabled(EventKind::BankConflict),
+            row_events: self.tracer.enabled(EventKind::RowHit),
             window: self.params.window_for(self.config.banks_per_vault),
             banks: self.config.banks_per_vault,
             policy: self.params.conflict_policy,
@@ -361,6 +437,7 @@ impl HmcSim {
     /// jump across.
     pub fn clock_batch(&mut self, cycles: u64) -> Result<()> {
         self.ensure_routes()?;
+        self.ensure_timing();
         let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
         let shards = self.params.resolved_threads().min(total_vaults).max(1);
         if shards <= 1 {
@@ -404,18 +481,23 @@ impl HmcSim {
     ///   host-deliverable position (waiting on a host `recv`, which only
     ///   the host can trigger);
     /// * each vault response queue is empty (any entry would be planned
-    ///   and committed by stage 5);
-    /// * each non-empty vault request queue has its entire scan window
-    ///   parked behind the bank this vault currently holds under refresh
+    ///   and committed by stage 5) and no pending response's data-ready
+    ///   edge has arrived;
+    /// * every entry in each non-empty vault request queue's scan window
+    ///   is provably held — by the bank this vault currently holds under
+    ///   refresh, or by the vault's timing backend
+    ///   ([`crate::timing::VaultTiming::blocked_until`]: always live for
+    ///   the classic backend, exact tRP/tRAS/tCCD/refresh edges for DDR)
     ///   — and, when bank-conflict tracing is enabled, the window holds
     ///   at most one entry, because stage 3 re-emits `BankConflict` every
     ///   cycle for same-bank window pairs.
     ///
     /// The returned horizon is the minimum over all gates' wake-up edges
     /// (debt paydown completion, retry-timer expiry, the next
-    /// [`RefreshParams::window_edge_after`]), clamped to `max` and to the
-    /// remaining `u64` clock range. Everything the walks *would* do in
-    /// dead cycles (FLIT-debt decay) is replayed exactly by
+    /// [`RefreshParams::window_edge_after`], timing-backend retry edges,
+    /// pending data-ready cycles), clamped to `max` and to the remaining
+    /// `u64` clock range. Everything the walks *would* do in dead cycles
+    /// (FLIT-debt decay) is replayed exactly by
     /// [`HmcSim::fast_forward_jump`].
     pub(crate) fn quiescent_horizon(&self, max: u64) -> u64 {
         let max = max.min(u64::MAX - self.clock);
@@ -468,27 +550,65 @@ impl HmcSim {
                     if !vault.rsp.is_empty() {
                         return 0;
                     }
+                    // Pending responses wake the vault exactly when the
+                    // earliest data-ready edge arrives (DDR backend; the
+                    // classic backend keeps `pending` empty).
+                    if let Some(ready) = vault.pending_min_ready() {
+                        if ready <= self.clock {
+                            return 0;
+                        }
+                        horizon = horizon.min(ready - self.clock);
+                    }
                     if vault.rqst.is_empty() {
                         continue;
                     }
-                    let Some(r) = self.params.refresh else {
-                        return 0;
-                    };
-                    let Some(bank) = r.bank_under_refresh(self.clock, vi as u16, banks) else {
-                        return 0;
-                    };
                     if conflicts_enabled && window.min(vault.rqst.len()) > 1 {
                         // Stage 3 would re-emit BankConflict each cycle.
                         return 0;
                     }
-                    if !vault.rqst_window_parked_on(bank, window) {
-                        return 0;
+                    // Every entry the stage-4 walk would scan must be
+                    // provably held, either by this vault's refreshed
+                    // bank (until the refresh window edge) or by the
+                    // timing backend (until its exact retry edge). The
+                    // classic backend never blocks between cycles, which
+                    // reduces this to the original requirement: the whole
+                    // window parked on the bank under refresh.
+                    let refreshed_bank = self
+                        .params
+                        .refresh
+                        .and_then(|r| r.bank_under_refresh(self.clock, vi as u16, banks));
+                    for i in 0..window.min(vault.rqst.len()) {
+                        let e = vault.rqst.get(i).expect("i bounded");
+                        if !e.is_decoded() {
+                            // Defensive: never fast-forward past an
+                            // undecoded entry.
+                            return 0;
+                        }
+                        let refreshed = refreshed_bank == Some(e.dest_bank);
+                        let timing_edge =
+                            vault
+                                .timing
+                                .blocked_until(e.dest_bank, e.dest_row, self.clock);
+                        if !refreshed && timing_edge.is_none() {
+                            // Issuable now (or a per-cycle VaultRspStall
+                            // event would fire): the cycle is live.
+                            return 0;
+                        }
+                        let mut edge = timing_edge.unwrap_or(0);
+                        if refreshed {
+                            edge = edge.max(
+                                self.params
+                                    .refresh
+                                    .expect("refreshed_bank implies refresh")
+                                    .window_edge_after(self.clock),
+                            );
+                        }
+                        let dead = edge.saturating_sub(self.clock);
+                        if dead == 0 {
+                            return 0;
+                        }
+                        horizon = horizon.min(dead);
                     }
-                    let dead = r.window_edge_after(self.clock).saturating_sub(self.clock);
-                    if dead == 0 {
-                        return 0;
-                    }
-                    horizon = horizon.min(dead);
                 }
             }
         }
@@ -561,6 +681,7 @@ impl HmcSim {
                         &mut scratch.conflicts,
                         &mut scratch.completions,
                         &mut scratch.err_bumps,
+                        &mut scratch.row_counts,
                     );
                     plan_vault_drain(
                         vault,
@@ -583,6 +704,9 @@ impl HmcSim {
                 self.bump_error_register_by(di, scratch.err_bumps[di]);
             }
         }
+        self.stats.row_hits += scratch.row_counts[0];
+        self.stats.row_misses += scratch.row_counts[1];
+        self.stats.precharges += scratch.row_counts[2];
 
         // ---- stage 5: roots first, then children (§IV.C.5) ----
         let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
@@ -674,6 +798,7 @@ impl HmcSim {
                 plans: Vec::new(),
                 plan_counts: Vec::new(),
                 err_bumps: [0; MAX_CUBES],
+                row_counts: [0; 3],
                 inputs: CycleInputs::default(),
                 map: self.map.clone(),
                 routes: routes.clone(),
@@ -777,6 +902,9 @@ impl HmcSim {
                             self.bump_error_register_by(di, n);
                         }
                     }
+                    self.stats.row_hits += job.row_counts[0];
+                    self.stats.row_misses += job.row_counts[1];
+                    self.stats.precharges += job.row_counts[2];
                 }
 
                 // Stage 5: commit the workers' egress plans serially in
@@ -823,7 +951,8 @@ mod tests {
     use crate::params::{RefreshParams, SimParams};
     use crate::queue::QueueEntry;
     use crate::sim::HmcSim;
-    use hmc_types::{BlockSize, Command, DeviceConfig, LinkId, Packet};
+    use crate::timing::TimingParams;
+    use hmc_types::{BlockSize, Command, DdrTimings, DeviceConfig, LinkId, Packet, TimingKind};
 
     fn sim_with(params: SimParams) -> HmcSim {
         let mut s = HmcSim::new(1, DeviceConfig::small())
@@ -1029,6 +1158,121 @@ mod tests {
         let a = bursty_run(&mut serial, 5, 16, 300);
         let b = bursty_run(&mut sharded_ff, 5, 16, 300);
         assert_eq!(a, b, "fast-forward composes with the sharded engine");
+    }
+
+    #[test]
+    fn ddr_timing_edges_gate_the_horizon_exactly() {
+        let t = DdrTimings::default();
+        let mut s = sim_with(SimParams {
+            timing: TimingParams::of(TimingKind::Ddr),
+            ..ff_params()
+        });
+        s.ensure_timing();
+        let vault = 2usize;
+        // Open row 0 on bank 1 at cycle 0: a miss, ACT at 0, and the
+        // bank accepts its next column access at tRCD + tCCD.
+        let _ = s.devices[0].vaults[vault].timing.try_issue(1, 0, 0);
+
+        // A same-row request is held by exactly the bank-ready edge.
+        let mut e = QueueEntry::new(read_packet(0, 7, 0), 1, 0, 0);
+        e.dest_vault = vault as u16;
+        e.dest_bank = 1;
+        e.dest_row = 0;
+        s.devices[0].vaults[vault].rqst.push(e).unwrap();
+        let ready = t.t_rcd + t.t_ccd;
+        assert_eq!(s.quiescent_horizon(1_000), ready);
+
+        // A row conflict additionally waits out tRAS from the ACT: the
+        // first jump lands on the ready edge, the second exactly on the
+        // tRAS expiry, where the cycle goes live (PRE can fire).
+        s.devices[0].vaults[vault].rqst.get_mut(0).unwrap().dest_row = 3;
+        assert_eq!(s.quiescent_horizon(1_000), ready);
+        s.fast_forward_jump(ready);
+        assert_eq!(s.quiescent_horizon(1_000), t.t_ras - ready);
+        s.fast_forward_jump(t.t_ras - ready);
+        assert_eq!(s.current_clock(), t.t_ras);
+        assert_eq!(
+            s.quiescent_horizon(1_000),
+            0,
+            "the conflict issues at the tRAS edge"
+        );
+    }
+
+    #[test]
+    fn ddr_refresh_boundary_is_a_fast_forward_edge() {
+        let refresh = RefreshParams {
+            interval: 100,
+            duration: 10,
+        };
+        let mut s = sim_with(SimParams {
+            timing: TimingParams::of(TimingKind::Ddr),
+            refresh: Some(refresh),
+            ..ff_params()
+        });
+        s.ensure_timing();
+        let vault = 3u16;
+        let banks = s.config.banks_per_vault;
+        let bank = refresh
+            .bank_under_refresh(0, vault, banks)
+            .expect("cycle 0 is inside the first window");
+        let mut e = QueueEntry::new(read_packet(0, 9, 0), 1, 0, 0);
+        e.dest_vault = vault;
+        e.dest_bank = bank;
+        e.dest_row = 0;
+        s.devices[0].vaults[vault as usize].rqst.push(e).unwrap();
+        // The stage-4 refresh bit and the DDR shadow state agree: the
+        // bank is parked until the window edge, and the horizon lands
+        // exactly there.
+        assert_eq!(s.quiescent_horizon(1_000), 10);
+        s.fast_forward_jump(10);
+        assert_eq!(s.quiescent_horizon(1_000), 0, "live at the window edge");
+    }
+
+    #[test]
+    fn ddr_fast_forward_matches_stepped_on_bursty_traffic() {
+        let params = SimParams {
+            timing: TimingParams::of(TimingKind::Ddr),
+            refresh: Some(RefreshParams {
+                interval: 64,
+                duration: 6,
+            }),
+            link_flits_per_cycle: Some(4),
+            ..SimParams::default()
+        };
+        let mut stepped = sim_with(params);
+        let mut fast = sim_with(SimParams {
+            fast_forward: true,
+            ..params
+        });
+        let a = bursty_run(&mut stepped, 6, 12, 400);
+        let b = bursty_run(&mut fast, 6, 12, 400);
+        assert_eq!(a, b, "DDR fast-forward must be bit-identical to stepped");
+        let s = stepped.stats();
+        assert!(
+            s.row_hits + s.row_misses > 0,
+            "the schedule must actually exercise the row-buffer model"
+        );
+    }
+
+    #[test]
+    fn ddr_sharded_fast_forward_matches_serial_stepped() {
+        let params = SimParams {
+            timing: TimingParams::of(TimingKind::Ddr),
+            refresh: Some(RefreshParams {
+                interval: 64,
+                duration: 6,
+            }),
+            ..SimParams::default()
+        };
+        let mut serial = sim_with(params);
+        let mut sharded_ff = sim_with(SimParams {
+            fast_forward: true,
+            threads: 4,
+            ..params
+        });
+        let a = bursty_run(&mut serial, 5, 16, 300);
+        let b = bursty_run(&mut sharded_ff, 5, 16, 300);
+        assert_eq!(a, b, "DDR fast-forward composes with the sharded engine");
     }
 
     #[test]

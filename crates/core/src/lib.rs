@@ -46,6 +46,7 @@ pub mod report;
 pub mod routing;
 pub mod sim;
 pub mod stages;
+pub mod timing;
 pub mod topology;
 pub mod vault;
 pub mod xbar;
@@ -64,5 +65,8 @@ pub use register::{regs, RegClass, RegisterFile};
 pub use report::{DeviceUtilizationReport, VaultUtilizationReport};
 pub use routing::RouteTable;
 pub use sim::{HmcSim, SimStats, MAX_CUBES};
+pub use timing::{
+    make_timing, ClassicTiming, DdrTiming, IssueGrant, RowOutcome, TimingParams, VaultTiming,
+};
 pub use vault::{Vault, VaultStats};
 pub use xbar::Crossbar;

@@ -8,6 +8,8 @@
 //! behaviour used for the paper-shape experiments, and the ablation
 //! benches sweep them.
 
+use crate::timing::TimingParams;
+
 /// How a vault reacts to a bank conflict inside its per-cycle window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConflictPolicy {
@@ -123,6 +125,10 @@ pub struct SimParams {
     /// stepped engine (state, stats, trace events) by construction;
     /// `false` (the default) preserves the fully stepped behaviour.
     pub fast_forward: bool,
+    /// Vault timing backend: the paper's constant-time conflict window
+    /// (the default, bit-identical to the pre-trait engine) or the
+    /// cycle-accurate DDR state machine. See `crate::timing`.
+    pub timing: TimingParams,
 }
 
 impl Default for SimParams {
@@ -143,6 +149,7 @@ impl Default for SimParams {
             threads: 1,
             check_invariants: false,
             fast_forward: false,
+            timing: TimingParams::default(),
         }
     }
 }

@@ -40,6 +40,9 @@ pub struct QueueEntry {
     pub dest_vault: VaultId,
     /// Decoded destination bank ([`UNDECODED`] until resolved).
     pub dest_bank: BankId,
+    /// Decoded destination DRAM row (meaningful once `dest_vault` is
+    /// resolved; the DDR timing backend keys row-buffer state on it).
+    pub dest_row: u64,
     /// Corrupted in link transit (error simulation); cleared when the
     /// receiving crossbar detects it and models the retransmission.
     pub corrupt: bool,
@@ -60,6 +63,7 @@ impl QueueEntry {
             hops: 0,
             dest_vault: UNDECODED,
             dest_bank: UNDECODED,
+            dest_row: 0,
             corrupt: false,
             retry_until: 0,
         }

@@ -35,6 +35,15 @@ pub struct SimStats {
     /// Sends rejected because the link's token pool ran dry (flow-control
     /// back-pressure, as opposed to a full crossbar queue).
     pub token_stalls: u64,
+    /// Bank accesses that hit an already-open row (DDR timing backend
+    /// only; the classic backend models no row buffer and leaves this 0).
+    pub row_hits: u64,
+    /// Bank accesses that had to activate a row first (row misses and
+    /// row conflicts; DDR timing backend only).
+    pub row_misses: u64,
+    /// Precharge commands issued (row conflicts and closed-page
+    /// auto-precharges; DDR timing backend only).
+    pub precharges: u64,
 }
 
 /// One HMC-Sim simulation object.
@@ -53,6 +62,10 @@ pub struct HmcSim {
     /// Invariant-checker state; `None` until the first hook fires with
     /// [`SimParams::check_invariants`] set (zero-cost when off).
     pub(crate) inv: Option<Box<crate::invariants::InvariantState>>,
+    /// The `(timing, refresh)` signature the per-vault timing backends
+    /// were last built for; `None` until the first clock. Lets
+    /// [`HmcSim::ensure_timing`] skip re-installing boxes on the hot path.
+    pub(crate) applied_timing: Option<(crate::timing::TimingParams, Option<crate::params::RefreshParams>)>,
 }
 
 impl std::fmt::Debug for HmcSim {
@@ -91,9 +104,15 @@ impl HmcSim {
         }
         let devices = (0..num_devices).map(|i| Device::new(i, &config)).collect();
         let map: Arc<dyn AddressMap> = Arc::new(config.default_map()?);
+        // The config's timing backend choice seeds the sim parameters;
+        // `with_params`/`with_timing` can still override it before clocking.
+        let params = SimParams {
+            timing: crate::timing::TimingParams::of(config.timing),
+            ..SimParams::default()
+        };
         Ok(HmcSim {
             config,
-            params: SimParams::default(),
+            params,
             devices,
             map,
             routes: None,
@@ -104,6 +123,7 @@ impl HmcSim {
             faults: None,
             scratch: EngineScratch::default(),
             inv: None,
+            applied_timing: None,
         })
     }
 
@@ -139,6 +159,43 @@ impl HmcSim {
     /// True when the fast-forward engine mode is enabled.
     pub fn fast_forward(&self) -> bool {
         self.params.fast_forward
+    }
+
+    /// Select the vault timing backend (builder style). See
+    /// [`crate::timing::VaultTiming`] for the backend contract.
+    pub fn with_timing(mut self, timing: crate::timing::TimingParams) -> Self {
+        self.params.timing = timing;
+        self
+    }
+
+    /// Switch the vault timing backend on a live simulation. The new
+    /// backends install at the next clock boundary with power-on bank
+    /// state (all rows closed).
+    pub fn set_timing(&mut self, timing: crate::timing::TimingParams) {
+        self.params.timing = timing;
+    }
+
+    /// The active timing backend parameters.
+    pub fn timing(&self) -> crate::timing::TimingParams {
+        self.params.timing
+    }
+
+    /// Install per-vault timing backends when the `(timing, refresh)`
+    /// parameters changed since the last clock. No-op (and no allocation)
+    /// on the steady-state hot path.
+    pub(crate) fn ensure_timing(&mut self) {
+        let sig = (self.params.timing, self.params.refresh);
+        if self.applied_timing == Some(sig) {
+            return;
+        }
+        let banks = self.config.banks_per_vault;
+        for d in &mut self.devices {
+            for v in &mut d.vaults {
+                v.timing =
+                    crate::timing::make_timing(self.params.timing, v.id, banks, self.params.refresh);
+            }
+        }
+        self.applied_timing = Some(sig);
     }
 
     /// Replace the address map (must match the device geometry).

@@ -111,7 +111,7 @@ impl HmcSim {
                     break;
                 }
 
-                let (cmd_res, dest, tag, addr, flits, hops, decoded_vault, decoded_bank) = {
+                let (cmd_res, dest, tag, addr, flits, hops, decoded_vault, decoded_bank, decoded_row) = {
                     let e = self.devices[di].xbars[l].rqst.get(idx).expect("idx checked");
                     (
                         e.packet.cmd(),
@@ -122,6 +122,7 @@ impl HmcSim {
                         e.hops,
                         e.dest_vault,
                         e.dest_bank,
+                        e.dest_row,
                     )
                 };
 
@@ -273,11 +274,11 @@ impl HmcSim {
                 }
 
                 // ---- memory requests for this device ----
-                let (vault, bank) = if decoded_vault != UNDECODED {
-                    (decoded_vault, decoded_bank)
+                let (vault, bank, row) = if decoded_vault != UNDECODED {
+                    (decoded_vault, decoded_bank, decoded_row)
                 } else {
                     match PhysAddr::new(addr).and_then(|a| self.map.decode(a)) {
-                        Ok(d) => (d.vault, d.bank),
+                        Ok(d) => (d.vault, d.bank, d.row),
                         Err(_) => {
                             let entry =
                                 self.devices[di].xbars[l].rqst.remove(idx).expect("present");
@@ -309,6 +310,7 @@ impl HmcSim {
                 self.return_link_tokens(di, l, flits);
                 entry.dest_vault = vault;
                 entry.dest_bank = bank;
+                entry.dest_row = row;
                 entry.arrival_cycle = self.clock;
                 // "Higher latencies are detected due to the physical
                 // locality of the queue versus the destination vault"

@@ -18,6 +18,7 @@ use hmc_types::packet::ResponseStatus;
 use hmc_types::{Command, CubeId, Cycle, HmcError, Packet, PhysAddr, VaultId};
 
 use crate::queue::{PacketQueue, QueueEntry};
+use crate::timing::{ClassicTiming, VaultTiming};
 
 /// Largest data payload a packet can carry (eight 16-byte data FLITs of
 /// the maximal nine-FLIT packet) — sizes the stack staging buffers.
@@ -57,6 +58,20 @@ pub enum Execution {
     RespondedError(ResponseStatus),
 }
 
+/// A response whose data is not ready yet: the timing backend granted
+/// the access at issue time but the column data lands `data_ready`
+/// cycles later. Held by the vault until release into [`Vault::rsp`].
+#[derive(Debug)]
+pub struct PendingRsp {
+    /// Cycle the response may enter the response queue.
+    pub ready_at: Cycle,
+    /// Issue order within this vault (ties on `ready_at` release in
+    /// issue order, preserving per-bank stream order).
+    pub seq: u64,
+    /// The finished response entry.
+    pub entry: QueueEntry,
+}
+
 /// One vault: controller queues plus the memory bank stack.
 #[derive(Debug)]
 pub struct Vault {
@@ -66,22 +81,75 @@ pub struct Vault {
     pub rqst: PacketQueue,
     /// Response queue (toward the crossbar).
     pub rsp: PacketQueue,
+    /// Responses issued but not yet data-ready (always empty under the
+    /// classic backend, which returns data the cycle it issues).
+    pub pending: Vec<PendingRsp>,
+    /// Issue-order counter for `pending` tie-breaks.
+    pub pending_seq: u64,
     /// The bank stack.
     pub mem: VaultMemory,
+    /// The timing backend deciding when requests issue and data returns.
+    pub timing: Box<dyn VaultTiming>,
     /// Operation counters.
     pub stats: VaultStats,
 }
 
 impl Vault {
     /// Create vault `id` with `depth`-slot controller queues over the
-    /// given bank stack.
+    /// given bank stack, running the classic (constant-time) backend
+    /// until the simulation installs another.
     pub fn new(id: VaultId, depth: usize, mem: VaultMemory) -> Self {
         Vault {
             id,
             rqst: PacketQueue::new(depth),
             rsp: PacketQueue::new(depth),
+            pending: Vec::with_capacity(depth),
+            pending_seq: 0,
             mem,
+            timing: Box::new(ClassicTiming::new()),
             stats: VaultStats::default(),
+        }
+    }
+
+    /// True when registering another response would overflow the
+    /// controller's response capacity: queued responses plus not-yet-
+    /// ready pending ones fill every slot. Reduces to `rsp.is_full()`
+    /// under the classic backend (`pending` stays empty).
+    pub fn rsp_capacity_full(&self) -> bool {
+        self.rsp.len() + self.pending.len() >= self.rsp.depth()
+    }
+
+    /// Earliest `ready_at` among pending responses (fast-forward edge).
+    pub fn pending_min_ready(&self) -> Option<Cycle> {
+        self.pending.iter().map(|p| p.ready_at).min()
+    }
+
+    /// Move every pending response whose data is ready at `clock` into
+    /// the response queue, in (`ready_at`, issue order). Runs at the
+    /// start of the vault's stage-4 tick, before new issues.
+    pub fn release_ready(&mut self, clock: Cycle) {
+        while !self.pending.is_empty() && !self.rsp.is_full() {
+            let mut best: Option<usize> = None;
+            for (i, p) in self.pending.iter().enumerate() {
+                if p.ready_at > clock {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(j) => {
+                        let pj = &self.pending[j];
+                        if (p.ready_at, p.seq) < (pj.ready_at, pj.seq) {
+                            Some(i)
+                        } else {
+                            Some(j)
+                        }
+                    }
+                };
+            }
+            let Some(i) = best else { break };
+            let mut p = self.pending.remove(i);
+            p.entry.arrival_cycle = clock;
+            let _ = self.rsp.push(p.entry);
         }
     }
 
@@ -116,32 +184,57 @@ impl Vault {
     /// (§IV.C). The hot path is allocation-free: read/write payloads
     /// stage through a stack buffer sized for the maximal nine-FLIT
     /// packet.
+    ///
+    /// `data_ready` is the timing backend's grant for this access: the
+    /// cycle the response data becomes available. The classic backend
+    /// always grants `data_ready == cycle` (the response registers
+    /// immediately); later grants park the response in [`Vault::pending`]
+    /// until [`Vault::release_ready`] moves it into the queue.
     pub fn execute(
         &mut self,
         entry: QueueEntry,
         map: &dyn AddressMap,
         device: CubeId,
         cycle: Cycle,
+        data_ready: Cycle,
     ) -> Execution {
         let cmd = match entry.packet.cmd() {
             Ok(c) => c,
             Err(_) => {
                 self.stats.errors += 1;
-                return self.error_response(&entry, ResponseStatus::CommandError, device, cycle);
+                return self.error_response(
+                    &entry,
+                    ResponseStatus::CommandError,
+                    device,
+                    cycle,
+                    data_ready,
+                );
             }
         };
         let addr = match PhysAddr::new(entry.packet.addr()) {
             Ok(a) => a,
             Err(_) => {
                 self.stats.errors += 1;
-                return self.error_response(&entry, ResponseStatus::AddressError, device, cycle);
+                return self.error_response(
+                    &entry,
+                    ResponseStatus::AddressError,
+                    device,
+                    cycle,
+                    data_ready,
+                );
             }
         };
         let decoded = match map.decode(addr) {
             Ok(d) => d,
             Err(_) => {
                 self.stats.errors += 1;
-                return self.error_response(&entry, ResponseStatus::AddressError, device, cycle);
+                return self.error_response(
+                    &entry,
+                    ResponseStatus::AddressError,
+                    device,
+                    cycle,
+                    data_ready,
+                );
             }
         };
 
@@ -215,7 +308,13 @@ impl Vault {
             // crossbar; one arriving here is a protocol violation.
             _ => {
                 self.stats.errors += 1;
-                return self.error_response(&entry, ResponseStatus::CommandError, device, cycle);
+                return self.error_response(
+                    &entry,
+                    ResponseStatus::CommandError,
+                    device,
+                    cycle,
+                    data_ready,
+                );
             }
         };
 
@@ -226,12 +325,12 @@ impl Vault {
             }
             Ok(Some(packet)) => {
                 self.stats.processed += 1;
-                self.register_response(packet, &entry, device, cycle);
+                self.register_response(packet, &entry, device, cycle, data_ready);
                 Execution::Responded
             }
             Err(_) => {
                 self.stats.errors += 1;
-                self.error_response(&entry, ResponseStatus::InternalError, device, cycle)
+                self.error_response(&entry, ResponseStatus::InternalError, device, cycle, data_ready)
             }
         }
     }
@@ -253,6 +352,7 @@ impl Vault {
         status: ResponseStatus,
         device: CubeId,
         cycle: Cycle,
+        data_ready: Cycle,
     ) -> Execution {
         // Posted requests owe no response even on failure; the error is
         // only visible through traces and the EDR registers.
@@ -272,7 +372,7 @@ impl Vault {
             &[],
         )
         .expect("error response construction cannot fail");
-        self.register_response(packet, request, device, cycle);
+        self.register_response(packet, request, device, cycle, data_ready);
         Execution::RespondedError(status)
     }
 
@@ -282,6 +382,7 @@ impl Vault {
         request: &QueueEntry,
         device: CubeId,
         cycle: Cycle,
+        data_ready: Cycle,
     ) {
         let mut e = QueueEntry::new(packet, device, request.src_cube, cycle);
         // The response inherits the request's device-entry stamp so
@@ -290,17 +391,33 @@ impl Vault {
         // Responses exit the device on the link the request arrived on,
         // preserving the link-stream association (§III.C).
         e.arrival_link = request.arrival_link;
+        if data_ready > cycle {
+            // Timed backends: the data lands later; park the finished
+            // response until `release_ready` moves it into the queue.
+            let seq = self.pending_seq;
+            self.pending_seq += 1;
+            self.pending.push(PendingRsp {
+                ready_at: data_ready,
+                seq,
+                entry: e,
+            });
+            return;
+        }
         // Stage 4 verified a free slot before executing a command that
         // owes a response, so this cannot overflow in the engine; a
         // direct caller that ignored the contract just loses the entry.
         let _ = self.rsp.push(e);
     }
 
-    /// Drop queue contents and counters; reset banks (device reset).
+    /// Drop queue contents and counters; reset banks and the timing
+    /// backend (device reset).
     pub fn reset(&mut self) {
         self.rqst.clear();
         self.rsp.clear();
+        self.pending.clear();
+        self.pending_seq = 0;
         self.mem.reset();
+        self.timing.reset();
         self.stats = VaultStats::default();
     }
 }
@@ -377,7 +494,7 @@ mod tests {
         let data = [0x5au8; 64];
         // Vault 0 addresses: low-interleave places vault bits just above
         // the 128-byte offset, so address 0 targets vault 0, bank 0.
-        let exec = v.execute(request(Command::Wr(BlockSize::B64), 0, 1, &data), &m, 0, 5);
+        let exec = v.execute(request(Command::Wr(BlockSize::B64), 0, 1, &data), &m, 0, 5, 5);
         assert_eq!(exec, Execution::Responded);
         let e = take_rsp(&mut v);
         assert_eq!(e.packet.cmd().unwrap(), Command::WrResponse);
@@ -386,7 +503,7 @@ mod tests {
         assert_eq!(e.src_cube, 0);
         assert_eq!(e.dest_cube, 6, "response returns to the host");
         assert_eq!(e.arrival_link, 2);
-        let exec = v.execute(request(Command::Rd(BlockSize::B64), 0, 2, &[]), &m, 0, 6);
+        let exec = v.execute(request(Command::Rd(BlockSize::B64), 0, 2, &[]), &m, 0, 6, 6);
         assert_eq!(exec, Execution::Responded);
         let e = take_rsp(&mut v);
         assert_eq!(e.packet.cmd().unwrap(), Command::RdResponse);
@@ -406,6 +523,7 @@ mod tests {
             &m,
             0,
             0,
+            0,
         );
         assert_eq!(exec, Execution::Done, "posted write must not respond");
         assert!(v.rsp.is_empty());
@@ -419,10 +537,10 @@ mod tests {
         let mut payload = [0u8; 16];
         payload[..8].copy_from_slice(&10u64.to_le_bytes());
         payload[8..].copy_from_slice(&20u64.to_le_bytes());
-        v.execute(request(Command::TwoAdd8, 0, 1, &payload), &m, 0, 0);
-        v.execute(request(Command::TwoAdd8, 0, 2, &payload), &m, 0, 0);
+        v.execute(request(Command::TwoAdd8, 0, 1, &payload), &m, 0, 0, 0);
+        v.execute(request(Command::TwoAdd8, 0, 2, &payload), &m, 0, 0, 0);
         v.rsp.clear();
-        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0);
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0, 0);
         assert_eq!(exec, Execution::Responded);
         let bytes = take_rsp(&mut v).packet.data_as_bytes();
         assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 20);
@@ -437,12 +555,12 @@ mod tests {
         // Seed memory with u64::MAX in the low word so +1 carries.
         let mut seed = [0u8; 16];
         seed[..8].copy_from_slice(&u64::MAX.to_le_bytes());
-        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &seed), &m, 0, 0);
+        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &seed), &m, 0, 0, 0);
         let mut op = [0u8; 16];
         op[0] = 1;
-        v.execute(request(Command::Add16, 0, 2, &op), &m, 0, 0);
+        v.execute(request(Command::Add16, 0, 2, &op), &m, 0, 0, 0);
         v.rsp.clear();
-        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0);
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0, 0);
         assert_eq!(exec, Execution::Responded);
         let bytes = take_rsp(&mut v).packet.data_as_bytes();
         let val = u128::from_le_bytes(bytes.try_into().unwrap());
@@ -455,13 +573,13 @@ mod tests {
         let m = map();
         let mut seed = [0u8; 16];
         seed[..8].copy_from_slice(&0xffff_ffff_ffff_ffffu64.to_le_bytes());
-        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &seed), &m, 0, 0);
+        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &seed), &m, 0, 0, 0);
         let mut op = [0u8; 16];
         op[..8].copy_from_slice(&0u64.to_le_bytes()); // data
         op[8..].copy_from_slice(&0x0000_0000_ffff_ffffu64.to_le_bytes()); // mask
-        v.execute(request(Command::Bwr, 0, 2, &op), &m, 0, 0);
+        v.execute(request(Command::Bwr, 0, 2, &op), &m, 0, 0, 0);
         v.rsp.clear();
-        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0);
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 3, &[]), &m, 0, 0, 0);
         assert_eq!(exec, Execution::Responded);
         let bytes = take_rsp(&mut v).packet.data_as_bytes();
         assert_eq!(
@@ -476,7 +594,7 @@ mod tests {
         let m = map();
         // Beyond the 16-vault x 8-bank x 64-row x 128-byte capacity.
         let over = m.geometry().capacity_bytes();
-        let exec = v.execute(request(Command::Rd(BlockSize::B16), over, 7, &[]), &m, 0, 0);
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), over, 7, &[]), &m, 0, 0, 0);
         assert_eq!(
             exec,
             Execution::RespondedError(ResponseStatus::AddressError)
@@ -494,7 +612,7 @@ mod tests {
     fn mode_commands_at_a_vault_are_command_errors() {
         let mut v = vault();
         let m = map();
-        let exec = v.execute(request(Command::ModeRead, 0, 1, &[]), &m, 0, 0);
+        let exec = v.execute(request(Command::ModeRead, 0, 1, &[]), &m, 0, 0, 0);
         assert_eq!(
             exec,
             Execution::RespondedError(ResponseStatus::CommandError)
@@ -513,6 +631,7 @@ mod tests {
             &m,
             0,
             0,
+            0,
         );
         assert_eq!(exec, Execution::Done, "posted failure must be silent");
         assert!(v.rsp.is_empty());
@@ -523,12 +642,56 @@ mod tests {
     fn reset_restores_fresh_vault() {
         let mut v = vault();
         let m = map();
-        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &[1; 16]), &m, 0, 0);
+        v.execute(request(Command::Wr(BlockSize::B16), 0, 1, &[1; 16]), &m, 0, 0, 0);
         v.reset();
         assert_eq!(v.stats, VaultStats::default());
-        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 2, &[]), &m, 0, 0);
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 2, &[]), &m, 0, 0, 0);
         assert_eq!(exec, Execution::Responded);
         assert_eq!(take_rsp(&mut v).packet.data_as_bytes(), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn delayed_data_parks_then_releases_in_ready_order() {
+        let mut v = vault();
+        let m = map();
+        // Grant data at cycle 20: the response parks in `pending`.
+        let exec = v.execute(request(Command::Rd(BlockSize::B16), 0, 1, &[]), &m, 0, 10, 20);
+        assert_eq!(exec, Execution::Responded);
+        assert!(v.rsp.is_empty());
+        assert_eq!(v.pending.len(), 1);
+        assert_eq!(v.pending_min_ready(), Some(20));
+        // A later issue with an earlier ready time releases first.
+        v.execute(request(Command::Rd(BlockSize::B16), 0, 2, &[]), &m, 0, 11, 15);
+        assert!(!v.rsp_capacity_full());
+        v.release_ready(14);
+        assert!(v.rsp.is_empty(), "nothing ready before its cycle");
+        v.release_ready(25);
+        assert_eq!(v.rsp.len(), 2);
+        let first = v.rsp.pop().unwrap();
+        assert_eq!(first.packet.tag(), 2, "earlier ready_at releases first");
+        assert_eq!(first.arrival_cycle, 25, "arrival restamped at release");
+        assert_eq!(first.entry_cycle, 0, "latency origin preserved");
+        assert_eq!(v.rsp.pop().unwrap().packet.tag(), 1);
+        assert!(v.pending.is_empty());
+    }
+
+    #[test]
+    fn capacity_counts_pending_and_queued_responses() {
+        let mut v = vault(); // depth 4
+        let m = map();
+        for tag in 0..3 {
+            v.execute(
+                request(Command::Rd(BlockSize::B16), 0, tag, &[]),
+                &m,
+                0,
+                0,
+                100,
+            );
+        }
+        v.execute(request(Command::Rd(BlockSize::B16), 0, 9, &[]), &m, 0, 0, 0);
+        assert_eq!(v.pending.len(), 3);
+        assert_eq!(v.rsp.len(), 1);
+        assert!(v.rsp_capacity_full());
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Property tests over the DDR vault-timing state machine.
+//!
+//! Generated command sequences — random (bank, row) accesses with random
+//! inter-arrival gaps, under randomly drawn tRCD/tRP/tRAS/tCAS/tCCD
+//! constraint sets and both page policies — are driven through
+//! [`DdrTiming`] the way the engine drives it: follow `blocked_until`
+//! retry edges until admission, then `try_issue`. The grants must then
+//! satisfy the DDR command-spacing rules by construction:
+//!
+//! * ACT to column command ≥ tRCD, PRE to ACT ≥ tRP, ACT to PRE ≥ tRAS,
+//!   column to column on one bank ≥ tCCD;
+//! * a row is never accessed while its bank is precharged (every access
+//!   to a closed bank activates first; hits only ever target the row an
+//!   earlier grant left open);
+//! * a completed refresh window closes every open row in the bank it
+//!   sweeps (the first access after it can never be a row hit), and no
+//!   access issues while the bank is parked inside the window.
+
+use proptest::prelude::*;
+
+use hmc_core::timing::{DdrTiming, IssueGrant, RowOutcome, VaultTiming};
+use hmc_core::RefreshParams;
+use hmc_types::{Cycle, DdrTimings, PagePolicy};
+
+const NBANKS: u16 = 8;
+
+/// One admitted access: where it issued and what the backend granted.
+#[derive(Debug, Clone, Copy)]
+struct Issued {
+    bank: u16,
+    row: u64,
+    at: Cycle,
+    grant: IssueGrant,
+}
+
+/// Drive a sequence through the backend exactly as the engine walk
+/// does: advance by the requested gap, chase `blocked_until` edges to
+/// the admission cycle, then commit. Edge-chasing doubles as the
+/// exactness property — every returned edge must be a strict advance
+/// and the chain must converge in a few hops (ready-at, then tRAS,
+/// then at most a refresh window).
+fn drive(
+    t: DdrTimings,
+    refresh: Option<RefreshParams>,
+    seq: &[(u16, u64, u64)],
+) -> Vec<Issued> {
+    let mut d = DdrTiming::new(t, 0, NBANKS, refresh);
+    let mut cycle: Cycle = 0;
+    let mut out = Vec::with_capacity(seq.len());
+    for &(bank, row, gap) in seq {
+        cycle += gap;
+        let mut hops = 0;
+        while let Some(edge) = d.blocked_until(bank, row, cycle) {
+            assert!(edge > cycle, "retry edge {edge} must advance past {cycle}");
+            cycle = edge;
+            hops += 1;
+            assert!(hops <= 4, "retry edges must converge (bank {bank} row {row})");
+        }
+        let grant = d.try_issue(bank, row, cycle);
+        out.push(Issued { bank, row, at: cycle, grant });
+    }
+    out
+}
+
+/// Per-bank spacing bookkeeping while sweeping grants in issue order.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankTrace {
+    last_act: Option<Cycle>,
+    last_pre: Option<Cycle>,
+    last_rw: Option<Cycle>,
+    last_ready: Option<Cycle>,
+}
+
+/// Assert every DDR spacing constraint over a grant stream.
+fn check_spacing(t: DdrTimings, grants: &[Issued]) {
+    let mut banks = [BankTrace::default(); NBANKS as usize];
+    for g in grants {
+        let b = &mut banks[g.bank as usize];
+        let gr = g.grant;
+        // A conflict's PRE leads its ACT; closed-page auto-PRE trails
+        // the column command. Order the within-grant events accordingly.
+        let (leading_pre, trailing_pre) = match gr.outcome {
+            RowOutcome::Conflict => (gr.pre_cycle, None),
+            _ => (None, gr.pre_cycle),
+        };
+        if let Some(pre) = leading_pre {
+            let act = b.last_act.expect("conflict implies an earlier ACT");
+            assert!(pre >= act + t.t_ras, "tRAS: PRE {pre} < ACT {act} + {}", t.t_ras);
+            b.last_pre = Some(pre);
+        }
+        if let Some(act) = gr.act_cycle {
+            if let Some(pre) = b.last_pre {
+                assert!(act >= pre + t.t_rp, "tRP: ACT {act} < PRE {pre} + {}", t.t_rp);
+            }
+            assert!(
+                gr.rw_cycle >= act + t.t_rcd,
+                "tRCD: RW {} < ACT {act} + {}",
+                gr.rw_cycle,
+                t.t_rcd
+            );
+            b.last_act = Some(act);
+        }
+        if let Some(rw) = b.last_rw {
+            assert!(
+                gr.rw_cycle >= rw + t.t_ccd,
+                "tCCD: RW {} < RW {rw} + {}",
+                gr.rw_cycle,
+                t.t_ccd
+            );
+        }
+        b.last_rw = Some(gr.rw_cycle);
+        if let Some(pre) = trailing_pre {
+            let act = gr.act_cycle.expect("auto-PRE implies this grant's ACT");
+            assert!(pre >= act + t.t_ras, "tRAS: auto-PRE {pre} < ACT {act} + {}", t.t_ras);
+            b.last_pre = Some(pre);
+        }
+        // CAS latency is definitional, and per-bank data readiness is
+        // strictly monotone in issue order — the property the vault's
+        // pending-release queue (and per-bank delivery order) rests on.
+        assert_eq!(gr.data_ready, gr.rw_cycle + t.t_cas, "tCAS");
+        if let Some(ready) = b.last_ready {
+            assert!(gr.data_ready > ready, "per-bank data_ready must advance");
+        }
+        b.last_ready = Some(gr.data_ready);
+    }
+}
+
+fn timings(rcd: u64, rp: u64, ras: u64, cas: u64, ccd: u64, policy: PagePolicy) -> DdrTimings {
+    DdrTimings {
+        t_rcd: rcd,
+        t_rp: rp,
+        t_ras: ras,
+        t_cas: cas,
+        t_ccd: ccd,
+        page_policy: policy,
+    }
+}
+
+/// Refresh windows for `bank` (vault 0) under `r`: window `w` starts at
+/// `w * interval`, runs `min(duration, interval)` cycles, and sweeps
+/// bank `w % NBANKS`. Independent reimplementation of the backend's
+/// schedule, as the oracle for the refresh properties.
+fn windows_for_bank(r: RefreshParams, bank: u16, until: Cycle) -> Vec<(Cycle, Cycle)> {
+    let dur = r.duration.min(r.interval);
+    (0..=until / r.interval)
+        .filter(|w| (w % NBANKS as u64) as u16 == bank)
+        .map(|w| {
+            let start = w * r.interval;
+            let end = if dur == r.interval { start + r.interval } else { start + dur };
+            (start, end)
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn generated_sequences_never_violate_command_spacing(
+        seq in prop::collection::vec((0u16..NBANKS, 0u64..4, 0u64..40), 1..48),
+        (rcd, rp, ras) in (1u64..24, 1u64..24, 1u64..48),
+        (cas, ccd) in (1u64..24, 1u64..8),
+        policy in prop_oneof![Just(PagePolicy::Open), Just(PagePolicy::Closed)],
+    ) {
+        let t = timings(rcd, rp, ras, cas, ccd, policy);
+        check_spacing(t, &drive(t, None, &seq));
+    }
+
+    #[test]
+    fn a_row_is_never_accessed_while_precharged(
+        seq in prop::collection::vec((0u16..NBANKS, 0u64..4, 0u64..40), 1..48),
+        (rcd, rp, ras) in (1u64..24, 1u64..24, 1u64..48),
+    ) {
+        // Open-page, no refresh: bank state is fully determined by the
+        // grant stream, so track it independently and demand agreement.
+        let t = timings(rcd, rp, ras, 14, 4, PagePolicy::Open);
+        let mut open: [Option<u64>; NBANKS as usize] = [None; NBANKS as usize];
+        for g in drive(t, None, &seq) {
+            let slot = g.bank as usize;
+            match open[slot] {
+                None => {
+                    // Precharged bank: the access must activate, never
+                    // hit, never precharge.
+                    prop_assert_eq!(g.grant.outcome, RowOutcome::Miss);
+                    prop_assert!(g.grant.act_cycle.is_some());
+                    prop_assert!(g.grant.pre_cycle.is_none());
+                }
+                Some(row) if row == g.row => {
+                    prop_assert_eq!(g.grant.outcome, RowOutcome::Hit);
+                    prop_assert!(g.grant.act_cycle.is_none());
+                }
+                Some(_) => {
+                    prop_assert_eq!(g.grant.outcome, RowOutcome::Conflict);
+                    prop_assert!(g.grant.pre_cycle.is_some());
+                    prop_assert!(g.grant.act_cycle.is_some());
+                }
+            }
+            open[slot] = Some(g.row);
+        }
+    }
+
+    #[test]
+    fn closed_page_policy_never_leaves_a_row_to_hit(
+        seq in prop::collection::vec((0u16..NBANKS, 0u64..4, 0u64..40), 1..48),
+        (rcd, rp, ras) in (1u64..24, 1u64..24, 1u64..48),
+    ) {
+        let t = timings(rcd, rp, ras, 14, 4, PagePolicy::Closed);
+        for g in drive(t, None, &seq) {
+            prop_assert_eq!(g.grant.outcome, RowOutcome::Miss);
+            prop_assert!(g.grant.act_cycle.is_some(), "every access activates");
+            prop_assert!(g.grant.pre_cycle.is_some(), "every access auto-precharges");
+        }
+    }
+
+    #[test]
+    fn refresh_closes_all_open_rows(
+        seq in prop::collection::vec((0u16..NBANKS, 0u64..4, 0u64..60), 4..48),
+        (interval, duration) in (50u64..400, 1u64..50),
+    ) {
+        let t = timings(8, 8, 20, 8, 2, PagePolicy::Open);
+        let r = RefreshParams { interval, duration };
+        let grants = drive(t, Some(r), &seq);
+        check_spacing(t, &grants);
+        let mut last_at: [Option<Cycle>; NBANKS as usize] = [None; NBANKS as usize];
+        for g in &grants {
+            let slot = g.bank as usize;
+            let windows = windows_for_bank(r, g.bank, g.at);
+            // The bank is parked for the whole window: nothing issues
+            // inside one.
+            prop_assert!(
+                windows.iter().all(|&(s, e)| g.at < s || g.at >= e),
+                "issue at {} inside a refresh window of bank {}",
+                g.at,
+                g.bank
+            );
+            // A window completed since the previous access ⇒ whatever
+            // row was open is gone, so this access cannot hit.
+            let swept = windows
+                .iter()
+                .any(|&(_, e)| last_at[slot].is_some_and(|p| e > p && e <= g.at));
+            if swept {
+                prop_assert_ne!(
+                    g.grant.outcome,
+                    RowOutcome::Hit,
+                    "bank {} hit at {} across a refresh window",
+                    g.bank,
+                    g.at
+                );
+            }
+            last_at[slot] = Some(g.at);
+        }
+    }
+}

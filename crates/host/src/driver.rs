@@ -34,6 +34,11 @@ pub struct RunConfig {
     /// sim before or after the run (bench harnesses, serve pumps).
     /// Reports are bit-identical either way.
     pub fast_forward: bool,
+    /// Select the vault timing backend for the run
+    /// (`SimParams::timing`). `None` leaves whatever backend the sim
+    /// already has — the classic constant-time model unless the caller
+    /// chose otherwise.
+    pub timing: Option<hmc_core::TimingParams>,
 }
 
 impl Default for RunConfig {
@@ -44,6 +49,7 @@ impl Default for RunConfig {
             progress_every: 0,
             check_invariants: false,
             fast_forward: false,
+            timing: None,
         }
     }
 }
@@ -137,6 +143,9 @@ where
     }
     if cfg.fast_forward {
         sim.set_fast_forward(true);
+    }
+    if let Some(timing) = cfg.timing {
+        sim.set_timing(timing);
     }
     let start_violations = sim.total_invariant_violations();
     let start_cycle = sim.current_clock();

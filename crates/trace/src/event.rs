@@ -42,11 +42,18 @@ pub enum EventKind {
     /// A link-level CRC failure was detected and the packet was
     /// retransmitted (error-simulation mode).
     LinkRetry,
+    /// A DDR-timed access found its row already open (column access only).
+    RowHit,
+    /// A DDR-timed access activated a precharged bank's row.
+    RowMiss,
+    /// A DDR-timed bank precharged a row (conflict eviction or
+    /// closed-page auto-precharge).
+    Precharge,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive iteration in counters and tests.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::BankConflict,
         EventKind::XbarRqstStall,
         EventKind::XbarRspStall,
@@ -62,6 +69,9 @@ impl EventKind {
         EventKind::TokenReturn,
         EventKind::ErrorResponse,
         EventKind::LinkRetry,
+        EventKind::RowHit,
+        EventKind::RowMiss,
+        EventKind::Precharge,
     ];
 
     /// Dense index for array-backed counters.
@@ -87,6 +97,9 @@ impl EventKind {
             EventKind::TokenReturn => "TOKEN_RETURN",
             EventKind::ErrorResponse => "ERROR_RESPONSE",
             EventKind::LinkRetry => "LINK_RETRY",
+            EventKind::RowHit => "ROW_HIT",
+            EventKind::RowMiss => "ROW_MISS",
+            EventKind::Precharge => "PRECHARGE",
         }
     }
 }
@@ -265,6 +278,44 @@ pub enum TraceEvent {
         /// Tag of the retransmitted packet.
         tag: u16,
     },
+    /// A DDR-timed access hit its bank's open row.
+    RowHit {
+        /// Device.
+        cube: CubeId,
+        /// Vault.
+        vault: VaultId,
+        /// Bank.
+        bank: BankId,
+        /// The open row.
+        row: u64,
+        /// Request tag.
+        tag: u16,
+    },
+    /// A DDR-timed access activated a row in a precharged bank.
+    RowMiss {
+        /// Device.
+        cube: CubeId,
+        /// Vault.
+        vault: VaultId,
+        /// Bank.
+        bank: BankId,
+        /// The activated row.
+        row: u64,
+        /// Request tag.
+        tag: u16,
+    },
+    /// A DDR-timed bank issued a precharge (row-conflict eviction or
+    /// closed-page auto-precharge).
+    Precharge {
+        /// Device.
+        cube: CubeId,
+        /// Vault.
+        vault: VaultId,
+        /// Bank.
+        bank: BankId,
+        /// Request tag of the access forcing the precharge.
+        tag: u16,
+    },
 }
 
 impl TraceEvent {
@@ -286,6 +337,9 @@ impl TraceEvent {
             TraceEvent::TokenReturn { .. } => EventKind::TokenReturn,
             TraceEvent::ErrorResponse { .. } => EventKind::ErrorResponse,
             TraceEvent::LinkRetry { .. } => EventKind::LinkRetry,
+            TraceEvent::RowHit { .. } => EventKind::RowHit,
+            TraceEvent::RowMiss { .. } => EventKind::RowMiss,
+            TraceEvent::Precharge { .. } => EventKind::Precharge,
         }
     }
 
@@ -306,7 +360,10 @@ impl TraceEvent {
             | TraceEvent::Forwarded { cube, .. }
             | TraceEvent::TokenReturn { cube, .. }
             | TraceEvent::ErrorResponse { cube, .. }
-            | TraceEvent::LinkRetry { cube, .. } => cube,
+            | TraceEvent::LinkRetry { cube, .. }
+            | TraceEvent::RowHit { cube, .. }
+            | TraceEvent::RowMiss { cube, .. }
+            | TraceEvent::Precharge { cube, .. } => cube,
         }
     }
 
@@ -319,7 +376,10 @@ impl TraceEvent {
             | TraceEvent::RouteLatency { vault, .. }
             | TraceEvent::ReadComplete { vault, .. }
             | TraceEvent::WriteComplete { vault, .. }
-            | TraceEvent::AtomicComplete { vault, .. } => Some(vault),
+            | TraceEvent::AtomicComplete { vault, .. }
+            | TraceEvent::RowHit { vault, .. }
+            | TraceEvent::RowMiss { vault, .. }
+            | TraceEvent::Precharge { vault, .. } => Some(vault),
             _ => None,
         }
     }
@@ -442,6 +502,32 @@ impl TraceRecord {
             TraceEvent::LinkRetry { cube, link, tag } => {
                 format!("{} {k} cube={cube} link={link} tag={tag}", self.cycle)
             }
+            TraceEvent::RowHit {
+                cube,
+                vault,
+                bank,
+                row,
+                tag,
+            }
+            | TraceEvent::RowMiss {
+                cube,
+                vault,
+                bank,
+                row,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} vault={vault} bank={bank} row={row} tag={tag}",
+                self.cycle
+            ),
+            TraceEvent::Precharge {
+                cube,
+                vault,
+                bank,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} vault={vault} bank={bank} tag={tag}",
+                self.cycle
+            ),
         }
     }
 }
@@ -556,6 +642,9 @@ mod tests {
             TraceEvent::TokenReturn { cube: 0, link: 0, tokens: 0 },
             TraceEvent::ErrorResponse { cube: 0, tag: 0, status: 0 },
             TraceEvent::LinkRetry { cube: 0, link: 0, tag: 0 },
+            TraceEvent::RowHit { cube: 0, vault: 0, bank: 0, row: 0, tag: 0 },
+            TraceEvent::RowMiss { cube: 0, vault: 0, bank: 0, row: 0, tag: 0 },
+            TraceEvent::Precharge { cube: 0, vault: 0, bank: 0, tag: 0 },
         ];
         for (i, e) in samples.iter().enumerate() {
             let line = TraceRecord { cycle: i as u64, event: *e }.to_line();

@@ -46,7 +46,10 @@ impl Verbosity {
             | EventKind::AtomicComplete
             | EventKind::ModeAccess
             | EventKind::Forwarded
-            | EventKind::TokenReturn => Verbosity::Full,
+            | EventKind::TokenReturn
+            | EventKind::RowHit
+            | EventKind::RowMiss
+            | EventKind::Precharge => Verbosity::Full,
         }
     }
 

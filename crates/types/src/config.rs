@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::address::{LowInterleaveMap, MapGeometry};
 use crate::command::BlockSize;
 use crate::error::{HmcError, Result};
+use crate::timing::TimingKind;
 use crate::units::{aggregate_bandwidth_gbs, LinkSpeed, GIB};
 
 /// Whether banks store actual data or only model timing.
@@ -59,6 +60,11 @@ pub struct DeviceConfig {
     pub block_size: BlockSize,
     /// Functional or timing-only data storage.
     pub storage_mode: StorageMode,
+    /// Vault timing backend the simulation starts with (selectable later
+    /// through `SimParams`; absent from older config files, defaulting to
+    /// the paper's constant-time model).
+    #[serde(default)]
+    pub timing: TimingKind,
 }
 
 impl DeviceConfig {
@@ -77,6 +83,7 @@ impl DeviceConfig {
             lanes_per_link: 16,
             block_size: BlockSize::B128,
             storage_mode: StorageMode::Functional,
+            timing: TimingKind::Classic,
         }
     }
 
@@ -94,6 +101,7 @@ impl DeviceConfig {
             lanes_per_link: 16,
             block_size: BlockSize::B128,
             storage_mode: StorageMode::Functional,
+            timing: TimingKind::Classic,
         }
     }
 
@@ -170,6 +178,12 @@ impl DeviceConfig {
     /// Replace the block (maximum request) size (builder style).
     pub fn with_block_size(mut self, block: BlockSize) -> Self {
         self.block_size = block;
+        self
+    }
+
+    /// Replace the vault timing backend (builder style).
+    pub fn with_timing(mut self, timing: TimingKind) -> Self {
+        self.timing = timing;
         self
     }
 
@@ -447,5 +461,20 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: DeviceConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn timing_field_defaults_for_older_config_files() {
+        // Config JSON written before the timing backend existed must
+        // still load, defaulting to the paper's classic model.
+        let c = DeviceConfig::small();
+        let json = serde_json::to_string(&c).unwrap();
+        let stripped = json.replace(",\"timing\":\"Classic\"", "");
+        assert_ne!(json, stripped, "timing field must serialize");
+        let back: DeviceConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.timing, TimingKind::Classic);
+        let ddr = c.with_timing(TimingKind::Ddr);
+        assert_eq!(ddr.timing, TimingKind::Ddr);
+        ddr.validate().unwrap();
     }
 }

@@ -25,6 +25,7 @@ pub mod crc;
 pub mod error;
 pub mod flit;
 pub mod packet;
+pub mod timing;
 pub mod units;
 pub mod wire;
 
@@ -37,6 +38,7 @@ pub use config::{DeviceConfig, StorageMode};
 pub use error::{HmcError, Result};
 pub use flit::{FLIT_BYTES, MAX_DATA_BYTES, MAX_PACKET_BYTES, MAX_PACKET_FLITS};
 pub use packet::{Packet, ResponseStatus};
+pub use timing::{DdrTimings, PagePolicy, TimingKind};
 pub use units::LinkSpeed;
 pub use wire::{
     BusyReason, Frame, WireErrorCode, WireOp, WireResponse, WireStats, MAX_FRAME_LEN, WIRE_VERSION,

@@ -1,0 +1,157 @@
+//! Memory-timing backend selection and DDR timing constraints.
+//!
+//! The paper's vault model processes every non-conflicting request "in
+//! equivalent and constant time" (§IV.C.4). Real DRAM stacks pay
+//! row-buffer and command-spacing penalties the spec leaves to the
+//! implementer. These types name the timing backends a simulation can
+//! select between (`hmc-core`'s `VaultTiming` trait hosts the
+//! implementations) and carry the DDR-style constraint set shared by the
+//! device configuration, the simulation parameters, the C-style API and
+//! the CLI `--timing` flags.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{HmcError, Result};
+
+/// Which vault timing backend a simulation runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimingKind {
+    /// The paper's constant-time conflict-window model: one access per
+    /// bank per cycle, responses registered the cycle the request
+    /// executes. The zero-regression default.
+    #[default]
+    Classic,
+    /// A cycle-accurate DDR-style per-bank state machine: row-buffer
+    /// hits/misses/conflicts, ACT/PRE/RD/WR command spacing under
+    /// [`DdrTimings`], and refresh closing open rows. Functionally
+    /// identical to `Classic` — only latencies differ.
+    Ddr,
+}
+
+impl TimingKind {
+    /// Short CLI/service name (`classic`, `ddr`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TimingKind::Classic => "classic",
+            TimingKind::Ddr => "ddr",
+        }
+    }
+
+    /// Look up a backend by its short name. Returns `None` for unknown
+    /// names.
+    pub fn by_name(name: &str) -> Option<TimingKind> {
+        match name {
+            "classic" => Some(TimingKind::Classic),
+            "ddr" => Some(TimingKind::Ddr),
+            _ => None,
+        }
+    }
+
+    /// Both backends, in default-first order.
+    pub const ALL: [TimingKind; 2] = [TimingKind::Classic, TimingKind::Ddr];
+}
+
+/// Row-buffer management policy of the DDR backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Leave the accessed row open after a column access, betting on row
+    /// locality (hits cost `tCAS`, conflicts pay `tRP + tRCD`).
+    #[default]
+    Open,
+    /// Auto-precharge after every access: the next access to the bank is
+    /// always a row miss, but never a conflict.
+    Closed,
+}
+
+/// DDR-style bank timing constraints, in vault-clock cycles.
+///
+/// The defaults approximate a DDR3-1600-class part at the device's
+/// 1.25 GHz logic clock — close enough to exercise realistic row-buffer
+/// behaviour; sweeps can tighten or relax each knob independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DdrTimings {
+    /// RAS-to-CAS delay: ACT to first column command on the row.
+    pub t_rcd: u64,
+    /// Row precharge time: PRE to the next ACT on the bank.
+    pub t_rp: u64,
+    /// Row active time: ACT to the earliest PRE of the same row.
+    pub t_ras: u64,
+    /// Column access latency: RD/WR command to data availability.
+    pub t_cas: u64,
+    /// Column-to-column spacing between accesses to the same bank.
+    /// Must be at least one cycle (a bank never double-issues within a
+    /// cycle, preserving per-bank stream order).
+    pub t_ccd: u64,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+}
+
+impl Default for DdrTimings {
+    fn default() -> Self {
+        DdrTimings {
+            t_rcd: 14,
+            t_rp: 14,
+            t_ras: 34,
+            t_cas: 14,
+            t_ccd: 4,
+            page_policy: PagePolicy::Open,
+        }
+    }
+}
+
+impl DdrTimings {
+    /// Validate the constraint set: `t_ccd` must be at least one cycle so
+    /// a bank can never issue twice in the same cycle.
+    pub fn validate(&self) -> Result<()> {
+        if self.t_ccd == 0 {
+            return Err(HmcError::InvalidConfig(
+                "t_ccd must be at least one cycle (per-bank issue serialization)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_by_name() {
+        for k in TimingKind::ALL {
+            assert_eq!(TimingKind::by_name(k.name()), Some(k));
+        }
+        assert_eq!(TimingKind::by_name("nope"), None);
+        assert_eq!(TimingKind::default(), TimingKind::Classic);
+    }
+
+    #[test]
+    fn default_ddr_timings_validate() {
+        DdrTimings::default().validate().unwrap();
+        assert_eq!(DdrTimings::default().page_policy, PagePolicy::Open);
+    }
+
+    #[test]
+    fn zero_ccd_rejected() {
+        let t = DdrTimings {
+            t_ccd: 0,
+            ..DdrTimings::default()
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn timings_serialize_roundtrip() {
+        let t = DdrTimings {
+            t_rcd: 7,
+            page_policy: PagePolicy::Closed,
+            ..DdrTimings::default()
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DdrTimings = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        let json = serde_json::to_string(&TimingKind::Ddr).unwrap();
+        let back: TimingKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, TimingKind::Ddr);
+    }
+}

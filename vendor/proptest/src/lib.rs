@@ -329,7 +329,10 @@ pub mod prelude {
 }
 
 /// Define property tests: each `fn name(pat in strategy, …) { body }`
-/// becomes a `#[test]` running `cases` deterministic samples.
+/// runs `cases` deterministic samples. As with real proptest, the call
+/// site writes `#[test]` on each property — the macro passes attributes
+/// through verbatim and adds none of its own (emitting a second
+/// `#[test]` would register every property twice with libtest).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -350,7 +353,6 @@ macro_rules! __proptest_fns {
      fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
      $($rest:tt)*) => {
         $(#[$meta])*
-        #[test]
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
             let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
@@ -468,6 +470,8 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        #[allow(clippy::eq_op)]
         fn the_macro_runs_and_assume_skips(a in 0u64..100, b in any::<bool>()) {
             prop_assume!(a != 99);
             prop_assert!(a < 99);

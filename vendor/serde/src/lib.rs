@@ -109,8 +109,8 @@ pub mod de {
     impl std::error::Error for Error {}
 
     /// Look up `name` in an object's fields and deserialize it. Used by
-    /// derived struct impls; a missing field is an error (the workspace
-    /// uses no `#[serde(default)]`).
+    /// derived struct impls for fields without `#[serde(default)]`; a
+    /// missing field is an error.
     pub fn field<T: crate::Deserialize>(
         fields: &[(String, Value)],
         name: &str,
@@ -122,6 +122,21 @@ pub mod de {
             .map(|(_, v)| v)
             .ok_or_else(|| Error::custom(format!("missing field `{name}` for `{ty}`")))?;
         T::from_value(v).map_err(|e| Error::custom(format!("field `{name}` of `{ty}`: {e}")))
+    }
+
+    /// Like [`field`], but a missing field yields `T::default()` — the
+    /// backing for `#[serde(default)]`, which lets newer configs stay
+    /// readable by their older on-disk serializations.
+    pub fn field_or_default<T: crate::Deserialize + Default>(
+        fields: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match fields.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("field `{name}` of `{ty}`: {e}"))),
+            None => Ok(T::default()),
+        }
     }
 }
 

@@ -8,18 +8,24 @@
 //!   name as a JSON string (matching real serde's external tagging for
 //!   unit variants).
 //!
+//! The only `#[serde(...)]` attribute understood is `#[serde(default)]`
+//! on a struct field (a missing field deserializes to `Default::default()`).
+//!
 //! The input token stream is parsed by hand (no `syn`/`quote`, which are
 //! unavailable offline); unsupported shapes — tuple structs, generic
-//! types, data-carrying variants, `#[serde(...)]` attributes — produce a
-//! `compile_error!` naming the limitation rather than silently wrong
-//! code.
+//! types, data-carrying variants, other `#[serde(...)]` attributes —
+//! produce a `compile_error!` naming the limitation rather than silently
+//! wrong code.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// What we parsed out of the derive input.
 enum Shape {
-    /// `struct Name { field, ... }`
-    Struct { name: String, fields: Vec<String> },
+    /// `struct Name { field, ... }`; the flag records `#[serde(default)]`.
+    Struct {
+        name: String,
+        fields: Vec<(String, bool)>,
+    },
     /// `enum Name { Variant, ... }` (unit variants only)
     Enum { name: String, variants: Vec<String> },
 }
@@ -28,9 +34,13 @@ fn error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});").parse().expect("valid error expansion")
 }
 
-/// Skip one attribute (`#` followed by a bracket group, with an optional
-/// `!` for inner attributes) starting at `i`; returns the next index.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+/// Scan attributes (`#` followed by a bracket group, with an optional `!`
+/// for inner attributes) starting at `i`; returns the next index and
+/// whether a `#[serde(default)]` was among them. Any other `#[serde(...)]`
+/// content is an error — the stand-in must not silently drop semantics it
+/// does not implement.
+fn scan_attrs(tokens: &[TokenTree], mut i: usize) -> Result<(usize, bool), String> {
+    let mut has_default = false;
     while i < tokens.len() {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -38,17 +48,34 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
                 if matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '!') {
                     i += 1;
                 }
-                if matches!(&tokens[i..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Bracket)
+                let group = match &tokens[i..] {
+                    [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Bracket => g,
+                    _ => break,
+                };
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
                 {
-                    i += 1;
-                } else {
-                    break;
+                    let args = match inner.get(1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            g.stream().to_string()
+                        }
+                        _ => return Err("malformed `#[serde]` attribute".into()),
+                    };
+                    if args.trim() == "default" {
+                        has_default = true;
+                    } else {
+                        return Err(format!(
+                            "serde stand-in derives support only `#[serde(default)]`, \
+                             got `#[serde({args})]`"
+                        ));
+                    }
                 }
+                i += 1;
             }
             _ => break,
         }
     }
-    i
+    Ok((i, has_default))
 }
 
 /// Skip a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
@@ -65,7 +92,12 @@ fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
 
 fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let mut i = skip_attrs(&tokens, 0);
+    let (mut i, container_default) = scan_attrs(&tokens, 0)?;
+    if container_default {
+        return Err("serde stand-in derives support `#[serde(default)]` only on \
+                    struct fields, not containers"
+            .into());
+    }
     i = skip_vis(&tokens, i);
 
     let kind = match tokens.get(i) {
@@ -102,7 +134,8 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
         let mut fields = Vec::new();
         let mut j = 0;
         while j < body.len() {
-            j = skip_vis(&body, skip_attrs(&body, j));
+            let (k, has_default) = scan_attrs(&body, j)?;
+            j = skip_vis(&body, k);
             let field = match body.get(j) {
                 Some(TokenTree::Ident(id)) => id.to_string(),
                 None => break,
@@ -129,7 +162,7 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
                 j += 1;
             }
             j += 1; // past the comma (or the end)
-            fields.push(field);
+            fields.push((field, has_default));
         }
         if fields.is_empty() {
             return Err(format!("struct `{name}` has no named fields to derive over"));
@@ -139,7 +172,14 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
         let mut variants = Vec::new();
         let mut j = 0;
         while j < body.len() {
-            j = skip_attrs(&body, j);
+            let (k, variant_default) = scan_attrs(&body, j)?;
+            if variant_default {
+                return Err(format!(
+                    "serde stand-in derives support `#[serde(default)]` only on \
+                     struct fields, not variants of `{name}`"
+                ));
+            }
+            j = k;
             let variant = match body.get(j) {
                 Some(TokenTree::Ident(id)) => id.to_string(),
                 None => break,
@@ -167,7 +207,7 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
 }
 
 /// Derive `Serialize` (the vendored stand-in's trait).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = match parse_shape(input) {
         Ok(s) => s,
@@ -177,7 +217,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| {
+                .map(|(f, _)| {
                     format!(
                         "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"
                     )
@@ -215,7 +255,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `Deserialize` (the vendored stand-in's trait).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = match parse_shape(input) {
         Ok(s) => s,
@@ -225,7 +265,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de::field(__fields, {f:?}, {name:?})?"))
+                .map(|(f, has_default)| {
+                    let helper = if *has_default { "field_or_default" } else { "field" };
+                    format!("{f}: ::serde::de::{helper}(__fields, {f:?}, {name:?})?")
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
