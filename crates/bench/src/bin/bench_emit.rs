@@ -9,24 +9,32 @@
 //! Usage:
 //!   bench_emit [--out DIR] [--threads N] [--workload dense|bursty|sparse|all]
 //!              [--timing classic|ddr|both] [--min-sparse-speedup X]
+//!              [--interconnect crossbar|ring|mesh|all]
+//!              [--arbitration round-robin|oldest-first|locality-aware]
 //!
 //! `--timing both` emits one record point per vault timing backend, so
 //! the archived trajectory tracks both the paper's constant-time model
-//! and the DDR state machine. `--min-sparse-speedup X` exits nonzero if
-//! the *classic* sparse-shape speedup falls below `X` — the CI guard
-//! for the fast-forward win (DDR spans are dominated by bank timing, so
-//! the guard does not apply to them).
+//! and the DDR state machine. `--interconnect all` likewise emits one
+//! point per intra-cube fabric (crossbar, ring, mesh).
+//! `--min-sparse-speedup X` exits nonzero if the *classic crossbar*
+//! sparse-shape speedup falls below `X` — the CI guard for the
+//! fast-forward win (DDR spans are dominated by bank timing and
+//! buffered fabrics by hop latency, so the guard does not apply to
+//! them).
 
 use std::path::PathBuf;
 
 use hmc_bench::emit::{compare, shape_by_name, write_record, write_summary, SHAPES};
-use hmc_types::TimingKind;
+use hmc_core::NocParams;
+use hmc_types::{ArbitrationKind, InterconnectKind, TimingKind};
 
 fn main() {
     let mut out = PathBuf::from("results");
     let mut threads: usize = 1;
     let mut workload = String::from("all");
     let mut timings: Vec<TimingKind> = vec![TimingKind::Classic];
+    let mut fabrics: Vec<InterconnectKind> = vec![InterconnectKind::Crossbar];
+    let mut arbitration = ArbitrationKind::RoundRobin;
     let mut min_sparse_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +57,20 @@ fn main() {
                         .unwrap_or_else(|| die("--timing needs `classic`, `ddr`, or `both`"))],
                 };
             }
+            "--interconnect" => {
+                let v = args.next().unwrap_or_else(|| die("--interconnect needs a value"));
+                fabrics = match v.as_str() {
+                    "all" => InterconnectKind::ALL.to_vec(),
+                    other => vec![InterconnectKind::by_name(other).unwrap_or_else(|| {
+                        die("--interconnect needs `crossbar`, `ring`, `mesh`, or `all`")
+                    })],
+                };
+            }
+            "--arbitration" => {
+                arbitration = args.next().and_then(|v| ArbitrationKind::by_name(&v)).unwrap_or_else(
+                    || die("--arbitration needs `round-robin`, `oldest-first`, or `locality-aware`"),
+                );
+            }
             "--min-sparse-speedup" => {
                 min_sparse_speedup = Some(
                     args.next()
@@ -60,7 +82,9 @@ fn main() {
                 eprintln!(
                     "usage: bench_emit [--out DIR] [--threads N] \
                      [--workload dense|bursty|sparse|all] \
-                     [--timing classic|ddr|both] [--min-sparse-speedup X]"
+                     [--timing classic|ddr|both] [--min-sparse-speedup X] \
+                     [--interconnect crossbar|ring|mesh|all] \
+                     [--arbitration round-robin|oldest-first|locality-aware]"
                 );
                 return;
             }
@@ -77,9 +101,10 @@ fn main() {
     std::fs::create_dir_all(&out).unwrap_or_else(|e| die(&format!("{}: {e}", out.display())));
 
     println!(
-        "{:<8} {:<8} {:>16} {:>16} {:>9}  (cycles/sec, {threads} thread{})",
+        "{:<8} {:<8} {:<9} {:>16} {:>16} {:>9}  (cycles/sec, {threads} thread{})",
         "workload",
         "timing",
+        "fabric",
         "stepped",
         "fast-forward",
         "speedup",
@@ -87,34 +112,39 @@ fn main() {
     );
     let mut failed = false;
     for timing in &timings {
-        for shape in &shapes {
-            let (stepped, fast, summary) = compare(*shape, threads, *timing);
-            println!(
-                "{:<8} {:<8} {:>16.3e} {:>16.3e} {:>8.2}x",
-                summary.workload,
-                summary.timing,
-                summary.stepped_cycles_per_sec,
-                summary.fast_forward_cycles_per_sec,
-                summary.speedup
-            );
-            for r in [&stepped, &fast] {
-                let path =
-                    write_record(&out, r).unwrap_or_else(|e| die(&format!("write record: {e}")));
+        for fabric in &fabrics {
+            let noc = NocParams::of(*fabric).with_arbitration(arbitration);
+            for shape in &shapes {
+                let (stepped, fast, summary) = compare(*shape, threads, *timing, noc);
+                println!(
+                    "{:<8} {:<8} {:<9} {:>16.3e} {:>16.3e} {:>8.2}x",
+                    summary.workload,
+                    summary.timing,
+                    summary.interconnect,
+                    summary.stepped_cycles_per_sec,
+                    summary.fast_forward_cycles_per_sec,
+                    summary.speedup
+                );
+                for r in [&stepped, &fast] {
+                    let path = write_record(&out, r)
+                        .unwrap_or_else(|e| die(&format!("write record: {e}")));
+                    eprintln!("bench_emit: wrote {}", path.display());
+                }
+                let path = write_summary(&out, &summary)
+                    .unwrap_or_else(|e| die(&format!("write summary: {e}")));
                 eprintln!("bench_emit: wrote {}", path.display());
-            }
-            let path = write_summary(&out, &summary)
-                .unwrap_or_else(|e| die(&format!("write summary: {e}")));
-            eprintln!("bench_emit: wrote {}", path.display());
-            if let Some(min) = min_sparse_speedup {
-                if *timing == TimingKind::Classic
-                    && summary.workload == "sparse"
-                    && summary.speedup < min
-                {
-                    eprintln!(
-                        "bench_emit: sparse speedup {:.2}x below required {min}x",
-                        summary.speedup
-                    );
-                    failed = true;
+                if let Some(min) = min_sparse_speedup {
+                    if *timing == TimingKind::Classic
+                        && *fabric == InterconnectKind::Crossbar
+                        && summary.workload == "sparse"
+                        && summary.speedup < min
+                    {
+                        eprintln!(
+                            "bench_emit: sparse speedup {:.2}x below required {min}x",
+                            summary.speedup
+                        );
+                        failed = true;
+                    }
                 }
             }
         }

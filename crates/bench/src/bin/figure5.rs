@@ -10,6 +10,8 @@
 //! Usage:
 //!   figure5 [--scale N] [--seed S] [--bin W] [--out DIR] [--threads N] [--check]
 //!           [--fast-forward] [--timing classic|ddr]
+//!           [--interconnect crossbar|ring|mesh]
+//!           [--arbitration round-robin|oldest-first|locality-aware]
 //!
 //! Defaults: 1/256 scale, bin width auto (~200 rows), output CSVs to the
 //! current directory as `figure5_<config>.csv`.
@@ -18,10 +20,10 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use hmc_bench::harness::{paper_setup, paper_workload, SetupOptions};
-use hmc_core::TimingParams;
+use hmc_core::{NocParams, TimingParams};
 use hmc_host::{run_workload, RunConfig};
 use hmc_trace::{SeriesCollector, SharedSink, Verbosity};
-use hmc_types::{DeviceConfig, StorageMode, TimingKind};
+use hmc_types::{ArbitrationKind, DeviceConfig, InterconnectKind, StorageMode, TimingKind};
 
 fn main() {
     let mut scale: u64 = 256;
@@ -32,6 +34,8 @@ fn main() {
     let mut check = false;
     let mut fast_forward = false;
     let mut timing = TimingKind::Classic;
+    let mut interconnect = InterconnectKind::Crossbar;
+    let mut arbitration = ArbitrationKind::RoundRobin;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,10 +52,23 @@ fn main() {
                     .and_then(|v| TimingKind::by_name(&v))
                     .unwrap_or_else(|| die("--timing needs `classic` or `ddr`"));
             }
+            "--interconnect" => {
+                interconnect = args
+                    .next()
+                    .and_then(|v| InterconnectKind::by_name(&v))
+                    .unwrap_or_else(|| die("--interconnect needs `crossbar`, `ring`, or `mesh`"));
+            }
+            "--arbitration" => {
+                arbitration = args.next().and_then(|v| ArbitrationKind::by_name(&v)).unwrap_or_else(
+                    || die("--arbitration needs `round-robin`, `oldest-first`, or `locality-aware`"),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR] \
-                     [--threads N] [--check] [--fast-forward] [--timing classic|ddr]"
+                     [--threads N] [--check] [--fast-forward] [--timing classic|ddr] \
+                     [--interconnect crossbar|ring|mesh] \
+                     [--arbitration round-robin|oldest-first|locality-aware]"
                 );
                 return;
             }
@@ -79,6 +96,7 @@ fn main() {
             threads,
             fast_forward,
             timing: TimingParams::of(timing),
+            interconnect: NocParams::of(interconnect).with_arbitration(arbitration),
         };
         let (mut sim, mut host) = paper_setup(cfg, opts, Some(Box::new(series.clone())));
         let mut workload = paper_workload(seed, scale);

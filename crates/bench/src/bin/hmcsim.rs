@@ -12,6 +12,8 @@
 //!        [--error-rate R] [--serialize-flits N] [--threads N]
 //!        [--locality] [--stall-queue] [--check] [--fast-forward]
 //!        [--timing classic|ddr]
+//!        [--interconnect crossbar|ring|mesh]
+//!        [--arbitration round-robin|oldest-first|locality-aware]
 //!        [--series FILE] [--trace FILE] [--utilization] [--energy]
 //!        [--profile]
 //! ```
@@ -19,13 +21,13 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use hmc_core::{topology, ConflictPolicy, FaultConfig, HmcSim, SimParams, TimingParams};
+use hmc_core::{topology, ConflictPolicy, FaultConfig, HmcSim, NocParams, SimParams, TimingParams};
 use hmc_host::{run_workload, Host, LinkSelection, RunConfig};
 use hmc_trace::{
     estimate_energy, EnergyModel, MultiSink, SeriesCollector, SharedSink, TextSink,
     Tracer, Verbosity,
 };
-use hmc_types::{BlockSize, DeviceConfig, StorageMode, TimingKind};
+use hmc_types::{ArbitrationKind, BlockSize, DeviceConfig, InterconnectKind, StorageMode, TimingKind};
 use hmc_workloads::{Workload, WorkloadSpec};
 
 struct Options {
@@ -49,6 +51,8 @@ struct Options {
     check: bool,
     fast_forward: bool,
     timing: TimingKind,
+    interconnect: InterconnectKind,
+    arbitration: ArbitrationKind,
     dump_config: Option<String>,
 }
 
@@ -75,6 +79,8 @@ impl Default for Options {
             check: false,
             fast_forward: false,
             timing: TimingKind::Classic,
+            interconnect: InterconnectKind::Crossbar,
+            arbitration: ArbitrationKind::RoundRobin,
             dump_config: None,
         }
     }
@@ -87,7 +93,9 @@ fn usage() -> ! {
          [--workload random|stream|gups|chase|stencil] [--requests N] \
          [--seed S] [--read-pct P] [--block BYTES] [--error-rate R] \
          [--serialize-flits N] [--threads N] [--locality] [--stall-queue] \
-         [--check] [--fast-forward] [--timing classic|ddr] [--series FILE] \
+         [--check] [--fast-forward] [--timing classic|ddr] \
+         [--interconnect crossbar|ring|mesh] \
+         [--arbitration round-robin|oldest-first|locality-aware] [--series FILE] \
          [--trace FILE] [--utilization] [--energy] [--profile]"
     );
     std::process::exit(2);
@@ -174,6 +182,25 @@ fn parse_options() -> Options {
                     usage()
                 });
             }
+            "--interconnect" => {
+                let name = next("--interconnect");
+                o.interconnect = InterconnectKind::by_name(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "hmcsim: --interconnect needs `crossbar`, `ring`, or `mesh`, got {name}"
+                    );
+                    usage()
+                });
+            }
+            "--arbitration" => {
+                let name = next("--arbitration");
+                o.arbitration = ArbitrationKind::by_name(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "hmcsim: --arbitration needs `round-robin`, `oldest-first`, \
+                         or `locality-aware`, got {name}"
+                    );
+                    usage()
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("hmcsim: unknown argument {other}");
@@ -219,6 +246,7 @@ fn main() {
         threads: o.threads,
         fast_forward: o.fast_forward,
         timing: TimingParams::of(o.timing),
+        interconnect: NocParams::of(o.interconnect).with_arbitration(o.arbitration),
         ..SimParams::default()
     });
     if o.error_rate > 0.0 {
@@ -297,6 +325,16 @@ fn main() {
         println!(
             "row buffer        {} hits, {} misses, {} precharges",
             s.row_hits, s.row_misses, s.precharges
+        );
+    }
+    if o.interconnect != InterconnectKind::Crossbar {
+        let s = sim.stats();
+        println!(
+            "noc ({})        {} hops, {} stalls, {} arbitration losses",
+            o.interconnect.name(),
+            s.noc_hops,
+            s.noc_stalls,
+            s.noc_arb_losses
         );
     }
     if let Some(f) = sim.fault_state() {

@@ -10,15 +10,16 @@
 //!
 //! Usage:
 //!   sweep [--requests N] [--seed S] [--out FILE] [--jobs N] [--fast-forward]
-//!         [--timing classic|ddr]
+//!         [--timing classic|ddr] [--interconnect crossbar|ring|mesh]
+//!         [--arbitration round-robin|oldest-first|locality-aware]
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use hmc_core::{topology, HmcSim, SimParams, TimingParams};
+use hmc_core::{topology, HmcSim, NocParams, SimParams, TimingParams};
 use hmc_host::{run_workload, Host, RunConfig};
-use hmc_types::{BlockSize, DeviceConfig, StorageMode, TimingKind};
+use hmc_types::{ArbitrationKind, BlockSize, DeviceConfig, InterconnectKind, StorageMode, TimingKind};
 use hmc_workloads::RandomAccess;
 
 struct Point {
@@ -41,6 +42,7 @@ fn run_point(
     drain: usize,
     fast_forward: bool,
     timing: TimingKind,
+    interconnect: NocParams,
 ) -> Point {
     let cfg = DeviceConfig::paper_4link_8bank_2gb()
         .with_storage_mode(StorageMode::TimingOnly)
@@ -50,6 +52,7 @@ fn run_point(
         xbar_drain_per_cycle: drain,
         fast_forward,
         timing: TimingParams::of(timing),
+        interconnect,
         ..SimParams::default()
     });
     let host_id = sim.host_cube_id(0);
@@ -77,6 +80,8 @@ fn main() {
         .unwrap_or(1);
     let mut fast_forward = false;
     let mut timing = TimingKind::Classic;
+    let mut interconnect = InterconnectKind::Crossbar;
+    let mut arbitration = ArbitrationKind::RoundRobin;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,10 +105,33 @@ fn main() {
                         std::process::exit(2);
                     })
             }
+            "--interconnect" => {
+                interconnect = args
+                    .next()
+                    .and_then(|v| InterconnectKind::by_name(&v))
+                    .unwrap_or_else(|| {
+                        eprintln!("sweep: --interconnect needs `crossbar`, `ring`, or `mesh`");
+                        std::process::exit(2);
+                    })
+            }
+            "--arbitration" => {
+                arbitration = args
+                    .next()
+                    .and_then(|v| ArbitrationKind::by_name(&v))
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "sweep: --arbitration needs `round-robin`, `oldest-first`, \
+                             or `locality-aware`"
+                        );
+                        std::process::exit(2);
+                    })
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sweep [--requests N] [--seed S] [--out FILE] [--jobs N] \
-                     [--fast-forward] [--timing classic|ddr]"
+                     [--fast-forward] [--timing classic|ddr] \
+                     [--interconnect crossbar|ring|mesh] \
+                     [--arbitration round-robin|oldest-first|locality-aware]"
                 );
                 return;
             }
@@ -161,6 +189,7 @@ fn main() {
                             drain,
                             fast_forward,
                             timing,
+                            NocParams::of(interconnect).with_arbitration(arbitration),
                         ),
                     ));
                 }

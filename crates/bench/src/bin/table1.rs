@@ -5,6 +5,8 @@
 //! Usage:
 //!   table1 [--scale N] [--full] [--seed S] [--threads N] [--check]
 //!          [--fast-forward] [--timing classic|ddr]
+//!          [--interconnect crossbar|ring|mesh]
+//!          [--arbitration round-robin|oldest-first|locality-aware]
 //!
 //! `--scale N` runs 1/N of the paper's request count (default 16);
 //! `--full` is shorthand for `--scale 1` (the paper's exact request
@@ -16,12 +18,14 @@
 //! (cycle counts stay bit-identical to stepped execution). `--timing`
 //! selects the vault timing backend: the paper's constant-time conflict
 //! model (`classic`, default) or the cycle-accurate DDR state machine
-//! (`ddr`).
+//! (`ddr`). `--interconnect` selects the intra-cube fabric: the direct
+//! crossbar (default) or a buffered ring/mesh NoC, with `--arbitration`
+//! picking the per-hop arbitration policy buffered fabrics use.
 
 use hmc_bench::table1::{format_table, run_table1_with};
 use hmc_bench::SetupOptions;
-use hmc_core::TimingParams;
-use hmc_types::TimingKind;
+use hmc_core::{NocParams, TimingParams};
+use hmc_types::{ArbitrationKind, InterconnectKind, TimingKind};
 
 fn main() {
     let mut scale: u64 = 16;
@@ -30,6 +34,8 @@ fn main() {
     let mut check = false;
     let mut fast_forward = false;
     let mut timing = TimingKind::Classic;
+    let mut interconnect = InterconnectKind::Crossbar;
+    let mut arbitration = ArbitrationKind::RoundRobin;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,10 +66,23 @@ fn main() {
                     .and_then(|v| TimingKind::by_name(&v))
                     .unwrap_or_else(|| die("--timing needs `classic` or `ddr`"));
             }
+            "--interconnect" => {
+                interconnect = args
+                    .next()
+                    .and_then(|v| InterconnectKind::by_name(&v))
+                    .unwrap_or_else(|| die("--interconnect needs `crossbar`, `ring`, or `mesh`"));
+            }
+            "--arbitration" => {
+                arbitration = args.next().and_then(|v| ArbitrationKind::by_name(&v)).unwrap_or_else(
+                    || die("--arbitration needs `round-robin`, `oldest-first`, or `locality-aware`"),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: table1 [--scale N] [--full] [--seed S] [--threads N] [--check] \
-                     [--fast-forward] [--timing classic|ddr]"
+                     [--fast-forward] [--timing classic|ddr] \
+                     [--interconnect crossbar|ring|mesh] \
+                     [--arbitration round-robin|oldest-first|locality-aware]"
                 );
                 return;
             }
@@ -72,14 +91,17 @@ fn main() {
     }
 
     eprintln!(
-        "Running Table I at 1/{scale} scale (seed {seed}, {threads} threads, {} timing{}) ...",
+        "Running Table I at 1/{scale} scale (seed {seed}, {threads} threads, {} timing, \
+         {} fabric{}) ...",
         timing.name(),
+        interconnect.name(),
         if check { ", invariants checked" } else { "" }
     );
     let opts = SetupOptions {
         threads,
         fast_forward,
         timing: TimingParams::of(timing),
+        interconnect: NocParams::of(interconnect).with_arbitration(arbitration),
         ..SetupOptions::default()
     };
     let rows = run_table1_with(scale, seed, opts, check, |config, cycles| {

@@ -4,10 +4,14 @@
 //! thread count, simulated cycles, wall time and the derived cycles/sec —
 //! so CI can archive a trajectory of engine performance over time and
 //! EXPERIMENTS.md tables can be regenerated from artifacts instead of
-//! prose. Files are named
-//! `BENCH_<workload>_<mode>_<timing>_t<threads>.json`; the summary
-//! comparing stepped against fast-forward for one workload under one
-//! timing backend is `BENCH_summary_<workload>_<timing>_t<threads>.json`.
+//! prose. Every record also stamps the host's logical CPU count so
+//! trajectory comparisons can tell apart runs taken on differently
+//! sized machines. Files are named
+//! `BENCH_<workload>_<mode>_<timing>[_<fabric>]_t<threads>.json` (the
+//! fabric segment appears only for buffered ring/mesh runs, keeping
+//! crossbar file names stable); the summary comparing stepped against
+//! fast-forward for one workload under one timing backend is
+//! `BENCH_summary_<workload>_<timing>[_<fabric>]_t<threads>.json`.
 //!
 //! The workload shapes mirror the engine's differential tests: rounds of
 //! (send a burst of reads, batch-clock a gap, drain responses). `dense`
@@ -19,8 +23,10 @@
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use hmc_core::{HmcSim, SimParams, TimingParams};
-use hmc_types::{BlockSize, Command, DeviceConfig, LinkId, Packet, StorageMode, TimingKind};
+use hmc_core::{HmcSim, NocParams, SimParams, TimingParams};
+use hmc_types::{
+    BlockSize, Command, DeviceConfig, InterconnectKind, LinkId, Packet, StorageMode, TimingKind,
+};
 use serde::{Deserialize, Serialize};
 
 /// Schema tag stamped into every emitted record.
@@ -79,8 +85,23 @@ pub struct BenchRecord {
     /// records written before the field existed).
     #[serde(default)]
     pub timing: String,
+    /// Intra-cube interconnect fabric: `crossbar`, `ring` or `mesh`
+    /// (defaults to empty on records written before the field existed).
+    #[serde(default)]
+    pub interconnect: String,
+    /// Per-hop arbitration policy buffered fabrics used (empty on old
+    /// records).
+    #[serde(default)]
+    pub arbitration: String,
     /// Worker threads (1 = serial engine).
     pub threads: u64,
+    /// Logical CPU count of the host that took the measurement
+    /// (`std::thread::available_parallelism`); 0 on records written
+    /// before the field existed or when the count is unavailable.
+    /// Throughput numbers are only comparable across records taken on
+    /// similarly-sized hosts.
+    #[serde(default)]
+    pub num_cpus: u64,
     /// Simulated clock cycles elapsed over the run.
     pub simulated_cycles: u64,
     /// Wall-clock time for the run, nanoseconds.
@@ -105,6 +126,10 @@ pub struct BenchSummary {
     /// Vault timing backend both runs used (`classic` or `ddr`).
     #[serde(default)]
     pub timing: String,
+    /// Intra-cube interconnect fabric both runs used (empty on old
+    /// records).
+    #[serde(default)]
+    pub interconnect: String,
     /// Worker threads both runs used.
     pub threads: u64,
     /// Stepped-mode simulated cycles per second.
@@ -130,7 +155,13 @@ fn unix_now_secs() -> u64 {
         .unwrap_or(0)
 }
 
-fn emit_sim(threads: usize, fast_forward: bool, timing: TimingKind) -> HmcSim {
+fn host_num_cpus() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0)
+}
+
+fn emit_sim(threads: usize, fast_forward: bool, timing: TimingKind, noc: NocParams) -> HmcSim {
     let cfg = DeviceConfig::small().with_storage_mode(StorageMode::TimingOnly);
     let mut sim = HmcSim::new(1, cfg)
         .expect("small config validates")
@@ -138,6 +169,7 @@ fn emit_sim(threads: usize, fast_forward: bool, timing: TimingKind) -> HmcSim {
             threads,
             fast_forward,
             timing: TimingParams::of(timing),
+            interconnect: noc,
             ..SimParams::default()
         });
     for l in 0..4 {
@@ -164,8 +196,9 @@ pub fn measure(
     fast_forward: bool,
     threads: usize,
     timing: TimingKind,
+    noc: NocParams,
 ) -> BenchRecord {
-    let mut sim = emit_sim(threads, fast_forward, timing);
+    let mut sim = emit_sim(threads, fast_forward, timing, noc);
     let mut requests = 0u64;
     let mut responses = 0u64;
     let start = Instant::now();
@@ -207,7 +240,10 @@ pub fn measure(
         workload: shape.name.into(),
         mode: mode_name(fast_forward).into(),
         timing: timing.name().into(),
+        interconnect: noc.kind.name().into(),
+        arbitration: noc.arbitration.name().into(),
         threads: threads.max(1) as u64,
+        num_cpus: host_num_cpus(),
         simulated_cycles,
         wall_ns,
         cycles_per_sec: simulated_cycles as f64 * 1e9 / wall_ns as f64,
@@ -217,19 +253,21 @@ pub fn measure(
     }
 }
 
-/// Measure one shape in both modes under one timing backend and fold
-/// the comparison.
+/// Measure one shape in both modes under one timing backend and fabric,
+/// and fold the comparison.
 pub fn compare(
     shape: WorkloadShape,
     threads: usize,
     timing: TimingKind,
+    noc: NocParams,
 ) -> (BenchRecord, BenchRecord, BenchSummary) {
-    let stepped = measure(shape, false, threads, timing);
-    let fast = measure(shape, true, threads, timing);
+    let stepped = measure(shape, false, threads, timing, noc);
+    let fast = measure(shape, true, threads, timing, noc);
     let summary = BenchSummary {
         schema: SCHEMA.into(),
         workload: shape.name.into(),
         timing: timing.name().into(),
+        interconnect: noc.kind.name().into(),
         threads: threads.max(1) as u64,
         stepped_cycles_per_sec: stepped.cycles_per_sec,
         fast_forward_cycles_per_sec: fast.cycles_per_sec,
@@ -238,21 +276,39 @@ pub fn compare(
     (stepped, fast, summary)
 }
 
+/// `_<fabric>` filename segment for buffered fabrics; empty for the
+/// crossbar (and for pre-fabric records), so legacy trajectory file
+/// names stay stable.
+fn fabric_segment(interconnect: &str) -> String {
+    if interconnect.is_empty() || interconnect == InterconnectKind::Crossbar.name() {
+        String::new()
+    } else {
+        format!("_{interconnect}")
+    }
+}
+
 /// File name for a record:
-/// `BENCH_<workload>_<mode>_<timing>_t<threads>.json`.
+/// `BENCH_<workload>_<mode>_<timing>[_<fabric>]_t<threads>.json`.
 pub fn record_file_name(record: &BenchRecord) -> String {
     format!(
-        "BENCH_{}_{}_{}_t{}.json",
-        record.workload, record.mode, record.timing, record.threads
+        "BENCH_{}_{}_{}{}_t{}.json",
+        record.workload,
+        record.mode,
+        record.timing,
+        fabric_segment(&record.interconnect),
+        record.threads
     )
 }
 
 /// File name for a summary:
-/// `BENCH_summary_<workload>_<timing>_t<threads>.json`.
+/// `BENCH_summary_<workload>_<timing>[_<fabric>]_t<threads>.json`.
 pub fn summary_file_name(summary: &BenchSummary) -> String {
     format!(
-        "BENCH_summary_{}_{}_t{}.json",
-        summary.workload, summary.timing, summary.threads
+        "BENCH_summary_{}_{}{}_t{}.json",
+        summary.workload,
+        summary.timing,
+        fabric_segment(&summary.interconnect),
+        summary.threads
     )
 }
 
@@ -289,22 +345,24 @@ mod tests {
 
     #[test]
     fn both_modes_simulate_the_identical_span() {
-        let stepped = measure(tiny(), false, 1, TimingKind::Classic);
-        let fast = measure(tiny(), true, 1, TimingKind::Classic);
+        let stepped = measure(tiny(), false, 1, TimingKind::Classic, NocParams::default());
+        let fast = measure(tiny(), true, 1, TimingKind::Classic, NocParams::default());
         assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
         assert_eq!(stepped.requests, fast.requests);
         assert_eq!(stepped.responses, fast.responses);
         assert_eq!(stepped.responses, 12, "every read must answer");
         assert_eq!(stepped.mode, "stepped");
         assert_eq!(fast.mode, "fast-forward");
+        assert_eq!(stepped.interconnect, "crossbar");
+        assert!(stepped.num_cpus >= 1, "host CPU count must be stamped");
         assert!(stepped.cycles_per_sec > 0.0);
         assert!(fast.cycles_per_sec > 0.0);
     }
 
     #[test]
     fn ddr_backend_spans_match_across_modes_too() {
-        let stepped = measure(tiny(), false, 1, TimingKind::Ddr);
-        let fast = measure(tiny(), true, 1, TimingKind::Ddr);
+        let stepped = measure(tiny(), false, 1, TimingKind::Ddr, NocParams::default());
+        let fast = measure(tiny(), true, 1, TimingKind::Ddr, NocParams::default());
         assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
         assert_eq!(stepped.responses, fast.responses);
         assert_eq!(stepped.responses, 12, "every read must answer");
@@ -312,8 +370,21 @@ mod tests {
     }
 
     #[test]
+    fn buffered_fabric_spans_match_across_modes() {
+        let ring = NocParams::of(InterconnectKind::Ring);
+        let stepped = measure(tiny(), false, 1, TimingKind::Classic, ring);
+        let fast = measure(tiny(), true, 1, TimingKind::Classic, ring);
+        assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
+        assert_eq!(stepped.responses, fast.responses);
+        assert_eq!(stepped.responses, 12, "every read must answer");
+        assert_eq!(stepped.interconnect, "ring");
+        assert_eq!(stepped.arbitration, "round-robin");
+        assert!(record_file_name(&stepped).contains("_ring_"));
+    }
+
+    #[test]
     fn records_round_trip_through_json() {
-        let (stepped, fast, summary) = compare(tiny(), 1, TimingKind::Classic);
+        let (stepped, fast, summary) = compare(tiny(), 1, TimingKind::Classic, NocParams::default());
         for r in [&stepped, &fast] {
             let json = serde_json::to_string(r).unwrap();
             let back: BenchRecord = serde_json::from_str(&json).unwrap();
@@ -329,7 +400,7 @@ mod tests {
     fn emitted_files_land_where_named() {
         let dir = std::env::temp_dir().join("hmc_bench_emit_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let record = measure(tiny(), true, 1, TimingKind::Ddr);
+        let record = measure(tiny(), true, 1, TimingKind::Ddr, NocParams::default());
         let path = write_record(&dir, &record).unwrap();
         assert!(path.ends_with("BENCH_sparse_fast-forward_ddr_t1.json"));
         let text = std::fs::read_to_string(&path).unwrap();

@@ -1,6 +1,6 @@
 //! Shared experiment setup.
 
-use hmc_core::{topology, HmcSim, TimingParams};
+use hmc_core::{topology, HmcSim, NocParams, TimingParams};
 use hmc_host::Host;
 use hmc_trace::{TraceSink, Tracer, Verbosity};
 use hmc_types::{DeviceConfig, StorageMode};
@@ -24,6 +24,9 @@ pub struct SetupOptions {
     /// constant-time conflict model by default, or the cycle-accurate
     /// DDR state machine.
     pub timing: TimingParams,
+    /// Intra-cube interconnect fabric (`SimParams::interconnect`): the
+    /// direct crossbar by default, or a buffered ring/mesh NoC.
+    pub interconnect: NocParams,
 }
 
 impl Default for SetupOptions {
@@ -34,6 +37,7 @@ impl Default for SetupOptions {
             threads: 1,
             fast_forward: false,
             timing: TimingParams::default(),
+            interconnect: NocParams::default(),
         }
     }
 }
@@ -50,7 +54,8 @@ pub fn paper_setup(
         .expect("paper configs validate")
         .with_threads(opts.threads)
         .with_fast_forward(opts.fast_forward)
-        .with_timing(opts.timing);
+        .with_timing(opts.timing)
+        .with_interconnect(opts.interconnect);
     let host_id = sim.host_cube_id(0);
     topology::build_simple(&mut sim, host_id).expect("simple topology");
     if let Some(sink) = sink {

@@ -3,6 +3,8 @@
 //! ```text
 //! conform-fuzz [--streams N] [--len N] [--seed HEX] [--full-sweep]
 //!              [--fast-forward] [--timing classic|ddr|both]
+//!              [--interconnect crossbar|ring|mesh|all]
+//!              [--arbitration round-robin|oldest-first|locality-aware]
 //!              [--repro-dir DIR] [--demo-corruption]
 //! ```
 //!
@@ -15,7 +17,9 @@
 //! the vault timing backend the streams run under — `both` runs the
 //! whole campaign once per backend, so every stream is checked under
 //! the classic constant-time model *and* the cycle-accurate DDR state
-//! machine. Exits non-zero
+//! machine. `--interconnect` does the same for the intra-cube fabric
+//! axis (`all` sweeps crossbar, ring, and mesh), and `--arbitration`
+//! picks the hop-arbitration policy buffered fabrics use. Exits non-zero
 //! on the first divergence, after shrinking it and writing a repro
 //! trace. `--demo-corruption` instead *injects* a datapath fault into
 //! one stream and exits zero only if the harness catches and shrinks
@@ -27,12 +31,14 @@ use std::process::ExitCode;
 use hmc_conform::{campaign, shrink_case, write_repro, CampaignConfig};
 use hmc_conform::fuzz::campaign_with_corruption;
 use hmc_conform::CorruptSpec;
-use hmc_types::TimingKind;
+use hmc_types::{ArbitrationKind, InterconnectKind, TimingKind};
 
 fn usage() -> ! {
     eprintln!(
         "usage: conform-fuzz [--streams N] [--len N] [--seed HEX] [--full-sweep]\n\
          \x20                  [--fast-forward] [--timing classic|ddr|both]\n\
+         \x20                  [--interconnect crossbar|ring|mesh|all]\n\
+         \x20                  [--arbitration round-robin|oldest-first|locality-aware]\n\
          \x20                  [--repro-dir DIR] [--demo-corruption]"
     );
     std::process::exit(2)
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
     let mut repro_dir = PathBuf::from(".");
     let mut demo_corruption = false;
     let mut timings: Vec<TimingKind> = vec![TimingKind::Classic];
+    let mut fabrics: Vec<InterconnectKind> = vec![InterconnectKind::Crossbar];
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +80,32 @@ fn main() -> ExitCode {
                     },
                 };
             }
+            "--interconnect" => {
+                let v = value("--interconnect");
+                fabrics = match v.as_str() {
+                    "all" => InterconnectKind::ALL.to_vec(),
+                    other => match InterconnectKind::by_name(other) {
+                        Some(k) => vec![k],
+                        None => {
+                            eprintln!("--interconnect needs `crossbar`, `ring`, `mesh`, or `all`");
+                            usage()
+                        }
+                    },
+                };
+            }
+            "--arbitration" => {
+                let v = value("--arbitration");
+                cfg.arbitration = match ArbitrationKind::by_name(&v) {
+                    Some(a) => a,
+                    None => {
+                        eprintln!(
+                            "--arbitration needs `round-robin`, `oldest-first`, \
+                             or `locality-aware`"
+                        );
+                        usage()
+                    }
+                };
+            }
             "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")),
             "--demo-corruption" => demo_corruption = true,
             "--help" | "-h" => usage(),
@@ -90,54 +123,63 @@ fn main() -> ExitCode {
     let mut streams_clean = 0usize;
     let mut responses_checked = 0u64;
     for kind in &timings {
-        let cfg = CampaignConfig {
-            timing: *kind,
-            ..cfg.clone()
-        };
-        println!(
-            "conform-fuzz: {} streams x {} ops, base seed {:#x}, {} thread sweep, {} timing",
-            cfg.streams,
-            cfg.stream_len,
-            cfg.base_seed,
-            if cfg.full_sweep { "full" } else { "rotating" },
-            kind.name(),
-        );
-        let report = campaign(&cfg);
-        match report.failure {
-            None => {
-                streams_clean += report.streams_run;
-                responses_checked += report.responses_checked;
-            }
-            Some((case, failure)) => {
-                eprintln!(
-                    "FAIL on stream {} ({}, {} map, seed {:#x}, {} timing): {failure}",
-                    report.streams_run - 1,
-                    case.label,
-                    case.map.name(),
-                    case.seed,
-                    case.timing.name(),
-                );
-                eprintln!("shrinking…");
-                let shrunk = shrink_case(&case);
-                let path = repro_dir.join("conform-repro.csv");
-                match write_repro(&shrunk.minimal, &shrunk.failure, &path) {
-                    Ok(()) => eprintln!(
-                        "minimal repro: {} of {} ops ({} runs) -> {}",
-                        shrunk.minimal.ops.len(),
-                        shrunk.original_len,
-                        shrunk.runs,
-                        path.display()
-                    ),
-                    Err(e) => eprintln!("could not write repro file: {e}"),
+        for fabric in &fabrics {
+            let cfg = CampaignConfig {
+                timing: *kind,
+                interconnect: *fabric,
+                ..cfg.clone()
+            };
+            println!(
+                "conform-fuzz: {} streams x {} ops, base seed {:#x}, {} thread sweep, \
+                 {} timing, {} fabric ({} arbitration)",
+                cfg.streams,
+                cfg.stream_len,
+                cfg.base_seed,
+                if cfg.full_sweep { "full" } else { "rotating" },
+                kind.name(),
+                fabric.name(),
+                cfg.arbitration.name(),
+            );
+            let report = campaign(&cfg);
+            match report.failure {
+                None => {
+                    streams_clean += report.streams_run;
+                    responses_checked += report.responses_checked;
                 }
-                return ExitCode::FAILURE;
+                Some((case, failure)) => {
+                    eprintln!(
+                        "FAIL on stream {} ({}, {} map, seed {:#x}, {} timing, \
+                         {} fabric): {failure}",
+                        report.streams_run - 1,
+                        case.label,
+                        case.map.name(),
+                        case.seed,
+                        case.timing.name(),
+                        case.interconnect.name(),
+                    );
+                    eprintln!("shrinking…");
+                    let shrunk = shrink_case(&case);
+                    let path = repro_dir.join("conform-repro.csv");
+                    match write_repro(&shrunk.minimal, &shrunk.failure, &path) {
+                        Ok(()) => eprintln!(
+                            "minimal repro: {} of {} ops ({} runs) -> {}",
+                            shrunk.minimal.ops.len(),
+                            shrunk.original_len,
+                            shrunk.runs,
+                            path.display()
+                        ),
+                        Err(e) => eprintln!("could not write repro file: {e}"),
+                    }
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
     println!(
-        "PASS: {streams_clean} streams clean across {} backend(s), \
+        "PASS: {streams_clean} streams clean across {} backend(s) x {} fabric(s), \
          {responses_checked} responses oracle-checked",
-        timings.len()
+        timings.len(),
+        fabrics.len()
     );
     ExitCode::SUCCESS
 }

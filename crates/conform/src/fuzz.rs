@@ -7,8 +7,8 @@
 //! one exact `(preset, map, ops)` case forever.
 
 use hmc_types::{
-    AddressMap, BankFirstMap, BlockSize, CustomMap, DeviceConfig, Field, LinearMap,
-    LowInterleaveMap, MapGeometry, TimingKind,
+    AddressMap, ArbitrationKind, BankFirstMap, BlockSize, CustomMap, DeviceConfig, Field,
+    InterconnectKind, LinearMap, LowInterleaveMap, MapGeometry, TimingKind,
 };
 use hmc_workloads::{MemOp, OpKind};
 
@@ -169,6 +169,12 @@ pub struct CampaignConfig {
     /// default, so pinned-seed campaigns from before the backend axis
     /// existed keep their exact behaviour.
     pub timing: TimingKind,
+    /// Interconnect fabric every stream runs on. Crossbar by default,
+    /// so pinned-seed campaigns from before the fabric axis existed
+    /// keep their exact behaviour.
+    pub interconnect: InterconnectKind,
+    /// Arbitration policy for buffered fabrics (crossbar ignores it).
+    pub arbitration: ArbitrationKind,
 }
 
 impl Default for CampaignConfig {
@@ -180,6 +186,8 @@ impl Default for CampaignConfig {
             full_sweep: false,
             fast_forward: false,
             timing: TimingKind::Classic,
+            interconnect: InterconnectKind::Crossbar,
+            arbitration: ArbitrationKind::RoundRobin,
         }
     }
 }
@@ -211,7 +219,10 @@ pub fn case_for_stream(cfg: &CampaignConfig, i: usize) -> FuzzCase {
     let map = MapKind::ALL[(i / presets.len()) % MapKind::ALL.len()];
     let seed = cfg.base_seed ^ Lcg::new(i as u64).next_u64();
     let ops = gen_stream(seed, cfg.stream_len, device);
-    let mut case = FuzzCase::new(label, device.clone(), map, seed, ops).with_timing(cfg.timing);
+    let mut case = FuzzCase::new(label, device.clone(), map, seed, ops)
+        .with_timing(cfg.timing)
+        .with_interconnect(cfg.interconnect)
+        .with_arbitration(cfg.arbitration);
     if !cfg.full_sweep {
         // Rotate the parallel engine's thread count; serial always runs.
         case.threads = vec![1, THREAD_SWEEP[1 + i % (THREAD_SWEEP.len() - 1)]];

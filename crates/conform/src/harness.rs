@@ -12,9 +12,11 @@
 //! violations, full quiesce with link tokens back at their initial
 //! allotment) and all runs produce bit-identical observation streams.
 
-use hmc_core::{decode_response, topology, HmcSim, TimingParams};
+use hmc_core::{decode_response, topology, HmcSim, NocParams, TimingParams};
 use hmc_host::{Pending, TagPool};
-use hmc_types::{Cycle, DeviceConfig, HmcError, LinkId, Packet, TimingKind};
+use hmc_types::{
+    ArbitrationKind, Cycle, DeviceConfig, HmcError, InterconnectKind, LinkId, Packet, TimingKind,
+};
 use hmc_workloads::{MemOp, OpKind};
 
 use crate::fuzz::{Lcg, MapKind};
@@ -81,6 +83,14 @@ pub struct FuzzCase {
     /// so the cross-backend axis is a second `run_case` with the other
     /// kind (see [`run_case_cross_timing`]).
     pub timing: TimingKind,
+    /// Intra-cube interconnect fabric every engine run uses. Like the
+    /// timing axis, one case runs one fabric (cycle counts are only
+    /// comparable within a fabric); the cross-fabric axis is
+    /// [`run_case_cross_interconnect`].
+    pub interconnect: InterconnectKind,
+    /// Arbitration policy for buffered fabrics (ignored by the
+    /// crossbar, which has no contended hop buffers).
+    pub arbitration: ArbitrationKind,
 }
 
 impl FuzzCase {
@@ -99,12 +109,26 @@ impl FuzzCase {
             gap_every: 0,
             gap_cycles: 0,
             timing: TimingKind::Classic,
+            interconnect: InterconnectKind::Crossbar,
+            arbitration: ArbitrationKind::RoundRobin,
         }
     }
 
     /// The same case under another timing backend (builder style).
     pub fn with_timing(mut self, timing: TimingKind) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// The same case on another interconnect fabric (builder style).
+    pub fn with_interconnect(mut self, kind: InterconnectKind) -> Self {
+        self.interconnect = kind;
+        self
+    }
+
+    /// The same case under another arbitration policy (builder style).
+    pub fn with_arbitration(mut self, arb: ArbitrationKind) -> Self {
+        self.arbitration = arb;
         self
     }
 }
@@ -177,12 +201,14 @@ pub fn mode_name(fast_forward: bool) -> &'static str {
 /// cycle, and full quiesce at the end.
 pub fn run_engine(case: &FuzzCase, threads: usize, fast_forward: bool) -> Result<EngineRun, Failure> {
     let timing = case.timing;
+    let fabric = case.interconnect;
     let fail = |description: String| Failure {
         threads,
         description: format!(
-            "[{} mode, {} timing] {description}",
+            "[{} mode, {} timing, {} fabric] {description}",
             mode_name(fast_forward),
-            timing.name()
+            timing.name(),
+            fabric.name(),
         ),
     };
 
@@ -190,7 +216,8 @@ pub fn run_engine(case: &FuzzCase, threads: usize, fast_forward: bool) -> Result
         .map_err(|e| fail(format!("sim construction: {e}")))?
         .with_threads(threads)
         .with_fast_forward(fast_forward)
-        .with_timing(TimingParams::of(case.timing));
+        .with_timing(TimingParams::of(case.timing))
+        .with_interconnect(NocParams::of(case.interconnect).with_arbitration(case.arbitration));
     sim.set_address_map(case.map.make(case.config.geometry()))
         .map_err(|e| fail(format!("address map: {e}")))?;
     let host_id = sim.host_cube_id(0);
@@ -380,9 +407,10 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseOutcome, Failure> {
                 return Err(Failure {
                     threads: 0,
                     description: format!(
-                        "{t}-thread {mode} run ({} timing) diverges from serial stepped \
-                         ({} vs {} completions, {} vs {} cycles): {at}",
+                        "{t}-thread {mode} run ({} timing, {} fabric) diverges from serial \
+                         stepped ({} vs {} completions, {} vs {} cycles): {at}",
                         case.timing.name(),
+                        case.interconnect.name(),
                         run.observations.len(),
                         reference.observations.len(),
                         run.cycles,
@@ -455,6 +483,65 @@ pub fn run_case_cross_timing(case: &FuzzCase) -> Result<CrossTimingOutcome, Fail
         classic,
         ddr,
         latency_delta,
+    })
+}
+
+/// The outcome of one case run on every interconnect fabric.
+#[derive(Debug, Clone)]
+pub struct CrossInterconnectOutcome {
+    /// The crossbar fabric's full-sweep run (the reference fabric).
+    pub crossbar: CaseOutcome,
+    /// The ring fabric's full-sweep run.
+    pub ring: CaseOutcome,
+    /// The mesh fabric's full-sweep run.
+    pub mesh: CaseOutcome,
+    /// `ring cycles − crossbar cycles` for the serial stepped reference
+    /// — reported, never asserted: buffered hops are *supposed* to cost
+    /// cycles.
+    pub ring_delta: i64,
+    /// `mesh cycles − crossbar cycles`, likewise reported only.
+    pub mesh_delta: i64,
+}
+
+/// Run one case on every interconnect fabric — each through the full
+/// thread × engine-mode sweep of [`run_case`] — and demand the
+/// functional observation streams (op, link, data) agree bit-for-bit
+/// with the crossbar reference. Cycle counts are excluded from the
+/// comparison (buffered fabrics add hop latency) and surfaced as the
+/// per-fabric deltas instead.
+pub fn run_case_cross_interconnect(case: &FuzzCase) -> Result<CrossInterconnectOutcome, Failure> {
+    let crossbar = run_case(&case.clone().with_interconnect(InterconnectKind::Crossbar))?;
+    let ring = run_case(&case.clone().with_interconnect(InterconnectKind::Ring))?;
+    let mesh = run_case(&case.clone().with_interconnect(InterconnectKind::Mesh))?;
+    let reference = functional_observations(&crossbar.reference);
+    for (fabric, run) in [("ring", &ring), ("mesh", &mesh)] {
+        let got = functional_observations(&run.reference);
+        if got != reference {
+            let at = reference.iter().zip(&got).position(|(x, y)| x != y).map_or_else(
+                || format!("{} vs {} completions", reference.len(), got.len()),
+                |i| {
+                    format!(
+                        "first divergence at op-sorted #{i}: crossbar {:?}, {fabric} {:?}",
+                        reference[i], got[i]
+                    )
+                },
+            );
+            return Err(Failure {
+                threads: 0,
+                description: format!(
+                    "cross-fabric functional divergence (crossbar vs {fabric}): {at}"
+                ),
+            });
+        }
+    }
+    let ring_delta = ring.reference.cycles as i64 - crossbar.reference.cycles as i64;
+    let mesh_delta = mesh.reference.cycles as i64 - crossbar.reference.cycles as i64;
+    Ok(CrossInterconnectOutcome {
+        crossbar,
+        ring,
+        mesh,
+        ring_delta,
+        mesh_delta,
     })
 }
 
@@ -542,6 +629,58 @@ mod tests {
         assert!(format!("{f}").contains("fast-forward"));
         assert!(format!("{f}").contains("[3 thread(s)]"));
         assert_eq!(mode_name(false), "stepped");
+    }
+
+    #[test]
+    fn buffered_fabrics_agree_with_the_crossbar_functionally() {
+        let block = 128u64;
+        let ops = vec![
+            MemOp::write(0, BlockSize::B128),
+            MemOp::read(0, BlockSize::B128),
+            MemOp::write(5 * block, BlockSize::B64),
+            MemOp::read(5 * block, BlockSize::B64),
+            MemOp { kind: OpKind::TwoAdd8, addr: 9 * block, size: BlockSize::B16 },
+            MemOp::read(9 * block, BlockSize::B32),
+            MemOp::read(14 * block, BlockSize::B16),
+        ];
+        let mut case = tiny_case(ops);
+        case.threads = vec![1, 4];
+        case.gap_every = 3;
+        case.gap_cycles = 1_000;
+        let out = run_case_cross_interconnect(&case).unwrap();
+        assert_eq!(out.crossbar.checked, 7);
+        assert_eq!(out.ring.checked, 7);
+        assert_eq!(out.mesh.checked, 7);
+        assert!(
+            out.ring_delta >= 0 && out.mesh_delta >= 0,
+            "buffered hops never make a stream faster (ring {:+}, mesh {:+})",
+            out.ring_delta,
+            out.mesh_delta
+        );
+    }
+
+    #[test]
+    fn buffered_fabrics_pass_the_full_sweep_under_every_arbitration() {
+        let block = 128u64;
+        let ops = vec![
+            MemOp::write(2 * block, BlockSize::B64),
+            MemOp::read(2 * block, BlockSize::B64),
+            MemOp::read(7 * block, BlockSize::B32),
+            MemOp::read(11 * block, BlockSize::B128),
+        ];
+        for kind in [InterconnectKind::Ring, InterconnectKind::Mesh] {
+            for arb in ArbitrationKind::ALL {
+                let mut case = tiny_case(ops.clone())
+                    .with_interconnect(kind)
+                    .with_arbitration(arb);
+                case.threads = vec![1, 2, 8];
+                case.gap_every = 2;
+                case.gap_cycles = 500;
+                let out = run_case(&case)
+                    .unwrap_or_else(|f| panic!("{}/{}: {f}", kind.name(), arb.name()));
+                assert_eq!(out.checked, 4);
+            }
+        }
     }
 
     #[test]

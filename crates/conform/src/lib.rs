@@ -40,8 +40,8 @@ pub mod shrink;
 
 pub use fuzz::{campaign, gen_stream, CampaignConfig, CampaignReport, Lcg, MapKind};
 pub use harness::{
-    owner_link, run_case, run_case_cross_timing, CaseOutcome, CorruptSpec, CrossTimingOutcome,
-    Failure, FuzzCase,
+    owner_link, run_case, run_case_cross_interconnect, run_case_cross_timing, CaseOutcome,
+    CorruptSpec, CrossInterconnectOutcome, CrossTimingOutcome, Failure, FuzzCase,
 };
 pub use oracle::Oracle;
 pub use shrink::{shrink_case, write_repro, ShrinkReport};

@@ -93,6 +93,12 @@ pub fn write_repro(case: &FuzzCase, failure: &Failure, path: &Path) -> std::io::
     writeln!(out, "# map: {}", case.map.name())?;
     writeln!(out, "# seed: {:#x}", case.seed)?;
     writeln!(out, "# timing: {}", case.timing.name())?;
+    writeln!(
+        out,
+        "# interconnect: {} ({} arbitration)",
+        case.interconnect.name(),
+        case.arbitration.name()
+    )?;
     writeln!(out, "# fast-forward axis: {}", case.fast_forward)?;
     if case.gap_every > 0 {
         writeln!(

@@ -7,10 +7,10 @@ use std::io::BufReader;
 
 use hmc_conform::fuzz::{campaign_with_corruption, case_for_stream, gen_stream};
 use hmc_conform::{
-    campaign, run_case, run_case_cross_timing, shrink_case, write_repro, CampaignConfig,
-    CorruptSpec, FuzzCase, MapKind,
+    campaign, run_case, run_case_cross_interconnect, run_case_cross_timing, shrink_case,
+    write_repro, CampaignConfig, CorruptSpec, FuzzCase, MapKind,
 };
-use hmc_types::{DeviceConfig, TimingKind};
+use hmc_types::{ArbitrationKind, DeviceConfig, InterconnectKind, TimingKind};
 use hmc_workloads::{OpKind, Replay, Workload};
 
 /// Enough streams to hit every (preset, map) pair once: 4 presets
@@ -22,7 +22,7 @@ fn mini_campaign() -> CampaignConfig {
         base_seed: 0xD1FF_5EED,
         full_sweep: false,
         fast_forward: false,
-        timing: TimingKind::Classic,
+        ..CampaignConfig::default()
     }
 }
 
@@ -49,7 +49,7 @@ fn full_thread_sweep_passes_on_one_stream_per_preset() {
         base_seed: 0xFADE,
         full_sweep: true,
         fast_forward: false,
-        timing: TimingKind::Classic,
+        ..CampaignConfig::default()
     };
     let report = campaign(&cfg);
     assert!(report.is_clean(), "{:?}", report.failure.map(|(_, f)| f.to_string()));
@@ -141,7 +141,7 @@ fn forced_fast_forward_campaign_is_clean() {
         base_seed: 0x0FF0_FF00,
         full_sweep: false,
         fast_forward: true,
-        timing: TimingKind::Classic,
+        ..CampaignConfig::default()
     };
     let report = campaign(&cfg);
     assert!(report.is_clean(), "{:?}", report.failure.map(|(_, f)| f.to_string()));
@@ -161,6 +161,7 @@ fn ddr_campaign_with_pinned_seed_is_clean() {
         full_sweep: false,
         fast_forward: false,
         timing: TimingKind::Ddr,
+        ..CampaignConfig::default()
     };
     let report = campaign(&cfg);
     if let Some((case, failure)) = &report.failure {
@@ -185,6 +186,7 @@ fn ddr_full_thread_sweep_passes_stepped_and_fast_forward() {
         full_sweep: true,
         fast_forward: true,
         timing: TimingKind::Ddr,
+        ..CampaignConfig::default()
     };
     let report = campaign(&cfg);
     assert!(report.is_clean(), "{:?}", report.failure.map(|(_, f)| f.to_string()));
@@ -216,4 +218,79 @@ fn backends_agree_functionally_on_every_preset_and_map() {
     for (preset, map, delta) in &deltas {
         eprintln!("latency delta ({preset}, {map}): ddr - classic = {delta} cycles");
     }
+}
+
+#[test]
+fn fabrics_agree_functionally_on_every_preset_and_map() {
+    // The fabric-differential axis: the same seeded stream on every
+    // preset × address map, run to completion on the crossbar, the
+    // ring, and the mesh. Responses (op, owner link, data) must match
+    // bit-for-bit; hop latency makes cycle counts differ, so those are
+    // only reported.
+    let mut deltas = Vec::new();
+    for (pi, (label, device)) in DeviceConfig::paper_configs().iter().enumerate() {
+        for (mi, map) in MapKind::ALL.into_iter().enumerate() {
+            let seed = 0xFAB0_0000 + (pi * 4 + mi) as u64;
+            let ops = gen_stream(seed, 24, device);
+            let mut case = FuzzCase::new(label, device.clone(), map, seed, ops);
+            case.threads = vec![1, 4];
+            let out = run_case_cross_interconnect(&case)
+                .unwrap_or_else(|f| panic!("{label} / {}: {f}", map.name()));
+            assert!(out.crossbar.checked > 0);
+            assert_eq!(out.crossbar.checked, out.ring.checked);
+            assert_eq!(out.crossbar.checked, out.mesh.checked);
+            deltas.push((label.to_string(), map.name(), out.ring_delta, out.mesh_delta));
+        }
+    }
+    assert_eq!(deltas.len(), 16, "all preset x map pairs ran");
+    for (preset, map, ring, mesh) in &deltas {
+        eprintln!("fabric deltas ({preset}, {map}): ring {ring:+}, mesh {mesh:+} cycles");
+    }
+}
+
+#[test]
+fn ring_campaign_with_pinned_seed_is_clean() {
+    // The ring fabric through the full harness at a pinned seed — the
+    // same guard the CI interconnect leg executes.
+    let cfg = CampaignConfig {
+        streams: 16,
+        stream_len: 32,
+        base_seed: 0xC0FF_EE03,
+        interconnect: InterconnectKind::Ring,
+        ..CampaignConfig::default()
+    };
+    let report = campaign(&cfg);
+    if let Some((case, failure)) = &report.failure {
+        panic!(
+            "ring stream on {} / {} (seed {:#x}) diverged: {failure}",
+            case.label,
+            case.map.name(),
+            case.seed
+        );
+    }
+    assert_eq!(report.streams_run, 16);
+}
+
+#[test]
+fn mesh_campaign_with_pinned_seed_is_clean() {
+    // As above for the mesh, crossed with a non-default arbitration
+    // policy so the oldest-first scan order sees campaign traffic too.
+    let cfg = CampaignConfig {
+        streams: 16,
+        stream_len: 32,
+        base_seed: 0xC0FF_EE04,
+        interconnect: InterconnectKind::Mesh,
+        arbitration: ArbitrationKind::OldestFirst,
+        ..CampaignConfig::default()
+    };
+    let report = campaign(&cfg);
+    if let Some((case, failure)) = &report.failure {
+        panic!(
+            "mesh stream on {} / {} (seed {:#x}) diverged: {failure}",
+            case.label,
+            case.map.name(),
+            case.seed
+        );
+    }
+    assert_eq!(report.streams_run, 16);
 }

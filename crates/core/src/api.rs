@@ -67,6 +67,8 @@ pub fn hmcsim_init(
         block_size: BlockSize::B128,
         storage_mode: StorageMode::Functional,
         timing: TimingKind::Classic,
+        interconnect: hmc_types::InterconnectKind::Crossbar,
+        arbitration: hmc_types::ArbitrationKind::RoundRobin,
     };
     HmcSim::new(num_devs, config)
 }

@@ -17,6 +17,7 @@ use hmc_mem::VaultMemory;
 use hmc_types::{CubeId, DeviceConfig, LinkId, VaultId};
 
 use crate::link::Link;
+use crate::noc::NocState;
 use crate::quad::Quad;
 use crate::register::RegisterFile;
 use crate::vault::Vault;
@@ -37,6 +38,10 @@ pub struct Device {
     pub vaults: Vec<Vault>,
     /// The device register file.
     pub registers: RegisterFile,
+    /// Buffered intra-cube fabric state (ring/mesh). `None` means the
+    /// paper's idealized crossbar: stage 2 and stage 5 push directly and
+    /// no NoC sub-stage runs — the pre-NoC engine, bit for bit.
+    pub noc: Option<NocState>,
 }
 
 impl Device {
@@ -64,6 +69,7 @@ impl Device {
             quads,
             vaults,
             registers,
+            noc: None,
         }
     }
 
@@ -87,7 +93,8 @@ impl Device {
         Quad::of_vault(vault)
     }
 
-    /// Total packets resident in all device queues (drain checks).
+    /// Total packets resident in all device queues (drain checks),
+    /// including packets in flight between quads on a buffered NoC.
     pub fn total_occupancy(&self) -> usize {
         self.xbars.iter().map(|x| x.occupancy()).sum::<usize>()
             + self
@@ -95,6 +102,7 @@ impl Device {
                 .iter()
                 .map(|v| v.rqst.len() + v.rsp.len() + v.pending.len())
                 .sum::<usize>()
+            + self.noc.as_ref().map_or(0, |n| n.occupancy())
     }
 
     /// Return the device to its reset state: queues emptied, registers at
@@ -109,6 +117,9 @@ impl Device {
         }
         for l in &mut self.links {
             l.reset_tokens();
+        }
+        if let Some(n) = &mut self.noc {
+            n.clear();
         }
         self.registers.reset();
     }

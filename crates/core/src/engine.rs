@@ -438,6 +438,7 @@ impl HmcSim {
     pub fn clock_batch(&mut self, cycles: u64) -> Result<()> {
         self.ensure_routes()?;
         self.ensure_timing();
+        self.ensure_noc();
         let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
         let shards = self.params.resolved_threads().min(total_vaults).max(1);
         if shards <= 1 {
@@ -513,6 +514,13 @@ impl HmcSim {
         let num_links = self.config.num_links as usize;
 
         for dev in &self.devices {
+            // Packets in flight between quads on a buffered NoC move (or
+            // at least contend) every cycle: the device is live until the
+            // fabric drains. The crossbar default has no NoC state, so
+            // this costs one branch.
+            if dev.noc.as_ref().is_some_and(|n| n.occupancy() > 0) {
+                return 0;
+            }
             for l in 0..num_links {
                 let xbar = &dev.xbars[l];
                 if !xbar.rqst.is_empty() {
@@ -656,6 +664,12 @@ impl HmcSim {
     pub(crate) fn clock_cycle_serial(&mut self) {
         self.stage1_child_xbar_requests();
         self.stage2_root_xbar_requests();
+        // NoC sub-stage (buffered fabrics only): move in-flight packets
+        // one segment and deliver arrivals before the vault phase reads
+        // its queues.
+        for di in 0..self.devices.len() {
+            self.noc_advance(di);
+        }
 
         let inputs = self.cycle_inputs();
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -842,6 +856,13 @@ impl HmcSim {
                 }
                 self.stage1_child_xbar_requests();
                 self.stage2_root_xbar_requests();
+                // NoC sub-stage on the coordinating thread, before vault
+                // ownership moves to the workers: fabric state never
+                // crosses a thread boundary, so the shard count cannot
+                // perturb it.
+                for di in 0..nd {
+                    self.noc_advance(di);
+                }
                 let inputs = self.cycle_inputs();
 
                 // Move every vault out of its device and into its
@@ -948,11 +969,15 @@ impl HmcSim {
 #[cfg(test)]
 mod tests {
     use crate::fault::FaultConfig;
+    use crate::noc::NocParams;
     use crate::params::{RefreshParams, SimParams};
     use crate::queue::QueueEntry;
     use crate::sim::HmcSim;
     use crate::timing::TimingParams;
-    use hmc_types::{BlockSize, Command, DdrTimings, DeviceConfig, LinkId, Packet, TimingKind};
+    use hmc_types::{
+        ArbitrationKind, BlockSize, Command, DdrTimings, DeviceConfig, InterconnectKind, LinkId,
+        Packet, TimingKind,
+    };
 
     fn sim_with(params: SimParams) -> HmcSim {
         let mut s = HmcSim::new(1, DeviceConfig::small())
@@ -1294,4 +1319,114 @@ mod tests {
             "the schedule must actually exercise retries"
         );
     }
+
+    fn noc_params(kind: InterconnectKind, arb: ArbitrationKind) -> SimParams {
+        SimParams {
+            interconnect: NocParams::of(kind).with_arbitration(arb),
+            ..SimParams::default()
+        }
+    }
+
+    #[test]
+    fn ring_noc_delivers_everything_the_crossbar_does() {
+        let mut xbar = sim_with(SimParams::default());
+        let mut ring = sim_with(noc_params(
+            InterconnectKind::Ring,
+            ArbitrationKind::RoundRobin,
+        ));
+        let (a, ..) = bursty_run(&mut xbar, 4, 12, 250);
+        let (b, ..) = bursty_run(&mut ring, 4, 12, 250);
+        let mut ta: Vec<u16> = a.iter().map(|&(t, _)| t).collect();
+        let mut tb: Vec<u16> = b.iter().map(|&(t, _)| t).collect();
+        ta.sort_unstable();
+        tb.sort_unstable();
+        assert_eq!(ta, tb, "every request completes on the ring fabric");
+        assert!(ring.stats().noc_hops > 0, "cross-quad traffic must hop");
+        assert_eq!(xbar.stats().noc_hops, 0, "crossbar never enters the NoC");
+    }
+
+    #[test]
+    fn ring_fast_forward_matches_stepped() {
+        let ring = noc_params(InterconnectKind::Ring, ArbitrationKind::RoundRobin);
+        let mut stepped = sim_with(ring);
+        let mut fast = sim_with(SimParams {
+            fast_forward: true,
+            ..ring
+        });
+        let a = bursty_run(&mut stepped, 5, 12, 300);
+        let b = bursty_run(&mut fast, 5, 12, 300);
+        assert_eq!(a, b, "jumps must account for in-flight ring hops");
+        assert!(stepped.stats().noc_hops > 0);
+    }
+
+    #[test]
+    fn mesh_fast_forward_matches_stepped() {
+        let mesh = noc_params(InterconnectKind::Mesh, ArbitrationKind::OldestFirst);
+        let mut stepped = sim_with(mesh);
+        let mut fast = sim_with(SimParams {
+            fast_forward: true,
+            ..mesh
+        });
+        let a = bursty_run(&mut stepped, 5, 12, 300);
+        let b = bursty_run(&mut fast, 5, 12, 300);
+        assert_eq!(a, b, "jumps must account for in-flight mesh hops");
+        assert!(stepped.stats().noc_hops > 0);
+    }
+
+    #[test]
+    fn noc_fabrics_stay_deterministic_across_thread_counts() {
+        for kind in [InterconnectKind::Ring, InterconnectKind::Mesh] {
+            let params = noc_params(kind, ArbitrationKind::RoundRobin);
+            let mut serial = sim_with(params);
+            let baseline = bursty_run(&mut serial, 4, 12, 250);
+            for threads in [2, 4, 8] {
+                let mut sharded = sim_with(SimParams { threads, ..params });
+                let run = bursty_run(&mut sharded, 4, 12, 250);
+                assert_eq!(
+                    baseline, run,
+                    "{} fabric must be bit-identical with {threads} threads",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arbitration_policies_survive_fast_forward_bit_identically() {
+        for arb in [
+            ArbitrationKind::RoundRobin,
+            ArbitrationKind::OldestFirst,
+            ArbitrationKind::LocalityAware,
+        ] {
+            let params = noc_params(InterconnectKind::Mesh, arb);
+            let mut stepped = sim_with(params);
+            let mut fast = sim_with(SimParams {
+                fast_forward: true,
+                ..params
+            });
+            let a = bursty_run(&mut stepped, 4, 12, 250);
+            let b = bursty_run(&mut fast, 4, 12, 250);
+            assert_eq!(a, b, "{} must not depend on jump placement", arb.name());
+        }
+    }
+
+    #[test]
+    fn in_flight_noc_hops_force_stepping() {
+        let mut s = sim_with(SimParams {
+            fast_forward: true,
+            interconnect: NocParams::of(InterconnectKind::Ring),
+            ..SimParams::default()
+        });
+        // Block-stride addresses walk the vault field, so link 0 sends to
+        // vaults outside its local quad; after one cycle stage 2 has
+        // injected into the NoC but nothing hops until the next cycle.
+        for i in 0..8u16 {
+            s.send(0, 0, read_packet(u64::from(i) * 0x80, i, 0)).unwrap();
+        }
+        s.clock().unwrap();
+        let occ = s.devices[0].noc.as_ref().unwrap().occupancy();
+        assert!(occ > 0, "the schedule must leave packets in flight");
+        assert_eq!(s.quiescent_horizon(100), 0, "in-flight hops are live work");
+    }
+
 }

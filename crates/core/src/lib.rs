@@ -38,6 +38,7 @@ pub mod inspect;
 pub mod invariants;
 pub mod jtag;
 pub mod link;
+pub mod noc;
 pub mod params;
 pub mod quad;
 pub mod queue;
@@ -58,6 +59,7 @@ pub use fault::{FaultConfig, FaultState};
 pub use inspect::{DeviceSnapshot, QueueLocation};
 pub use invariants::InvariantState;
 pub use link::{Endpoint, Link};
+pub use noc::{Interconnect, MeshTopology, NocParams, NocState, RingTopology, Topology};
 pub use params::{ConflictPolicy, RefreshParams, SimParams};
 pub use quad::Quad;
 pub use queue::{PacketQueue, QueueEntry};

@@ -8,6 +8,7 @@
 //! behaviour used for the paper-shape experiments, and the ablation
 //! benches sweep them.
 
+use crate::noc::NocParams;
 use crate::timing::TimingParams;
 
 /// How a vault reacts to a bank conflict inside its per-cycle window.
@@ -129,6 +130,11 @@ pub struct SimParams {
     /// (the default, bit-identical to the pre-trait engine) or the
     /// cycle-accurate DDR state machine. See `crate::timing`.
     pub timing: TimingParams,
+    /// Intra-cube interconnect between quads: the paper's idealized full
+    /// crossbar (the default, bit-identical to the pre-NoC engine) or a
+    /// buffered ring/mesh fabric with pluggable arbitration. See
+    /// `crate::noc`.
+    pub interconnect: NocParams,
 }
 
 impl Default for SimParams {
@@ -150,6 +156,7 @@ impl Default for SimParams {
             check_invariants: false,
             fast_forward: false,
             timing: TimingParams::default(),
+            interconnect: NocParams::default(),
         }
     }
 }

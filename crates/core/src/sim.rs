@@ -44,6 +44,15 @@ pub struct SimStats {
     /// Precharge commands issued (row conflicts and closed-page
     /// auto-precharges; DDR timing backend only).
     pub precharges: u64,
+    /// Quad-to-quad segment crossings on a buffered NoC fabric (ring or
+    /// mesh; the crossbar fabric never hops and leaves this 0).
+    pub noc_hops: u64,
+    /// NoC packets held in place by a full segment buffer or a full
+    /// delivery queue.
+    pub noc_stalls: u64,
+    /// NoC packets that were free to move but lost arbitration (their
+    /// quad's drain budget was spent on other packets).
+    pub noc_arb_losses: u64,
 }
 
 /// One HMC-Sim simulation object.
@@ -66,6 +75,11 @@ pub struct HmcSim {
     /// were last built for; `None` until the first clock. Lets
     /// [`HmcSim::ensure_timing`] skip re-installing boxes on the hot path.
     pub(crate) applied_timing: Option<(crate::timing::TimingParams, Option<crate::params::RefreshParams>)>,
+    /// The interconnect parameters the per-device NoC state was last
+    /// built for; `None` until the first clock. Lets
+    /// [`HmcSim::ensure_noc`] skip rebuilding fabric state on the hot
+    /// path (the crossbar default builds none at all).
+    pub(crate) applied_noc: Option<crate::noc::NocParams>,
 }
 
 impl std::fmt::Debug for HmcSim {
@@ -108,6 +122,8 @@ impl HmcSim {
         // `with_params`/`with_timing` can still override it before clocking.
         let params = SimParams {
             timing: crate::timing::TimingParams::of(config.timing),
+            interconnect: crate::noc::NocParams::of(config.interconnect)
+                .with_arbitration(config.arbitration),
             ..SimParams::default()
         };
         Ok(HmcSim {
@@ -124,6 +140,7 @@ impl HmcSim {
             scratch: EngineScratch::default(),
             inv: None,
             applied_timing: None,
+            applied_noc: None,
         })
     }
 
@@ -178,6 +195,44 @@ impl HmcSim {
     /// The active timing backend parameters.
     pub fn timing(&self) -> crate::timing::TimingParams {
         self.params.timing
+    }
+
+    /// Select the intra-cube interconnect fabric (builder style). See
+    /// [`crate::noc`] for the hop and arbitration model; the crossbar
+    /// default leaves the engine's direct paths untouched.
+    pub fn with_interconnect(mut self, interconnect: crate::noc::NocParams) -> Self {
+        self.params.interconnect = interconnect;
+        self
+    }
+
+    /// Switch the interconnect fabric on a live simulation. The new
+    /// fabric installs at the next clock boundary with empty segment
+    /// buffers; packets already queued in crossbars and vaults are
+    /// unaffected.
+    pub fn set_interconnect(&mut self, interconnect: crate::noc::NocParams) {
+        self.params.interconnect = interconnect;
+    }
+
+    /// The active interconnect parameters.
+    pub fn interconnect(&self) -> crate::noc::NocParams {
+        self.params.interconnect
+    }
+
+    /// Install per-device NoC fabric state when the interconnect
+    /// parameters changed since the last clock. No-op (and no
+    /// allocation) on the steady-state hot path; the crossbar fabric
+    /// installs `None` so the engine keeps its original direct paths.
+    pub(crate) fn ensure_noc(&mut self) {
+        let sig = self.params.interconnect;
+        if self.applied_noc == Some(sig) {
+            return;
+        }
+        let quads = self.config.num_quads();
+        let vaults = self.config.num_vaults;
+        for d in &mut self.devices {
+            d.noc = crate::noc::NocState::new(&sig, quads, vaults);
+        }
+        self.applied_noc = Some(sig);
     }
 
     /// Install per-vault timing backends when the `(timing, refresh)`

@@ -26,9 +26,10 @@
 
 use hmc_trace::{EventKind, TraceEvent};
 use hmc_types::packet::ResponseStatus;
-use hmc_types::{Command, CubeId, LinkId, Packet, PhysAddr};
+use hmc_types::{Command, CubeId, LinkId, Packet, PhysAddr, QuadId, VaultId};
 
 use crate::link::Endpoint;
+use crate::noc::{NocClass, NocDest, NocEvent};
 use crate::quad::Quad;
 use crate::queue::{QueueEntry, UNDECODED};
 use crate::sim::HmcSim;
@@ -95,6 +96,10 @@ impl HmcSim {
             let mut blocked_vaults: u64 = 0;
             // Remote cubes whose forward path stalled this walk.
             let mut blocked_cubes: u8 = 0;
+            // Buffered-NoC injection stalled this walk: every cross-quad
+            // packet on this link injects at the same quad, so one full
+            // buffer blocks them all (stream order).
+            let mut noc_blocked = false;
             // Free-slot snapshot of remote crossbar queues we forward
             // into, so capacity claimed by this walk is not double-booked.
             let mut remote_free: [[Option<usize>; 8]; 8] = [[None; 8]; 8];
@@ -290,20 +295,49 @@ impl HmcSim {
                         }
                     }
                 };
-                if blocked_vaults & (1u64 << (vault & 0x3f)) != 0 {
-                    idx += 1;
-                    continue;
-                }
-                if self.devices[di].vaults[vault as usize].rqst.is_full() {
-                    self.emit(TraceEvent::XbarRqstStall {
-                        cube: dev_id,
-                        link: l as LinkId,
-                        vault,
-                        tag,
-                    });
-                    blocked_vaults |= 1u64 << (vault & 0x3f);
-                    idx += 1;
-                    continue;
+                // Buffered NoC fabrics carry cross-quad requests through
+                // per-quad segment buffers; local requests (and every
+                // request under the crossbar fabric) take the original
+                // direct push.
+                let dest_quad = Quad::of_vault(vault);
+                let via_noc = (l as QuadId) != dest_quad && self.devices[di].noc.is_some();
+                if via_noc {
+                    if noc_blocked {
+                        idx += 1;
+                        continue;
+                    }
+                    if !self.devices[di]
+                        .noc
+                        .as_ref()
+                        .expect("via_noc")
+                        .has_room(l as QuadId, NocClass::Request)
+                    {
+                        self.stats.noc_stalls += 1;
+                        self.emit(TraceEvent::NocStall {
+                            cube: dev_id,
+                            quad: l as QuadId,
+                            tag,
+                        });
+                        noc_blocked = true;
+                        idx += 1;
+                        continue;
+                    }
+                } else {
+                    if blocked_vaults & (1u64 << (vault & 0x3f)) != 0 {
+                        idx += 1;
+                        continue;
+                    }
+                    if self.devices[di].vaults[vault as usize].rqst.is_full() {
+                        self.emit(TraceEvent::XbarRqstStall {
+                            cube: dev_id,
+                            link: l as LinkId,
+                            vault,
+                            tag,
+                        });
+                        blocked_vaults |= 1u64 << (vault & 0x3f);
+                        idx += 1;
+                        continue;
+                    }
                 }
 
                 let mut entry = self.devices[di].xbars[l].rqst.remove(idx).expect("present");
@@ -316,7 +350,6 @@ impl HmcSim {
                 // locality of the queue versus the destination vault"
                 // (§IV.C): the arrival link's quad is not the vault's.
                 let arrival_quad = entry.arrival_link; // quad index == link index
-                let dest_quad = Quad::of_vault(vault);
                 if arrival_quad != dest_quad {
                     self.emit(TraceEvent::RouteLatency {
                         cube: dev_id,
@@ -327,10 +360,19 @@ impl HmcSim {
                         tag,
                     });
                 }
-                self.devices[di].vaults[vault as usize]
-                    .rqst
-                    .push(entry)
-                    .expect("fullness checked above");
+                if via_noc {
+                    self.devices[di].noc.as_mut().expect("via_noc").inject(
+                        l as QuadId,
+                        NocDest::ToVault(vault),
+                        entry,
+                        self.clock,
+                    );
+                } else {
+                    self.devices[di].vaults[vault as usize]
+                        .rqst
+                        .push(entry)
+                        .expect("fullness checked above");
+                }
                 drained += 1;
                     drained_flits += flits as usize;
             }
@@ -489,6 +531,45 @@ impl HmcSim {
                 continue;
             };
             let e_link = e_link as usize;
+            // Buffered NoC fabrics carry cross-quad responses through the
+            // vault's quad segment; same-quad responses (and everything
+            // under the crossbar fabric) push directly.
+            let vault_quad = Quad::of_vault(vi as VaultId);
+            let via_noc =
+                (e_link as QuadId) != vault_quad && self.devices[di].noc.is_some();
+            if via_noc {
+                if !self
+                    .devices[di]
+                    .noc
+                    .as_ref()
+                    .expect("via_noc")
+                    .has_room(vault_quad, NocClass::Response)
+                {
+                    let tag = self.devices[di].vaults[vi]
+                        .rsp
+                        .front()
+                        .map(|e| e.packet.tag())
+                        .unwrap_or(0);
+                    self.stats.noc_stalls += 1;
+                    self.emit(TraceEvent::NocStall {
+                        cube: dev_id,
+                        quad: vault_quad,
+                        tag,
+                    });
+                    break; // FIFO head-of-line: keep response order
+                }
+                let Some(entry) = self.devices[di].vaults[vi].rsp.pop() else {
+                    break;
+                };
+                let clock = self.clock;
+                self.devices[di].noc.as_mut().expect("via_noc").inject(
+                    vault_quad,
+                    NocDest::ToLink(e_link as LinkId),
+                    entry,
+                    clock,
+                );
+                continue;
+            }
             if self.devices[di].xbars[e_link].rsp.is_full() {
                 let tag = self.devices[di].vaults[vi]
                     .rsp
@@ -510,6 +591,66 @@ impl HmcSim {
                 .rsp
                 .push(entry)
                 .expect("fullness checked");
+        }
+    }
+
+    /// The NoC sub-stage: advance each buffered fabric one segment step,
+    /// delivering arrived cross-quad requests into vault request queues
+    /// and arrived cross-quad responses into egress crossbar response
+    /// queues. Runs on the main thread between stage 2 and the vault
+    /// phase in both the serial and sharded engines — NoC state never
+    /// crosses a thread boundary, so every thread count is bit-identical
+    /// by construction. No-op (one branch) under the crossbar fabric.
+    // The delivery closures echo `PacketQueue::push`'s refused-entry
+    // return, which carries the same large-variant trade-off.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn noc_advance(&mut self, di: usize) {
+        let dev_id = di as CubeId;
+        let clock = self.clock;
+        let record_hops = self.tracer.enabled(EventKind::NocHop);
+        let record_stalls = self.tracer.enabled(EventKind::NocStall);
+        let crate::device::Device {
+            noc, vaults, xbars, ..
+        } = &mut self.devices[di];
+        let Some(noc) = noc.as_mut() else {
+            return;
+        };
+        let delta = noc.advance(
+            clock,
+            |v, e| vaults[v as usize].rqst.push(e),
+            |l, e| xbars[l as usize].rsp.push(e),
+            record_hops,
+            record_stalls,
+        );
+        self.stats.noc_hops += delta.hops;
+        self.stats.noc_stalls += delta.stalls;
+        self.stats.noc_arb_losses += delta.arb_losses;
+        if record_hops || record_stalls {
+            while let Some(ev) = self
+                .devices[di]
+                .noc
+                .as_mut()
+                .expect("checked above")
+                .pop_event()
+            {
+                match ev {
+                    NocEvent::Hop {
+                        from_quad,
+                        to_quad,
+                        tag,
+                    } => self.emit(TraceEvent::NocHop {
+                        cube: dev_id,
+                        from_quad,
+                        to_quad,
+                        tag,
+                    }),
+                    NocEvent::Stall { quad, tag } => self.emit(TraceEvent::NocStall {
+                        cube: dev_id,
+                        quad,
+                        tag,
+                    }),
+                }
+            }
         }
     }
 

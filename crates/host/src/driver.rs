@@ -39,6 +39,11 @@ pub struct RunConfig {
     /// already has — the classic constant-time model unless the caller
     /// chose otherwise.
     pub timing: Option<hmc_core::TimingParams>,
+    /// Select the intra-cube interconnect fabric for the run
+    /// (`SimParams::interconnect`). `None` leaves whatever fabric the
+    /// sim already has — the direct crossbar unless the caller chose
+    /// otherwise.
+    pub interconnect: Option<hmc_core::NocParams>,
 }
 
 impl Default for RunConfig {
@@ -50,6 +55,7 @@ impl Default for RunConfig {
             check_invariants: false,
             fast_forward: false,
             timing: None,
+            interconnect: None,
         }
     }
 }
@@ -146,6 +152,9 @@ where
     }
     if let Some(timing) = cfg.timing {
         sim.set_timing(timing);
+    }
+    if let Some(noc) = cfg.interconnect {
+        sim.set_interconnect(noc);
     }
     let start_violations = sim.total_invariant_violations();
     let start_cycle = sim.current_clock();

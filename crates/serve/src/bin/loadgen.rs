@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! loadgen (--socket PATH | --connect ADDR) [--sessions N] [--requests N]
-//!         [--workload random|stream|gups|chase|stencil] [--preset NAME]
-//!         [--seed S] [--read-pct P] [--block BYTES] [--batch N]
-//!         [--poll-max N] [--idle-gap CYCLES] [--idle-every OPS]
+//!         [--workload random|stream|gups|chase|stencil|hotspot]
+//!         [--preset NAME] [--seed S] [--read-pct P] [--block BYTES]
+//!         [--batch N] [--poll-max N] [--idle-gap CYCLES]
+//!         [--idle-every OPS] [--hot-quad Q] [--hot-pct P]
+//!         [--interconnect crossbar|ring|mesh]
+//!         [--arbitration round-robin|oldest-first|locality-aware]
 //!         [--json FILE]
 //! ```
 //!
@@ -25,13 +28,20 @@
 //! finishes in a fraction of the wall time with identical responses;
 //! the report's `wall_seconds`/`sim_cycles` pair is the before/after
 //! evidence.
+//!
+//! `--workload hotspot` concentrates `--hot-pct` percent of each
+//! session's requests on the vaults of quad `--hot-quad` (via the
+//! preset's address geometry). Combined with `--interconnect ring|mesh`
+//! — which opens each session from the preset's config with the
+//! buffered NoC fabric enabled server-side — cross-quad hops and
+//! arbitration pressure show up directly in the latency percentiles.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use hmc_serve::{workload_to_wire, Client, SubmitResult};
 use hmc_trace::{percentile_sorted, LatencyPercentiles};
-use hmc_types::{BlockSize, DeviceConfig, WireOp};
+use hmc_types::{ArbitrationKind, BlockSize, DeviceConfig, InterconnectKind, WireOp};
 use hmc_workloads::WorkloadSpec;
 use serde::Serialize;
 
@@ -49,6 +59,10 @@ struct Options {
     poll_max: u32,
     idle_gap: u64,
     idle_every: u64,
+    hot_quad: u8,
+    hot_pct: u8,
+    interconnect: InterconnectKind,
+    arbitration: ArbitrationKind,
     json: Option<PathBuf>,
 }
 
@@ -68,6 +82,10 @@ impl Default for Options {
             poll_max: 512,
             idle_gap: 0,
             idle_every: 32,
+            hot_quad: 0,
+            hot_pct: hmc_workloads::DEFAULT_HOT_PCT,
+            interconnect: InterconnectKind::Crossbar,
+            arbitration: ArbitrationKind::RoundRobin,
             json: None,
         }
     }
@@ -76,11 +94,12 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen (--socket PATH | --connect ADDR) [--sessions N] \
-         [--requests N] [--workload random|stream|gups|chase|stencil] \
+         [--requests N] [--workload random|stream|gups|chase|stencil|hotspot] \
          [--preset 4l8b|4l16b|8l8b|8l16b|small] [--seed S] [--read-pct P] \
          [--block BYTES] [--batch N] [--poll-max N] \
          [--idle-gap CYCLES (0 = closed-loop)] [--idle-every OPS] \
-         [--json FILE]"
+         [--hot-quad Q] [--hot-pct P] [--interconnect crossbar|ring|mesh] \
+         [--arbitration round-robin|oldest-first|locality-aware] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -110,6 +129,25 @@ fn parse_options() -> Options {
             "--idle-gap" => o.idle_gap = next("--idle-gap").parse().unwrap_or_else(|_| usage()),
             "--idle-every" => {
                 o.idle_every = next("--idle-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--hot-quad" => o.hot_quad = next("--hot-quad").parse().unwrap_or_else(|_| usage()),
+            "--hot-pct" => o.hot_pct = next("--hot-pct").parse().unwrap_or_else(|_| usage()),
+            "--interconnect" => {
+                o.interconnect = InterconnectKind::by_name(&next("--interconnect"))
+                    .unwrap_or_else(|| {
+                        eprintln!("loadgen: --interconnect needs `crossbar`, `ring`, or `mesh`");
+                        usage()
+                    })
+            }
+            "--arbitration" => {
+                o.arbitration =
+                    ArbitrationKind::by_name(&next("--arbitration")).unwrap_or_else(|| {
+                        eprintln!(
+                            "loadgen: --arbitration needs `round-robin`, `oldest-first`, \
+                             or `locality-aware`"
+                        );
+                        usage()
+                    })
             }
             "--json" => o.json = Some(PathBuf::from(next("--json"))),
             "--help" | "-h" => usage(),
@@ -160,6 +198,8 @@ struct LoadgenReport {
     sessions: u64,
     workload: String,
     preset: String,
+    interconnect: String,
+    arbitration: String,
     requests_per_session: u64,
     idle_gap_cycles: u64,
     idle_every_ops: u64,
@@ -191,24 +231,40 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
     }
     .map_err(|e| format!("session {index}: {e}"))?;
 
-    let session = client
-        .open_session_preset(&o.preset, 0, 0)
-        .map_err(|e| format!("session {index}: open: {e}"))?;
+    // A non-default fabric rides in on the preset's config JSON: the
+    // DeviceConfig carries interconnect/arbitration, so the server
+    // builds the session's device with the buffered NoC enabled.
+    let session = if o.interconnect == InterconnectKind::Crossbar {
+        client.open_session_preset(&o.preset, 0, 0)
+    } else {
+        let cfg = DeviceConfig::by_name(&o.preset)
+            .ok_or_else(|| format!("session {index}: unknown preset {:?}", o.preset))?
+            .with_interconnect(o.interconnect)
+            .with_arbitration(o.arbitration);
+        let json = serde_json::to_string(&cfg)
+            .map_err(|e| format!("session {index}: config json: {e}"))?;
+        client.open_session_json(&json, 0, 0)
+    }
+    .map_err(|e| format!("session {index}: open: {e}"))?;
 
     // Distinct seeds per session: concurrent identical streams would
     // still be valid, but distinct ones exercise the device mix better.
-    let capacity = DeviceConfig::by_name(&o.preset)
-        .map(|c| c.capacity_bytes)
-        .unwrap_or(1 << 31);
+    let device = DeviceConfig::by_name(&o.preset);
+    let capacity = device.as_ref().map(|c| c.capacity_bytes).unwrap_or(1 << 31);
     let block = BlockSize::from_bytes(o.block).map_err(|e| format!("--block: {e}"))?;
-    let spec = WorkloadSpec::new(
+    let mut spec = WorkloadSpec::new(
         &o.workload,
         o.seed.wrapping_add(index as u32),
         capacity.min(2 << 30),
         o.requests,
     )
     .with_block(block)
-    .with_read_pct(o.read_pct);
+    .with_read_pct(o.read_pct)
+    .with_hotspot(o.hot_quad, o.hot_pct);
+    // Quad-aware generators need the preset's address geometry.
+    if let Some(cfg) = &device {
+        spec = spec.with_geometry(cfg.geometry());
+    }
     let mut workload = spec.build().map_err(|e| e.to_string())?;
     let mut ops = workload_to_wire(workload.as_mut());
     let mut idle_gaps = 0u64;
@@ -372,6 +428,8 @@ fn main() {
         sessions: o.sessions as u64,
         workload: o.workload.clone(),
         preset: o.preset.clone(),
+        interconnect: o.interconnect.name().into(),
+        arbitration: o.arbitration.name().into(),
         requests_per_session: o.requests,
         idle_gap_cycles: o.idle_gap,
         idle_every_ops: o.idle_every,

@@ -49,11 +49,18 @@ pub enum EventKind {
     /// A DDR-timed bank precharged a row (conflict eviction or
     /// closed-page auto-precharge).
     Precharge,
+    /// A packet crossed one quad-to-quad segment of the intra-cube NoC
+    /// (ring/mesh fabrics only; the crossbar fabric never hops).
+    NocHop,
+    /// A packet could not advance in the intra-cube NoC this cycle: the
+    /// next segment buffer was full, the delivery queue was full, or a
+    /// same-destination elder held its stream in place.
+    NocStall,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive iteration in counters and tests.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::BankConflict,
         EventKind::XbarRqstStall,
         EventKind::XbarRspStall,
@@ -72,6 +79,8 @@ impl EventKind {
         EventKind::RowHit,
         EventKind::RowMiss,
         EventKind::Precharge,
+        EventKind::NocHop,
+        EventKind::NocStall,
     ];
 
     /// Dense index for array-backed counters.
@@ -100,6 +109,8 @@ impl EventKind {
             EventKind::RowHit => "ROW_HIT",
             EventKind::RowMiss => "ROW_MISS",
             EventKind::Precharge => "PRECHARGE",
+            EventKind::NocHop => "NOC_HOP",
+            EventKind::NocStall => "NOC_STALL",
         }
     }
 }
@@ -316,6 +327,28 @@ pub enum TraceEvent {
         /// Request tag of the access forcing the precharge.
         tag: u16,
     },
+    /// A packet crossed one quad-to-quad segment of the intra-cube NoC.
+    NocHop {
+        /// Device.
+        cube: CubeId,
+        /// Quad segment the packet left.
+        from_quad: QuadId,
+        /// Quad segment the packet entered.
+        to_quad: QuadId,
+        /// Tag of the hopping packet.
+        tag: u16,
+    },
+    /// A packet could not advance in the intra-cube NoC this cycle
+    /// (segment buffer full, delivery queue full, or stream order held
+    /// it behind a same-destination elder).
+    NocStall {
+        /// Device.
+        cube: CubeId,
+        /// Quad segment holding the packet.
+        quad: QuadId,
+        /// Tag of the stalled packet.
+        tag: u16,
+    },
 }
 
 impl TraceEvent {
@@ -340,6 +373,8 @@ impl TraceEvent {
             TraceEvent::RowHit { .. } => EventKind::RowHit,
             TraceEvent::RowMiss { .. } => EventKind::RowMiss,
             TraceEvent::Precharge { .. } => EventKind::Precharge,
+            TraceEvent::NocHop { .. } => EventKind::NocHop,
+            TraceEvent::NocStall { .. } => EventKind::NocStall,
         }
     }
 
@@ -363,7 +398,9 @@ impl TraceEvent {
             | TraceEvent::LinkRetry { cube, .. }
             | TraceEvent::RowHit { cube, .. }
             | TraceEvent::RowMiss { cube, .. }
-            | TraceEvent::Precharge { cube, .. } => cube,
+            | TraceEvent::Precharge { cube, .. }
+            | TraceEvent::NocHop { cube, .. }
+            | TraceEvent::NocStall { cube, .. } => cube,
         }
     }
 
@@ -528,6 +565,18 @@ impl TraceRecord {
                 "{} {k} cube={cube} vault={vault} bank={bank} tag={tag}",
                 self.cycle
             ),
+            TraceEvent::NocHop {
+                cube,
+                from_quad,
+                to_quad,
+                tag,
+            } => format!(
+                "{} {k} cube={cube} from_quad={from_quad} to_quad={to_quad} tag={tag}",
+                self.cycle
+            ),
+            TraceEvent::NocStall { cube, quad, tag } => {
+                format!("{} {k} cube={cube} quad={quad} tag={tag}", self.cycle)
+            }
         }
     }
 }
@@ -645,6 +694,8 @@ mod tests {
             TraceEvent::RowHit { cube: 0, vault: 0, bank: 0, row: 0, tag: 0 },
             TraceEvent::RowMiss { cube: 0, vault: 0, bank: 0, row: 0, tag: 0 },
             TraceEvent::Precharge { cube: 0, vault: 0, bank: 0, tag: 0 },
+            TraceEvent::NocHop { cube: 0, from_quad: 0, to_quad: 0, tag: 0 },
+            TraceEvent::NocStall { cube: 0, quad: 0, tag: 0 },
         ];
         for (i, e) in samples.iter().enumerate() {
             let line = TraceRecord { cycle: i as u64, event: *e }.to_line();

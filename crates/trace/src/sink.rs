@@ -40,7 +40,8 @@ impl Verbosity {
             | EventKind::Misroute
             | EventKind::Zombie
             | EventKind::ErrorResponse
-            | EventKind::LinkRetry => Verbosity::Stalls,
+            | EventKind::LinkRetry
+            | EventKind::NocStall => Verbosity::Stalls,
             EventKind::ReadComplete
             | EventKind::WriteComplete
             | EventKind::AtomicComplete
@@ -49,7 +50,8 @@ impl Verbosity {
             | EventKind::TokenReturn
             | EventKind::RowHit
             | EventKind::RowMiss
-            | EventKind::Precharge => Verbosity::Full,
+            | EventKind::Precharge
+            | EventKind::NocHop => Verbosity::Full,
         }
     }
 

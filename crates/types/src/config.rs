@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::address::{LowInterleaveMap, MapGeometry};
 use crate::command::BlockSize;
 use crate::error::{HmcError, Result};
+use crate::interconnect::{ArbitrationKind, InterconnectKind};
 use crate::timing::TimingKind;
 use crate::units::{aggregate_bandwidth_gbs, LinkSpeed, GIB};
 
@@ -65,6 +66,15 @@ pub struct DeviceConfig {
     /// the paper's constant-time model).
     #[serde(default)]
     pub timing: TimingKind,
+    /// Intra-cube interconnect fabric the simulation starts with
+    /// (selectable later through `SimParams`; absent from older config
+    /// files, defaulting to the paper's idealized full crossbar).
+    #[serde(default)]
+    pub interconnect: InterconnectKind,
+    /// NoC arbitration policy (used by the ring and mesh fabrics; absent
+    /// from older config files, defaulting to round-robin).
+    #[serde(default)]
+    pub arbitration: ArbitrationKind,
 }
 
 impl DeviceConfig {
@@ -84,6 +94,8 @@ impl DeviceConfig {
             block_size: BlockSize::B128,
             storage_mode: StorageMode::Functional,
             timing: TimingKind::Classic,
+            interconnect: InterconnectKind::Crossbar,
+            arbitration: ArbitrationKind::RoundRobin,
         }
     }
 
@@ -102,6 +114,8 @@ impl DeviceConfig {
             block_size: BlockSize::B128,
             storage_mode: StorageMode::Functional,
             timing: TimingKind::Classic,
+            interconnect: InterconnectKind::Crossbar,
+            arbitration: ArbitrationKind::RoundRobin,
         }
     }
 
@@ -184,6 +198,18 @@ impl DeviceConfig {
     /// Replace the vault timing backend (builder style).
     pub fn with_timing(mut self, timing: TimingKind) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Replace the intra-cube interconnect fabric (builder style).
+    pub fn with_interconnect(mut self, interconnect: InterconnectKind) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Replace the NoC arbitration policy (builder style).
+    pub fn with_arbitration(mut self, arbitration: ArbitrationKind) -> Self {
+        self.arbitration = arbitration;
         self
     }
 
@@ -476,5 +502,26 @@ mod tests {
         let ddr = c.with_timing(TimingKind::Ddr);
         assert_eq!(ddr.timing, TimingKind::Ddr);
         ddr.validate().unwrap();
+    }
+
+    #[test]
+    fn interconnect_fields_default_for_older_config_files() {
+        // Config JSON written before the NoC subsystem existed must
+        // still load, defaulting to the paper's idealized crossbar.
+        let c = DeviceConfig::small();
+        let json = serde_json::to_string(&c).unwrap();
+        let stripped = json
+            .replace(",\"interconnect\":\"Crossbar\"", "")
+            .replace(",\"arbitration\":\"RoundRobin\"", "");
+        assert_ne!(json, stripped, "interconnect fields must serialize");
+        let back: DeviceConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.interconnect, InterconnectKind::Crossbar);
+        assert_eq!(back.arbitration, ArbitrationKind::RoundRobin);
+        let ring = c
+            .with_interconnect(InterconnectKind::Ring)
+            .with_arbitration(ArbitrationKind::OldestFirst);
+        assert_eq!(ring.interconnect, InterconnectKind::Ring);
+        assert_eq!(ring.arbitration, ArbitrationKind::OldestFirst);
+        ring.validate().unwrap();
     }
 }

@@ -1,0 +1,143 @@
+//! Intra-cube interconnect selection.
+//!
+//! The paper models the logic layer as an idealized full crossbar: any
+//! link can hand a packet to any vault quad in one sub-cycle stage.
+//! Hadidi et al. show the intra-HMC network often bounds performance, so
+//! the simulator makes the fabric between quads a scenario axis. These
+//! types name the fabrics and arbitration policies a simulation can
+//! select between (`hmc-core`'s `noc` module hosts the implementations)
+//! and are shared by the device configuration, the simulation
+//! parameters, and the CLI `--interconnect`/`--arbitration` flags.
+
+use serde::{Deserialize, Serialize};
+
+/// Which intra-cube fabric carries packets between quads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterconnectKind {
+    /// The paper's idealized full crossbar: any link reaches any quad in
+    /// one stage with no intermediate buffering. The zero-regression
+    /// default — selecting it leaves the original engine path untouched.
+    #[default]
+    Crossbar,
+    /// A unidirectional ring of quad segments: a packet bound for quad
+    /// `q` from quad `p` takes `(q - p) mod Q` hops, one hop per cycle,
+    /// through bounded per-quad buffers.
+    Ring,
+    /// A 2D mesh of quad segments (2×2 for four quads, 2×4 for eight)
+    /// with deterministic XY routing: packets correct their column
+    /// first, then their row, taking minimal Manhattan-distance hops.
+    Mesh,
+}
+
+impl InterconnectKind {
+    /// Short CLI/service name (`crossbar`, `ring`, `mesh`).
+    pub fn name(self) -> &'static str {
+        match self {
+            InterconnectKind::Crossbar => "crossbar",
+            InterconnectKind::Ring => "ring",
+            InterconnectKind::Mesh => "mesh",
+        }
+    }
+
+    /// Look up a fabric by its short name. Returns `None` for unknown
+    /// names.
+    pub fn by_name(name: &str) -> Option<InterconnectKind> {
+        match name {
+            "crossbar" => Some(InterconnectKind::Crossbar),
+            "ring" => Some(InterconnectKind::Ring),
+            "mesh" => Some(InterconnectKind::Mesh),
+            _ => None,
+        }
+    }
+
+    /// Every fabric, in default-first order.
+    pub const ALL: [InterconnectKind; 3] = [
+        InterconnectKind::Crossbar,
+        InterconnectKind::Ring,
+        InterconnectKind::Mesh,
+    ];
+}
+
+/// How a quad segment orders its buffered packets when more want to move
+/// in a cycle than its drain budget allows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArbitrationKind {
+    /// Scan the buffer starting one past last cycle's winner, wrapping —
+    /// every slot gets a turn regardless of age or destination.
+    #[default]
+    RoundRobin,
+    /// Always move the packet that entered the device earliest
+    /// (ties broken by buffer position), minimizing worst-case latency.
+    OldestFirst,
+    /// Prefer packets that can be delivered locally this hop (their
+    /// destination is this quad) before through-traffic, trading
+    /// fairness for lower occupancy.
+    LocalityAware,
+}
+
+impl ArbitrationKind {
+    /// Short CLI/service name (`round-robin`, `oldest-first`,
+    /// `locality-aware`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArbitrationKind::RoundRobin => "round-robin",
+            ArbitrationKind::OldestFirst => "oldest-first",
+            ArbitrationKind::LocalityAware => "locality-aware",
+        }
+    }
+
+    /// Look up a policy by its short name. Returns `None` for unknown
+    /// names.
+    pub fn by_name(name: &str) -> Option<ArbitrationKind> {
+        match name {
+            "round-robin" => Some(ArbitrationKind::RoundRobin),
+            "oldest-first" => Some(ArbitrationKind::OldestFirst),
+            "locality-aware" => Some(ArbitrationKind::LocalityAware),
+            _ => None,
+        }
+    }
+
+    /// Every policy, in default-first order.
+    pub const ALL: [ArbitrationKind; 3] = [
+        ArbitrationKind::RoundRobin,
+        ArbitrationKind::OldestFirst,
+        ArbitrationKind::LocalityAware,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_by_name() {
+        for k in InterconnectKind::ALL {
+            assert_eq!(InterconnectKind::by_name(k.name()), Some(k));
+        }
+        assert_eq!(InterconnectKind::by_name("nope"), None);
+        assert_eq!(InterconnectKind::default(), InterconnectKind::Crossbar);
+    }
+
+    #[test]
+    fn arbitration_round_trips_by_name() {
+        for a in ArbitrationKind::ALL {
+            assert_eq!(ArbitrationKind::by_name(a.name()), Some(a));
+        }
+        assert_eq!(ArbitrationKind::by_name("nope"), None);
+        assert_eq!(ArbitrationKind::default(), ArbitrationKind::RoundRobin);
+    }
+
+    #[test]
+    fn kinds_serialize_roundtrip() {
+        for k in InterconnectKind::ALL {
+            let json = serde_json::to_string(&k).unwrap();
+            let back: InterconnectKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, k);
+        }
+        for a in ArbitrationKind::ALL {
+            let json = serde_json::to_string(&a).unwrap();
+            let back: ArbitrationKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, a);
+        }
+    }
+}

@@ -24,6 +24,7 @@ pub mod config;
 pub mod crc;
 pub mod error;
 pub mod flit;
+pub mod interconnect;
 pub mod packet;
 pub mod timing;
 pub mod units;
@@ -37,6 +38,7 @@ pub use command::{BlockSize, Command};
 pub use config::{DeviceConfig, StorageMode};
 pub use error::{HmcError, Result};
 pub use flit::{FLIT_BYTES, MAX_DATA_BYTES, MAX_PACKET_BYTES, MAX_PACKET_FLITS};
+pub use interconnect::{ArbitrationKind, InterconnectKind};
 pub use packet::{Packet, ResponseStatus};
 pub use timing::{DdrTimings, PagePolicy, TimingKind};
 pub use units::LinkSpeed;

@@ -1,0 +1,220 @@
+//! Quad-hotspot workload: traffic concentrated on one locality domain.
+//!
+//! HMC quads are locality domains of four vaults each, and a buffered
+//! intra-cube interconnect (ring or mesh NoC) makes the distance between
+//! the ingress quad and the owning vault's quad visible in latency. This
+//! workload aims a configurable fraction of its requests at the vaults
+//! of a single *hot* quad — the remainder spread uniformly across the
+//! whole device — so fabric and arbitration choices can be compared
+//! under skewed, contention-heavy traffic rather than the uniform mix
+//! of [`RandomAccess`](crate::random_access::RandomAccess).
+//!
+//! Addresses are composed through the device's low-interleave address
+//! map ([`LowInterleaveMap`]): a vault index is drawn first (hot quad or
+//! uniform), then a uniform bank and row, and the triple is encoded back
+//! into a flat physical address. The stream is deterministic per seed.
+
+use hmc_types::address::{AddressMap, DecodedAddr, LowInterleaveMap, MapGeometry};
+use hmc_types::config::VAULTS_PER_QUAD;
+use hmc_types::{BlockSize, HmcError, QuadId, Result, VaultId};
+
+use crate::lcg::GlibcRandom;
+use crate::op::{MemOp, OpKind, Workload};
+
+/// Default share of requests aimed at the hot quad, in percent.
+pub const DEFAULT_HOT_PCT: u8 = 90;
+
+/// Mixed reads/writes with a configurable fraction pinned to one quad.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    rng: GlibcRandom,
+    map: LowInterleaveMap,
+    block: BlockSize,
+    hot_quad: QuadId,
+    hot_pct: u8,
+    read_pct: u8,
+    total: u64,
+    issued: u64,
+}
+
+impl Hotspot {
+    /// A hotspot stream of `total` requests of `block` bytes over the
+    /// device geometry `geometry`, with `hot_pct`% of requests aimed at
+    /// the vaults of `hot_quad` and `read_pct`% reads overall.
+    ///
+    /// Fails with [`HmcError::InvalidConfig`] if either percentage
+    /// exceeds 100, if `hot_quad` names a quad the geometry does not
+    /// have, or if the geometry itself is invalid.
+    pub fn new(
+        seed: u32,
+        geometry: MapGeometry,
+        block: BlockSize,
+        hot_quad: QuadId,
+        hot_pct: u8,
+        read_pct: u8,
+        total: u64,
+    ) -> Result<Self> {
+        if hot_pct > 100 {
+            return Err(HmcError::InvalidConfig(format!(
+                "hotspot hot_pct {hot_pct} exceeds 100"
+            )));
+        }
+        if read_pct > 100 {
+            return Err(HmcError::InvalidConfig(format!(
+                "hotspot read_pct {read_pct} exceeds 100"
+            )));
+        }
+        let quads = geometry.vaults / VAULTS_PER_QUAD;
+        if quads == 0 || u16::from(hot_quad) >= quads {
+            return Err(HmcError::InvalidConfig(format!(
+                "hotspot quad {hot_quad} out of range for a {}-vault device",
+                geometry.vaults
+            )));
+        }
+        Ok(Hotspot {
+            rng: GlibcRandom::new(seed),
+            map: LowInterleaveMap::new(geometry)?,
+            block,
+            hot_quad,
+            hot_pct,
+            read_pct,
+            total,
+            issued: 0,
+        })
+    }
+
+    /// The quad receiving the concentrated share of traffic.
+    pub fn hot_quad(&self) -> QuadId {
+        self.hot_quad
+    }
+
+    /// Percentage of requests aimed at the hot quad.
+    pub fn hot_pct(&self) -> u8 {
+        self.hot_pct
+    }
+}
+
+impl Workload for Hotspot {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.issued >= self.total {
+            return None;
+        }
+        self.issued += 1;
+        let g = self.map.geometry();
+        let vault: VaultId = if self.rng.percent(self.hot_pct) {
+            VaultId::from(self.hot_quad) * VAULTS_PER_QUAD
+                + self.rng.below(u64::from(VAULTS_PER_QUAD)) as VaultId
+        } else {
+            self.rng.below(u64::from(g.vaults)) as VaultId
+        };
+        let bank = self.rng.below(u64::from(g.banks)) as u16;
+        let row = self.rng.below(g.rows);
+        let addr = self
+            .map
+            .encode(DecodedAddr {
+                vault,
+                bank,
+                row,
+                offset: 0,
+            })
+            .expect("fields drawn within geometry bounds always encode");
+        let kind = if self.rng.percent(self.read_pct) {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        };
+        Some(MemOp {
+            kind,
+            addr: addr.raw(),
+            size: self.block,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::DeviceConfig;
+
+    fn small_geometry() -> MapGeometry {
+        DeviceConfig::small().geometry()
+    }
+
+    #[test]
+    fn traffic_concentrates_on_the_hot_quad() {
+        let g = small_geometry();
+        let map = LowInterleaveMap::new(g).unwrap();
+        let mut w = Hotspot::new(7, g, BlockSize::B64, 2, 90, 50, 20_000).unwrap();
+        let mut hot = 0u64;
+        let mut n = 0u64;
+        while let Some(op) = w.next_op() {
+            let vault = map
+                .vault_of(hmc_types::PhysAddr::new(op.addr).unwrap())
+                .unwrap();
+            if (8..12).contains(&vault) {
+                hot += 1;
+            }
+            n += 1;
+        }
+        assert_eq!(n, 20_000);
+        // 90% aimed + uniform spillover (4 of 16 vaults) ≈ 92.5%.
+        assert!(hot > n * 85 / 100, "only {hot}/{n} requests hit quad 2");
+    }
+
+    #[test]
+    fn zero_hot_share_degenerates_to_uniform() {
+        let g = small_geometry();
+        let map = LowInterleaveMap::new(g).unwrap();
+        let mut w = Hotspot::new(3, g, BlockSize::B64, 0, 0, 50, 16_000).unwrap();
+        let mut per_quad = [0u64; 4];
+        while let Some(op) = w.next_op() {
+            let vault = map
+                .vault_of(hmc_types::PhysAddr::new(op.addr).unwrap())
+                .unwrap();
+            per_quad[(vault / VAULTS_PER_QUAD) as usize] += 1;
+        }
+        for (q, &count) in per_quad.iter().enumerate() {
+            assert!(
+                (3_000..5_000).contains(&count),
+                "quad {q} saw {count} of 16000 uniform requests"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let g = small_geometry();
+        let mut a = Hotspot::new(9, g, BlockSize::B64, 1, 80, 30, 64).unwrap();
+        let mut b = Hotspot::new(9, g, BlockSize::B64, 1, 80, 30, 64).unwrap();
+        for _ in 0..64 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        assert_eq!(a.next_op(), None);
+    }
+
+    #[test]
+    fn addresses_stay_inside_the_device() {
+        let g = small_geometry();
+        let cap = g.capacity_bytes();
+        let mut w = Hotspot::new(5, g, BlockSize::B64, 3, 75, 50, 2_000).unwrap();
+        while let Some(op) = w.next_op() {
+            assert!(op.addr < cap, "addr {:#x} beyond capacity {cap:#x}", op.addr);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let g = small_geometry();
+        assert!(Hotspot::new(1, g, BlockSize::B64, 9, 90, 50, 10).is_err());
+        assert!(Hotspot::new(1, g, BlockSize::B64, 0, 101, 50, 10).is_err());
+        assert!(Hotspot::new(1, g, BlockSize::B64, 0, 90, 101, 10).is_err());
+    }
+}

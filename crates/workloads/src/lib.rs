@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod gups;
+pub mod hotspot;
 pub mod mixed;
 pub mod lcg;
 pub mod op;
@@ -23,6 +24,7 @@ pub mod stencil;
 pub mod stream;
 
 pub use gups::{Gups, UpdateKind};
+pub use hotspot::{Hotspot, DEFAULT_HOT_PCT};
 pub use lcg::{GlibcRand, GlibcRandom};
 pub use mixed::Mixed;
 pub use replay::Replay;

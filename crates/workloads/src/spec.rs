@@ -7,9 +7,11 @@
 //! cannot drift apart: identical specs build identical (deterministic)
 //! request streams.
 
-use hmc_types::{BlockSize, HmcError, Result};
+use hmc_types::address::MapGeometry;
+use hmc_types::{BlockSize, HmcError, QuadId, Result};
 
 use crate::gups::{Gups, UpdateKind};
+use crate::hotspot::{Hotspot, DEFAULT_HOT_PCT};
 use crate::op::Workload;
 use crate::pointer_chase::PointerChase;
 use crate::random_access::RandomAccess;
@@ -17,7 +19,8 @@ use crate::stencil::Stencil;
 use crate::stream::{Stream, StreamMode};
 
 /// Names [`WorkloadSpec::build`] accepts, for help text and validation.
-pub const WORKLOAD_NAMES: [&str; 5] = ["random", "stream", "gups", "chase", "stencil"];
+pub const WORKLOAD_NAMES: [&str; 6] =
+    ["random", "stream", "gups", "chase", "stencil", "hotspot"];
 
 /// A by-name workload description that builds a deterministic generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +37,13 @@ pub struct WorkloadSpec {
     pub read_pct: u8,
     /// Number of operations to generate.
     pub requests: u64,
+    /// Device geometry for quad-aware generators (`hotspot` requires
+    /// it; others ignore it).
+    pub geometry: Option<MapGeometry>,
+    /// Quad the `hotspot` generator concentrates on.
+    pub hot_quad: QuadId,
+    /// Percentage of `hotspot` requests aimed at the hot quad.
+    pub hot_pct: u8,
 }
 
 impl WorkloadSpec {
@@ -47,6 +57,9 @@ impl WorkloadSpec {
             block: BlockSize::B64,
             read_pct: 50,
             requests,
+            geometry: None,
+            hot_quad: 0,
+            hot_pct: DEFAULT_HOT_PCT,
         }
     }
 
@@ -59,6 +72,21 @@ impl WorkloadSpec {
     /// Replace the read percentage (builder style).
     pub fn with_read_pct(mut self, read_pct: u8) -> Self {
         self.read_pct = read_pct;
+        self
+    }
+
+    /// Supply the device geometry quad-aware generators need (builder
+    /// style).
+    pub fn with_geometry(mut self, geometry: MapGeometry) -> Self {
+        self.geometry = Some(geometry);
+        self
+    }
+
+    /// Point the `hotspot` generator at `quad` with `hot_pct`% of the
+    /// traffic (builder style).
+    pub fn with_hotspot(mut self, quad: QuadId, hot_pct: u8) -> Self {
+        self.hot_quad = quad;
+        self.hot_pct = hot_pct;
         self
     }
 
@@ -96,6 +124,24 @@ impl WorkloadSpec {
                 let side = ((cells as f64).sqrt() as u64 + 2).max(3);
                 Box::new(Stencil::new(side, side, self.block, 1))
             }
+            "hotspot" => {
+                let geometry = self.geometry.ok_or_else(|| {
+                    HmcError::InvalidConfig(
+                        "hotspot workload needs a device geometry \
+                         (WorkloadSpec::with_geometry)"
+                            .into(),
+                    )
+                })?;
+                Box::new(Hotspot::new(
+                    self.seed,
+                    geometry,
+                    self.block,
+                    self.hot_quad,
+                    self.hot_pct,
+                    self.read_pct,
+                    self.requests,
+                )?)
+            }
             other => {
                 return Err(HmcError::InvalidConfig(format!(
                     "unknown workload {other:?} (expected one of {WORKLOAD_NAMES:?})"
@@ -111,11 +157,28 @@ mod tests {
 
     #[test]
     fn every_named_workload_builds() {
+        let geometry = hmc_types::DeviceConfig::small().geometry();
         for name in WORKLOAD_NAMES {
-            let w = WorkloadSpec::new(name, 1, 1 << 24, 100).build();
+            let w = WorkloadSpec::new(name, 1, 1 << 24, 100)
+                .with_geometry(geometry)
+                .build();
             assert!(w.is_ok(), "{name}");
         }
         assert!(WorkloadSpec::new("bogus", 1, 1 << 24, 100).build().is_err());
+    }
+
+    #[test]
+    fn hotspot_needs_a_geometry() {
+        let bare = WorkloadSpec::new("hotspot", 1, 1 << 24, 100).build();
+        assert!(bare.is_err(), "hotspot without geometry must be rejected");
+        let geometry = hmc_types::DeviceConfig::small().geometry();
+        let mut w = WorkloadSpec::new("hotspot", 1, 1 << 24, 100)
+            .with_geometry(geometry)
+            .with_hotspot(1, 95)
+            .build()
+            .unwrap();
+        assert_eq!(w.name(), "hotspot");
+        assert!(w.next_op().is_some());
     }
 
     #[test]
