@@ -11,6 +11,8 @@
 //!              [--timing classic|ddr|both] [--min-sparse-speedup X]
 //!              [--interconnect crossbar|ring|mesh|all]
 //!              [--arbitration round-robin|oldest-first|locality-aware]
+//!              [--hammer] [--hammer-threshold N] [--flip-prob PPM]
+//!              [--retention CYCLES] [--mitigation none|trr|elevated]
 //!
 //! `--timing both` emits one record point per vault timing backend, so
 //! the archived trajectory tracks both the paper's constant-time model
@@ -21,12 +23,22 @@
 //! fast-forward win (DDR spans are dominated by bank timing and
 //! buffered fabrics by hop latency, so the guard does not apply to
 //! them).
+//!
+//! `--hammer` additionally emits `BENCH_hammer_*` records: the
+//! double-sided hammer shape run with cell faults off and with
+//! injection armed (mitigation stripped), plus a summary pinning the
+//! simulated-cycle overhead of the disarmed fault hook at zero — the
+//! run exits nonzero if the two spans differ. The cell-fault flags
+//! parameterize the armed run.
 
 use std::path::PathBuf;
 
-use hmc_bench::emit::{compare, shape_by_name, write_record, write_summary, SHAPES};
+use hmc_bench::emit::{
+    compare, hammer_overhead, shape_by_name, write_hammer_summary, write_record, write_summary,
+    SHAPES,
+};
 use hmc_core::NocParams;
-use hmc_types::{ArbitrationKind, InterconnectKind, TimingKind};
+use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, TimingKind};
 
 fn main() {
     let mut out = PathBuf::from("results");
@@ -36,6 +48,8 @@ fn main() {
     let mut fabrics: Vec<InterconnectKind> = vec![InterconnectKind::Crossbar];
     let mut arbitration = ArbitrationKind::RoundRobin;
     let mut min_sparse_speedup: Option<f64> = None;
+    let mut hammer = false;
+    let mut cell_faults = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -78,17 +92,27 @@ fn main() {
                         .unwrap_or_else(|| die("--min-sparse-speedup needs a number")),
                 );
             }
+            "--hammer" => hammer = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench_emit [--out DIR] [--threads N] \
                      [--workload dense|bursty|sparse|all] \
                      [--timing classic|ddr|both] [--min-sparse-speedup X] \
                      [--interconnect crossbar|ring|mesh|all] \
-                     [--arbitration round-robin|oldest-first|locality-aware]"
+                     [--arbitration round-robin|oldest-first|locality-aware] \
+                     [--hammer] [--hammer-threshold N] [--flip-prob PPM] \
+                     [--retention CYCLES] [--mitigation none|trr|elevated]"
                 );
                 return;
             }
-            other => die(&format!("unknown argument {other}")),
+            flag => {
+                let value = args.next();
+                match CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref()) {
+                    Ok(true) => {}
+                    Ok(false) => die(&format!("unknown argument {flag}")),
+                    Err(e) => die(&e.to_string()),
+                }
+            }
         }
     }
 
@@ -147,6 +171,35 @@ fn main() {
                     }
                 }
             }
+        }
+    }
+    if hammer {
+        let cfg = cell_faults.unwrap_or_default();
+        let (off, on, summary) = hammer_overhead(threads, cfg);
+        println!(
+            "{:<8} {:<8} {:<9} {:>16.3e} {:>16.3e} {:>8} cycle overhead ({} bit flips armed)",
+            "hammer",
+            "classic",
+            "crossbar",
+            summary.off_cycles_per_sec,
+            summary.on_cycles_per_sec,
+            summary.simulated_cycle_overhead,
+            summary.bit_flips_on
+        );
+        for r in [&off, &on] {
+            let path =
+                write_record(&out, r).unwrap_or_else(|e| die(&format!("write record: {e}")));
+            eprintln!("bench_emit: wrote {}", path.display());
+        }
+        let path = write_hammer_summary(&out, &summary)
+            .unwrap_or_else(|e| die(&format!("write summary: {e}")));
+        eprintln!("bench_emit: wrote {}", path.display());
+        if summary.simulated_cycle_overhead != 0 {
+            eprintln!(
+                "bench_emit: disarmed fault hook changed the simulated span by {} cycles",
+                summary.simulated_cycle_overhead
+            );
+            failed = true;
         }
     }
     if failed {

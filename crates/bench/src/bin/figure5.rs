@@ -12,6 +12,8 @@
 //!           [--fast-forward] [--timing classic|ddr]
 //!           [--interconnect crossbar|ring|mesh]
 //!           [--arbitration round-robin|oldest-first|locality-aware]
+//!           [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES]
+//!           [--mitigation none|trr|elevated]
 //!
 //! Defaults: 1/256 scale, bin width auto (~200 rows), output CSVs to the
 //! current directory as `figure5_<config>.csv`.
@@ -23,7 +25,9 @@ use hmc_bench::harness::{paper_setup, paper_workload, SetupOptions};
 use hmc_core::{NocParams, TimingParams};
 use hmc_host::{run_workload, RunConfig};
 use hmc_trace::{SeriesCollector, SharedSink, Verbosity};
-use hmc_types::{ArbitrationKind, DeviceConfig, InterconnectKind, StorageMode, TimingKind};
+use hmc_types::{
+    ArbitrationKind, CellFaultConfig, DeviceConfig, InterconnectKind, StorageMode, TimingKind,
+};
 
 fn main() {
     let mut scale: u64 = 256;
@@ -36,6 +40,7 @@ fn main() {
     let mut timing = TimingKind::Classic;
     let mut interconnect = InterconnectKind::Crossbar;
     let mut arbitration = ArbitrationKind::RoundRobin;
+    let mut cell_faults = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -68,11 +73,20 @@ fn main() {
                     "usage: figure5 [--scale N] [--seed S] [--bin W] [--out DIR] \
                      [--threads N] [--check] [--fast-forward] [--timing classic|ddr] \
                      [--interconnect crossbar|ring|mesh] \
-                     [--arbitration round-robin|oldest-first|locality-aware]"
+                     [--arbitration round-robin|oldest-first|locality-aware] \
+                     [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
+                     [--mitigation none|trr|elevated]"
                 );
                 return;
             }
-            other => die(&format!("unknown argument {other}")),
+            flag => {
+                let value = args.next();
+                match CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref()) {
+                    Ok(true) => {}
+                    Ok(false) => die(&format!("unknown argument {flag}")),
+                    Err(e) => die(&e.to_string()),
+                }
+            }
         }
     }
 
@@ -97,6 +111,7 @@ fn main() {
             fast_forward,
             timing: TimingParams::of(timing),
             interconnect: NocParams::of(interconnect).with_arbitration(arbitration),
+            cell_faults,
         };
         let (mut sim, mut host) = paper_setup(cfg, opts, Some(Box::new(series.clone())));
         let mut workload = paper_workload(seed, scale);

@@ -7,13 +7,15 @@
 //! ```text
 //! hmcsim [--config 4l8b|4l16b|8l8b|8l16b|small | --config-file FILE.json]
 //!        [--dump-config FILE.json]
-//!        [--workload random|stream|gups|chase|stencil]
+//!        [--workload random|stream|gups|chase|stencil|hotspot|hammer]
 //!        [--requests N] [--seed S] [--read-pct P] [--block BYTES]
 //!        [--error-rate R] [--serialize-flits N] [--threads N]
 //!        [--locality] [--stall-queue] [--check] [--fast-forward]
 //!        [--timing classic|ddr]
 //!        [--interconnect crossbar|ring|mesh]
 //!        [--arbitration round-robin|oldest-first|locality-aware]
+//!        [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES]
+//!        [--mitigation none|trr|elevated]
 //!        [--series FILE] [--trace FILE] [--utilization] [--energy]
 //!        [--profile]
 //! ```
@@ -27,7 +29,10 @@ use hmc_trace::{
     estimate_energy, EnergyModel, MultiSink, SeriesCollector, SharedSink, TextSink,
     Tracer, Verbosity,
 };
-use hmc_types::{ArbitrationKind, BlockSize, DeviceConfig, InterconnectKind, StorageMode, TimingKind};
+use hmc_types::{
+    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind, StorageMode,
+    TimingKind,
+};
 use hmc_workloads::{Workload, WorkloadSpec};
 
 struct Options {
@@ -53,6 +58,7 @@ struct Options {
     timing: TimingKind,
     interconnect: InterconnectKind,
     arbitration: ArbitrationKind,
+    cell_faults: Option<CellFaultConfig>,
     dump_config: Option<String>,
 }
 
@@ -81,6 +87,7 @@ impl Default for Options {
             timing: TimingKind::Classic,
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
+            cell_faults: None,
             dump_config: None,
         }
     }
@@ -90,12 +97,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: hmcsim [--config 4l8b|4l16b|8l8b|8l16b|small | --config-file F.json] \
          [--dump-config F.json] \
-         [--workload random|stream|gups|chase|stencil] [--requests N] \
+         [--workload random|stream|gups|chase|stencil|hotspot|hammer] [--requests N] \
          [--seed S] [--read-pct P] [--block BYTES] [--error-rate R] \
          [--serialize-flits N] [--threads N] [--locality] [--stall-queue] \
          [--check] [--fast-forward] [--timing classic|ddr] \
          [--interconnect crossbar|ring|mesh] \
-         [--arbitration round-robin|oldest-first|locality-aware] [--series FILE] \
+         [--arbitration round-robin|oldest-first|locality-aware] \
+         [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
+         [--mitigation none|trr|elevated] [--series FILE] \
          [--trace FILE] [--utilization] [--energy] [--profile]"
     );
     std::process::exit(2);
@@ -202,9 +211,19 @@ fn parse_options() -> Options {
                 });
             }
             "--help" | "-h" => usage(),
-            other => {
-                eprintln!("hmcsim: unknown argument {other}");
-                usage()
+            flag => {
+                let value = args.next();
+                match CellFaultConfig::apply_flag(&mut o.cell_faults, flag, value.as_deref()) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("hmcsim: unknown argument {flag}");
+                        usage()
+                    }
+                    Err(e) => {
+                        eprintln!("hmcsim: {e}");
+                        usage()
+                    }
+                }
             }
         }
     }
@@ -216,6 +235,7 @@ fn build_workload(o: &Options) -> Box<dyn Workload> {
     WorkloadSpec::new(&o.workload, o.seed, working_set, o.requests)
         .with_block(o.block)
         .with_read_pct(o.read_pct)
+        .with_geometry(o.config.geometry())
         .build()
         .unwrap_or_else(|e| {
             eprintln!("hmcsim: {e}");
@@ -247,6 +267,8 @@ fn main() {
         fast_forward: o.fast_forward,
         timing: TimingParams::of(o.timing),
         interconnect: NocParams::of(o.interconnect).with_arbitration(o.arbitration),
+        // CLI flags win over a cell-fault block in --config-file JSON.
+        cell_faults: o.cell_faults.or(o.config.cell_faults),
         ..SimParams::default()
     });
     if o.error_rate > 0.0 {
@@ -341,6 +363,13 @@ fn main() {
         println!(
             "link errors       {} injected, {} recovered",
             f.injected, f.detected
+        );
+    }
+    if sim.cell_faults().is_some() {
+        let s = sim.stats();
+        println!(
+            "cell faults       {} activations, {} bit flips, {} TRR refreshes, {} retention decays",
+            s.hammer_activations, s.bit_flips, s.trr_refreshes, s.retention_decays
         );
     }
     if o.check {

@@ -12,6 +12,8 @@
 //!   sweep [--requests N] [--seed S] [--out FILE] [--jobs N] [--fast-forward]
 //!         [--timing classic|ddr] [--interconnect crossbar|ring|mesh]
 //!         [--arbitration round-robin|oldest-first|locality-aware]
+//!         [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES]
+//!         [--mitigation none|trr|elevated]
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -19,7 +21,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hmc_core::{topology, HmcSim, NocParams, SimParams, TimingParams};
 use hmc_host::{run_workload, Host, RunConfig};
-use hmc_types::{ArbitrationKind, BlockSize, DeviceConfig, InterconnectKind, StorageMode, TimingKind};
+use hmc_types::{
+    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind, StorageMode,
+    TimingKind,
+};
 use hmc_workloads::RandomAccess;
 
 struct Point {
@@ -43,6 +48,7 @@ fn run_point(
     fast_forward: bool,
     timing: TimingKind,
     interconnect: NocParams,
+    cell_faults: Option<CellFaultConfig>,
 ) -> Point {
     let cfg = DeviceConfig::paper_4link_8bank_2gb()
         .with_storage_mode(StorageMode::TimingOnly)
@@ -53,6 +59,7 @@ fn run_point(
         fast_forward,
         timing: TimingParams::of(timing),
         interconnect,
+        cell_faults,
         ..SimParams::default()
     });
     let host_id = sim.host_cube_id(0);
@@ -82,6 +89,7 @@ fn main() {
     let mut timing = TimingKind::Classic;
     let mut interconnect = InterconnectKind::Crossbar;
     let mut arbitration = ArbitrationKind::RoundRobin;
+    let mut cell_faults = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -131,13 +139,25 @@ fn main() {
                     "usage: sweep [--requests N] [--seed S] [--out FILE] [--jobs N] \
                      [--fast-forward] [--timing classic|ddr] \
                      [--interconnect crossbar|ring|mesh] \
-                     [--arbitration round-robin|oldest-first|locality-aware]"
+                     [--arbitration round-robin|oldest-first|locality-aware] \
+                     [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
+                     [--mitigation none|trr|elevated]"
                 );
                 return;
             }
-            other => {
-                eprintln!("sweep: unknown argument {other}");
-                std::process::exit(2);
+            flag => {
+                let value = args.next();
+                match CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref()) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("sweep: unknown argument {flag}");
+                        std::process::exit(2);
+                    }
+                    Err(e) => {
+                        eprintln!("sweep: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
         }
     }
@@ -190,6 +210,7 @@ fn main() {
                             fast_forward,
                             timing,
                             NocParams::of(interconnect).with_arbitration(arbitration),
+                            cell_faults,
                         ),
                     ));
                 }

@@ -7,6 +7,8 @@
 //!          [--fast-forward] [--timing classic|ddr]
 //!          [--interconnect crossbar|ring|mesh]
 //!          [--arbitration round-robin|oldest-first|locality-aware]
+//!          [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES]
+//!          [--mitigation none|trr|elevated]
 //!
 //! `--scale N` runs 1/N of the paper's request count (default 16);
 //! `--full` is shorthand for `--scale 1` (the paper's exact request
@@ -20,12 +22,15 @@
 //! model (`classic`, default) or the cycle-accurate DDR state machine
 //! (`ddr`). `--interconnect` selects the intra-cube fabric: the direct
 //! crossbar (default) or a buffered ring/mesh NoC, with `--arbitration`
-//! picking the per-hop arbitration policy buffered fabrics use.
+//! picking the per-hop arbitration policy buffered fabrics use. Any of
+//! the cell-fault flags (`--hammer-threshold`, `--flip-prob`,
+//! `--retention`, `--mitigation`) arms RowHammer/retention fault
+//! injection for the runs; the remaining knobs keep their defaults.
 
 use hmc_bench::table1::{format_table, run_table1_with};
 use hmc_bench::SetupOptions;
 use hmc_core::{NocParams, TimingParams};
-use hmc_types::{ArbitrationKind, InterconnectKind, TimingKind};
+use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, TimingKind};
 
 fn main() {
     let mut scale: u64 = 16;
@@ -36,6 +41,7 @@ fn main() {
     let mut timing = TimingKind::Classic;
     let mut interconnect = InterconnectKind::Crossbar;
     let mut arbitration = ArbitrationKind::RoundRobin;
+    let mut cell_faults = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,11 +88,20 @@ fn main() {
                     "usage: table1 [--scale N] [--full] [--seed S] [--threads N] [--check] \
                      [--fast-forward] [--timing classic|ddr] \
                      [--interconnect crossbar|ring|mesh] \
-                     [--arbitration round-robin|oldest-first|locality-aware]"
+                     [--arbitration round-robin|oldest-first|locality-aware] \
+                     [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
+                     [--mitigation none|trr|elevated]"
                 );
                 return;
             }
-            other => die(&format!("unknown argument {other}")),
+            flag => {
+                let value = args.next();
+                match CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref()) {
+                    Ok(true) => {}
+                    Ok(false) => die(&format!("unknown argument {flag}")),
+                    Err(e) => die(&e.to_string()),
+                }
+            }
         }
     }
 
@@ -102,6 +117,7 @@ fn main() {
         fast_forward,
         timing: TimingParams::of(timing),
         interconnect: NocParams::of(interconnect).with_arbitration(arbitration),
+        cell_faults,
         ..SetupOptions::default()
     };
     let rows = run_table1_with(scale, seed, opts, check, |config, cycles| {

@@ -25,8 +25,10 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use hmc_core::{HmcSim, NocParams, SimParams, TimingParams};
 use hmc_types::{
-    BlockSize, Command, DeviceConfig, InterconnectKind, LinkId, Packet, StorageMode, TimingKind,
+    BlockSize, CellFaultConfig, Command, DeviceConfig, InterconnectKind, LinkId, Mitigation,
+    Packet, StorageMode, TimingKind,
 };
+use hmc_workloads::{Hammer, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Schema tag stamped into every emitted record.
@@ -161,7 +163,13 @@ fn host_num_cpus() -> u64 {
         .unwrap_or(0)
 }
 
-fn emit_sim(threads: usize, fast_forward: bool, timing: TimingKind, noc: NocParams) -> HmcSim {
+fn emit_sim(
+    threads: usize,
+    fast_forward: bool,
+    timing: TimingKind,
+    noc: NocParams,
+    cell_faults: Option<CellFaultConfig>,
+) -> HmcSim {
     let cfg = DeviceConfig::small().with_storage_mode(StorageMode::TimingOnly);
     let mut sim = HmcSim::new(1, cfg)
         .expect("small config validates")
@@ -170,6 +178,7 @@ fn emit_sim(threads: usize, fast_forward: bool, timing: TimingKind, noc: NocPara
             fast_forward,
             timing: TimingParams::of(timing),
             interconnect: noc,
+            cell_faults,
             ..SimParams::default()
         });
     for l in 0..4 {
@@ -198,7 +207,7 @@ pub fn measure(
     timing: TimingKind,
     noc: NocParams,
 ) -> BenchRecord {
-    let mut sim = emit_sim(threads, fast_forward, timing, noc);
+    let mut sim = emit_sim(threads, fast_forward, timing, noc, None);
     let mut requests = 0u64;
     let mut responses = 0u64;
     let start = Instant::now();
@@ -274,6 +283,161 @@ pub fn compare(
         speedup: fast.cycles_per_sec / stepped.cycles_per_sec.max(f64::MIN_POSITIVE),
     };
     (stepped, fast, summary)
+}
+
+/// Requests in the measured hammer shape: enough double-sided
+/// activations of one bank to cross the default disturbance threshold
+/// many times within a single refresh window.
+pub const HAMMER_REQUESTS: u64 = 6_000;
+
+/// Measure the double-sided hammer shape, optionally with cell-fault
+/// injection armed. The request schedule is identical either way, so
+/// comparing the two runs isolates the cost of the fault hook itself.
+pub fn measure_hammer(
+    fast_forward: bool,
+    threads: usize,
+    cell_faults: Option<CellFaultConfig>,
+) -> (BenchRecord, u64) {
+    let mut sim = emit_sim(
+        threads,
+        fast_forward,
+        TimingKind::Classic,
+        NocParams::default(),
+        cell_faults,
+    );
+    let geometry = sim.config().geometry();
+    let mut hammer = Hammer::new(
+        geometry,
+        BlockSize::B64,
+        0,
+        0,
+        geometry.rows / 2,
+        HAMMER_REQUESTS,
+    )
+    .expect("small geometry has interior rows");
+    let mut requests = 0u64;
+    let mut responses = 0u64;
+    let start = Instant::now();
+    let mut tag = 0u16;
+    while let Some(op) = hammer.next_op() {
+        let link = (requests % 4) as LinkId;
+        loop {
+            let p = Packet::request(op.command(), 0, op.addr, tag, link, &[])
+                .expect("hammer read builds");
+            match sim.send(0, link, p) {
+                Ok(()) => break,
+                Err(_) => {
+                    sim.clock_batch(1).expect("clock");
+                    drain(&mut sim, &mut responses);
+                }
+            }
+        }
+        tag = (tag + 1) % (1 << 9);
+        requests += 1;
+        if requests.is_multiple_of(64) {
+            sim.clock_batch(32).expect("clock");
+            drain(&mut sim, &mut responses);
+        }
+    }
+    while !sim.is_idle() {
+        sim.clock_batch(64).expect("clock");
+        drain(&mut sim, &mut responses);
+    }
+    let wall = start.elapsed();
+    let simulated_cycles = sim.current_clock();
+    let wall_ns = wall.as_nanos().max(1) as u64;
+    let bit_flips = sim.stats().bit_flips;
+    let record = BenchRecord {
+        schema: SCHEMA.into(),
+        workload: "hammer".into(),
+        mode: if cell_faults.is_some() {
+            "faults-on".into()
+        } else {
+            "faults-off".into()
+        },
+        timing: TimingKind::Classic.name().into(),
+        interconnect: InterconnectKind::Crossbar.name().into(),
+        arbitration: NocParams::default().arbitration.name().into(),
+        threads: threads.max(1) as u64,
+        num_cpus: host_num_cpus(),
+        simulated_cycles,
+        wall_ns,
+        cycles_per_sec: simulated_cycles as f64 * 1e9 / wall_ns as f64,
+        requests,
+        responses,
+        unix_time_secs: unix_now_secs(),
+    };
+    (record, bit_flips)
+}
+
+/// Faults-off vs faults-armed comparison for the hammer shape.
+///
+/// The injection hook charges no cycles of its own — only the TRR
+/// mitigation spends refresh time — so with mitigation forced off the
+/// armed run must simulate the *identical* cycle span as the baseline.
+/// CI archives this record to pin the overhead-when-off at zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HammerOverheadSummary {
+    /// Record schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Always `hammer`.
+    pub workload: String,
+    /// Worker threads both runs used.
+    pub threads: u64,
+    /// Simulated cycles with cell faults unconfigured.
+    pub off_simulated_cycles: u64,
+    /// Simulated cycles with injection armed (mitigation forced off).
+    pub on_simulated_cycles: u64,
+    /// `on - off`; pinned at zero.
+    pub simulated_cycle_overhead: i64,
+    /// Baseline throughput, simulated cycles per second.
+    pub off_cycles_per_sec: f64,
+    /// Armed-run throughput, simulated cycles per second.
+    pub on_cycles_per_sec: f64,
+    /// Bits flipped during the armed run.
+    pub bit_flips_on: u64,
+}
+
+/// Run the hammer shape with faults off and with injection armed
+/// (mitigation stripped so timing is comparable), and fold the
+/// comparison.
+pub fn hammer_overhead(
+    threads: usize,
+    cfg: CellFaultConfig,
+) -> (BenchRecord, BenchRecord, HammerOverheadSummary) {
+    let armed = cfg.with_mitigation(Mitigation::None);
+    let (off, _) = measure_hammer(false, threads, None);
+    let (on, bit_flips_on) = measure_hammer(false, threads, Some(armed));
+    let summary = HammerOverheadSummary {
+        schema: SCHEMA.into(),
+        workload: "hammer".into(),
+        threads: threads.max(1) as u64,
+        off_simulated_cycles: off.simulated_cycles,
+        on_simulated_cycles: on.simulated_cycles,
+        simulated_cycle_overhead: on.simulated_cycles as i64 - off.simulated_cycles as i64,
+        off_cycles_per_sec: off.cycles_per_sec,
+        on_cycles_per_sec: on.cycles_per_sec,
+        bit_flips_on,
+    };
+    (off, on, summary)
+}
+
+/// File name for a hammer overhead summary:
+/// `BENCH_hammer_overhead_t<threads>.json`.
+pub fn hammer_summary_file_name(summary: &HammerOverheadSummary) -> String {
+    format!("BENCH_hammer_overhead_t{}.json", summary.threads)
+}
+
+/// Write one hammer overhead summary into `dir`, returning the path.
+pub fn write_hammer_summary(
+    dir: &Path,
+    summary: &HammerOverheadSummary,
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(hammer_summary_file_name(summary));
+    let json = serde_json::to_string_pretty(summary)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
 }
 
 /// `_<fabric>` filename segment for buffered fabrics; empty for the
@@ -407,6 +571,25 @@ mod tests {
         let back: BenchRecord = serde_json::from_str(&text).unwrap();
         assert_eq!(back, record);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hammer_overhead_when_off_is_pinned_at_zero() {
+        let cfg = CellFaultConfig::default()
+            .with_hammer_threshold(64)
+            .with_flip_prob_ppm(1_000_000);
+        let (off, on, summary) = hammer_overhead(1, cfg);
+        assert_eq!(off.workload, "hammer");
+        assert_eq!(off.mode, "faults-off");
+        assert_eq!(on.mode, "faults-on");
+        assert_eq!(
+            summary.simulated_cycle_overhead, 0,
+            "the fault hook must not perturb timing without TRR"
+        );
+        assert_eq!(off.simulated_cycles, on.simulated_cycles);
+        assert_eq!(off.responses, on.responses);
+        assert!(summary.bit_flips_on > 0, "armed run must actually flip bits");
+        assert!(hammer_summary_file_name(&summary).contains("hammer_overhead"));
     }
 
     #[test]

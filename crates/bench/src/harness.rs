@@ -27,6 +27,9 @@ pub struct SetupOptions {
     /// Intra-cube interconnect fabric (`SimParams::interconnect`): the
     /// direct crossbar by default, or a buffered ring/mesh NoC.
     pub interconnect: NocParams,
+    /// Cell-level fault injection (`SimParams::cell_faults`): RowHammer
+    /// disturbance and retention decay, off by default.
+    pub cell_faults: Option<hmc_types::CellFaultConfig>,
 }
 
 impl Default for SetupOptions {
@@ -38,6 +41,7 @@ impl Default for SetupOptions {
             fast_forward: false,
             timing: TimingParams::default(),
             interconnect: NocParams::default(),
+            cell_faults: None,
         }
     }
 }
@@ -55,7 +59,8 @@ pub fn paper_setup(
         .with_threads(opts.threads)
         .with_fast_forward(opts.fast_forward)
         .with_timing(opts.timing)
-        .with_interconnect(opts.interconnect);
+        .with_interconnect(opts.interconnect)
+        .with_cell_faults(opts.cell_faults);
     let host_id = sim.host_cube_id(0);
     topology::build_simple(&mut sim, host_id).expect("simple topology");
     if let Some(sink) = sink {

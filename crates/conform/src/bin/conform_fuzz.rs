@@ -6,6 +6,9 @@
 //!              [--interconnect crossbar|ring|mesh|all]
 //!              [--arbitration round-robin|oldest-first|locality-aware]
 //!              [--repro-dir DIR] [--demo-corruption]
+//!              [--hammer] [--demo-hammer] [--hammer-threshold N]
+//!              [--flip-prob PPM] [--retention CYCLES]
+//!              [--mitigation none|trr|elevated]
 //! ```
 //!
 //! Runs `N` seeded command streams differentially through the serial
@@ -23,15 +26,25 @@
 //! on the first divergence, after shrinking it and writing a repro
 //! trace. `--demo-corruption` instead *injects* a datapath fault into
 //! one stream and exits zero only if the harness catches and shrinks
-//! it — the checker checking itself.
+//! it — the checker checking itself. `--hammer` arms the RowHammer
+//! fault axis on every stream (TRR-mitigated by default, so streams
+//! stay oracle-clean) and appends a threshold-crossing adversarial
+//! burst to every second stream: the seeded fault stream — counters,
+//! crossings, targeted refreshes, bank parks — must then be
+//! bit-identical across the whole thread × engine-mode sweep.
+//! `--demo-hammer` runs the fault-injection detection demo instead:
+//! an unmitigated burst whose every flipped bit the oracle must flag
+//! end to end, then the same stream completing clean under TRR. The
+//! shared cell-fault flags (`--hammer-threshold`, `--flip-prob`,
+//! `--retention`, `--mitigation`) parameterize both.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hmc_conform::{campaign, shrink_case, write_repro, CampaignConfig};
+use hmc_conform::{campaign, hammer_demo, shrink_case, write_repro, CampaignConfig};
 use hmc_conform::fuzz::campaign_with_corruption;
 use hmc_conform::CorruptSpec;
-use hmc_types::{ArbitrationKind, InterconnectKind, TimingKind};
+use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, TimingKind};
 
 fn usage() -> ! {
     eprintln!(
@@ -39,7 +52,10 @@ fn usage() -> ! {
          \x20                  [--fast-forward] [--timing classic|ddr|both]\n\
          \x20                  [--interconnect crossbar|ring|mesh|all]\n\
          \x20                  [--arbitration round-robin|oldest-first|locality-aware]\n\
-         \x20                  [--repro-dir DIR] [--demo-corruption]"
+         \x20                  [--repro-dir DIR] [--demo-corruption]\n\
+         \x20                  [--hammer] [--demo-hammer] [--hammer-threshold N]\n\
+         \x20                  [--flip-prob PPM] [--retention CYCLES]\n\
+         \x20                  [--mitigation none|trr|elevated]"
     );
     std::process::exit(2)
 }
@@ -48,6 +64,7 @@ fn main() -> ExitCode {
     let mut cfg = CampaignConfig::default();
     let mut repro_dir = PathBuf::from(".");
     let mut demo_corruption = false;
+    let mut demo_hammer = false;
     let mut timings: Vec<TimingKind> = vec![TimingKind::Classic];
     let mut fabrics: Vec<InterconnectKind> = vec![InterconnectKind::Crossbar];
 
@@ -108,16 +125,31 @@ fn main() -> ExitCode {
             }
             "--repro-dir" => repro_dir = PathBuf::from(value("--repro-dir")),
             "--demo-corruption" => demo_corruption = true,
+            "--hammer" => cfg.hammer = true,
+            "--demo-hammer" => demo_hammer = true,
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown argument {other:?}");
-                usage()
+                let v = args.next();
+                match CellFaultConfig::apply_flag(&mut cfg.cell_faults, other, v.as_deref()) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("unknown argument {other:?}");
+                        usage()
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage()
+                    }
+                }
             }
         }
     }
 
     if demo_corruption {
         return run_corruption_demo(&cfg, &repro_dir);
+    }
+    if demo_hammer {
+        return run_hammer_demo(&cfg);
     }
 
     let mut streams_clean = 0usize;
@@ -131,7 +163,7 @@ fn main() -> ExitCode {
             };
             println!(
                 "conform-fuzz: {} streams x {} ops, base seed {:#x}, {} thread sweep, \
-                 {} timing, {} fabric ({} arbitration)",
+                 {} timing, {} fabric ({} arbitration){}",
                 cfg.streams,
                 cfg.stream_len,
                 cfg.base_seed,
@@ -139,6 +171,7 @@ fn main() -> ExitCode {
                 kind.name(),
                 fabric.name(),
                 cfg.arbitration.name(),
+                if cfg.hammer { ", hammer axis armed" } else { "" },
             );
             let report = campaign(&cfg);
             match report.failure {
@@ -182,6 +215,33 @@ fn main() -> ExitCode {
         fabrics.len()
     );
     ExitCode::SUCCESS
+}
+
+/// Fault-injection self-test: an unmitigated adversarial hammer burst
+/// whose every flipped bit the oracle must flag end to end (tallied
+/// bits equal the engine's `bit_flips` counter exactly, bit-identical
+/// across the full thread × engine-mode sweep), then the same stream
+/// completing clean under TRR.
+fn run_hammer_demo(cfg: &CampaignConfig) -> ExitCode {
+    match hammer_demo(cfg.base_seed, cfg.cell_faults) {
+        Ok(report) => {
+            println!(
+                "hammer detection: {} injected bit flips, {} flagged by the oracle \
+                 across {} corrupted responses (100% detection)",
+                report.bit_flips, report.detected_bits, report.corrupted_responses
+            );
+            println!(
+                "PASS: TRR re-run clean — 0 flips, {} targeted refreshes, {:+} cycles \
+                 of mitigation cost",
+                report.trr_refreshes, report.trr_cycle_cost
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("FAIL: {failure}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Self-test mode: inject a known datapath corruption and demand the

@@ -6,13 +6,17 @@
 //! four address-map kinds, so a `(base seed, stream index)` pair names
 //! one exact `(preset, map, ops)` case forever.
 
+use hmc_types::cellfault::{CellFaultConfig, Mitigation};
 use hmc_types::{
-    AddressMap, ArbitrationKind, BankFirstMap, BlockSize, CustomMap, DeviceConfig, Field,
-    InterconnectKind, LinearMap, LowInterleaveMap, MapGeometry, TimingKind,
+    AddressMap, ArbitrationKind, BankFirstMap, BankId, BlockSize, CustomMap, DecodedAddr,
+    DeviceConfig, Field, InterconnectKind, LinearMap, LowInterleaveMap, MapGeometry, TimingKind,
+    VaultId,
 };
 use hmc_workloads::{MemOp, OpKind};
 
-use crate::harness::{run_case, CorruptSpec, Failure, FuzzCase, THREAD_SWEEP};
+use crate::harness::{
+    owner_link, run_case, run_case_lenient, CorruptSpec, Failure, FuzzCase, THREAD_SWEEP,
+};
 
 /// A 64-bit linear congruential generator (Knuth's MMIX multiplier)
 /// with a splitmix-style output mix — deterministic, seedable, and
@@ -175,6 +179,16 @@ pub struct CampaignConfig {
     pub interconnect: InterconnectKind,
     /// Arbitration policy for buffered fabrics (crossbar ignores it).
     pub arbitration: ArbitrationKind,
+    /// Arm the RowHammer fault axis: every stream runs with cell-fault
+    /// injection installed (TRR-mitigated by default, so the oracle
+    /// stays exact), and every second stream carries an appended
+    /// adversarial hammer burst that actually crosses the threshold.
+    /// Off by default — pinned-seed campaigns keep their behaviour.
+    pub hammer: bool,
+    /// Cell-fault parameters for the hammer axis ([`CellFaultConfig`]
+    /// defaults with threshold 64, 20% flip odds, and TRR when `None`).
+    /// Each stream re-seeds the config with its own stream seed.
+    pub cell_faults: Option<CellFaultConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -188,8 +202,79 @@ impl Default for CampaignConfig {
             timing: TimingKind::Classic,
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
+            hammer: false,
+            cell_faults: None,
         }
     }
+}
+
+/// Default cell-fault axis for `--hammer` campaigns: a threshold low
+/// enough for the appended bursts to cross it, aggressive flip odds,
+/// and TRR armed — so the oracle stays exact while the whole fault
+/// machinery (counting, crossings, targeted refresh, bank parking) is
+/// exercised on every engine configuration.
+pub fn default_hammer_faults() -> CellFaultConfig {
+    CellFaultConfig::default()
+        .with_hammer_threshold(64)
+        .with_flip_prob_ppm(200_000)
+        .with_mitigation(Mitigation::Trr)
+}
+
+/// Hammer read pairs per aggressor for exactly one threshold crossing:
+/// 1.25 × threshold lands in `[threshold, 2·threshold)`, so no victim
+/// bit can be flipped twice (and thereby XOR back to clean).
+pub fn crossing_pairs(threshold: u32) -> u64 {
+    let t = threshold.max(1) as u64;
+    t + t / 4
+}
+
+/// Build a deterministic adversarial hammer burst for `config` under
+/// `map`: ping-pong reads of two aggressor rows in one seeded
+/// `(vault, bank)`, far enough apart that their victim rows are
+/// disjoint and chosen to share one owner link — the engine's
+/// per-`(link, vault, bank)` ordering guarantee then makes every read
+/// close the other aggressor's row, so each is a fresh activation —
+/// followed by a full read-back of all four victim rows. Returns the
+/// ops and the index of the first read-back op, which callers install
+/// as the case's drain barrier so read-back is globally ordered after
+/// every flip.
+pub fn hammer_burst(
+    config: &DeviceConfig,
+    map: MapKind,
+    seed: u64,
+    pairs: u64,
+) -> (Vec<MemOp>, usize) {
+    let geometry = config.geometry();
+    let m = map.make(geometry);
+    let block = config.block_size.bytes() as u64;
+    let mut lcg = Lcg::new(seed ^ 0x4841_4d52); // "HAMR"
+    let vault = lcg.below(geometry.vaults as u64) as VaultId;
+    let bank = lcg.below(geometry.banks as u64) as BankId;
+    let addr_of = |row: u64| {
+        m.encode(DecodedAddr { vault, bank, row, offset: 0 })
+            .expect("rows validated against geometry")
+            .raw()
+    };
+    // First aggressor: an interior row with room above for the partner.
+    let a = 2 + lcg.below(geometry.rows.saturating_sub(80).max(1));
+    // Partner: the first row ≥ a+4 whose block lands on the same owner
+    // link. Distance ≥ 4 keeps the two victim pairs {a±1} and {b±1}
+    // disjoint from each other and from both aggressors.
+    let a_link = owner_link(addr_of(a), block, config.num_links);
+    let b = (a + 4..geometry.rows - 1)
+        .find(|&r| owner_link(addr_of(r), block, config.num_links) == a_link)
+        .unwrap_or(a + 4);
+    let size = config.block_size;
+    let mut ops = Vec::with_capacity(2 * pairs as usize + 4);
+    for _ in 0..pairs {
+        ops.push(MemOp::read(addr_of(a), size));
+        ops.push(MemOp::read(addr_of(b), size));
+    }
+    let barrier = ops.len();
+    for victim in [a - 1, a + 1, b - 1, b + 1] {
+        ops.push(MemOp::read(addr_of(victim), size));
+    }
+    (ops, barrier)
 }
 
 /// Campaign outcome.
@@ -235,7 +320,113 @@ pub fn case_for_stream(cfg: &CampaignConfig, i: usize) -> FuzzCase {
         case.gap_every = 2 + gap.below(4);
         case.gap_cycles = 200 + gap.below(4_000);
     }
+    if cfg.hammer {
+        let base = cfg.cell_faults.unwrap_or_else(default_hammer_faults);
+        // Every stream runs with the axis armed (the counting path must
+        // be deterministic even without crossings); every second stream
+        // carries a real adversarial burst that crosses the threshold.
+        case.cell_faults = Some(base.with_seed(seed));
+        if i % 2 == 1 {
+            let pairs = crossing_pairs(base.hammer_threshold);
+            let (mut burst, barrier) = hammer_burst(&case.config, map, seed, pairs);
+            case.barrier = Some(case.ops.len() + barrier);
+            case.ops.append(&mut burst);
+        }
+    }
     case
+}
+
+/// Report of the hammer end-to-end detection demo.
+#[derive(Debug, Clone, Copy)]
+pub struct HammerDemoReport {
+    /// Victim bits the engine flipped in the unmitigated run.
+    pub bit_flips: u64,
+    /// Corrupted bits the oracle flagged end-to-end — equal to
+    /// [`HammerDemoReport::bit_flips`] by the demo's pass condition.
+    pub detected_bits: u64,
+    /// Read responses that carried corruption.
+    pub corrupted_responses: u64,
+    /// Targeted refreshes fired by the TRR-mitigated leg.
+    pub trr_refreshes: u64,
+    /// Mitigation cycle cost: mitigated minus unmitigated span.
+    pub trr_cycle_cost: i64,
+}
+
+/// The hammer corruption-detection demo — the fault-injection analogue
+/// of `--demo-corruption`, proving the oracle catches *every* injected
+/// flip end to end:
+///
+/// 1. An adversarial burst runs unmitigated through the full thread ×
+///    engine-mode sweep in detection mode. Every run must observe the
+///    bit-identical corruption, and the oracle's flagged-bit tally must
+///    equal the engine's `bit_flips` counter exactly — 100% detection.
+/// 2. The same stream re-runs under TRR through the *strict* sweep: it
+///    must complete clean, with zero flips and at least one targeted
+///    refresh.
+///
+/// `faults` overrides the axis parameters (threshold, flip odds); the
+/// demo pins mitigation, retention, and a one-window refresh horizon
+/// itself, since the exact-tally comparison depends on them.
+pub fn hammer_demo(
+    base_seed: u64,
+    faults: Option<CellFaultConfig>,
+) -> Result<HammerDemoReport, Failure> {
+    let device = DeviceConfig::small();
+    let seed = base_seed ^ 0x6465_6d6f; // "demo"
+    let base = faults.unwrap_or_else(default_hammer_faults);
+    let armed = CellFaultConfig {
+        mitigation: Mitigation::None,
+        retention_cycles: 0,
+        refresh_window: base.refresh_window.max(1 << 20),
+        ..base
+    }
+    .with_seed(seed);
+    let pairs = crossing_pairs(armed.hammer_threshold);
+    let (ops, barrier) = hammer_burst(&device, MapKind::LowInterleave, seed, pairs);
+    let mut case = FuzzCase::new("small", device, MapKind::LowInterleave, seed, ops);
+    case.barrier = Some(barrier);
+    case.cell_faults = Some(armed);
+
+    let (outcome, tally) = run_case_lenient(&case)?;
+    let [_, bit_flips, _, _] = outcome.reference.fault_stats;
+    if bit_flips == 0 {
+        return Err(Failure {
+            threads: 0,
+            description: "demo burst crossed no hammer threshold (no bits flipped)".into(),
+        });
+    }
+    if tally.bits != bit_flips {
+        return Err(Failure {
+            threads: 0,
+            description: format!(
+                "detection gap: engine flipped {bit_flips} victim bits but the oracle \
+                 flagged {} across {} responses",
+                tally.bits, tally.responses
+            ),
+        });
+    }
+
+    let mitigated = case
+        .clone()
+        .with_cell_faults(Some(armed.with_mitigation(Mitigation::Trr)));
+    let trr_outcome = run_case(&mitigated)?;
+    let [_, trr_flips, trr_refreshes, _] = trr_outcome.reference.fault_stats;
+    if trr_flips != 0 || trr_refreshes == 0 {
+        return Err(Failure {
+            threads: 0,
+            description: format!(
+                "TRR leg flipped {trr_flips} bits with {trr_refreshes} targeted refreshes"
+            ),
+        });
+    }
+
+    Ok(HammerDemoReport {
+        bit_flips,
+        detected_bits: tally.bits,
+        corrupted_responses: tally.responses,
+        trr_refreshes,
+        trr_cycle_cost: trr_outcome.reference.cycles as i64 - outcome.reference.cycles as i64,
+    })
 }
 
 /// Run a fuzz campaign, optionally seeding a deliberate corruption
@@ -377,6 +568,71 @@ mod tests {
         }
         let forced = CampaignConfig { fast_forward: true, ..cfg };
         assert!((0..12).all(|i| case_for_stream(&forced, i).gap_cycles > 0));
+    }
+
+    #[test]
+    fn hammer_bursts_ping_pong_one_owner_link_with_disjoint_victims() {
+        let device = DeviceConfig::small();
+        let block = device.block_size.bytes() as u64;
+        for map in MapKind::ALL {
+            let (ops, barrier) = hammer_burst(&device, map, 99, 80);
+            assert_eq!(ops.len(), 2 * 80 + 4);
+            assert_eq!(barrier, 160, "barrier sits between burst and read-back");
+            assert_eq!(ops, hammer_burst(&device, map, 99, 80).0, "deterministic");
+            // The ping-pong alternates exactly two addresses on one link.
+            let a = ops[0].addr;
+            let b = ops[1].addr;
+            assert_ne!(a, b);
+            assert_eq!(
+                owner_link(a, block, device.num_links),
+                owner_link(b, block, device.num_links),
+                "{}: aggressors must share a (link, vault, bank) stream",
+                map.name()
+            );
+            for pair in ops[..barrier].chunks(2) {
+                assert_eq!((pair[0].addr, pair[1].addr), (a, b));
+                assert!(pair.iter().all(|o| o.kind == OpKind::Read));
+            }
+            // Four distinct victim rows, none of them an aggressor.
+            let victims: std::collections::HashSet<u64> =
+                ops[barrier..].iter().map(|o| o.addr).collect();
+            assert_eq!(victims.len(), 4);
+            assert!(!victims.contains(&a) && !victims.contains(&b));
+        }
+    }
+
+    #[test]
+    fn hammer_campaigns_arm_every_stream_and_burst_every_second() {
+        let cfg = CampaignConfig { streams: 8, hammer: true, ..Default::default() };
+        for i in 0..8 {
+            let case = case_for_stream(&cfg, i);
+            let faults = case.cell_faults.expect("hammer campaigns arm every stream");
+            assert_eq!(faults.seed, case.seed, "per-stream fault seed");
+            assert_eq!(faults.mitigation, Mitigation::Trr, "campaign default is TRR");
+            if i % 2 == 1 {
+                let pairs = crossing_pairs(faults.hammer_threshold);
+                assert_eq!(case.ops.len(), cfg.stream_len + 2 * pairs as usize + 4);
+                assert_eq!(case.barrier, Some(cfg.stream_len + 2 * pairs as usize));
+            } else {
+                assert_eq!(case.ops.len(), cfg.stream_len, "armed but burst-free");
+                assert_eq!(case.barrier, None);
+            }
+        }
+        // The default campaign stays exactly as before the axis existed.
+        let plain = CampaignConfig { streams: 8, ..Default::default() };
+        for i in 0..8 {
+            let case = case_for_stream(&plain, i);
+            assert!(case.cell_faults.is_none() && case.barrier.is_none());
+        }
+    }
+
+    #[test]
+    fn crossing_pairs_land_inside_one_crossing() {
+        for t in [1u32, 4, 64, 256, 1000] {
+            let p = crossing_pairs(t);
+            assert!(p >= t as u64 && p < 2 * t as u64, "threshold {t}: {p} pairs");
+        }
+        assert!(crossing_pairs(0) > 0, "disabled axis still builds a burst");
     }
 
     #[test]

@@ -38,10 +38,14 @@ pub mod harness;
 pub mod oracle;
 pub mod shrink;
 
-pub use fuzz::{campaign, gen_stream, CampaignConfig, CampaignReport, Lcg, MapKind};
+pub use fuzz::{
+    campaign, crossing_pairs, default_hammer_faults, gen_stream, hammer_burst, hammer_demo,
+    CampaignConfig, CampaignReport, HammerDemoReport, Lcg, MapKind,
+};
 pub use harness::{
-    owner_link, run_case, run_case_cross_interconnect, run_case_cross_timing, CaseOutcome,
-    CorruptSpec, CrossInterconnectOutcome, CrossTimingOutcome, Failure, FuzzCase,
+    owner_link, run_case, run_case_cross_interconnect, run_case_cross_timing, run_case_lenient,
+    CaseOutcome, CorruptSpec, CrossInterconnectOutcome, CrossTimingOutcome, Failure, FuzzCase,
+    MismatchTally,
 };
 pub use oracle::Oracle;
 pub use shrink::{shrink_case, write_repro, ShrinkReport};

@@ -110,6 +110,22 @@ pub fn write_repro(case: &FuzzCase, failure: &Failure, path: &Path) -> std::io::
     if let Some(c) = case.corrupt {
         writeln!(out, "# corrupt: addr={:#x} xor={:#x}", c.addr, c.xor)?;
     }
+    if let Some(f) = case.cell_faults {
+        writeln!(
+            out,
+            "# cell-faults: threshold={} flip={}ppm retention={} window={} \
+             mitigation={} seed={:#x}",
+            f.hammer_threshold,
+            f.flip_prob_ppm,
+            f.retention_cycles,
+            f.refresh_window,
+            f.mitigation.name(),
+            f.seed
+        )?;
+    }
+    if let Some(b) = case.barrier {
+        writeln!(out, "# drain barrier before op: {b}")?;
+    }
     writeln!(out, "# failure: {failure}")?;
     Replay::new(case.ops.clone()).write_csv(&mut out)?;
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {

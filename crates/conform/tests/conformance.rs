@@ -7,8 +7,8 @@ use std::io::BufReader;
 
 use hmc_conform::fuzz::{campaign_with_corruption, case_for_stream, gen_stream};
 use hmc_conform::{
-    campaign, run_case, run_case_cross_interconnect, run_case_cross_timing, shrink_case,
-    write_repro, CampaignConfig, CorruptSpec, FuzzCase, MapKind,
+    campaign, hammer_demo, run_case, run_case_cross_interconnect, run_case_cross_timing,
+    shrink_case, write_repro, CampaignConfig, CorruptSpec, FuzzCase, MapKind,
 };
 use hmc_types::{ArbitrationKind, DeviceConfig, InterconnectKind, TimingKind};
 use hmc_workloads::{OpKind, Replay, Workload};
@@ -246,6 +246,44 @@ fn fabrics_agree_functionally_on_every_preset_and_map() {
     for (preset, map, ring, mesh) in &deltas {
         eprintln!("fabric deltas ({preset}, {map}): ring {ring:+}, mesh {mesh:+} cycles");
     }
+}
+
+#[test]
+fn hammer_campaign_with_pinned_seed_is_clean() {
+    // The RowHammer fault axis through the full harness at a pinned
+    // seed — the CI hammer leg's guard. Every stream runs with fault
+    // injection armed (TRR-mitigated), every second stream carries a
+    // threshold-crossing adversarial burst, and the seeded fault
+    // stream must be bit-identical across the thread × mode sweep.
+    let cfg = CampaignConfig {
+        streams: 8,
+        stream_len: 24,
+        base_seed: 0xC0FF_EE05,
+        hammer: true,
+        ..CampaignConfig::default()
+    };
+    let report = campaign(&cfg);
+    if let Some((case, failure)) = &report.failure {
+        panic!(
+            "hammer stream on {} / {} (seed {:#x}) diverged: {failure}",
+            case.label,
+            case.map.name(),
+            case.seed
+        );
+    }
+    assert_eq!(report.streams_run, 8);
+}
+
+#[test]
+fn hammer_demo_proves_end_to_end_detection() {
+    // The fault-injection checker-of-the-checker: every injected flip
+    // must surface through response data and be flagged by the oracle,
+    // and the same adversarial stream must complete clean under TRR.
+    let report = hammer_demo(0xC0FF_EE00, None).unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.bit_flips > 0, "the burst must actually flip bits");
+    assert_eq!(report.detected_bits, report.bit_flips, "100% detection");
+    assert!(report.corrupted_responses > 0);
+    assert!(report.trr_refreshes > 0, "the mitigated leg must fire TRR");
 }
 
 #[test]

@@ -69,6 +69,7 @@ pub fn hmcsim_init(
         timing: TimingKind::Classic,
         interconnect: hmc_types::InterconnectKind::Crossbar,
         arbitration: hmc_types::ArbitrationKind::RoundRobin,
+        cell_faults: None,
     };
     HmcSim::new(num_devs, config)
 }

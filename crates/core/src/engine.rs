@@ -66,6 +66,9 @@ pub(crate) struct CycleInputs {
     policy: ConflictPolicy,
     refresh: Option<RefreshParams>,
     rsp_drain: usize,
+    /// RowHammerFlip/TargetedRefresh trace events are enabled on the
+    /// sink; the `SimStats` fault counters bump regardless.
+    fault_events: bool,
 }
 
 impl Default for CycleInputs {
@@ -79,6 +82,7 @@ impl Default for CycleInputs {
             policy: ConflictPolicy::SkipConflicting,
             refresh: None,
             rsp_drain: 1,
+            fault_events: false,
         }
     }
 }
@@ -101,6 +105,10 @@ pub(crate) struct EngineScratch {
     /// Row-buffer outcome counts staged during the vault phase:
     /// `[hits, misses, precharges]` (all zero under the classic backend).
     pub(crate) row_counts: [u64; 3],
+    /// Cell-fault counts staged during the vault phase:
+    /// `[activations, bit flips, TRR refreshes, retention decays]`
+    /// (all zero unless cell faults are configured).
+    pub(crate) fault_counts: [u64; 4],
     /// Per-device vault shells: empty `Vec`s that swap with
     /// `Device::vaults` so vault ownership can move to workers and back
     /// without reallocating.
@@ -117,6 +125,7 @@ impl EngineScratch {
         self.plan_counts.clear();
         self.err_bumps = [0; MAX_CUBES];
         self.row_counts = [0; 3];
+        self.fault_counts = [0; 4];
     }
 }
 
@@ -142,6 +151,7 @@ struct ShardJob {
     plan_counts: Vec<u32>,
     err_bumps: [u64; MAX_CUBES],
     row_counts: [u64; 3],
+    fault_counts: [u64; 4],
     inputs: CycleInputs,
     map: Arc<dyn AddressMap>,
     routes: RouteTable,
@@ -156,6 +166,7 @@ fn run_shard(job: &mut ShardJob) {
     job.plan_counts.clear();
     job.err_bumps = [0; MAX_CUBES];
     job.row_counts = [0; 3];
+    job.fault_counts = [0; 4];
     let inputs = job.inputs;
     for piece in &mut job.pieces {
         let dev_id = piece.dev as CubeId;
@@ -171,6 +182,7 @@ fn run_shard(job: &mut ShardJob) {
                 &mut job.completions,
                 &mut job.err_bumps,
                 &mut job.row_counts,
+                &mut job.fault_counts,
             );
             plan_vault_drain(
                 vault,
@@ -209,6 +221,7 @@ pub(crate) fn tick_vault(
     completions: &mut EventStage,
     err_bumps: &mut [u64; MAX_CUBES],
     row_counts: &mut [u64; 3],
+    fault_counts: &mut [u64; 4],
 ) {
     // Release pending responses whose data became ready, before the walk
     // (their freed capacity admits new requests this cycle).
@@ -318,6 +331,51 @@ pub(crate) fn tick_vault(
         if grant.pre_cycle.is_some() {
             row_counts[2] += 1;
         }
+        // ---- cell-fault hook: retention decay before the access reads
+        // data, then hammer accounting on every row activation (any
+        // non-Hit outcome opens the row; classic's None counts too).
+        // Flip decisions are stateless hashes, so staging order here
+        // matches the serial engine by the same argument as row_counts.
+        if vault.faults.is_some() {
+            let Vault {
+                faults, mem, timing, ..
+            } = &mut *vault;
+            let f = faults.as_mut().expect("checked above");
+            let decayed = f.on_access(bank, row, inputs.clock, mem);
+            fault_counts[3] += decayed;
+            if grant.outcome != RowOutcome::Hit {
+                let out = f.on_activation(bank, row, inputs.clock, mem);
+                fault_counts[0] += 1;
+                fault_counts[1] += out.flip_count;
+                if out.trr {
+                    fault_counts[2] += 1;
+                    if let Some(until) = out.park_until {
+                        timing.park_bank(bank, until);
+                    }
+                    if inputs.fault_events {
+                        completions.stage(TraceEvent::TargetedRefresh {
+                            cube: dev_id,
+                            vault: vi as VaultId,
+                            bank,
+                            row,
+                        });
+                    }
+                }
+                if inputs.fault_events {
+                    for (victim, bits) in out.flips {
+                        if bits > 0 {
+                            completions.stage(TraceEvent::RowHammerFlip {
+                                cube: dev_id,
+                                vault: vi as VaultId,
+                                bank,
+                                row: victim,
+                                bits: bits as u64,
+                            });
+                        }
+                    }
+                }
+            }
+        }
         if inputs.row_events && grant.outcome != RowOutcome::None {
             if grant.pre_cycle.is_some() {
                 completions.stage(TraceEvent::Precharge {
@@ -424,6 +482,8 @@ impl HmcSim {
             policy: self.params.conflict_policy,
             refresh: self.params.refresh,
             rsp_drain: self.params.rsp_drain_per_cycle,
+            fault_events: self.tracer.enabled(EventKind::RowHammerFlip)
+                || self.tracer.enabled(EventKind::TargetedRefresh),
         }
     }
 
@@ -439,6 +499,7 @@ impl HmcSim {
         self.ensure_routes()?;
         self.ensure_timing();
         self.ensure_noc();
+        self.ensure_cell_faults();
         let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
         let shards = self.params.resolved_threads().min(total_vaults).max(1);
         if shards <= 1 {
@@ -696,6 +757,7 @@ impl HmcSim {
                         &mut scratch.completions,
                         &mut scratch.err_bumps,
                         &mut scratch.row_counts,
+                        &mut scratch.fault_counts,
                     );
                     plan_vault_drain(
                         vault,
@@ -721,6 +783,10 @@ impl HmcSim {
         self.stats.row_hits += scratch.row_counts[0];
         self.stats.row_misses += scratch.row_counts[1];
         self.stats.precharges += scratch.row_counts[2];
+        self.stats.hammer_activations += scratch.fault_counts[0];
+        self.stats.bit_flips += scratch.fault_counts[1];
+        self.stats.trr_refreshes += scratch.fault_counts[2];
+        self.stats.retention_decays += scratch.fault_counts[3];
 
         // ---- stage 5: roots first, then children (§IV.C.5) ----
         let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
@@ -813,6 +879,7 @@ impl HmcSim {
                 plan_counts: Vec::new(),
                 err_bumps: [0; MAX_CUBES],
                 row_counts: [0; 3],
+                fault_counts: [0; 4],
                 inputs: CycleInputs::default(),
                 map: self.map.clone(),
                 routes: routes.clone(),
@@ -926,6 +993,10 @@ impl HmcSim {
                     self.stats.row_hits += job.row_counts[0];
                     self.stats.row_misses += job.row_counts[1];
                     self.stats.precharges += job.row_counts[2];
+                    self.stats.hammer_activations += job.fault_counts[0];
+                    self.stats.bit_flips += job.fault_counts[1];
+                    self.stats.trr_refreshes += job.fault_counts[2];
+                    self.stats.retention_decays += job.fault_counts[3];
                 }
 
                 // Stage 5: commit the workers' egress plans serially in

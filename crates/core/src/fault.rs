@@ -77,10 +77,21 @@ impl FaultState {
         z ^ (z >> 31)
     }
 
+    /// Whether a uniform `draw` falls inside probability `rate`. A unit
+    /// rate is special-cased to always hit: the scaled threshold
+    /// saturates at `u64::MAX`, and the strict compare below would then
+    /// miss the one draw in 2^64 where the RNG emits `u64::MAX` itself.
+    fn hits(rate: f64, draw: u64) -> bool {
+        if rate >= 1.0 {
+            return true;
+        }
+        draw < (rate * (u64::MAX as f64)) as u64
+    }
+
     /// Roll the dice for one link transit; true = corrupted.
     pub fn roll(&mut self) -> bool {
-        let threshold = (self.config.packet_error_rate * (u64::MAX as f64)) as u64;
-        let hit = self.next_u64() < threshold;
+        let draw = self.next_u64();
+        let hit = Self::hits(self.config.packet_error_rate, draw);
         if hit {
             self.injected += 1;
         }
@@ -115,6 +126,17 @@ mod tests {
         });
         assert!((0..1_000).all(|_| f.roll()));
         assert_eq!(f.injected, 1_000);
+    }
+
+    #[test]
+    fn unit_rate_fires_even_on_a_max_draw() {
+        // Regression: the threshold for rate 1.0 saturates at u64::MAX,
+        // so a strict `<` alone would miss a draw of exactly u64::MAX.
+        assert!(FaultState::hits(1.0, u64::MAX));
+        assert!(FaultState::hits(1.0, 0));
+        // Just under unit rate keeps the strict compare.
+        assert!(!FaultState::hits(0.999_999, u64::MAX));
+        assert!(!FaultState::hits(0.0, 0));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! behaviour used for the paper-shape experiments, and the ablation
 //! benches sweep them.
 
+use hmc_types::CellFaultConfig;
+
 use crate::noc::NocParams;
 use crate::timing::TimingParams;
 
@@ -135,6 +137,11 @@ pub struct SimParams {
     /// buffered ring/mesh fabric with pluggable arbitration. See
     /// `crate::noc`.
     pub interconnect: NocParams,
+    /// Cell-level fault injection: RowHammer disturbance and retention
+    /// decay in the DRAM array, with optional mitigation. `None` (the
+    /// default) keeps the array perfect and the fault path a single
+    /// branch per vault access. See `hmc_mem::cellfault`.
+    pub cell_faults: Option<CellFaultConfig>,
 }
 
 impl Default for SimParams {
@@ -157,6 +164,7 @@ impl Default for SimParams {
             fast_forward: false,
             timing: TimingParams::default(),
             interconnect: NocParams::default(),
+            cell_faults: None,
         }
     }
 }

@@ -53,6 +53,15 @@ pub struct SimStats {
     /// NoC packets that were free to move but lost arbitration (their
     /// quad's drain budget was spent on other packets).
     pub noc_arb_losses: u64,
+    /// Row activations counted by the cell-fault subsystem (zero unless
+    /// [`SimParams::cell_faults`] is set).
+    pub hammer_activations: u64,
+    /// Victim-row bits flipped by RowHammer threshold crossings.
+    pub bit_flips: u64,
+    /// TRR targeted refreshes issued in place of disturbances.
+    pub trr_refreshes: u64,
+    /// Bits decayed by the retention axis (unrefreshed past the horizon).
+    pub retention_decays: u64,
 }
 
 /// One HMC-Sim simulation object.
@@ -80,6 +89,11 @@ pub struct HmcSim {
     /// [`HmcSim::ensure_noc`] skip rebuilding fabric state on the hot
     /// path (the crossbar default builds none at all).
     pub(crate) applied_noc: Option<crate::noc::NocParams>,
+    /// The cell-fault configuration the per-vault injection state was
+    /// last built for; `None` until the first clock. Lets
+    /// [`HmcSim::ensure_cell_faults`] skip reinstalling state on the hot
+    /// path (the `None` default installs none at all).
+    pub(crate) applied_cellfaults: Option<Option<hmc_types::CellFaultConfig>>,
 }
 
 impl std::fmt::Debug for HmcSim {
@@ -124,6 +138,7 @@ impl HmcSim {
             timing: crate::timing::TimingParams::of(config.timing),
             interconnect: crate::noc::NocParams::of(config.interconnect)
                 .with_arbitration(config.arbitration),
+            cell_faults: config.cell_faults,
             ..SimParams::default()
         };
         Ok(HmcSim {
@@ -141,6 +156,7 @@ impl HmcSim {
             inv: None,
             applied_timing: None,
             applied_noc: None,
+            applied_cellfaults: None,
         })
     }
 
@@ -251,6 +267,48 @@ impl HmcSim {
             }
         }
         self.applied_timing = Some(sig);
+    }
+
+    /// Enable cell-level fault injection — RowHammer disturbance and
+    /// retention decay — on every vault (builder style). `None` keeps
+    /// the array perfect. See [`hmc_mem::cellfault`] for the model and
+    /// determinism contract.
+    pub fn with_cell_faults(mut self, faults: Option<hmc_types::CellFaultConfig>) -> Self {
+        self.params.cell_faults = faults;
+        self
+    }
+
+    /// Switch cell-fault injection on a live simulation. New state
+    /// installs at the next clock boundary with fresh (zero) activation
+    /// tracking; already-corrupted data stays corrupted.
+    pub fn set_cell_faults(&mut self, faults: Option<hmc_types::CellFaultConfig>) {
+        self.params.cell_faults = faults;
+    }
+
+    /// The active cell-fault configuration, when set.
+    pub fn cell_faults(&self) -> Option<hmc_types::CellFaultConfig> {
+        self.params.cell_faults
+    }
+
+    /// Install per-vault cell-fault state when the configuration changed
+    /// since the last clock. No-op (and no allocation) on the steady-
+    /// state hot path; the default `None` uninstalls so the engine pays
+    /// a single branch per walked packet.
+    pub(crate) fn ensure_cell_faults(&mut self) {
+        let sig = self.params.cell_faults;
+        if self.applied_cellfaults == Some(sig) {
+            return;
+        }
+        let rows = self.config.rows_per_bank();
+        let block_bytes = self.config.block_size.bytes() as u32;
+        for d in &mut self.devices {
+            for v in &mut d.vaults {
+                v.faults = sig.map(|cfg| {
+                    Box::new(hmc_mem::CellFaultState::new(cfg, v.id, rows, block_bytes))
+                });
+            }
+        }
+        self.applied_cellfaults = Some(sig);
     }
 
     /// Replace the address map (must match the device geometry).

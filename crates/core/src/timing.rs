@@ -104,6 +104,16 @@ pub trait VaultTiming: Send + std::fmt::Debug {
     /// `None` for the same arguments) and return its grant.
     fn try_issue(&mut self, bank: u16, row: u64, cycle: Cycle) -> IssueGrant;
 
+    /// Hold bank `bank` out of service until `until` — the cost of an
+    /// out-of-band refresh such as TRR targeted refresh. The park must
+    /// surface through [`VaultTiming::blocked_until`] as an exact edge
+    /// (so fast-forward horizons stay correct); parking never shortens
+    /// an existing busy period. The default ignores the request (a
+    /// zero-cost refresh).
+    fn park_bank(&mut self, bank: u16, until: Cycle) {
+        let _ = (bank, until);
+    }
+
     /// Return to power-on state (all banks precharged, no history).
     fn reset(&mut self);
 
@@ -133,6 +143,10 @@ pub struct ClassicTiming {
     /// same `bank & 0x3f` indexing as the original walk).
     used: u64,
     cur_cycle: Cycle,
+    /// Per-bank park deadlines (TRR refresh cost); all zero — and the
+    /// backend bit-identical to the original walk — until `park_bank`
+    /// is first called.
+    parked: [Cycle; 64],
 }
 
 impl ClassicTiming {
@@ -141,6 +155,7 @@ impl ClassicTiming {
         ClassicTiming {
             used: 0,
             cur_cycle: 0,
+            parked: [0; 64],
         }
     }
 }
@@ -153,6 +168,10 @@ impl Default for ClassicTiming {
 
 impl VaultTiming for ClassicTiming {
     fn blocked_until(&self, bank: u16, _row: u64, cycle: Cycle) -> Option<Cycle> {
+        let parked = self.parked[(bank & 0x3f) as usize];
+        if cycle < parked {
+            return Some(parked);
+        }
         if cycle == self.cur_cycle && self.used & (1u64 << (bank & 0x3f)) != 0 {
             Some(cycle.saturating_add(1))
         } else {
@@ -175,9 +194,15 @@ impl VaultTiming for ClassicTiming {
         }
     }
 
+    fn park_bank(&mut self, bank: u16, until: Cycle) {
+        let slot = (bank & 0x3f) as usize;
+        self.parked[slot] = self.parked[slot].max(until);
+    }
+
     fn reset(&mut self) {
         self.used = 0;
         self.cur_cycle = 0;
+        self.parked = [0; 64];
     }
 
     fn kind(&self) -> TimingKind {
@@ -377,6 +402,14 @@ impl VaultTiming for DdrTiming {
         }
     }
 
+    fn park_bank(&mut self, bank: u16, until: Cycle) {
+        // The refresh busy period rides the ordinary readiness edge, so
+        // it surfaces through `blocked_until` exactly.
+        let slot = self.slot(bank);
+        let st = &mut self.banks[slot];
+        st.ready_at = st.ready_at.max(until);
+    }
+
     fn reset(&mut self) {
         for b in &mut self.banks {
             *b = BankState::fresh();
@@ -506,6 +539,23 @@ mod tests {
         let g1 = d.try_issue(1, 0, first_hit);
         assert_eq!(d.blocked_until(1, 0, first_hit + 1), Some(first_hit + t.t_ccd));
         assert!(g1.rw_cycle - g0.rw_cycle >= t.t_ccd);
+    }
+
+    #[test]
+    fn park_bank_surfaces_through_blocked_until() {
+        // Classic: the park is an exact edge and never shrinks.
+        let mut c = ClassicTiming::new();
+        c.park_bank(2, 50);
+        assert_eq!(c.blocked_until(2, 0, 10), Some(50));
+        assert_eq!(c.blocked_until(2, 0, 50), None);
+        assert_eq!(c.blocked_until(3, 0, 10), None, "other banks free");
+        c.park_bank(2, 30);
+        assert_eq!(c.blocked_until(2, 0, 10), Some(50), "parks never shorten");
+        // DDR: the park rides the bank's readiness edge.
+        let mut d = ddr();
+        d.park_bank(1, 77);
+        assert_eq!(d.blocked_until(1, 0, 5), Some(77));
+        assert_eq!(d.blocked_until(1, 0, 77), None);
     }
 
     #[test]

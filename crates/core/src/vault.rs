@@ -12,7 +12,7 @@
 //! equivalent and constant time as long as their bank addressing does not
 //! conflict" (§IV.C.4), registering responses in the vault response queue.
 
-use hmc_mem::VaultMemory;
+use hmc_mem::{CellFaultState, VaultMemory};
 use hmc_types::address::AddressMap;
 use hmc_types::packet::ResponseStatus;
 use hmc_types::{Command, CubeId, Cycle, HmcError, Packet, PhysAddr, VaultId};
@@ -90,6 +90,10 @@ pub struct Vault {
     pub mem: VaultMemory,
     /// The timing backend deciding when requests issue and data returns.
     pub timing: Box<dyn VaultTiming>,
+    /// Cell-fault injection state (RowHammer + retention), installed by
+    /// the simulation when `SimParams::cell_faults` is set. Lives inside
+    /// the vault so it shards with the vault across worker threads.
+    pub faults: Option<Box<CellFaultState>>,
     /// Operation counters.
     pub stats: VaultStats,
 }
@@ -107,6 +111,7 @@ impl Vault {
             pending_seq: 0,
             mem,
             timing: Box::new(ClassicTiming::new()),
+            faults: None,
             stats: VaultStats::default(),
         }
     }
@@ -418,6 +423,9 @@ impl Vault {
         self.pending_seq = 0;
         self.mem.reset();
         self.timing.reset();
+        if let Some(faults) = &mut self.faults {
+            faults.reset();
+        }
         self.stats = VaultStats::default();
     }
 }

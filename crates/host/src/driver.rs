@@ -44,6 +44,11 @@ pub struct RunConfig {
     /// sim already has — the direct crossbar unless the caller chose
     /// otherwise.
     pub interconnect: Option<hmc_core::NocParams>,
+    /// Enable cell-level fault injection for the run
+    /// (`SimParams::cell_faults`): RowHammer disturbance and retention
+    /// decay. `None` leaves whatever the sim already has — off unless
+    /// the caller chose otherwise.
+    pub cell_faults: Option<hmc_types::CellFaultConfig>,
 }
 
 impl Default for RunConfig {
@@ -56,6 +61,7 @@ impl Default for RunConfig {
             fast_forward: false,
             timing: None,
             interconnect: None,
+            cell_faults: None,
         }
     }
 }
@@ -155,6 +161,9 @@ where
     }
     if let Some(noc) = cfg.interconnect {
         sim.set_interconnect(noc);
+    }
+    if cfg.cell_faults.is_some() {
+        sim.set_cell_faults(cfg.cell_faults);
     }
     let start_violations = sim.total_invariant_violations();
     let start_cycle = sim.current_clock();

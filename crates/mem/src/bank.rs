@@ -190,6 +190,24 @@ impl Bank {
         Ok(old)
     }
 
+    /// XOR `xor` into the 64-bit little-endian word at index `word` of
+    /// `row` — the cell-fault injection hook. Faults are physics, not
+    /// accesses: no counters move and the row buffer stays put. Out-of-
+    /// range coordinates are ignored, and timing-only banks skip the
+    /// data mutation (the fault subsystem still counts the flips so
+    /// both storage modes report identical fault statistics).
+    pub fn corrupt_word(&mut self, row: u64, word: u32, xor: u64) {
+        let offset = word as u64 * 8;
+        if xor == 0 || row >= self.rows || offset + 8 > self.block_bytes as u64 {
+            return;
+        }
+        if self.mode == StorageMode::Functional {
+            let base = row * self.block_bytes as u64 + offset;
+            let old = self.store.read_u64(base);
+            self.store.write_u64(base, old ^ xor);
+        }
+    }
+
     /// Reset the bank: close the row, clear data and counters.
     pub fn reset(&mut self) {
         self.store.clear();
@@ -323,6 +341,27 @@ mod tests {
         assert_eq!(b.two_add8(0, 0, 1, 1).unwrap(), (0, 0));
         assert_eq!(b.add16(0, 0, 1).unwrap(), 0);
         assert_eq!(b.bit_write(0, 0, 1, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn corrupt_word_flips_bits_without_side_effects() {
+        let mut b = bank();
+        b.write(7, 0, &0x00ff_00ff_00ff_00ffu64.to_le_bytes()).unwrap();
+        let stats_before = b.stats();
+        let open_before = b.open_row();
+        b.corrupt_word(7, 0, 0x0000_0000_0000_00ff);
+        assert_eq!(b.stats(), stats_before, "faults are not accesses");
+        assert_eq!(b.open_row(), open_before, "row buffer untouched");
+        let mut buf = [0u8; 8];
+        b.read(7, 0, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 0x00ff_00ff_00ff_0000);
+        // Out-of-range coordinates are silently ignored.
+        b.corrupt_word(4096, 0, u64::MAX);
+        b.corrupt_word(0, 1024, u64::MAX);
+        // Timing-only banks ignore the data entirely.
+        let mut t = Bank::new(64, 128, 16, StorageMode::TimingOnly);
+        t.corrupt_word(0, 0, u64::MAX);
+        assert_eq!(t.resident_bytes(), 0, "no pages materialized");
     }
 
     #[test]

@@ -14,11 +14,13 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod cellfault;
 pub mod dram;
 pub mod storage;
 pub mod vault_mem;
 
 pub use bank::{Bank, BankStats};
+pub use cellfault::{ActivationOutcome, CellFaultState, ELEVATED_REFRESH_DIVISOR};
 pub use dram::{DramBlock, COLUMN_FETCH_BYTES, DRAM_ADDRESS_BYTES};
 pub use storage::{SparseStore, PAGE_BYTES};
 pub use vault_mem::VaultMemory;

@@ -98,6 +98,15 @@ impl VaultMemory {
         self.bank_mut(at.bank)?.bit_write(at.row, at.offset, data, mask)
     }
 
+    /// XOR `xor` into the 64-bit word at index `word` of `(bank, row)`
+    /// — the cell-fault injection hook (see [`Bank::corrupt_word`]).
+    /// Out-of-range banks are ignored.
+    pub fn corrupt_word(&mut self, bank: BankId, row: u64, word: u32, xor: u64) {
+        if let Some(b) = self.banks.get_mut(bank as usize) {
+            b.corrupt_word(row, word, xor);
+        }
+    }
+
     /// Sum of all bank stats in the vault.
     pub fn aggregate_stats(&self) -> BankStats {
         let mut total = BankStats::default();

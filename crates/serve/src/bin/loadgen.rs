@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! loadgen (--socket PATH | --connect ADDR) [--sessions N] [--requests N]
-//!         [--workload random|stream|gups|chase|stencil|hotspot]
+//!         [--workload random|stream|gups|chase|stencil|hotspot|hammer]
 //!         [--preset NAME] [--seed S] [--read-pct P] [--block BYTES]
 //!         [--batch N] [--poll-max N] [--idle-gap CYCLES]
 //!         [--idle-every OPS] [--hot-quad Q] [--hot-pct P]
 //!         [--interconnect crossbar|ring|mesh]
 //!         [--arbitration round-robin|oldest-first|locality-aware]
+//!         [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES]
+//!         [--mitigation none|trr|elevated]
 //!         [--json FILE]
 //! ```
 //!
@@ -35,13 +37,23 @@
 //! — which opens each session from the preset's config with the
 //! buffered NoC fabric enabled server-side — cross-quad hops and
 //! arbitration pressure show up directly in the latency percentiles.
+//!
+//! `--workload hammer` runs the geometry-aware double-sided RowHammer
+//! stream against one bank of each session's device. Passing any
+//! cell-fault flag (`--hammer-threshold`, `--flip-prob`, `--retention`,
+//! `--mitigation`) arms injection server-side: the flags ride into the
+//! session's `DeviceConfig` JSON, and the closing stats frame reports
+//! the device's activation/bit-flip/TRR/retention counters, which the
+//! report aggregates — an adversarial end-to-end corruption probe.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use hmc_serve::{workload_to_wire, Client, SubmitResult};
 use hmc_trace::{percentile_sorted, LatencyPercentiles};
-use hmc_types::{ArbitrationKind, BlockSize, DeviceConfig, InterconnectKind, WireOp};
+use hmc_types::{
+    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind, WireOp,
+};
 use hmc_workloads::WorkloadSpec;
 use serde::Serialize;
 
@@ -63,6 +75,7 @@ struct Options {
     hot_pct: u8,
     interconnect: InterconnectKind,
     arbitration: ArbitrationKind,
+    cell_faults: Option<CellFaultConfig>,
     json: Option<PathBuf>,
 }
 
@@ -86,6 +99,7 @@ impl Default for Options {
             hot_pct: hmc_workloads::DEFAULT_HOT_PCT,
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
+            cell_faults: None,
             json: None,
         }
     }
@@ -94,12 +108,14 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen (--socket PATH | --connect ADDR) [--sessions N] \
-         [--requests N] [--workload random|stream|gups|chase|stencil|hotspot] \
+         [--requests N] [--workload random|stream|gups|chase|stencil|hotspot|hammer] \
          [--preset 4l8b|4l16b|8l8b|8l16b|small] [--seed S] [--read-pct P] \
          [--block BYTES] [--batch N] [--poll-max N] \
          [--idle-gap CYCLES (0 = closed-loop)] [--idle-every OPS] \
          [--hot-quad Q] [--hot-pct P] [--interconnect crossbar|ring|mesh] \
-         [--arbitration round-robin|oldest-first|locality-aware] [--json FILE]"
+         [--arbitration round-robin|oldest-first|locality-aware] \
+         [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
+         [--mitigation none|trr|elevated] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -151,9 +167,19 @@ fn parse_options() -> Options {
             }
             "--json" => o.json = Some(PathBuf::from(next("--json"))),
             "--help" | "-h" => usage(),
-            other => {
-                eprintln!("loadgen: unknown argument {other}");
-                usage()
+            flag => {
+                let value = args.next();
+                match CellFaultConfig::apply_flag(&mut o.cell_faults, flag, value.as_deref()) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("loadgen: unknown argument {flag}");
+                        usage()
+                    }
+                    Err(e) => {
+                        eprintln!("loadgen: {e}");
+                        usage()
+                    }
+                }
             }
         }
     }
@@ -190,6 +216,10 @@ struct SessionReport {
     token_stalls: u64,
     busy_rejections: u64,
     errors: u64,
+    hammer_activations: u64,
+    bit_flips: u64,
+    trr_refreshes: u64,
+    retention_decays: u64,
 }
 
 /// The whole run, aggregate + per-session rows.
@@ -213,6 +243,10 @@ struct LoadgenReport {
     aggregate_p99_latency: u64,
     lost_tags: u64,
     duplicated_tags: u64,
+    total_hammer_activations: u64,
+    total_bit_flips: u64,
+    total_trr_refreshes: u64,
+    total_retention_decays: u64,
     per_session: Vec<SessionReport>,
 }
 
@@ -231,16 +265,18 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
     }
     .map_err(|e| format!("session {index}: {e}"))?;
 
-    // A non-default fabric rides in on the preset's config JSON: the
-    // DeviceConfig carries interconnect/arbitration, so the server
-    // builds the session's device with the buffered NoC enabled.
-    let session = if o.interconnect == InterconnectKind::Crossbar {
+    // A non-default fabric or armed cell faults ride in on the preset's
+    // config JSON: the DeviceConfig carries interconnect/arbitration and
+    // the fault block, so the server builds the session's device with
+    // the buffered NoC and/or injection enabled.
+    let session = if o.interconnect == InterconnectKind::Crossbar && o.cell_faults.is_none() {
         client.open_session_preset(&o.preset, 0, 0)
     } else {
         let cfg = DeviceConfig::by_name(&o.preset)
             .ok_or_else(|| format!("session {index}: unknown preset {:?}", o.preset))?
             .with_interconnect(o.interconnect)
-            .with_arbitration(o.arbitration);
+            .with_arbitration(o.arbitration)
+            .with_cell_faults(o.cell_faults);
         let json = serde_json::to_string(&cfg)
             .map_err(|e| format!("session {index}: config json: {e}"))?;
         client.open_session_json(&json, 0, 0)
@@ -374,6 +410,10 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
         token_stalls: final_stats.token_stalls,
         busy_rejections,
         errors,
+        hammer_activations: final_stats.hammer_activations,
+        bit_flips: final_stats.bit_flips,
+        trr_refreshes: final_stats.trr_refreshes,
+        retention_decays: final_stats.retention_decays,
     };
     Ok(SessionOutcome {
         report,
@@ -447,6 +487,10 @@ fn main() {
         aggregate_p99_latency: agg.p99,
         lost_tags,
         duplicated_tags,
+        total_hammer_activations: sessions.iter().map(|s| s.report.hammer_activations).sum(),
+        total_bit_flips: sessions.iter().map(|s| s.report.bit_flips).sum(),
+        total_trr_refreshes: sessions.iter().map(|s| s.report.trr_refreshes).sum(),
+        total_retention_decays: sessions.iter().map(|s| s.report.retention_decays).sum(),
         per_session: sessions.iter().map(|s| s.report.clone()).collect(),
     };
 
@@ -474,6 +518,16 @@ fn main() {
         lost_tags,
         duplicated_tags
     );
+    if o.cell_faults.is_some() {
+        eprintln!(
+            "loadgen: cell faults: {} activations, {} bit flips, {} TRR refreshes, \
+             {} retention decays",
+            report.total_hammer_activations,
+            report.total_bit_flips,
+            report.total_trr_refreshes,
+            report.total_retention_decays
+        );
+    }
     if lost_tags > 0 || duplicated_tags > 0 {
         eprintln!("loadgen: TAG CONSERVATION VIOLATED");
         std::process::exit(1);

@@ -340,6 +340,10 @@ impl SessionState {
             buffered_responses: self.responses.len() as u32,
             mean_latency: self.host.latency.mean(),
             max_latency: self.host.latency.max,
+            hammer_activations: ss.hammer_activations,
+            bit_flips: ss.bit_flips,
+            trr_refreshes: ss.trr_refreshes,
+            retention_decays: ss.retention_decays,
         }
     }
 }
@@ -572,6 +576,41 @@ mod tests {
             wire_to_session_op(&WireOp::idle(5)).unwrap(),
             SessionOp::Idle(5)
         );
+    }
+
+    #[test]
+    fn hammer_sessions_report_fault_stats_and_trr_suppresses_flips() {
+        use hmc_types::{CellFaultConfig, Mitigation};
+        let run = |mitigation: Mitigation| {
+            let faults = CellFaultConfig::default()
+                .with_hammer_threshold(64)
+                .with_flip_prob_ppm(1_000_000)
+                .with_mitigation(mitigation);
+            let config = DeviceConfig::small().with_cell_faults(Some(faults));
+            let geometry = config.geometry();
+            let mut s = SessionState::new(config, SessionLimits::default()).unwrap();
+            let mut w = WorkloadSpec::new("hammer", 1, 1 << 24, 2_000)
+                .with_geometry(geometry)
+                .build()
+                .unwrap();
+            let ops = workload_to_wire(w.as_mut());
+            assert_eq!(s.submit(&ops).unwrap(), ops.len());
+            loop {
+                match s.pump().unwrap() {
+                    PumpOutcome::Idle => break,
+                    _ => {
+                        s.take_responses(usize::MAX);
+                    }
+                }
+            }
+            s.snapshot()
+        };
+        let unmitigated = run(Mitigation::None);
+        assert!(unmitigated.hammer_activations > 0, "activations must be counted");
+        assert!(unmitigated.bit_flips > 0, "hammering must flip bits over the wire");
+        let mitigated = run(Mitigation::Trr);
+        assert_eq!(mitigated.bit_flips, 0, "TRR at spec threshold must prevent flips");
+        assert!(mitigated.trr_refreshes > 0, "TRR must actually fire");
     }
 
     #[test]

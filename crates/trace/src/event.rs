@@ -56,11 +56,17 @@ pub enum EventKind {
     /// next segment buffer was full, the delivery queue was full, or a
     /// same-destination elder held its stream in place.
     NocStall,
+    /// A RowHammer threshold crossing disturbed a victim row, flipping
+    /// one or more bits (cell-fault simulation mode).
+    RowHammerFlip,
+    /// A TRR mitigation refreshed an aggressor's neighborhood instead of
+    /// letting the crossing disturb it (cell-fault simulation mode).
+    TargetedRefresh,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive iteration in counters and tests.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::BankConflict,
         EventKind::XbarRqstStall,
         EventKind::XbarRspStall,
@@ -81,6 +87,8 @@ impl EventKind {
         EventKind::Precharge,
         EventKind::NocHop,
         EventKind::NocStall,
+        EventKind::RowHammerFlip,
+        EventKind::TargetedRefresh,
     ];
 
     /// Dense index for array-backed counters.
@@ -111,6 +119,8 @@ impl EventKind {
             EventKind::Precharge => "PRECHARGE",
             EventKind::NocHop => "NOC_HOP",
             EventKind::NocStall => "NOC_STALL",
+            EventKind::RowHammerFlip => "ROW_HAMMER_FLIP",
+            EventKind::TargetedRefresh => "TARGETED_REFRESH",
         }
     }
 }
@@ -349,6 +359,31 @@ pub enum TraceEvent {
         /// Tag of the stalled packet.
         tag: u16,
     },
+    /// A RowHammer threshold crossing flipped bits in a victim row.
+    RowHammerFlip {
+        /// Device.
+        cube: CubeId,
+        /// Vault.
+        vault: VaultId,
+        /// Bank.
+        bank: BankId,
+        /// The disturbed victim row.
+        row: u64,
+        /// Bits flipped in the victim row by this crossing.
+        bits: u64,
+    },
+    /// A TRR targeted refresh absorbed a threshold crossing: the
+    /// aggressor's neighborhood was refreshed instead of disturbed.
+    TargetedRefresh {
+        /// Device.
+        cube: CubeId,
+        /// Vault.
+        vault: VaultId,
+        /// Bank.
+        bank: BankId,
+        /// The aggressor row whose neighborhood was refreshed.
+        row: u64,
+    },
 }
 
 impl TraceEvent {
@@ -375,6 +410,8 @@ impl TraceEvent {
             TraceEvent::Precharge { .. } => EventKind::Precharge,
             TraceEvent::NocHop { .. } => EventKind::NocHop,
             TraceEvent::NocStall { .. } => EventKind::NocStall,
+            TraceEvent::RowHammerFlip { .. } => EventKind::RowHammerFlip,
+            TraceEvent::TargetedRefresh { .. } => EventKind::TargetedRefresh,
         }
     }
 
@@ -400,7 +437,9 @@ impl TraceEvent {
             | TraceEvent::RowMiss { cube, .. }
             | TraceEvent::Precharge { cube, .. }
             | TraceEvent::NocHop { cube, .. }
-            | TraceEvent::NocStall { cube, .. } => cube,
+            | TraceEvent::NocStall { cube, .. }
+            | TraceEvent::RowHammerFlip { cube, .. }
+            | TraceEvent::TargetedRefresh { cube, .. } => cube,
         }
     }
 
@@ -416,7 +455,9 @@ impl TraceEvent {
             | TraceEvent::AtomicComplete { vault, .. }
             | TraceEvent::RowHit { vault, .. }
             | TraceEvent::RowMiss { vault, .. }
-            | TraceEvent::Precharge { vault, .. } => Some(vault),
+            | TraceEvent::Precharge { vault, .. }
+            | TraceEvent::RowHammerFlip { vault, .. }
+            | TraceEvent::TargetedRefresh { vault, .. } => Some(vault),
             _ => None,
         }
     }
@@ -577,6 +618,25 @@ impl TraceRecord {
             TraceEvent::NocStall { cube, quad, tag } => {
                 format!("{} {k} cube={cube} quad={quad} tag={tag}", self.cycle)
             }
+            TraceEvent::RowHammerFlip {
+                cube,
+                vault,
+                bank,
+                row,
+                bits,
+            } => format!(
+                "{} {k} cube={cube} vault={vault} bank={bank} row={row} bits={bits}",
+                self.cycle
+            ),
+            TraceEvent::TargetedRefresh {
+                cube,
+                vault,
+                bank,
+                row,
+            } => format!(
+                "{} {k} cube={cube} vault={vault} bank={bank} row={row}",
+                self.cycle
+            ),
         }
     }
 }
@@ -696,6 +756,8 @@ mod tests {
             TraceEvent::Precharge { cube: 0, vault: 0, bank: 0, tag: 0 },
             TraceEvent::NocHop { cube: 0, from_quad: 0, to_quad: 0, tag: 0 },
             TraceEvent::NocStall { cube: 0, quad: 0, tag: 0 },
+            TraceEvent::RowHammerFlip { cube: 0, vault: 0, bank: 0, row: 0, bits: 0 },
+            TraceEvent::TargetedRefresh { cube: 0, vault: 0, bank: 0, row: 0 },
         ];
         for (i, e) in samples.iter().enumerate() {
             let line = TraceRecord { cycle: i as u64, event: *e }.to_line();

@@ -41,7 +41,10 @@ impl Verbosity {
             | EventKind::Zombie
             | EventKind::ErrorResponse
             | EventKind::LinkRetry
-            | EventKind::NocStall => Verbosity::Stalls,
+            | EventKind::NocStall
+            // Injected faults are exceptional events, like link retries.
+            | EventKind::RowHammerFlip
+            | EventKind::TargetedRefresh => Verbosity::Stalls,
             EventKind::ReadComplete
             | EventKind::WriteComplete
             | EventKind::AtomicComplete

@@ -14,6 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::address::{LowInterleaveMap, MapGeometry};
+use crate::cellfault::CellFaultConfig;
 use crate::command::BlockSize;
 use crate::error::{HmcError, Result};
 use crate::interconnect::{ArbitrationKind, InterconnectKind};
@@ -75,6 +76,12 @@ pub struct DeviceConfig {
     /// from older config files, defaulting to round-robin).
     #[serde(default)]
     pub arbitration: ArbitrationKind,
+    /// Cell-level fault injection (RowHammer + retention decay). `None`
+    /// — the default, and what older config files deserialize to —
+    /// leaves the DRAM array perfect and the fault path compiled out of
+    /// the hot loop.
+    #[serde(default)]
+    pub cell_faults: Option<CellFaultConfig>,
 }
 
 impl DeviceConfig {
@@ -96,6 +103,7 @@ impl DeviceConfig {
             timing: TimingKind::Classic,
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
+            cell_faults: None,
         }
     }
 
@@ -116,6 +124,7 @@ impl DeviceConfig {
             timing: TimingKind::Classic,
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
+            cell_faults: None,
         }
     }
 
@@ -210,6 +219,12 @@ impl DeviceConfig {
     /// Replace the NoC arbitration policy (builder style).
     pub fn with_arbitration(mut self, arbitration: ArbitrationKind) -> Self {
         self.arbitration = arbitration;
+        self
+    }
+
+    /// Install (or clear) cell-level fault injection (builder style).
+    pub fn with_cell_faults(mut self, faults: Option<CellFaultConfig>) -> Self {
+        self.cell_faults = faults;
         self
     }
 
@@ -331,6 +346,9 @@ impl DeviceConfig {
                 "{}-link devices use {} lanes per link, got {}",
                 self.num_links, legal_lanes, self.lanes_per_link
             )));
+        }
+        if let Some(faults) = &self.cell_faults {
+            faults.validate()?;
         }
         self.geometry().validate()?;
         Ok(())
@@ -502,6 +520,26 @@ mod tests {
         let ddr = c.with_timing(TimingKind::Ddr);
         assert_eq!(ddr.timing, TimingKind::Ddr);
         ddr.validate().unwrap();
+    }
+
+    #[test]
+    fn cell_fault_field_defaults_for_older_config_files() {
+        // Config JSON written before the cell-fault subsystem existed
+        // must still load, defaulting to a perfect DRAM array.
+        let c = DeviceConfig::small();
+        let json = serde_json::to_string(&c).unwrap();
+        let stripped = json.replace(",\"cell_faults\":null", "");
+        assert_ne!(json, stripped, "cell_faults field must serialize");
+        let back: DeviceConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.cell_faults, None);
+        let faulty = c.with_cell_faults(Some(CellFaultConfig::default()));
+        faulty.validate().unwrap();
+        let json = serde_json::to_string(&faulty).unwrap();
+        let back: DeviceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cell_faults, Some(CellFaultConfig::default()));
+        let bad = DeviceConfig::small()
+            .with_cell_faults(Some(CellFaultConfig::default().with_refresh_window(0)));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod address;
+pub mod cellfault;
 pub mod command;
 pub mod config;
 pub mod crc;
@@ -34,6 +35,7 @@ pub use address::{
     AddressMap, BankFirstMap, CustomMap, DecodedAddr, Field, LinearMap, LowInterleaveMap,
     MapGeometry, PhysAddr,
 };
+pub use cellfault::{CellFaultConfig, Mitigation};
 pub use command::{BlockSize, Command};
 pub use config::{DeviceConfig, StorageMode};
 pub use error::{HmcError, Result};

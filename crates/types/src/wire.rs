@@ -15,7 +15,8 @@ use crate::error::{HmcError, Result};
 
 /// Protocol version spoken by this build. Bumped on any incompatible
 /// frame-layout change; `Hello`/`HelloAck` negotiate an exact match.
-pub const WIRE_VERSION: u16 = 1;
+/// Version 2 appended the cell-fault counters to `Stats`/`Closed`.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Upper bound on one frame's encoded size (opcode + body). Guards the
 /// server against hostile or corrupt length prefixes.
@@ -114,6 +115,14 @@ pub struct WireStats {
     pub mean_latency: f64,
     /// Maximum request latency in simulated cycles.
     pub max_latency: u64,
+    /// Row activations counted by the cell-fault model (0 when off).
+    pub hammer_activations: u64,
+    /// Bits flipped by injected RowHammer disturbance.
+    pub bit_flips: u64,
+    /// Targeted-row-refresh mitigations the device performed.
+    pub trr_refreshes: u64,
+    /// Cells decayed past the retention horizon.
+    pub retention_decays: u64,
 }
 
 /// Typed error codes carried by [`Frame::Error`].
@@ -537,6 +546,10 @@ fn put_stats(out: &mut Vec<u8>, s: &WireStats) {
     put_u32(out, s.buffered_responses);
     put_u64(out, s.mean_latency.to_bits());
     put_u64(out, s.max_latency);
+    put_u64(out, s.hammer_activations);
+    put_u64(out, s.bit_flips);
+    put_u64(out, s.trr_refreshes);
+    put_u64(out, s.retention_decays);
 }
 
 fn get_stats(c: &mut Cursor<'_>) -> Result<WireStats> {
@@ -556,6 +569,10 @@ fn get_stats(c: &mut Cursor<'_>) -> Result<WireStats> {
         buffered_responses: c.u32()?,
         mean_latency: f64::from_bits(c.u64()?),
         max_latency: c.u64()?,
+        hammer_activations: c.u64()?,
+        bit_flips: c.u64()?,
+        trr_refreshes: c.u64()?,
+        retention_decays: c.u64()?,
     })
 }
 
@@ -702,6 +719,10 @@ mod tests {
             buffered_responses: 12,
             mean_latency: 19.25,
             max_latency: 83,
+            hammer_activations: 4096,
+            bit_flips: 3,
+            trr_refreshes: 2,
+            retention_decays: 1,
         }));
         roundtrip(Frame::Closed(WireStats::default()));
         roundtrip(Frame::CloseSession { session: 42 });

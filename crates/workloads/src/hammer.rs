@@ -1,0 +1,195 @@
+//! Adversarial RowHammer workload: double-sided hammering of one bank.
+//!
+//! Classic double-sided RowHammer alternates activations of the two
+//! aggressor rows physically flanking a victim row, maximizing the
+//! disturbance per refresh window while every access looks like an
+//! ordinary read. This workload reproduces that pattern through the
+//! device's low-interleave address map: all traffic targets a single
+//! `(vault, bank)`, ping-ponging between rows `victim - 1` and
+//! `victim + 1` so each access closes the other aggressor's row and
+//! forces a fresh activation (a row buffer would otherwise absorb the
+//! stream as hits). Every `VICTIM_READ_PERIOD`-th request reads the
+//! victim row itself, so any injected corruption surfaces in response
+//! data the host (or a conformance oracle) can check end to end.
+//!
+//! The stream is a pure function of its parameters — no RNG — so runs
+//! are reproducible by construction, like the rest of the suite.
+
+use hmc_types::address::{AddressMap, DecodedAddr, LowInterleaveMap, MapGeometry};
+use hmc_types::{BlockSize, HmcError, Result, VaultId};
+
+use crate::op::{MemOp, OpKind, Workload};
+
+/// One in this many requests reads the victim row (the rest hammer the
+/// aggressors).
+pub const VICTIM_READ_PERIOD: u64 = 16;
+
+/// Double-sided RowHammer: alternating reads of the rows flanking a
+/// victim, all within one bank.
+#[derive(Debug, Clone)]
+pub struct Hammer {
+    map: LowInterleaveMap,
+    block: BlockSize,
+    vault: VaultId,
+    bank: u16,
+    victim_row: u64,
+    total: u64,
+    issued: u64,
+}
+
+impl Hammer {
+    /// A double-sided hammer stream of `total` reads of `block` bytes
+    /// against `(vault, bank)` of `geometry`, disturbing `victim_row`.
+    ///
+    /// Fails with [`HmcError::InvalidConfig`] if the vault or bank is out
+    /// of range, or if `victim_row` is not an interior row (double-sided
+    /// hammering needs both neighbors to exist).
+    pub fn new(
+        geometry: MapGeometry,
+        block: BlockSize,
+        vault: VaultId,
+        bank: u16,
+        victim_row: u64,
+        total: u64,
+    ) -> Result<Self> {
+        if vault >= geometry.vaults {
+            return Err(HmcError::InvalidConfig(format!(
+                "hammer vault {vault} out of range for a {}-vault device",
+                geometry.vaults
+            )));
+        }
+        if bank >= geometry.banks {
+            return Err(HmcError::InvalidConfig(format!(
+                "hammer bank {bank} out of range for {}-bank vaults",
+                geometry.banks
+            )));
+        }
+        if victim_row == 0 || victim_row + 1 >= geometry.rows {
+            return Err(HmcError::InvalidConfig(format!(
+                "hammer victim row {victim_row} must be interior to 0..{} \
+                 (double-sided hammering needs both neighbors)",
+                geometry.rows
+            )));
+        }
+        Ok(Hammer {
+            map: LowInterleaveMap::new(geometry)?,
+            block,
+            vault,
+            bank,
+            victim_row,
+            total,
+            issued: 0,
+        })
+    }
+
+    /// The interior row under attack.
+    pub fn victim_row(&self) -> u64 {
+        self.victim_row
+    }
+
+    /// The two aggressor rows flanking the victim.
+    pub fn aggressor_rows(&self) -> (u64, u64) {
+        (self.victim_row - 1, self.victim_row + 1)
+    }
+
+    fn addr_of(&self, row: u64) -> u64 {
+        self.map
+            .encode(DecodedAddr {
+                vault: self.vault,
+                bank: self.bank,
+                row,
+                offset: 0,
+            })
+            .expect("fields validated within geometry bounds")
+            .raw()
+    }
+}
+
+impl Workload for Hammer {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.issued >= self.total {
+            return None;
+        }
+        let i = self.issued;
+        self.issued += 1;
+        let row = if (i + 1).is_multiple_of(VICTIM_READ_PERIOD) {
+            self.victim_row
+        } else if i.is_multiple_of(2) {
+            self.victim_row - 1
+        } else {
+            self.victim_row + 1
+        };
+        Some(MemOp {
+            kind: OpKind::Read,
+            addr: self.addr_of(row),
+            size: self.block,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "hammer"
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::DeviceConfig;
+
+    fn small_geometry() -> MapGeometry {
+        DeviceConfig::small().geometry()
+    }
+
+    #[test]
+    fn stream_alternates_aggressors_and_samples_the_victim() {
+        let g = small_geometry();
+        let map = LowInterleaveMap::new(g).unwrap();
+        let mut w = Hammer::new(g, BlockSize::B64, 3, 2, 100, 64).unwrap();
+        let mut rows = Vec::new();
+        while let Some(op) = w.next_op() {
+            assert_eq!(op.kind, OpKind::Read);
+            let d = map.decode(hmc_types::PhysAddr::new(op.addr).unwrap()).unwrap();
+            assert_eq!(d.vault, 3, "all traffic stays in the target vault");
+            assert_eq!(d.bank, 2, "all traffic stays in the target bank");
+            rows.push(d.row);
+        }
+        assert_eq!(rows.len(), 64);
+        assert_eq!(&rows[..4], &[99, 101, 99, 101], "double-sided ping-pong");
+        let victim_reads = rows.iter().filter(|&&r| r == 100).count();
+        assert_eq!(victim_reads as u64, 64 / VICTIM_READ_PERIOD);
+        assert!(rows.iter().all(|&r| (99..=101).contains(&r)));
+    }
+
+    #[test]
+    fn identical_parameters_build_identical_streams() {
+        let g = small_geometry();
+        let mut a = Hammer::new(g, BlockSize::B64, 0, 0, 50, 40).unwrap();
+        let mut b = Hammer::new(g, BlockSize::B64, 0, 0, 50, 40).unwrap();
+        for _ in 0..40 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        assert_eq!(a.next_op(), None);
+    }
+
+    #[test]
+    fn edge_and_out_of_range_targets_rejected() {
+        let g = small_geometry();
+        assert!(Hammer::new(g, BlockSize::B64, 99, 0, 100, 10).is_err());
+        assert!(Hammer::new(g, BlockSize::B64, 0, 99, 100, 10).is_err());
+        assert!(Hammer::new(g, BlockSize::B64, 0, 0, 0, 10).is_err(), "row 0 has no lower neighbor");
+        assert!(Hammer::new(g, BlockSize::B64, 0, 0, g.rows - 1, 10).is_err());
+        assert!(Hammer::new(g, BlockSize::B64, 0, 0, g.rows / 2, 10).is_ok());
+    }
+
+    #[test]
+    fn aggressors_flank_the_victim() {
+        let g = small_geometry();
+        let w = Hammer::new(g, BlockSize::B64, 1, 1, 42, 10).unwrap();
+        assert_eq!(w.victim_row(), 42);
+        assert_eq!(w.aggressor_rows(), (41, 43));
+    }
+}

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod gups;
+pub mod hammer;
 pub mod hotspot;
 pub mod mixed;
 pub mod lcg;
@@ -24,6 +25,7 @@ pub mod stencil;
 pub mod stream;
 
 pub use gups::{Gups, UpdateKind};
+pub use hammer::{Hammer, VICTIM_READ_PERIOD};
 pub use hotspot::{Hotspot, DEFAULT_HOT_PCT};
 pub use lcg::{GlibcRand, GlibcRandom};
 pub use mixed::Mixed;

@@ -11,6 +11,7 @@ use hmc_types::address::MapGeometry;
 use hmc_types::{BlockSize, HmcError, QuadId, Result};
 
 use crate::gups::{Gups, UpdateKind};
+use crate::hammer::Hammer;
 use crate::hotspot::{Hotspot, DEFAULT_HOT_PCT};
 use crate::op::Workload;
 use crate::pointer_chase::PointerChase;
@@ -19,8 +20,8 @@ use crate::stencil::Stencil;
 use crate::stream::{Stream, StreamMode};
 
 /// Names [`WorkloadSpec::build`] accepts, for help text and validation.
-pub const WORKLOAD_NAMES: [&str; 6] =
-    ["random", "stream", "gups", "chase", "stencil", "hotspot"];
+pub const WORKLOAD_NAMES: [&str; 7] =
+    ["random", "stream", "gups", "chase", "stencil", "hotspot", "hammer"];
 
 /// A by-name workload description that builds a deterministic generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +45,11 @@ pub struct WorkloadSpec {
     pub hot_quad: QuadId,
     /// Percentage of `hotspot` requests aimed at the hot quad.
     pub hot_pct: u8,
+    /// `(vault, bank)` the `hammer` generator attacks.
+    pub hammer_target: (u16, u16),
+    /// Victim row the `hammer` generator disturbs; `None` picks the
+    /// middle row of the geometry at build time.
+    pub hammer_row: Option<u64>,
 }
 
 impl WorkloadSpec {
@@ -60,6 +66,8 @@ impl WorkloadSpec {
             geometry: None,
             hot_quad: 0,
             hot_pct: DEFAULT_HOT_PCT,
+            hammer_target: (0, 0),
+            hammer_row: None,
         }
     }
 
@@ -87,6 +95,14 @@ impl WorkloadSpec {
     pub fn with_hotspot(mut self, quad: QuadId, hot_pct: u8) -> Self {
         self.hot_quad = quad;
         self.hot_pct = hot_pct;
+        self
+    }
+
+    /// Point the `hammer` generator at `(vault, bank)`, disturbing
+    /// `row` (builder style). `None` picks the geometry's middle row.
+    pub fn with_hammer(mut self, vault: u16, bank: u16, row: Option<u64>) -> Self {
+        self.hammer_target = (vault, bank);
+        self.hammer_row = row;
         self
     }
 
@@ -139,6 +155,25 @@ impl WorkloadSpec {
                     self.hot_quad,
                     self.hot_pct,
                     self.read_pct,
+                    self.requests,
+                )?)
+            }
+            "hammer" => {
+                let geometry = self.geometry.ok_or_else(|| {
+                    HmcError::InvalidConfig(
+                        "hammer workload needs a device geometry \
+                         (WorkloadSpec::with_geometry)"
+                            .into(),
+                    )
+                })?;
+                let (vault, bank) = self.hammer_target;
+                let row = self.hammer_row.unwrap_or(geometry.rows / 2);
+                Box::new(Hammer::new(
+                    geometry,
+                    self.block,
+                    vault,
+                    bank,
+                    row,
                     self.requests,
                 )?)
             }
