@@ -214,6 +214,7 @@ fn bench_error_rates(c: &mut Criterion) {
                     packet_error_rate: rate,
                     retry_cycles: 8,
                     seed: 11,
+                    ..FaultConfig::default()
                 });
             }
             cycles_of(&mut sim, &mut host, &mut random(1))

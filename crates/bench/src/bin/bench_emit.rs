@@ -13,6 +13,9 @@
 //!              [--arbitration round-robin|oldest-first|locality-aware]
 //!              [--hammer] [--hammer-threshold N] [--flip-prob PPM]
 //!              [--retention CYCLES] [--mitigation none|trr|elevated]
+//!              [--link-error-rate PPM] [--link-retry-limit N]
+//!              [--retrain-cycles N] [--link-retry-cycles N]
+//!              [--link-fault-seed S]
 //!
 //! `--timing both` emits one record point per vault timing backend, so
 //! the archived trajectory tracks both the paper's constant-time model
@@ -30,6 +33,10 @@
 //! simulated-cycle overhead of the disarmed fault hook at zero — the
 //! run exits nonzero if the two spans differ. The cell-fault flags
 //! parameterize the armed run.
+//!
+//! The link-fault flags arm seeded SERDES corruption with the link
+//! retry/retrain/poison protocol on the shaped runs, so the trajectory
+//! can also track engine throughput under degraded links.
 
 use std::path::PathBuf;
 
@@ -38,7 +45,7 @@ use hmc_bench::emit::{
     SHAPES,
 };
 use hmc_core::NocParams;
-use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, TimingKind};
+use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, LinkFaultConfig, TimingKind};
 
 fn main() {
     let mut out = PathBuf::from("results");
@@ -50,6 +57,7 @@ fn main() {
     let mut min_sparse_speedup: Option<f64> = None;
     let mut hammer = false;
     let mut cell_faults = None;
+    let mut link_faults = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -101,13 +109,24 @@ fn main() {
                      [--interconnect crossbar|ring|mesh|all] \
                      [--arbitration round-robin|oldest-first|locality-aware] \
                      [--hammer] [--hammer-threshold N] [--flip-prob PPM] \
-                     [--retention CYCLES] [--mitigation none|trr|elevated]"
+                     [--retention CYCLES] [--mitigation none|trr|elevated] \
+                     [--link-error-rate PPM] [--link-retry-limit N] \
+                     [--retrain-cycles N] [--link-retry-cycles N] \
+                     [--link-fault-seed S]"
                 );
                 return;
             }
             flag => {
                 let value = args.next();
-                match CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref()) {
+                let hit = CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref())
+                    .and_then(|hit| {
+                        if hit {
+                            Ok(true)
+                        } else {
+                            LinkFaultConfig::apply_flag(&mut link_faults, flag, value.as_deref())
+                        }
+                    });
+                match hit {
                     Ok(true) => {}
                     Ok(false) => die(&format!("unknown argument {flag}")),
                     Err(e) => die(&e.to_string()),
@@ -139,7 +158,7 @@ fn main() {
         for fabric in &fabrics {
             let noc = NocParams::of(*fabric).with_arbitration(arbitration);
             for shape in &shapes {
-                let (stepped, fast, summary) = compare(*shape, threads, *timing, noc);
+                let (stepped, fast, summary) = compare(*shape, threads, *timing, noc, link_faults);
                 println!(
                     "{:<8} {:<8} {:<9} {:>16.3e} {:>16.3e} {:>8.2}x",
                     summary.workload,

@@ -26,7 +26,8 @@ use hmc_core::{NocParams, TimingParams};
 use hmc_host::{run_workload, RunConfig};
 use hmc_trace::{SeriesCollector, SharedSink, Verbosity};
 use hmc_types::{
-    ArbitrationKind, CellFaultConfig, DeviceConfig, InterconnectKind, StorageMode, TimingKind,
+    ArbitrationKind, CellFaultConfig, DeviceConfig, InterconnectKind, LinkFaultConfig,
+    StorageMode, TimingKind,
 };
 
 fn main() {
@@ -41,6 +42,7 @@ fn main() {
     let mut interconnect = InterconnectKind::Crossbar;
     let mut arbitration = ArbitrationKind::RoundRobin;
     let mut cell_faults = None;
+    let mut link_faults = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,13 +77,23 @@ fn main() {
                      [--interconnect crossbar|ring|mesh] \
                      [--arbitration round-robin|oldest-first|locality-aware] \
                      [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
-                     [--mitigation none|trr|elevated]"
+                     [--mitigation none|trr|elevated] \
+                     [--link-error-rate PPM] [--link-retry-limit N] \
+                     [--retrain-cycles N] [--link-retry-cycles N] [--link-fault-seed S]"
                 );
                 return;
             }
             flag => {
                 let value = args.next();
-                match CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref()) {
+                let hit = CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref())
+                    .and_then(|hit| {
+                        if hit {
+                            Ok(true)
+                        } else {
+                            LinkFaultConfig::apply_flag(&mut link_faults, flag, value.as_deref())
+                        }
+                    });
+                match hit {
                     Ok(true) => {}
                     Ok(false) => die(&format!("unknown argument {flag}")),
                     Err(e) => die(&e.to_string()),
@@ -112,6 +124,7 @@ fn main() {
             timing: TimingParams::of(timing),
             interconnect: NocParams::of(interconnect).with_arbitration(arbitration),
             cell_faults,
+            link_faults,
         };
         let (mut sim, mut host) = paper_setup(cfg, opts, Some(Box::new(series.clone())));
         let mut workload = paper_workload(seed, scale);

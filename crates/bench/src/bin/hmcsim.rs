@@ -16,6 +16,8 @@
 //!        [--arbitration round-robin|oldest-first|locality-aware]
 //!        [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES]
 //!        [--mitigation none|trr|elevated]
+//!        [--link-error-rate R] [--link-retry-limit N] [--retrain-cycles N]
+//!        [--link-retry-cycles N] [--link-fault-seed S]
 //!        [--series FILE] [--trace FILE] [--utilization] [--energy]
 //!        [--profile]
 //! ```
@@ -30,8 +32,8 @@ use hmc_trace::{
     Tracer, Verbosity,
 };
 use hmc_types::{
-    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind, StorageMode,
-    TimingKind,
+    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind, LinkFaultConfig,
+    StorageMode, TimingKind,
 };
 use hmc_workloads::{Workload, WorkloadSpec};
 
@@ -59,6 +61,7 @@ struct Options {
     interconnect: InterconnectKind,
     arbitration: ArbitrationKind,
     cell_faults: Option<CellFaultConfig>,
+    link_faults: Option<LinkFaultConfig>,
     dump_config: Option<String>,
 }
 
@@ -88,6 +91,7 @@ impl Default for Options {
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
             cell_faults: None,
+            link_faults: None,
             dump_config: None,
         }
     }
@@ -104,7 +108,9 @@ fn usage() -> ! {
          [--interconnect crossbar|ring|mesh] \
          [--arbitration round-robin|oldest-first|locality-aware] \
          [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
-         [--mitigation none|trr|elevated] [--series FILE] \
+         [--mitigation none|trr|elevated] \
+         [--link-error-rate R] [--link-retry-limit N] [--retrain-cycles N] \
+         [--link-retry-cycles N] [--link-fault-seed S] [--series FILE] \
          [--trace FILE] [--utilization] [--energy] [--profile]"
     );
     std::process::exit(2);
@@ -213,7 +219,15 @@ fn parse_options() -> Options {
             "--help" | "-h" => usage(),
             flag => {
                 let value = args.next();
-                match CellFaultConfig::apply_flag(&mut o.cell_faults, flag, value.as_deref()) {
+                let handled = CellFaultConfig::apply_flag(&mut o.cell_faults, flag, value.as_deref())
+                    .and_then(|hit| {
+                        if hit {
+                            Ok(true)
+                        } else {
+                            LinkFaultConfig::apply_flag(&mut o.link_faults, flag, value.as_deref())
+                        }
+                    });
+                match handled {
                     Ok(true) => {}
                     Ok(false) => {
                         eprintln!("hmcsim: unknown argument {flag}");
@@ -269,13 +283,18 @@ fn main() {
         interconnect: NocParams::of(o.interconnect).with_arbitration(o.arbitration),
         // CLI flags win over a cell-fault block in --config-file JSON.
         cell_faults: o.cell_faults.or(o.config.cell_faults),
+        link_faults: o.link_faults.or(o.config.link_faults),
         ..SimParams::default()
     });
-    if o.error_rate > 0.0 {
+    // Legacy flag: --error-rate arms the retry protocol with its default
+    // retry/retrain parameters; --link-error-rate and friends take
+    // precedence when given.
+    if o.error_rate > 0.0 && o.link_faults.is_none() && o.config.link_faults.is_none() {
         sim.enable_fault_injection(FaultConfig {
             packet_error_rate: o.error_rate,
             retry_cycles: 8,
             seed: o.seed as u64 | 1,
+            ..FaultConfig::default()
         });
     }
     let host_id = sim.host_cube_id(0);
@@ -360,9 +379,10 @@ fn main() {
         );
     }
     if let Some(f) = sim.fault_state() {
+        let s = sim.stats();
         println!(
-            "link errors       {} injected, {} recovered",
-            f.injected, f.detected
+            "link errors       {} injected, {} retries, {} retrains, {} poisoned responses",
+            f.injected, s.link_retries, s.link_retrains, s.poisoned_responses
         );
     }
     if sim.cell_faults().is_some() {

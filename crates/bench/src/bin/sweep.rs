@@ -22,7 +22,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use hmc_core::{topology, HmcSim, NocParams, SimParams, TimingParams};
 use hmc_host::{run_workload, Host, RunConfig};
 use hmc_types::{
-    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind, StorageMode,
+    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind,
+    LinkFaultConfig, StorageMode,
     TimingKind,
 };
 use hmc_workloads::RandomAccess;
@@ -49,6 +50,7 @@ fn run_point(
     timing: TimingKind,
     interconnect: NocParams,
     cell_faults: Option<CellFaultConfig>,
+    link_faults: Option<LinkFaultConfig>,
 ) -> Point {
     let cfg = DeviceConfig::paper_4link_8bank_2gb()
         .with_storage_mode(StorageMode::TimingOnly)
@@ -60,6 +62,7 @@ fn run_point(
         timing: TimingParams::of(timing),
         interconnect,
         cell_faults,
+        link_faults,
         ..SimParams::default()
     });
     let host_id = sim.host_cube_id(0);
@@ -90,6 +93,7 @@ fn main() {
     let mut interconnect = InterconnectKind::Crossbar;
     let mut arbitration = ArbitrationKind::RoundRobin;
     let mut cell_faults = None;
+    let mut link_faults = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -141,13 +145,23 @@ fn main() {
                      [--interconnect crossbar|ring|mesh] \
                      [--arbitration round-robin|oldest-first|locality-aware] \
                      [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
-                     [--mitigation none|trr|elevated]"
+                     [--mitigation none|trr|elevated] \
+                     [--link-error-rate PPM] [--link-retry-limit N] \
+                     [--retrain-cycles N] [--link-retry-cycles N] [--link-fault-seed S]"
                 );
                 return;
             }
             flag => {
                 let value = args.next();
-                match CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref()) {
+                let hit = CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref())
+                    .and_then(|hit| {
+                        if hit {
+                            Ok(true)
+                        } else {
+                            LinkFaultConfig::apply_flag(&mut link_faults, flag, value.as_deref())
+                        }
+                    });
+                match hit {
                     Ok(true) => {}
                     Ok(false) => {
                         eprintln!("sweep: unknown argument {flag}");
@@ -211,6 +225,7 @@ fn main() {
                             timing,
                             NocParams::of(interconnect).with_arbitration(arbitration),
                             cell_faults,
+                            link_faults,
                         ),
                     ));
                 }

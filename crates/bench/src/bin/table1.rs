@@ -30,7 +30,7 @@
 use hmc_bench::table1::{format_table, run_table1_with};
 use hmc_bench::SetupOptions;
 use hmc_core::{NocParams, TimingParams};
-use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, TimingKind};
+use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, LinkFaultConfig, TimingKind};
 
 fn main() {
     let mut scale: u64 = 16;
@@ -42,6 +42,7 @@ fn main() {
     let mut interconnect = InterconnectKind::Crossbar;
     let mut arbitration = ArbitrationKind::RoundRobin;
     let mut cell_faults = None;
+    let mut link_faults = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -90,13 +91,23 @@ fn main() {
                      [--interconnect crossbar|ring|mesh] \
                      [--arbitration round-robin|oldest-first|locality-aware] \
                      [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
-                     [--mitigation none|trr|elevated]"
+                     [--mitigation none|trr|elevated] \
+                     [--link-error-rate PPM] [--link-retry-limit N] \
+                     [--retrain-cycles N] [--link-retry-cycles N] [--link-fault-seed S]"
                 );
                 return;
             }
             flag => {
                 let value = args.next();
-                match CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref()) {
+                let hit = CellFaultConfig::apply_flag(&mut cell_faults, flag, value.as_deref())
+                    .and_then(|hit| {
+                        if hit {
+                            Ok(true)
+                        } else {
+                            LinkFaultConfig::apply_flag(&mut link_faults, flag, value.as_deref())
+                        }
+                    });
+                match hit {
                     Ok(true) => {}
                     Ok(false) => die(&format!("unknown argument {flag}")),
                     Err(e) => die(&e.to_string()),
@@ -118,6 +129,7 @@ fn main() {
         timing: TimingParams::of(timing),
         interconnect: NocParams::of(interconnect).with_arbitration(arbitration),
         cell_faults,
+        link_faults,
         ..SetupOptions::default()
     };
     let rows = run_table1_with(scale, seed, opts, check, |config, cycles| {

@@ -25,8 +25,8 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use hmc_core::{HmcSim, NocParams, SimParams, TimingParams};
 use hmc_types::{
-    BlockSize, CellFaultConfig, Command, DeviceConfig, InterconnectKind, LinkId, Mitigation,
-    Packet, StorageMode, TimingKind,
+    BlockSize, CellFaultConfig, Command, DeviceConfig, InterconnectKind, LinkFaultConfig, LinkId,
+    Mitigation, Packet, StorageMode, TimingKind,
 };
 use hmc_workloads::{Hammer, Workload};
 use serde::{Deserialize, Serialize};
@@ -169,6 +169,7 @@ fn emit_sim(
     timing: TimingKind,
     noc: NocParams,
     cell_faults: Option<CellFaultConfig>,
+    link_faults: Option<LinkFaultConfig>,
 ) -> HmcSim {
     let cfg = DeviceConfig::small().with_storage_mode(StorageMode::TimingOnly);
     let mut sim = HmcSim::new(1, cfg)
@@ -179,6 +180,7 @@ fn emit_sim(
             timing: TimingParams::of(timing),
             interconnect: noc,
             cell_faults,
+            link_faults,
             ..SimParams::default()
         });
     for l in 0..4 {
@@ -206,8 +208,9 @@ pub fn measure(
     threads: usize,
     timing: TimingKind,
     noc: NocParams,
+    link_faults: Option<LinkFaultConfig>,
 ) -> BenchRecord {
-    let mut sim = emit_sim(threads, fast_forward, timing, noc, None);
+    let mut sim = emit_sim(threads, fast_forward, timing, noc, None, link_faults);
     let mut requests = 0u64;
     let mut responses = 0u64;
     let start = Instant::now();
@@ -269,9 +272,10 @@ pub fn compare(
     threads: usize,
     timing: TimingKind,
     noc: NocParams,
+    link_faults: Option<LinkFaultConfig>,
 ) -> (BenchRecord, BenchRecord, BenchSummary) {
-    let stepped = measure(shape, false, threads, timing, noc);
-    let fast = measure(shape, true, threads, timing, noc);
+    let stepped = measure(shape, false, threads, timing, noc, link_faults);
+    let fast = measure(shape, true, threads, timing, noc, link_faults);
     let summary = BenchSummary {
         schema: SCHEMA.into(),
         workload: shape.name.into(),
@@ -304,6 +308,7 @@ pub fn measure_hammer(
         TimingKind::Classic,
         NocParams::default(),
         cell_faults,
+        None,
     );
     let geometry = sim.config().geometry();
     let mut hammer = Hammer::new(
@@ -508,9 +513,41 @@ mod tests {
     }
 
     #[test]
+    fn degraded_links_still_answer_every_request() {
+        // Retries stretch the span but every request must still end in
+        // exactly one response (clean or poisoned), in both modes.
+        let lf = LinkFaultConfig::default()
+            .with_error_rate_ppm(200_000)
+            .with_retry_limit(1)
+            .with_retry_cycles(4)
+            .with_retrain_cycles(16)
+            .with_seed(11);
+        let clean = measure(tiny(), false, 1, TimingKind::Classic, NocParams::default(), None);
+        let stepped = measure(
+            tiny(),
+            false,
+            1,
+            TimingKind::Classic,
+            NocParams::default(),
+            Some(lf),
+        );
+        let fast = measure(
+            tiny(),
+            true,
+            1,
+            TimingKind::Classic,
+            NocParams::default(),
+            Some(lf),
+        );
+        assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
+        assert_eq!(stepped.responses, fast.responses);
+        assert_eq!(stepped.responses, clean.responses, "every read must answer");
+    }
+
+    #[test]
     fn both_modes_simulate_the_identical_span() {
-        let stepped = measure(tiny(), false, 1, TimingKind::Classic, NocParams::default());
-        let fast = measure(tiny(), true, 1, TimingKind::Classic, NocParams::default());
+        let stepped = measure(tiny(), false, 1, TimingKind::Classic, NocParams::default(), None);
+        let fast = measure(tiny(), true, 1, TimingKind::Classic, NocParams::default(), None);
         assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
         assert_eq!(stepped.requests, fast.requests);
         assert_eq!(stepped.responses, fast.responses);
@@ -525,8 +562,8 @@ mod tests {
 
     #[test]
     fn ddr_backend_spans_match_across_modes_too() {
-        let stepped = measure(tiny(), false, 1, TimingKind::Ddr, NocParams::default());
-        let fast = measure(tiny(), true, 1, TimingKind::Ddr, NocParams::default());
+        let stepped = measure(tiny(), false, 1, TimingKind::Ddr, NocParams::default(), None);
+        let fast = measure(tiny(), true, 1, TimingKind::Ddr, NocParams::default(), None);
         assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
         assert_eq!(stepped.responses, fast.responses);
         assert_eq!(stepped.responses, 12, "every read must answer");
@@ -536,8 +573,8 @@ mod tests {
     #[test]
     fn buffered_fabric_spans_match_across_modes() {
         let ring = NocParams::of(InterconnectKind::Ring);
-        let stepped = measure(tiny(), false, 1, TimingKind::Classic, ring);
-        let fast = measure(tiny(), true, 1, TimingKind::Classic, ring);
+        let stepped = measure(tiny(), false, 1, TimingKind::Classic, ring, None);
+        let fast = measure(tiny(), true, 1, TimingKind::Classic, ring, None);
         assert_eq!(stepped.simulated_cycles, fast.simulated_cycles);
         assert_eq!(stepped.responses, fast.responses);
         assert_eq!(stepped.responses, 12, "every read must answer");
@@ -548,7 +585,8 @@ mod tests {
 
     #[test]
     fn records_round_trip_through_json() {
-        let (stepped, fast, summary) = compare(tiny(), 1, TimingKind::Classic, NocParams::default());
+        let (stepped, fast, summary) =
+            compare(tiny(), 1, TimingKind::Classic, NocParams::default(), None);
         for r in [&stepped, &fast] {
             let json = serde_json::to_string(r).unwrap();
             let back: BenchRecord = serde_json::from_str(&json).unwrap();
@@ -564,7 +602,7 @@ mod tests {
     fn emitted_files_land_where_named() {
         let dir = std::env::temp_dir().join("hmc_bench_emit_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let record = measure(tiny(), true, 1, TimingKind::Ddr, NocParams::default());
+        let record = measure(tiny(), true, 1, TimingKind::Ddr, NocParams::default(), None);
         let path = write_record(&dir, &record).unwrap();
         assert!(path.ends_with("BENCH_sparse_fast-forward_ddr_t1.json"));
         let text = std::fs::read_to_string(&path).unwrap();

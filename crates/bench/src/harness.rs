@@ -30,6 +30,9 @@ pub struct SetupOptions {
     /// Cell-level fault injection (`SimParams::cell_faults`): RowHammer
     /// disturbance and retention decay, off by default.
     pub cell_faults: Option<hmc_types::CellFaultConfig>,
+    /// Link transmission faults: seeded SERDES corruption with the
+    /// retry/retrain/poison protocol, off by default.
+    pub link_faults: Option<hmc_types::LinkFaultConfig>,
 }
 
 impl Default for SetupOptions {
@@ -42,6 +45,7 @@ impl Default for SetupOptions {
             timing: TimingParams::default(),
             interconnect: NocParams::default(),
             cell_faults: None,
+            link_faults: None,
         }
     }
 }
@@ -60,7 +64,8 @@ pub fn paper_setup(
         .with_fast_forward(opts.fast_forward)
         .with_timing(opts.timing)
         .with_interconnect(opts.interconnect)
-        .with_cell_faults(opts.cell_faults);
+        .with_cell_faults(opts.cell_faults)
+        .with_link_faults(opts.link_faults);
     let host_id = sim.host_cube_id(0);
     topology::build_simple(&mut sim, host_id).expect("simple topology");
     if let Some(sink) = sink {

@@ -9,6 +9,9 @@
 //!              [--hammer] [--demo-hammer] [--hammer-threshold N]
 //!              [--flip-prob PPM] [--retention CYCLES]
 //!              [--mitigation none|trr|elevated]
+//!              [--link-errors] [--link-error-rate PPM]
+//!              [--link-retry-limit N] [--link-retry-cycles N]
+//!              [--retrain-cycles N] [--link-fault-seed HEX]
 //! ```
 //!
 //! Runs `N` seeded command streams differentially through the serial
@@ -36,7 +39,15 @@
 //! an unmitigated burst whose every flipped bit the oracle must flag
 //! end to end, then the same stream completing clean under TRR. The
 //! shared cell-fault flags (`--hammer-threshold`, `--flip-prob`,
-//! `--retention`, `--mitigation`) parameterize both.
+//! `--retention`, `--mitigation`) parameterize both. `--link-errors`
+//! arms the link-retry axis on every stream: packets are corrupted in
+//! SERDES transit, recovered by in-order retransmission, or — past the
+//! retry cap — aborted with poisoned responses while the link
+//! retrains, and the oracle predicts the exact poisoned tag set at
+//! issue time from the stateless fault stream. The shared link-fault
+//! flags (`--link-error-rate`, `--link-retry-limit`,
+//! `--link-retry-cycles`, `--retrain-cycles`, `--link-fault-seed`)
+//! parameterize the axis.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,7 +55,7 @@ use std::process::ExitCode;
 use hmc_conform::{campaign, hammer_demo, shrink_case, write_repro, CampaignConfig};
 use hmc_conform::fuzz::campaign_with_corruption;
 use hmc_conform::CorruptSpec;
-use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, TimingKind};
+use hmc_types::{ArbitrationKind, CellFaultConfig, InterconnectKind, LinkFaultConfig, TimingKind};
 
 fn usage() -> ! {
     eprintln!(
@@ -55,7 +66,10 @@ fn usage() -> ! {
          \x20                  [--repro-dir DIR] [--demo-corruption]\n\
          \x20                  [--hammer] [--demo-hammer] [--hammer-threshold N]\n\
          \x20                  [--flip-prob PPM] [--retention CYCLES]\n\
-         \x20                  [--mitigation none|trr|elevated]"
+         \x20                  [--mitigation none|trr|elevated]\n\
+         \x20                  [--link-errors] [--link-error-rate PPM]\n\
+         \x20                  [--link-retry-limit N] [--link-retry-cycles N]\n\
+         \x20                  [--retrain-cycles N] [--link-fault-seed HEX]"
     );
     std::process::exit(2)
 }
@@ -127,10 +141,18 @@ fn main() -> ExitCode {
             "--demo-corruption" => demo_corruption = true,
             "--hammer" => cfg.hammer = true,
             "--demo-hammer" => demo_hammer = true,
+            "--link-errors" => cfg.link_errors = true,
             "--help" | "-h" => usage(),
             other => {
                 let v = args.next();
-                match CellFaultConfig::apply_flag(&mut cfg.cell_faults, other, v.as_deref()) {
+                match CellFaultConfig::apply_flag(&mut cfg.cell_faults, other, v.as_deref())
+                    .and_then(|hit| {
+                        if hit {
+                            Ok(true)
+                        } else {
+                            LinkFaultConfig::apply_flag(&mut cfg.link_faults, other, v.as_deref())
+                        }
+                    }) {
                     Ok(true) => {}
                     Ok(false) => {
                         eprintln!("unknown argument {other:?}");
@@ -143,6 +165,11 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+
+    // Any link-fault parameter implies the axis itself.
+    if cfg.link_faults.is_some() {
+        cfg.link_errors = true;
     }
 
     if demo_corruption {
@@ -173,6 +200,14 @@ fn main() -> ExitCode {
                 cfg.arbitration.name(),
                 if cfg.hammer { ", hammer axis armed" } else { "" },
             );
+            if cfg.link_errors {
+                let lf = cfg.link_faults.unwrap_or_else(hmc_conform::default_link_faults);
+                println!(
+                    "link-retry axis armed: error rate {} ppm, retry limit {}, \
+                     retry {} cycles, retrain {} cycles",
+                    lf.error_rate_ppm, lf.retry_limit, lf.retry_cycles, lf.retrain_cycles
+                );
+            }
             let report = campaign(&cfg);
             match report.failure {
                 None => {

@@ -9,8 +9,8 @@
 use hmc_types::cellfault::{CellFaultConfig, Mitigation};
 use hmc_types::{
     AddressMap, ArbitrationKind, BankFirstMap, BankId, BlockSize, CustomMap, DecodedAddr,
-    DeviceConfig, Field, InterconnectKind, LinearMap, LowInterleaveMap, MapGeometry, TimingKind,
-    VaultId,
+    DeviceConfig, Field, InterconnectKind, LinearMap, LinkFaultConfig, LowInterleaveMap,
+    MapGeometry, TimingKind, VaultId,
 };
 use hmc_workloads::{MemOp, OpKind};
 
@@ -189,6 +189,15 @@ pub struct CampaignConfig {
     /// defaults with threshold 64, 20% flip odds, and TRR when `None`).
     /// Each stream re-seeds the config with its own stream seed.
     pub cell_faults: Option<CellFaultConfig>,
+    /// Arm the link-error axis: every stream runs with the retry
+    /// protocol under fire ([`default_link_faults`] unless overridden),
+    /// the oracle predicting the exact poisoned tag set at issue time,
+    /// and the poisoned-op sets included in the differential compare.
+    /// Off by default — pinned-seed campaigns keep their behaviour.
+    pub link_errors: bool,
+    /// Link-fault parameters for the `link_errors` axis. Each stream
+    /// re-seeds the config with its own stream seed.
+    pub link_faults: Option<LinkFaultConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -204,8 +213,25 @@ impl Default for CampaignConfig {
             arbitration: ArbitrationKind::RoundRobin,
             hammer: false,
             cell_faults: None,
+            link_errors: false,
+            link_faults: None,
         }
     }
+}
+
+/// Default link-fault axis for `--link-errors` campaigns: a packet
+/// error rate high enough that retries are constant, a retry budget
+/// tight enough that exhaustion (25%² = 6.25% of packets) actually
+/// happens, and short retry/retrain windows so streams still quiesce
+/// quickly. Every protocol edge — CRC detection, in-order
+/// retransmission, exhaustion aborts, poisoned responses, link
+/// retraining — fires inside an ordinary 48-op stream.
+pub fn default_link_faults() -> LinkFaultConfig {
+    LinkFaultConfig::default()
+        .with_error_rate_ppm(250_000)
+        .with_retry_cycles(4)
+        .with_retry_limit(1)
+        .with_retrain_cycles(24)
 }
 
 /// Default cell-fault axis for `--hammer` campaigns: a threshold low
@@ -319,6 +345,10 @@ pub fn case_for_stream(cfg: &CampaignConfig, i: usize) -> FuzzCase {
         let mut gap = Lcg::new(seed ^ 0x6a70);
         case.gap_every = 2 + gap.below(4);
         case.gap_cycles = 200 + gap.below(4_000);
+    }
+    if cfg.link_errors {
+        let base = cfg.link_faults.unwrap_or_else(default_link_faults);
+        case.link_faults = Some(base.with_seed(seed));
     }
     if cfg.hammer {
         let base = cfg.cell_faults.unwrap_or_else(default_hammer_faults);
@@ -624,6 +654,35 @@ mod tests {
             let case = case_for_stream(&plain, i);
             assert!(case.cell_faults.is_none() && case.barrier.is_none());
         }
+    }
+
+    #[test]
+    fn link_error_campaigns_arm_every_stream_with_per_stream_seeds() {
+        let cfg = CampaignConfig { streams: 6, link_errors: true, ..Default::default() };
+        for i in 0..6 {
+            let case = case_for_stream(&cfg, i);
+            let lf = case.link_faults.expect("link-error campaigns arm every stream");
+            assert_eq!(lf.seed, case.seed, "per-stream fault seed");
+            assert_eq!(lf.error_rate_ppm, default_link_faults().error_rate_ppm);
+        }
+        // The default campaign stays exactly as before the axis existed.
+        let plain = CampaignConfig { streams: 6, ..Default::default() };
+        assert!((0..6).all(|i| case_for_stream(&plain, i).link_faults.is_none()));
+    }
+
+    #[test]
+    fn a_small_link_error_campaign_passes_end_to_end() {
+        let cfg = CampaignConfig {
+            streams: 4,
+            stream_len: 32,
+            link_errors: true,
+            ..Default::default()
+        };
+        let report = campaign(&cfg);
+        if let Some((case, failure)) = &report.failure {
+            panic!("stream {} ({}): {failure}", report.streams_run - 1, case.label);
+        }
+        assert!(report.responses_checked > 0);
     }
 
     #[test]

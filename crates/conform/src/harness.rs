@@ -12,11 +12,12 @@
 //! violations, full quiesce with link tokens back at their initial
 //! allotment) and all runs produce bit-identical observation streams.
 
+use hmc_core::fault::{predicts_poison, FaultConfig};
 use hmc_core::{decode_response, topology, HmcSim, NocParams, TimingParams};
 use hmc_host::{Pending, TagPool};
 use hmc_types::{
-    ArbitrationKind, CellFaultConfig, Cycle, DeviceConfig, HmcError, InterconnectKind, LinkId,
-    Packet, TimingKind,
+    ArbitrationKind, CellFaultConfig, Cycle, DeviceConfig, HmcError, InterconnectKind, LinkFaultConfig,
+    LinkId, Packet, TimingKind,
 };
 use hmc_workloads::{MemOp, OpKind};
 
@@ -98,6 +99,13 @@ pub struct FuzzCase {
     /// stateless hashes, so the fault stream is part of the case and
     /// every engine run must reproduce it bit-identically.
     pub cell_faults: Option<CellFaultConfig>,
+    /// Link-error injection armed for every engine run (`None` = off,
+    /// the default). Corruption fates are stateless hashes of the
+    /// per-link send sequence, so the harness mirrors each link's send
+    /// counter and calls [`hmc_core::fault::predicts_poison`] at issue
+    /// time: the oracle knows the exact poisoned tag set before the
+    /// engine does, and every engine run must deliver it bit-for-bit.
+    pub link_faults: Option<LinkFaultConfig>,
     /// Drain barrier: before issuing the op at this index, injection
     /// pauses until every outstanding response has returned. Hammer
     /// cases place it between the hammer burst and the victim
@@ -124,6 +132,7 @@ impl FuzzCase {
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
             cell_faults: None,
+            link_faults: None,
             barrier: None,
         }
     }
@@ -151,6 +160,12 @@ impl FuzzCase {
         self.cell_faults = faults;
         self
     }
+
+    /// The same case with link-error injection armed (builder style).
+    pub fn with_link_faults(mut self, faults: Option<LinkFaultConfig>) -> Self {
+        self.link_faults = faults;
+        self
+    }
 }
 
 /// One completion observed at a host link: `(op index, cycle, link,
@@ -171,6 +186,14 @@ pub struct EngineRun {
     /// comparison — the fault stream itself must be bit-identical
     /// across thread counts and engine modes.
     pub fault_stats: [u64; 4],
+    /// Link-retry counters at quiesce: `[retries, retrains, poisoned
+    /// responses]`. All zero when link errors are off; when armed, part
+    /// of the cross-engine comparison.
+    pub link_stats: [u64; 3],
+    /// Op indices (sorted) whose response came back poisoned — exactly
+    /// the set [`hmc_core::fault::predicts_poison`] predicted at issue
+    /// time, compared bit-for-bit across the engine sweep.
+    pub poisoned: Vec<u32>,
 }
 
 /// Oracle mismatches tolerated (and tallied) by a lenient engine run.
@@ -269,8 +292,9 @@ fn run_engine_inner(
     };
 
     let mut config = case.config.clone();
-    // The case's fault axis wins over anything baked into the preset.
+    // The case's fault axes win over anything baked into the preset.
     config.cell_faults = case.cell_faults.or(config.cell_faults);
+    config.link_faults = case.link_faults.or(config.link_faults);
     let mut sim = HmcSim::new(1, config)
         .map_err(|e| fail(format!("sim construction: {e}")))?
         .with_threads(threads)
@@ -285,6 +309,14 @@ fn run_engine_inner(
 
     let block = case.config.block_size.bytes() as u64;
     let links = case.config.num_links;
+    // Mirror of each link's monotonic send counter. The engine stamps
+    // the same sequence onto accepted packets (stalled sends consume
+    // nothing), so `predicts_poison` over (link, seq) tells the oracle
+    // at issue time which packets the retry protocol will abandon.
+    let link_fault_cfg: Option<FaultConfig> =
+        case.link_faults.or(case.config.link_faults).map(FaultConfig::from);
+    let mut send_seq = vec![0u64; links as usize];
+    let mut poisoned_ops = Vec::new();
     let mut tags = TagPool::new();
     let mut tag_op = [u32::MAX; 512];
     let mut oracle = Oracle::new();
@@ -338,7 +370,19 @@ fn run_engine_inner(
                     if let Some(t) = t {
                         tag_op[t as usize] = next as u32;
                     }
-                    oracle.issue(next, &op, t, &payload);
+                    let doomed = link_fault_cfg.as_ref().is_some_and(|fc| {
+                        predicts_poison(fc, 0, link, send_seq[link as usize])
+                    });
+                    send_seq[link as usize] += 1;
+                    if doomed {
+                        // The retry protocol will exhaust on this packet:
+                        // it never reaches memory, and (if non-posted)
+                        // comes back as exactly one poisoned error frame.
+                        oracle.issue_poisoned(next, &op, t);
+                        poisoned_ops.push(next as u32);
+                    } else {
+                        oracle.issue(next, &op, t, &payload);
+                    }
                     next += 1;
                 }
                 Err(HmcError::Stalled { .. }) => {
@@ -438,6 +482,21 @@ fn run_engine_inner(
     }
 
     let stats = sim.stats();
+    poisoned_ops.sort_unstable();
+    // Cross-check the engine's own poison ledger against the
+    // prediction: stats count poisoned *responses* (posted drops emit
+    // none), so count only ops that owed one.
+    let owed: u64 = poisoned_ops
+        .iter()
+        .filter(|&&op| case.ops[op as usize].expects_response())
+        .count() as u64;
+    if stats.poisoned_responses != owed {
+        return Err(fail(format!(
+            "engine delivered {} poisoned responses where the fault stream \
+             predicts {owed}",
+            stats.poisoned_responses
+        )));
+    }
     Ok((
         EngineRun {
             observations,
@@ -448,6 +507,12 @@ fn run_engine_inner(
                 stats.trr_refreshes,
                 stats.retention_decays,
             ],
+            link_stats: [
+                stats.link_retries,
+                stats.link_retrains,
+                stats.poisoned_responses,
+            ],
+            poisoned: poisoned_ops,
         },
         tally,
     ))
@@ -835,6 +900,55 @@ mod tests {
                 assert_eq!(out.checked, 4);
             }
         }
+    }
+
+    #[test]
+    fn link_errors_poison_predicted_ops_bit_identically_across_the_sweep() {
+        // Most packets corrupt, one retry allowed: a solid fraction of
+        // ops exhaust and must come back poisoned — predicted exactly
+        // by the oracle at issue time, identically at every thread
+        // count and in both engine modes.
+        let block = 128u64;
+        let ops: Vec<MemOp> = (0..16u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    MemOp::write((i / 2) * block, BlockSize::B64)
+                } else {
+                    MemOp::read((i / 2) * block, BlockSize::B64)
+                }
+            })
+            .collect();
+        let mut case = tiny_case(ops);
+        case.threads = vec![1, 2, 8];
+        case.link_faults = Some(
+            LinkFaultConfig::default()
+                .with_error_rate_ppm(800_000)
+                .with_retry_limit(1)
+                .with_retry_cycles(4)
+                .with_retrain_cycles(16)
+                .with_seed(5),
+        );
+        let out = run_case(&case).unwrap();
+        assert_eq!(out.checked, 16, "every op gets exactly one response");
+        let [retries, retrains, poisons] = out.reference.link_stats;
+        assert!(poisons > 0, "the tight cap must actually poison");
+        assert!(retries > 0 && retrains > 0);
+        assert_eq!(
+            out.reference.poisoned.len() as u64,
+            poisons,
+            "predicted set matches delivered poisons (no posted ops here)"
+        );
+    }
+
+    #[test]
+    fn clean_links_leave_the_link_axis_silent() {
+        let ops = vec![
+            MemOp::write(0, BlockSize::B64),
+            MemOp::read(0, BlockSize::B64),
+        ];
+        let out = run_case(&tiny_case(ops)).unwrap();
+        assert_eq!(out.reference.link_stats, [0; 3]);
+        assert!(out.reference.poisoned.is_empty());
     }
 
     #[test]

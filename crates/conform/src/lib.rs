@@ -39,8 +39,8 @@ pub mod oracle;
 pub mod shrink;
 
 pub use fuzz::{
-    campaign, crossing_pairs, default_hammer_faults, gen_stream, hammer_burst, hammer_demo,
-    CampaignConfig, CampaignReport, HammerDemoReport, Lcg, MapKind,
+    campaign, crossing_pairs, default_hammer_faults, default_link_faults, gen_stream,
+    hammer_burst, hammer_demo, CampaignConfig, CampaignReport, HammerDemoReport, Lcg, MapKind,
 };
 pub use harness::{
     owner_link, run_case, run_case_cross_interconnect, run_case_cross_timing, run_case_lenient,

@@ -26,6 +26,11 @@ struct Expected {
     cmd: Command,
     /// Exact payload bytes of the response (empty for write responses).
     data: Vec<u8>,
+    /// The link-retry protocol will exhaust on this packet: the device
+    /// owes a poisoned `ErrorResponse` (LinkPoisoned ERRSTAT, DINV set,
+    /// no data) instead of the functional response, and the operation
+    /// never reaches memory.
+    poisoned: bool,
 }
 
 /// The functional oracle: sparse byte-accurate shadow memory plus the
@@ -132,9 +137,35 @@ impl Oracle {
         self.applied += 1;
         if let Some((cmd, data)) = expected {
             let tag = tag.expect("non-posted operations carry a tag");
-            let prev = self.in_flight.insert(tag, Expected { op_index, cmd, data });
+            let prev = self
+                .in_flight
+                .insert(tag, Expected { op_index, cmd, data, poisoned: false });
             assert!(prev.is_none(), "oracle: tag {tag} reissued while in flight");
         }
+    }
+
+    /// Record an accepted operation the link-retry protocol is known
+    /// (by [`hmc_core::fault::predicts_poison`]) to abandon: the packet
+    /// dies at the crossbar, so shadow memory is *not* updated, and for
+    /// non-posted operations the device owes exactly one poisoned
+    /// `ErrorResponse` under `tag`. Poisoned posted writes vanish
+    /// entirely — no memory effect, no response.
+    pub fn issue_poisoned(&mut self, op_index: usize, op: &MemOp, tag: Option<u16>) {
+        self.applied += 1;
+        if !op.expects_response() {
+            return;
+        }
+        let tag = tag.expect("non-posted operations carry a tag");
+        let prev = self.in_flight.insert(
+            tag,
+            Expected {
+                op_index,
+                cmd: Command::ErrorResponse,
+                data: Vec::new(),
+                poisoned: true,
+            },
+        );
+        assert!(prev.is_none(), "oracle: tag {tag} reissued while in flight");
     }
 
     /// Check one drained response against the ledger. `Err` carries a
@@ -157,6 +188,34 @@ impl Oracle {
             format!("response for tag {} which has no request in flight", rsp.tag)
         })?;
         let at = format!("op #{} (tag {})", exp.op_index, rsp.tag);
+        if exp.poisoned {
+            // The fault stream predicted retry exhaustion at issue time:
+            // the only acceptable outcome is the poisoned error frame.
+            if rsp.status != ResponseStatus::LinkPoisoned {
+                return Err(format!(
+                    "{at}: predicted poison came back with status {:?}",
+                    rsp.status
+                ));
+            }
+            if rsp.cmd != exp.cmd {
+                return Err(format!(
+                    "{at}: poisoned response class {} where the oracle expects {}",
+                    rsp.cmd.mnemonic(),
+                    exp.cmd.mnemonic()
+                ));
+            }
+            if !rsp.data_invalid {
+                return Err(format!("{at}: poisoned response without DINV"));
+            }
+            if !rsp.data.is_empty() {
+                return Err(format!(
+                    "{at}: poisoned response carries {} data bytes",
+                    rsp.data.len()
+                ));
+            }
+            self.checked += 1;
+            return Ok((exp.op_index, 0));
+        }
         if rsp.status != ResponseStatus::Ok {
             return Err(format!("{at}: error status {:?}", rsp.status));
         }
@@ -324,6 +383,59 @@ mod tests {
         o.issue(3, &rd(0, BlockSize::B16), Some(7), &[]);
         let err = o.check_response_lenient(&rsp(Command::RdResponse, 7, vec![0; 8])).unwrap_err();
         assert!(err.contains("mismatch"), "{err}");
+    }
+
+    fn poison(tag: u16) -> ResponseInfo {
+        ResponseInfo {
+            cmd: Command::ErrorResponse,
+            tag,
+            status: ResponseStatus::LinkPoisoned,
+            data_invalid: true,
+            data: vec![],
+            slid: 0,
+        }
+    }
+
+    #[test]
+    fn predicted_poisons_demand_the_poisoned_error_frame() {
+        let mut o = Oracle::new();
+        // The poisoned write dies at the crossbar: memory is untouched.
+        o.issue_poisoned(0, &MemOp::write(0x100, BlockSize::B16), Some(1));
+        o.check_response(&poison(1)).unwrap();
+        o.issue(1, &rd(0x100, BlockSize::B16), Some(2), &[]);
+        o.check_response(&rsp(Command::RdResponse, 2, vec![0; 16])).unwrap();
+        assert_eq!(o.outstanding(), 0);
+    }
+
+    #[test]
+    fn poison_mispredictions_fail_both_ways() {
+        let mut o = Oracle::new();
+        // Predicted poison delivered clean: conformance failure.
+        o.issue_poisoned(0, &rd(0, BlockSize::B16), Some(3));
+        let err = o
+            .check_response(&rsp(Command::RdResponse, 3, vec![0; 16]))
+            .unwrap_err();
+        assert!(err.contains("predicted poison"), "{err}");
+        // Unpredicted poison delivered: also a failure.
+        o.issue(1, &rd(0, BlockSize::B16), Some(4), &[]);
+        let err = o.check_response(&poison(4)).unwrap_err();
+        assert!(err.contains("error status"), "{err}");
+        // Poison without DINV: failure.
+        o.issue_poisoned(2, &rd(0, BlockSize::B16), Some(5));
+        let mut p = poison(5);
+        p.data_invalid = false;
+        let err = o.check_response(&p).unwrap_err();
+        assert!(err.contains("DINV"), "{err}");
+    }
+
+    #[test]
+    fn poisoned_posted_writes_vanish_entirely() {
+        let mut o = Oracle::new();
+        let op = MemOp { kind: OpKind::PostedWrite, addr: 0x200, size: BlockSize::B16 };
+        o.issue_poisoned(0, &op, None);
+        assert_eq!(o.outstanding(), 0, "no response owed");
+        o.issue(1, &rd(0x200, BlockSize::B16), Some(1), &[]);
+        o.check_response(&rsp(Command::RdResponse, 1, vec![0; 16])).unwrap();
     }
 
     #[test]

@@ -123,6 +123,13 @@ pub fn write_repro(case: &FuzzCase, failure: &Failure, path: &Path) -> std::io::
             f.seed
         )?;
     }
+    if let Some(f) = case.link_faults {
+        writeln!(
+            out,
+            "# link-faults: rate={}ppm retry-limit={} retry={} retrain={} seed={:#x}",
+            f.error_rate_ppm, f.retry_limit, f.retry_cycles, f.retrain_cycles, f.seed
+        )?;
+    }
     if let Some(b) = case.barrier {
         writeln!(out, "# drain barrier before op: {b}")?;
     }

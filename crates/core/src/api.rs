@@ -70,6 +70,7 @@ pub fn hmcsim_init(
         interconnect: hmc_types::InterconnectKind::Crossbar,
         arbitration: hmc_types::ArbitrationKind::RoundRobin,
         cell_faults: None,
+        link_faults: None,
     };
     HmcSim::new(num_devs, config)
 }

@@ -500,6 +500,7 @@ impl HmcSim {
         self.ensure_timing();
         self.ensure_noc();
         self.ensure_cell_faults();
+        self.ensure_link_faults();
         let total_vaults: usize = self.devices.iter().map(|d| d.vaults.len()).sum();
         let shards = self.params.resolved_threads().min(total_vaults).max(1);
         if shards <= 1 {
@@ -584,7 +585,17 @@ impl HmcSim {
             }
             for l in 0..num_links {
                 let xbar = &dev.xbars[l];
-                if !xbar.rqst.is_empty() {
+                // A link down for retraining skips its request walk
+                // outright until the window lapses — and the first walk
+                // after expiry records the completed retraining (the
+                // `LinkRetrain` event), which is observable work.
+                if faults_on && dev.links[l].retraining {
+                    let until = dev.links[l].retrain_until;
+                    if until <= self.clock {
+                        return 0;
+                    }
+                    horizon = horizon.min(until - self.clock);
+                } else if !xbar.rqst.is_empty() {
                     let debt_dead = flit_budget
                         .map(|f| dev.links[l].debt_dead_cycles(f))
                         .unwrap_or(0);
@@ -706,7 +717,11 @@ impl HmcSim {
         if let Some(f) = self.params.link_flits_per_cycle.map(|f| f.max(1)) {
             for dev in &mut self.devices {
                 for link in &mut dev.links {
-                    if link.flit_debt > 0 {
+                    // A retraining link's walk is skipped before its
+                    // debt paydown, so its debt stays frozen until the
+                    // window lapses; decaying it here would diverge
+                    // from the stepped engine.
+                    if link.flit_debt > 0 && !link.retraining {
                         link.decay_flit_debt(dead, f);
                     }
                 }
@@ -1082,7 +1097,21 @@ mod tests {
             for i in 0..k {
                 let link = (i % 4) as LinkId;
                 let addr = (burst * 0x9e37 + i as u64 * 0x1_0000) % (1 << 30);
-                sim.send(0, link, read_packet(addr, tag, link)).unwrap();
+                // A stalled send (full queue, dry tokens, or a link down
+                // retraining) clocks one cycle and retries — the same
+                // deterministic throttling a real host loop performs.
+                let mut tries = 0u32;
+                loop {
+                    match sim.send(0, link, read_packet(addr, tag, link)) {
+                        Ok(()) => break,
+                        Err(e) if e.is_stall() => {
+                            sim.clock_batch(1).unwrap();
+                            tries += 1;
+                            assert!(tries < 100_000, "send stalled forever");
+                        }
+                        Err(e) => panic!("send failed: {e:?}"),
+                    }
+                }
                 tag += 1;
             }
             sim.clock_batch(gap).unwrap();
@@ -1181,7 +1210,7 @@ mod tests {
         s.enable_fault_injection(FaultConfig {
             packet_error_rate: 0.0,
             retry_cycles: 8,
-            seed: 1,
+            ..FaultConfig::default()
         });
         s.send(0, 0, read_packet(0, 1, 0)).unwrap();
         {
@@ -1198,12 +1227,51 @@ mod tests {
             0,
             "the retry fires on the jump-target cycle"
         );
-        // A corrupt head is live regardless of the timer: detection
-        // mutates state and emits LinkRetry.
-        let e = s.devices[0].xbars[0].rqst.get_mut(0).unwrap();
-        e.retry_until = 50;
-        e.corrupt = true;
+        // An armed timer gates even when the in-flight retransmission is
+        // fated to arrive corrupt: the next detection only becomes
+        // observable at the timer's expiry.
+        {
+            let e = s.devices[0].xbars[0].rqst.get_mut(0).unwrap();
+            e.retry_until = 50;
+            e.corrupt = true;
+        }
+        assert_eq!(s.quiescent_horizon(100), 45);
+        // An undetected corruption with a lapsed timer is live work (the
+        // walk performs the detection that cycle).
+        s.devices[0].xbars[0].rqst.get_mut(0).unwrap().retry_until = 0;
         assert_eq!(s.quiescent_horizon(100), 0);
+    }
+
+    #[test]
+    fn retraining_link_sleeps_until_its_window_lapses() {
+        let mut s = sim_with(ff_params());
+        s.enable_fault_injection(FaultConfig::default());
+        s.clock_batch(1).unwrap();
+        {
+            let link = &mut s.devices[0].links[0];
+            link.retrain_until = 40;
+            link.retraining = true;
+        }
+        // Down until cycle 40; the expiry walk records the completed
+        // retraining (LinkRetrain), so the horizon stops just short.
+        assert_eq!(s.quiescent_horizon(100), 39);
+        assert!(
+            matches!(
+                s.send(0, 0, read_packet(0, 1, 0)),
+                Err(hmc_types::HmcError::Stalled { cube: 0, link: 0 })
+            ),
+            "a retraining link rejects host sends"
+        );
+        s.clock_batch(39).unwrap();
+        assert_eq!(
+            s.quiescent_horizon(100),
+            0,
+            "the pending retraining record is observable work"
+        );
+        s.clock_batch(1).unwrap();
+        assert_eq!(s.stats().link_retrains, 1);
+        assert!(!s.devices[0].links[0].retraining);
+        assert!(s.send(0, 0, read_packet(0, 1, 0)).is_ok());
     }
 
     #[test]
@@ -1377,6 +1445,7 @@ mod tests {
             packet_error_rate: 0.3,
             retry_cycles: 11,
             seed: 0xDEAD_BEEF,
+            ..FaultConfig::default()
         };
         let mut stepped = sim_with(SimParams::default());
         let mut fast = sim_with(ff_params());

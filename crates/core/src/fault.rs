@@ -1,28 +1,51 @@
-//! Link-level error simulation.
+//! Link-level error simulation: the HMC link-retry protocol.
 //!
 //! HMC-Sim's packet handling is designed to support "functional
 //! simulation, error simulation and performance simulation" (paper §IV,
 //! requirement 5), and the packet tails carry the retry pointers (FRP /
 //! RRP) and CRC the specification's link-retry protocol uses.
 //!
-//! This module models lossy SERDES links: each packet crossing a
-//! host-to-device link is independently corrupted with a configurable
-//! probability. The receiving crossbar detects the corruption (the CRC
-//! check the real logic layer performs), raises a
-//! [`LinkRetry`](hmc_trace::EventKind::LinkRetry) trace event, and holds
-//! the packet for a retransmission penalty before processing the clean
-//! retransmission — the observable timing behaviour of the spec's
-//! IRTRY/FRP retry protocol without modelling the bit-level exchange.
+//! This module models lossy SERDES links end to end. Each transmission
+//! attempt of a packet crossing a host-to-device link is independently
+//! corrupted with a configurable probability; the receiving crossbar
+//! detects the corruption (the CRC check the real logic layer performs),
+//! raises a [`LinkRetry`](hmc_trace::EventKind::LinkRetry) trace event —
+//! the observable face of the spec's StartRetry/IRTRY exchange — and
+//! stalls the link head for [`FaultConfig::retry_cycles`] while the peer
+//! retransmits in order from its retry buffer. A packet whose every
+//! transmission through [`FaultConfig::retry_limit`] retries stays
+//! corrupt exhausts the protocol: the link goes down for a
+//! [`FaultConfig::retrain_cycles`] retraining window and the request is
+//! aborted with a poisoned-`ERRSTAT`
+//! ([`ResponseStatus::LinkPoisoned`](hmc_types::ResponseStatus))
+//! response, so the host always sees a typed failure rather than a
+//! silent drop.
+//!
+//! Corruption decisions are **stateless hashes** of
+//! `(seed, cube, link, send_seq, attempt)` — the same discipline as
+//! `hmc_mem::cellfault` — where `send_seq` is the link's monotonic send
+//! sequence number. The fault stream is therefore a pure function of the
+//! injected workload: bit-identical across thread counts and
+//! stepped/fast-forward engine modes, and predictable at issue time
+//! ([`predicts_poison`]) by the conformance oracle.
 
-use hmc_types::Cycle;
+use hmc_types::{Cycle, LinkFaultConfig};
 
 /// Error-injection configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
-    /// Probability that a packet is corrupted in link transit (0.0–1.0).
+    /// Probability that one transmission attempt is corrupted in link
+    /// transit (0.0–1.0). Off by default: error simulation, like every
+    /// other injection subsystem, is explicit opt-in.
     pub packet_error_rate: f64,
     /// Retransmission penalty in cycles charged per detected corruption.
     pub retry_cycles: Cycle,
+    /// Retransmission attempts after the initial transmission before the
+    /// link gives up and poisons the request.
+    pub retry_limit: u32,
+    /// Cycles the link spends retraining (no packets move) after a
+    /// retry exhaustion.
+    pub retrain_cycles: Cycle,
     /// Deterministic seed for the corruption stream.
     pub seed: u64,
 }
@@ -30,11 +53,81 @@ pub struct FaultConfig {
 impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig {
-            packet_error_rate: 1e-3,
+            packet_error_rate: 0.0,
             retry_cycles: 8,
+            retry_limit: 3,
+            retrain_cycles: 64,
             seed: 0x5eed_cafe,
         }
     }
+}
+
+impl From<LinkFaultConfig> for FaultConfig {
+    fn from(c: LinkFaultConfig) -> Self {
+        FaultConfig {
+            packet_error_rate: c.error_rate(),
+            retry_cycles: c.retry_cycles,
+            retry_limit: c.retry_limit,
+            retrain_cycles: c.retrain_cycles,
+            seed: c.seed,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — deterministic, seedable, cheap.
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The uniform draw for one transmission attempt: a pure hash of the
+/// stream seed and the transmission's stable identity.
+fn transmission_draw(seed: u64, cube: u8, link: u8, send_seq: u64, attempt: u32) -> u64 {
+    let mut h = mix(seed | 1);
+    h = mix(h ^ ((cube as u64) << 32 | (link as u64)));
+    h = mix(h ^ send_seq);
+    mix(h ^ (attempt as u64))
+}
+
+/// Whether transmission `attempt` (0 = the initial send, `n` = the n-th
+/// retransmission) of the packet holding slot `send_seq` in the link's
+/// monotonic send order is corrupted under `config`.
+///
+/// A pure function of its arguments: independent of thread count,
+/// engine mode, and simulation history.
+pub fn transmission_corrupt(
+    config: &FaultConfig,
+    cube: u8,
+    link: u8,
+    send_seq: u64,
+    attempt: u32,
+) -> bool {
+    hits(
+        config.packet_error_rate,
+        transmission_draw(config.seed, cube, link, send_seq, attempt),
+    )
+}
+
+/// Whether the packet holding slot `send_seq` in `link`'s send order
+/// will exhaust the retry protocol and be poisoned: true iff the
+/// initial transmission *and* every one of the `retry_limit` allowed
+/// retransmissions is corrupt. The conformance oracle uses this to
+/// predict the exact poisoned tag set at issue time.
+pub fn predicts_poison(config: &FaultConfig, cube: u8, link: u8, send_seq: u64) -> bool {
+    (0..=config.retry_limit).all(|a| transmission_corrupt(config, cube, link, send_seq, a))
+}
+
+/// Whether a uniform `draw` falls inside probability `rate`. A unit
+/// rate is special-cased to always hit: the scaled threshold
+/// saturates at `u64::MAX`, and the strict compare below would then
+/// miss the one draw in 2^64 where the RNG emits `u64::MAX` itself.
+fn hits(rate: f64, draw: u64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    draw < (rate * (u64::MAX as f64)) as u64
 }
 
 /// Live error-injection state and statistics.
@@ -42,11 +135,13 @@ impl Default for FaultConfig {
 pub struct FaultState {
     /// The active configuration.
     pub config: FaultConfig,
-    rng: u64,
-    /// Packets corrupted in transit so far.
+    /// Transmission attempts corrupted in transit so far (initial sends
+    /// and retransmissions both count).
     pub injected: u64,
     /// Corruptions detected and retried by crossbars so far.
     pub detected: u64,
+    /// Requests aborted with a poisoned response after retry exhaustion.
+    pub poisoned: u64,
 }
 
 impl FaultState {
@@ -62,36 +157,15 @@ impl FaultState {
         );
         FaultState {
             config,
-            rng: config.seed | 1,
             injected: 0,
             detected: 0,
+            poisoned: 0,
         }
     }
 
-    /// SplitMix64 step — deterministic, seedable, cheap.
-    fn next_u64(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Whether a uniform `draw` falls inside probability `rate`. A unit
-    /// rate is special-cased to always hit: the scaled threshold
-    /// saturates at `u64::MAX`, and the strict compare below would then
-    /// miss the one draw in 2^64 where the RNG emits `u64::MAX` itself.
-    fn hits(rate: f64, draw: u64) -> bool {
-        if rate >= 1.0 {
-            return true;
-        }
-        draw < (rate * (u64::MAX as f64)) as u64
-    }
-
-    /// Roll the dice for one link transit; true = corrupted.
-    pub fn roll(&mut self) -> bool {
-        let draw = self.next_u64();
-        let hit = Self::hits(self.config.packet_error_rate, draw);
+    /// Decide the fate of one transmission attempt, counting hits.
+    pub fn roll_attempt(&mut self, cube: u8, link: u8, send_seq: u64, attempt: u32) -> bool {
+        let hit = transmission_corrupt(&self.config, cube, link, send_seq, attempt);
         if hit {
             self.injected += 1;
         }
@@ -102,6 +176,11 @@ impl FaultState {
     pub fn record_detection(&mut self) {
         self.detected += 1;
     }
+
+    /// Record a retry-exhaustion poisoning.
+    pub fn record_poison(&mut self) {
+        self.poisoned += 1;
+    }
 }
 
 #[cfg(test)]
@@ -109,12 +188,22 @@ mod tests {
     use super::*;
 
     #[test]
+    fn default_rate_is_off() {
+        // Error simulation is opt-in, like every other injection
+        // subsystem: the default config must inject nothing.
+        assert_eq!(FaultConfig::default().packet_error_rate, 0.0);
+        let mut f = FaultState::new(FaultConfig::default());
+        assert!((0..10_000u64).all(|seq| !f.roll_attempt(0, 0, seq, 0)));
+        assert_eq!(f.injected, 0);
+    }
+
+    #[test]
     fn zero_rate_never_fires() {
         let mut f = FaultState::new(FaultConfig {
             packet_error_rate: 0.0,
             ..FaultConfig::default()
         });
-        assert!((0..10_000).all(|_| !f.roll()));
+        assert!((0..10_000u64).all(|seq| !f.roll_attempt(1, 2, seq, 0)));
         assert_eq!(f.injected, 0);
     }
 
@@ -124,7 +213,7 @@ mod tests {
             packet_error_rate: 1.0,
             ..FaultConfig::default()
         });
-        assert!((0..1_000).all(|_| f.roll()));
+        assert!((0..1_000u64).all(|seq| f.roll_attempt(1, 0, seq, 0)));
         assert_eq!(f.injected, 1_000);
     }
 
@@ -132,20 +221,22 @@ mod tests {
     fn unit_rate_fires_even_on_a_max_draw() {
         // Regression: the threshold for rate 1.0 saturates at u64::MAX,
         // so a strict `<` alone would miss a draw of exactly u64::MAX.
-        assert!(FaultState::hits(1.0, u64::MAX));
-        assert!(FaultState::hits(1.0, 0));
+        assert!(hits(1.0, u64::MAX));
+        assert!(hits(1.0, 0));
         // Just under unit rate keeps the strict compare.
-        assert!(!FaultState::hits(0.999_999, u64::MAX));
-        assert!(!FaultState::hits(0.0, 0));
+        assert!(!hits(0.999_999, u64::MAX));
+        assert!(!hits(0.0, 0));
     }
 
     #[test]
     fn intermediate_rates_are_roughly_calibrated() {
-        let mut f = FaultState::new(FaultConfig {
+        let cfg = FaultConfig {
             packet_error_rate: 0.1,
             ..FaultConfig::default()
-        });
-        let hits = (0..100_000).filter(|_| f.roll()).count();
+        };
+        let hits = (0..100_000u64)
+            .filter(|&seq| transmission_corrupt(&cfg, 1, 0, seq, 0))
+            .count();
         assert!(
             (8_000..12_000).contains(&hits),
             "10% rate produced {hits}/100000"
@@ -153,16 +244,71 @@ mod tests {
     }
 
     #[test]
-    fn streams_are_deterministic_per_seed() {
+    fn streams_are_pure_functions_of_their_key() {
         let cfg = FaultConfig {
             packet_error_rate: 0.5,
             ..FaultConfig::default()
         };
-        let mut a = FaultState::new(cfg);
-        let mut b = FaultState::new(cfg);
-        for _ in 0..1_000 {
-            assert_eq!(a.roll(), b.roll());
+        for seq in 0..1_000u64 {
+            // Same key, same fate — regardless of evaluation order.
+            assert_eq!(
+                transmission_corrupt(&cfg, 1, 2, seq, 0),
+                transmission_corrupt(&cfg, 1, 2, seq, 0),
+            );
         }
+        // Distinct links, sequence numbers, and attempts decorrelate.
+        let by_link: Vec<bool> =
+            (0..256u64).map(|s| transmission_corrupt(&cfg, 1, 0, s, 0)).collect();
+        let other_link: Vec<bool> =
+            (0..256u64).map(|s| transmission_corrupt(&cfg, 1, 1, s, 0)).collect();
+        assert_ne!(by_link, other_link);
+        let retry: Vec<bool> =
+            (0..256u64).map(|s| transmission_corrupt(&cfg, 1, 0, s, 1)).collect();
+        assert_ne!(by_link, retry);
+        // Different seeds produce different streams.
+        let reseeded = FaultConfig { seed: 0xDEAD_BEEF, ..cfg };
+        let other: Vec<bool> =
+            (0..256u64).map(|s| transmission_corrupt(&reseeded, 1, 0, s, 0)).collect();
+        assert_ne!(by_link, other);
+    }
+
+    #[test]
+    fn poison_prediction_matches_attempt_fates() {
+        let cfg = FaultConfig {
+            packet_error_rate: 0.6,
+            retry_limit: 2,
+            ..FaultConfig::default()
+        };
+        let mut poisoned = 0usize;
+        for seq in 0..10_000u64 {
+            let all_corrupt =
+                (0..=cfg.retry_limit).all(|a| transmission_corrupt(&cfg, 1, 0, seq, a));
+            assert_eq!(predicts_poison(&cfg, 1, 0, seq), all_corrupt);
+            poisoned += all_corrupt as usize;
+        }
+        // 0.6^3 ≈ 21.6% of requests should exhaust three attempts.
+        assert!((1_500..2_900).contains(&poisoned), "got {poisoned}/10000");
+        // Unit rate poisons everything; zero rate nothing.
+        let always = FaultConfig { packet_error_rate: 1.0, ..cfg };
+        assert!(predicts_poison(&always, 1, 0, 7));
+        let never = FaultConfig { packet_error_rate: 0.0, ..cfg };
+        assert!(!predicts_poison(&never, 1, 0, 7));
+    }
+
+    #[test]
+    fn link_fault_config_converts() {
+        let lf = LinkFaultConfig::default()
+            .with_error_rate_ppm(250_000)
+            .with_retry_cycles(4)
+            .with_retry_limit(1)
+            .with_retrain_cycles(32)
+            .with_seed(99);
+        let fc = FaultConfig::from(lf);
+        assert!((fc.packet_error_rate - 0.25).abs() < 1e-12);
+        assert_eq!(fc.retry_cycles, 4);
+        assert_eq!(fc.retry_limit, 1);
+        assert_eq!(fc.retrain_cycles, 32);
+        assert_eq!(fc.seed, 99);
     }
 
     #[test]

@@ -198,12 +198,19 @@ impl HmcSim {
         };
         let _ = cmd;
         let tag = p.tag();
+        // A poisoned response aborted at the link layer: its request
+        // never completed in the memory stream, so it is exempt from
+        // stream-order accounting (it may legitimately outrun earlier
+        // same-stream responses still in the vault pipeline). Tag
+        // correlation still applies — exactly one response per request.
+        let poisoned = p.errstat() == Ok(hmc_types::ResponseStatus::LinkPoisoned);
         let state = self.inv_state();
         match state.in_flight.remove(&tag_key(host, tag)) {
             None => state.record(format!(
                 "tag correlation: response tag {tag:#x} on dev {dev} link {link} \
                  matches no in-flight request of host {host}"
             )),
+            Some(_) if poisoned => {}
             Some(info) => {
                 if let Some(k) = info.stream {
                     let last = state.streams.get(&k).and_then(|s| s.last_delivered);

@@ -62,6 +62,23 @@ pub struct Link {
     /// model (`SimParams::link_flits_per_cycle`); the link stalls until
     /// the debt drains.
     pub flit_debt: u32,
+    /// Monotonic count of request packets sent into this link — the
+    /// stable per-link sequence that keys the deterministic link-fault
+    /// corruption stream. Never resets (unlike the 3-bit wire SEQ).
+    pub send_seq: u64,
+    /// 3-bit wire SEQ counter stamped into request tails at send; wraps
+    /// modulo 8 and restarts after a link retraining, as the spec's
+    /// retry protocol requires.
+    pub wire_seq: u8,
+    /// Cycle until which the link is down, retraining after a retry
+    /// exhaustion. While `retrain_until > clock` the crossbar walk for
+    /// this link is gated; the first walk after expiry records the
+    /// completed retraining and restarts the wire SEQ.
+    pub retrain_until: hmc_types::Cycle,
+    /// True while a retraining window is pending its completion record
+    /// (set at link-down, cleared when the post-expiry walk emits the
+    /// `LinkRetrain` event).
+    pub retraining: bool,
 }
 
 impl Link {
@@ -76,7 +93,27 @@ impl Link {
             tokens,
             initial_tokens: tokens,
             flit_debt: 0,
+            send_seq: 0,
+            wire_seq: 0,
+            retrain_until: 0,
+            retraining: false,
         }
+    }
+
+    /// Take the next wire SEQ value (3-bit, wrapping) and advance the
+    /// monotonic send counter; returns `(wire_seq, send_seq)` for the
+    /// packet being sent.
+    pub fn next_send_seq(&mut self) -> (u8, u64) {
+        let wire = self.wire_seq;
+        self.wire_seq = (self.wire_seq + 1) & 0x7;
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        (wire, seq)
+    }
+
+    /// True while the link is down retraining at `clock`.
+    pub fn retrain_gated(&self, clock: hmc_types::Cycle) -> bool {
+        self.retrain_until > clock
     }
 
     /// True when this link connects to a host.
@@ -113,10 +150,15 @@ impl Link {
         self.tokens == self.initial_tokens
     }
 
-    /// Restore the reset state (connectivity is preserved; tokens refill).
+    /// Restore the reset state (connectivity is preserved; tokens refill,
+    /// retry/retrain bookkeeping clears).
     pub fn reset_tokens(&mut self) {
         self.tokens = self.initial_tokens;
         self.flit_debt = 0;
+        self.send_seq = 0;
+        self.wire_seq = 0;
+        self.retrain_until = 0;
+        self.retraining = false;
     }
 
     /// Whole cycles the crossbar walk for this link is guaranteed to be
@@ -234,8 +276,34 @@ mod tests {
         let mut l = Link::new(3, 4);
         l.remote = Endpoint::Device(2, 1);
         l.take_tokens(5);
+        l.next_send_seq();
+        l.retrain_until = 99;
+        l.retraining = true;
         l.reset_tokens();
         assert_eq!(l.tokens, l.initial_tokens);
         assert_eq!(l.remote, Endpoint::Device(2, 1));
+        assert_eq!(l.send_seq, 0);
+        assert_eq!(l.wire_seq, 0);
+        assert!(!l.retrain_gated(0));
+        assert!(!l.retraining);
+    }
+
+    #[test]
+    fn send_seq_wraps_on_the_wire_but_not_in_the_key() {
+        let mut l = Link::new(0, 4);
+        for i in 0..20u64 {
+            let (wire, seq) = l.next_send_seq();
+            assert_eq!(wire as u64, i & 7, "wire SEQ is 3-bit");
+            assert_eq!(seq, i, "monotonic sequence never wraps");
+        }
+    }
+
+    #[test]
+    fn retrain_gate_tracks_the_window() {
+        let mut l = Link::new(0, 4);
+        assert!(!l.retrain_gated(0));
+        l.retrain_until = 10;
+        assert!(l.retrain_gated(9));
+        assert!(!l.retrain_gated(10), "expiry cycle is live");
     }
 }

@@ -8,7 +8,7 @@
 //! behaviour used for the paper-shape experiments, and the ablation
 //! benches sweep them.
 
-use hmc_types::CellFaultConfig;
+use hmc_types::{CellFaultConfig, LinkFaultConfig};
 
 use crate::noc::NocParams;
 use crate::timing::TimingParams;
@@ -142,6 +142,12 @@ pub struct SimParams {
     /// default) keeps the array perfect and the fault path a single
     /// branch per vault access. See `hmc_mem::cellfault`.
     pub cell_faults: Option<CellFaultConfig>,
+    /// Link-level fault injection: SERDES transmission corruption
+    /// driving the spec's link-retry protocol, with retry exhaustion
+    /// escalating to poisoned responses and link retraining. `None`
+    /// (the default) keeps the links perfect and the retry path a
+    /// single branch per crossbar walk. See `crate::fault`.
+    pub link_faults: Option<LinkFaultConfig>,
 }
 
 impl Default for SimParams {
@@ -165,6 +171,7 @@ impl Default for SimParams {
             timing: TimingParams::default(),
             interconnect: NocParams::default(),
             cell_faults: None,
+            link_faults: None,
         }
     }
 }

@@ -48,6 +48,15 @@ pub struct QueueEntry {
     pub corrupt: bool,
     /// Cycle until which the packet is held for link retransmission.
     pub retry_until: Cycle,
+    /// Transmission attempts so far: 0 until the first corruption is
+    /// detected, then incremented per detection. A packet whose attempt
+    /// count exceeds the configured retry limit while still corrupt is
+    /// aborted with a poisoned response.
+    pub attempt: u32,
+    /// The link's monotonic send-sequence slot this packet occupied at
+    /// injection — the stable key of its deterministic corruption
+    /// stream.
+    pub send_seq: u64,
 }
 
 impl QueueEntry {
@@ -66,6 +75,8 @@ impl QueueEntry {
             dest_row: 0,
             corrupt: false,
             retry_until: 0,
+            attempt: 0,
+            send_seq: 0,
         }
     }
 
@@ -75,15 +86,19 @@ impl QueueEntry {
     }
 
     /// True while the entry is held for link retransmission at `clock`:
-    /// the crossbar already detected the corruption (clearing `corrupt`
-    /// and arming `retry_until`) and the retry timer has not yet expired.
-    /// A still-`corrupt` entry is *not* gated — its detection is itself
-    /// an observable state change the crossbar walk must perform. Shared
-    /// by the stepped walk (which breaks the link on a gated head) and
-    /// the fast-forward horizon (which treats the gated span as dead
-    /// time).
+    /// the crossbar already detected a corruption and armed
+    /// `retry_until`, and the retry timer has not yet expired. The gate
+    /// holds regardless of whether the in-flight retransmission is
+    /// itself fated to arrive corrupt (`corrupt` pre-decides the next
+    /// attempt's fate; it is only *observable* once the timer expires
+    /// and the walk re-checks the head). An undetected corruption
+    /// (`corrupt` with a lapsed timer) is *not* gated — its detection
+    /// is itself an observable state change the crossbar walk must
+    /// perform. Shared by the stepped walk (which breaks the link on a
+    /// gated head) and the fast-forward horizon (which treats the gated
+    /// span as dead time).
     pub fn retry_gated(&self, clock: Cycle) -> bool {
-        !self.corrupt && self.retry_until > clock
+        self.retry_until > clock
     }
 }
 
@@ -303,7 +318,14 @@ mod tests {
         assert!(e.retry_gated(9));
         assert!(!e.retry_gated(10), "timer expiry cycle is live");
         e.corrupt = true;
-        assert!(!e.retry_gated(5), "undetected corruption is live work");
+        assert!(
+            e.retry_gated(5),
+            "an armed timer gates even when the in-flight retransmission is fated corrupt"
+        );
+        assert!(
+            !e.retry_gated(10),
+            "undetected corruption with a lapsed timer is live work"
+        );
     }
 
     #[test]

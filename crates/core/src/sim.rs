@@ -62,6 +62,15 @@ pub struct SimStats {
     pub trr_refreshes: u64,
     /// Bits decayed by the retention axis (unrefreshed past the horizon).
     pub retention_decays: u64,
+    /// Link-retry retransmissions scheduled after a CRC-detected
+    /// corruption (zero unless link-error simulation is enabled).
+    pub link_retries: u64,
+    /// Link retraining windows completed after retry exhaustion took a
+    /// link down.
+    pub link_retrains: u64,
+    /// Responses delivered with a poisoned ERRSTAT because their request
+    /// exhausted the link-retry protocol.
+    pub poisoned_responses: u64,
 }
 
 /// One HMC-Sim simulation object.
@@ -94,6 +103,11 @@ pub struct HmcSim {
     /// [`HmcSim::ensure_cell_faults`] skip reinstalling state on the hot
     /// path (the `None` default installs none at all).
     pub(crate) applied_cellfaults: Option<Option<hmc_types::CellFaultConfig>>,
+    /// The link-fault configuration [`HmcSim::ensure_link_faults`] last
+    /// installed; `None` until the first clock. A manually installed
+    /// [`HmcSim::enable_fault_injection`] state is left alone unless the
+    /// parameter actually changes.
+    pub(crate) applied_linkfaults: Option<Option<hmc_types::LinkFaultConfig>>,
 }
 
 impl std::fmt::Debug for HmcSim {
@@ -139,6 +153,7 @@ impl HmcSim {
             interconnect: crate::noc::NocParams::of(config.interconnect)
                 .with_arbitration(config.arbitration),
             cell_faults: config.cell_faults,
+            link_faults: config.link_faults,
             ..SimParams::default()
         };
         Ok(HmcSim {
@@ -157,6 +172,7 @@ impl HmcSim {
             applied_timing: None,
             applied_noc: None,
             applied_cellfaults: None,
+            applied_linkfaults: None,
         })
     }
 
@@ -290,6 +306,28 @@ impl HmcSim {
         self.params.cell_faults
     }
 
+    /// Enable link-level error simulation — the spec's retry protocol
+    /// with retransmission, retry exhaustion, poisoned responses, and
+    /// link retraining — from a wire-level configuration (builder
+    /// style). `None` keeps links perfect. See [`crate::fault`] for the
+    /// model and determinism contract.
+    pub fn with_link_faults(mut self, faults: Option<hmc_types::LinkFaultConfig>) -> Self {
+        self.params.link_faults = faults;
+        self
+    }
+
+    /// Switch link-fault injection on a live simulation. The new state
+    /// installs at the next clock boundary with fresh counters;
+    /// in-flight retry and retraining bookkeeping is preserved.
+    pub fn set_link_faults(&mut self, faults: Option<hmc_types::LinkFaultConfig>) {
+        self.params.link_faults = faults;
+    }
+
+    /// The active link-fault configuration, when set.
+    pub fn link_faults(&self) -> Option<hmc_types::LinkFaultConfig> {
+        self.params.link_faults
+    }
+
     /// Install per-vault cell-fault state when the configuration changed
     /// since the last clock. No-op (and no allocation) on the steady-
     /// state hot path; the default `None` uninstalls so the engine pays
@@ -309,6 +347,31 @@ impl HmcSim {
             }
         }
         self.applied_cellfaults = Some(sig);
+    }
+
+    /// Install the link-fault state when [`SimParams::link_faults`]
+    /// changed since the last clock. No-op on the steady-state hot path.
+    /// A state installed manually through
+    /// [`HmcSim::enable_fault_injection`] survives as long as the
+    /// parameter never changes (the legacy API predates the config).
+    pub(crate) fn ensure_link_faults(&mut self) {
+        let sig = self.params.link_faults;
+        if self.applied_linkfaults == Some(sig) {
+            return;
+        }
+        match sig {
+            Some(cfg) => {
+                self.faults = Some(crate::fault::FaultState::new(cfg.into()));
+            }
+            // Only clear on an actual Some -> None transition so a
+            // manually enabled state is not clobbered at first clock.
+            None => {
+                if self.applied_linkfaults.is_some() {
+                    self.faults = None;
+                }
+            }
+        }
+        self.applied_linkfaults = Some(sig);
     }
 
     /// Replace the address map (must match the device geometry).
@@ -543,6 +606,9 @@ impl HmcSim {
     /// to throttle injection (§VI.A).
     pub fn send(&mut self, dev: CubeId, link: LinkId, packet: Packet) -> Result<()> {
         self.ensure_routes()?;
+        // Config-armed link faults must cover sends that precede the
+        // first clock edge (the usual inject-then-clock loop shape).
+        self.ensure_link_faults();
         let d = self
             .devices
             .get(dev as usize)
@@ -570,6 +636,13 @@ impl HmcSim {
         let dest = packet.cub();
 
         let d = &mut self.devices[dev as usize];
+        if self.faults.is_some() && d.links[link as usize].retrain_gated(self.clock) {
+            // The link is down, retraining after retry exhaustion: no
+            // packet enters until the window lapses (same stall signal
+            // as flow-control back-pressure, so host throttling loops
+            // need no special case).
+            return Err(HmcError::Stalled { cube: dev, link });
+        }
         if d.xbars[link as usize].rqst.is_full() {
             return Err(HmcError::Stalled { cube: dev, link });
         }
@@ -582,11 +655,18 @@ impl HmcSim {
         }
         let mut entry = QueueEntry::new(packet, host, dest, self.clock);
         entry.arrival_link = link;
-        // Error simulation: the packet may be corrupted in SERDES transit.
-        if let Some(f) = self.faults.as_mut() {
-            if f.roll() {
-                entry.corrupt = true;
-            }
+        // Error simulation: the packet may be corrupted in SERDES
+        // transit. The link hands out its wire SEQ (stamped into the
+        // request tail, re-sealed) and its monotonic send sequence — the
+        // stable key under which every transmission attempt's fate is a
+        // pure function of the fault seed, making the corruption stream
+        // identical across thread counts and engine modes.
+        if let Some(faults) = self.faults.as_mut() {
+            let (wire, seq) = self.devices[dev as usize].links[link as usize].next_send_seq();
+            entry.packet.set_seq(wire);
+            entry.packet.seal();
+            entry.send_seq = seq;
+            entry.corrupt = faults.roll_attempt(dev, link, seq, 0);
         }
         let d = &mut self.devices[dev as usize];
         d.xbars[link as usize]

@@ -76,6 +76,25 @@ impl HmcSim {
         let mut forwards = std::mem::take(&mut self.scratch.forwards);
 
         for l in 0..num_links {
+            // Link-retry protocol: a link that exhausted its retries is
+            // down, retraining — nothing moves until the window lapses,
+            // and the first walk afterward records the completed
+            // retraining and restarts the wire SEQ counter.
+            if self.faults.is_some() {
+                if self.devices[di].links[l].retrain_gated(self.clock) {
+                    continue;
+                }
+                if self.devices[di].links[l].retraining {
+                    let link = &mut self.devices[di].links[l];
+                    link.retraining = false;
+                    link.wire_seq = 0;
+                    self.stats.link_retrains += 1;
+                    self.emit(TraceEvent::LinkRetrain {
+                        cube: dev_id,
+                        link: l as LinkId,
+                    });
+                }
+            }
             // Resolve this link's FLIT budget, paying down debt from
             // earlier oversized packets first.
             let budget = if let Some(f) = flit_budget {
@@ -132,36 +151,101 @@ impl HmcSim {
                 };
 
                 // Error simulation: the crossbar's CRC check catches
-                // packets corrupted in link transit; the retransmission
-                // penalty holds the packet (and its stream) in place.
+                // packets corrupted in link transit. A detected
+                // corruption triggers the StartRetry/IRTRY exchange —
+                // the packet (and its stream) holds in place while the
+                // peer retransmits in order from its retry buffer — and
+                // a packet that exhausts the attempt cap is aborted with
+                // a poisoned response while the link goes down to
+                // retrain.
                 if self.faults.is_some() {
-                    let (corrupt, gated) = {
+                    let (corrupt, gated, posted) = {
                         let e = self.devices[di].xbars[l].rqst.get(idx).expect("idx checked");
-                        (e.corrupt, e.retry_gated(self.clock))
+                        (
+                            e.corrupt,
+                            e.retry_gated(self.clock),
+                            e.packet.cmd().map(|c| c.is_posted()).unwrap_or(false),
+                        )
                     };
-                    if corrupt {
-                        let retry = self.faults.as_ref().expect("checked").config.retry_cycles;
-                        let clock = self.clock;
-                        let e = self.devices[di].xbars[l]
-                            .rqst
-                            .get_mut(idx)
-                            .expect("idx checked");
-                        e.corrupt = false;
-                        e.retry_until = clock + retry;
-                        self.faults.as_mut().expect("checked").record_detection();
-                        self.emit(TraceEvent::LinkRetry {
-                            cube: dev_id,
-                            link: l as LinkId,
-                            tag,
-                        });
-                        idx += 1;
-                        continue;
-                    }
                     if gated {
                         // Retransmission in flight: the packet (and, to
                         // preserve stream order, everything behind it on
                         // this link) waits. Same gate the fast-forward
                         // horizon models via `QueueEntry::retry_gated`.
+                        break;
+                    }
+                    if corrupt {
+                        let cfg = self.faults.as_ref().expect("checked").config;
+                        let clock = self.clock;
+                        let (next_attempt, send_seq) = {
+                            let e =
+                                self.devices[di].xbars[l].rqst.get(idx).expect("idx checked");
+                            (e.attempt + 1, e.send_seq)
+                        };
+                        // Retry exhaustion with no response slot free:
+                        // hold everything as-is (no counters, no events)
+                        // and rerun the abort next cycle. Checked before
+                        // the detection is recorded so a deferred abort
+                        // never double-counts.
+                        if next_attempt > cfg.retry_limit
+                            && !posted
+                            && self.devices[di].xbars[l].rsp.is_full()
+                        {
+                            break;
+                        }
+                        self.faults.as_mut().expect("checked").record_detection();
+                        if next_attempt <= cfg.retry_limit {
+                            // Schedule the in-order retransmission and
+                            // pre-decide its fate from the stateless
+                            // corruption stream (observable only once
+                            // the retry timer lapses).
+                            let refate = self.faults.as_mut().expect("checked").roll_attempt(
+                                dev_id,
+                                l as LinkId,
+                                send_seq,
+                                next_attempt,
+                            );
+                            let e = self.devices[di].xbars[l]
+                                .rqst
+                                .get_mut(idx)
+                                .expect("idx checked");
+                            e.attempt = next_attempt;
+                            e.corrupt = refate;
+                            e.retry_until = clock + cfg.retry_cycles;
+                            self.stats.link_retries += 1;
+                            self.emit(TraceEvent::LinkRetry {
+                                cube: dev_id,
+                                link: l as LinkId,
+                                tag,
+                            });
+                            // The IRTRY exchange retransmits from the
+                            // error point onward: everything behind the
+                            // corrupted packet holds too, exactly as the
+                            // `retry_gated` check does on later cycles.
+                            break;
+                        }
+                        // Retry exhaustion: abort with a poisoned
+                        // response and take the link down. Delivery is
+                        // guaranteed — the full-response-queue case broke
+                        // out above before anything mutated.
+                        let entry =
+                            self.devices[di].xbars[l].rqst.remove(idx).expect("present");
+                        self.return_link_tokens(di, l, flits);
+                        self.faults.as_mut().expect("checked").record_poison();
+                        self.emit(TraceEvent::LinkDown {
+                            cube: dev_id,
+                            link: l as LinkId,
+                            tag,
+                            attempts: next_attempt,
+                        });
+                        self.poison_response(di, l, entry);
+                        let link = &mut self.devices[di].links[l];
+                        link.retrain_until = clock + cfg.retrain_cycles;
+                        link.retraining = true;
+                        drained_flits += flits as usize;
+                        // The link is down: nothing else moves on it
+                        // this cycle (`drained` needs no bump — the walk
+                        // ends here).
                         break;
                     }
                 }
@@ -813,5 +897,41 @@ impl HmcSim {
         // Best effort: if the response queue is full the error is dropped;
         // the trace event above still records the failure.
         let _ = self.devices[di].xbars[l].rsp.push(resp);
+    }
+
+    /// Generate the poisoned response for a request that exhausted the
+    /// link-retry protocol. Unlike [`Self::xbar_error_response`] this
+    /// path never drops: the caller verified a response slot is free
+    /// before retiring the request, so every non-posted request ends in
+    /// exactly one clean or poisoned response. Posted requests fail
+    /// silently (they carry no response by definition).
+    fn poison_response(&mut self, di: usize, l: usize, entry: QueueEntry) {
+        let posted = entry.packet.cmd().map(|c| c.is_posted()).unwrap_or(false);
+        let tag = entry.packet.tag();
+        self.bump_error_register(di);
+        if posted {
+            return;
+        }
+        self.emit(TraceEvent::PoisonedResponse {
+            cube: di as CubeId,
+            link: l as LinkId,
+            tag,
+        });
+        self.stats.poisoned_responses += 1;
+        let packet = Packet::response(
+            Command::ErrorResponse,
+            tag,
+            entry.packet.slid(),
+            ResponseStatus::LinkPoisoned,
+            &[],
+        )
+        .expect("poisoned response construction cannot fail");
+        let mut resp = QueueEntry::new(packet, di as CubeId, entry.src_cube, self.clock);
+        resp.entry_cycle = entry.entry_cycle;
+        resp.arrival_link = entry.arrival_link;
+        self.devices[di].xbars[l]
+            .rsp
+            .push(resp)
+            .expect("poison slot checked by caller");
     }
 }

@@ -73,6 +73,10 @@ pub struct HostStats {
     pub posted: u64,
     /// Error responses received.
     pub errors: u64,
+    /// Responses delivered with a poisoned ERRSTAT — the device gave up
+    /// on the request after exhausting the link-retry protocol. A subset
+    /// of `errors`.
+    pub poisoned: u64,
     /// Send attempts rejected with a stall.
     pub send_stalls: u64,
     /// Injection attempts deferred because all 512 tags were in flight.
@@ -260,6 +264,9 @@ impl Host {
                         let info = decode_response(&packet)?;
                         if !info.is_ok() {
                             self.stats.errors += 1;
+                            if info.status == hmc_types::ResponseStatus::LinkPoisoned {
+                                self.stats.poisoned += 1;
+                            }
                         }
                         match self.tags.complete(info.tag) {
                             Some(_ctx) => {

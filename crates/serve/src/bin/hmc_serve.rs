@@ -4,7 +4,15 @@
 //! hmc-serve [--socket PATH] [--listen ADDR] [--max-sessions N]
 //!           [--threads N] [--inflight N] [--responses N] [--slice N]
 //!           [--idle-timeout SECS] [--drain-timeout SECS] [--fast-forward]
+//!           [--link-error-rate PPM] [--link-retry-limit N]
+//!           [--retrain-cycles N] [--link-retry-cycles N]
+//!           [--link-fault-seed S]
 //! ```
+//!
+//! The link-fault flags put the whole daemon into degraded-link mode:
+//! every session whose config does not arm its own `link_faults` block
+//! inherits the server's, so retry-exhausted requests come back to
+//! clients as poisoned error frames.
 //!
 //! At least one of `--socket` (Unix-domain) or `--listen` (TCP) is
 //! required. SIGTERM and SIGINT trigger the graceful drain: stop
@@ -17,6 +25,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hmc_serve::{DrainOutcome, Server, ServerConfig, SessionLimits};
+use hmc_types::LinkFaultConfig;
 
 // No libc crate in this workspace: bind the two POSIX symbols the daemon
 // needs directly. The handler only sets an atomic flag — the one thing
@@ -45,6 +54,7 @@ struct Options {
     idle_timeout: u64,
     drain_timeout: u64,
     fast_forward: bool,
+    link_faults: Option<LinkFaultConfig>,
 }
 
 impl Default for Options {
@@ -62,6 +72,7 @@ impl Default for Options {
             idle_timeout: 300,
             drain_timeout: 30,
             fast_forward: l.fast_forward,
+            link_faults: None,
         }
     }
 }
@@ -71,7 +82,8 @@ fn usage() -> ! {
         "usage: hmc-serve [--socket PATH] [--listen ADDR] [--max-sessions N] \
          [--threads N] [--inflight N] [--responses N] [--slice N] \
          [--idle-timeout SECS (0 = never)] [--drain-timeout SECS] \
-         [--fast-forward]"
+         [--fast-forward] [--link-error-rate PPM] [--link-retry-limit N] \
+         [--retrain-cycles N] [--link-retry-cycles N] [--link-fault-seed S]"
     );
     std::process::exit(2);
 }
@@ -105,8 +117,18 @@ fn parse_options() -> Options {
             "--fast-forward" => o.fast_forward = true,
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("hmc-serve: unknown argument {other}");
-                usage()
+                let value = args.next();
+                match LinkFaultConfig::apply_flag(&mut o.link_faults, other, value.as_deref()) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("hmc-serve: unknown argument {other}");
+                        usage()
+                    }
+                    Err(e) => {
+                        eprintln!("hmc-serve: {e}");
+                        usage()
+                    }
+                }
             }
         }
     }
@@ -137,6 +159,7 @@ fn main() {
         } else {
             Some(Duration::from_secs(o.idle_timeout))
         },
+        link_faults: o.link_faults,
         ..ServerConfig::default()
     };
 
@@ -178,6 +201,13 @@ fn main() {
         o.max_sessions,
         if o.fast_forward { ", fast-forward" } else { "" }
     );
+    if let Some(f) = &o.link_faults {
+        eprintln!(
+            "hmc-serve: degraded-link mode: {} ppm error rate, retry limit {}, \
+             retrain {} cycles",
+            f.error_rate_ppm, f.retry_limit, f.retrain_cycles
+        );
+    }
     match server.run(Duration::from_secs(o.drain_timeout)) {
         DrainOutcome::Drained => {
             eprintln!("hmc-serve: drained cleanly");

@@ -45,14 +45,26 @@
 //! session's `DeviceConfig` JSON, and the closing stats frame reports
 //! the device's activation/bit-flip/TRR/retention counters, which the
 //! report aggregates — an adversarial end-to-end corruption probe.
+//!
+//! The link-fault flags (`--link-error-rate PPM`, `--link-retry-limit`,
+//! `--retrain-cycles`, `--link-retry-cycles`, `--link-fault-seed`) arm
+//! the link-retry protocol the same way: transmission corruption rides
+//! into each session's device, retry-exhausted requests come back as
+//! poisoned error responses (counted under `errors` and
+//! `poisoned_responses`), and the report carries the per-session
+//! retry/retrain/poison counters. BUSY backpressure is absorbed with a
+//! bounded exponential backoff (`--retry-attempts`, `--retry-base-ms`;
+//! jittered per session) and the report counts every retry and the
+//! milliseconds spent backing off.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use hmc_serve::{workload_to_wire, Client, SubmitResult};
+use hmc_serve::{busy_reason_label, workload_to_wire, Client, RetryPolicy, SubmitResult};
 use hmc_trace::{percentile_sorted, LatencyPercentiles};
 use hmc_types::{
-    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind, WireOp,
+    ArbitrationKind, BlockSize, CellFaultConfig, DeviceConfig, InterconnectKind, LinkFaultConfig,
+    WireOp,
 };
 use hmc_workloads::WorkloadSpec;
 use serde::Serialize;
@@ -76,6 +88,9 @@ struct Options {
     interconnect: InterconnectKind,
     arbitration: ArbitrationKind,
     cell_faults: Option<CellFaultConfig>,
+    link_faults: Option<LinkFaultConfig>,
+    retry_attempts: u32,
+    retry_base_ms: u64,
     json: Option<PathBuf>,
 }
 
@@ -100,6 +115,9 @@ impl Default for Options {
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
             cell_faults: None,
+            link_faults: None,
+            retry_attempts: RetryPolicy::default().max_attempts,
+            retry_base_ms: RetryPolicy::default().base_delay_ms,
             json: None,
         }
     }
@@ -115,7 +133,10 @@ fn usage() -> ! {
          [--hot-quad Q] [--hot-pct P] [--interconnect crossbar|ring|mesh] \
          [--arbitration round-robin|oldest-first|locality-aware] \
          [--hammer-threshold N] [--flip-prob PPM] [--retention CYCLES] \
-         [--mitigation none|trr|elevated] [--json FILE]"
+         [--mitigation none|trr|elevated] \
+         [--link-error-rate PPM] [--link-retry-limit N] [--retrain-cycles N] \
+         [--link-retry-cycles N] [--link-fault-seed S] \
+         [--retry-attempts N] [--retry-base-ms MS] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -166,10 +187,24 @@ fn parse_options() -> Options {
                     })
             }
             "--json" => o.json = Some(PathBuf::from(next("--json"))),
+            "--retry-attempts" => {
+                o.retry_attempts = next("--retry-attempts").parse().unwrap_or_else(|_| usage())
+            }
+            "--retry-base-ms" => {
+                o.retry_base_ms = next("--retry-base-ms").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             flag => {
                 let value = args.next();
-                match CellFaultConfig::apply_flag(&mut o.cell_faults, flag, value.as_deref()) {
+                let hit = CellFaultConfig::apply_flag(&mut o.cell_faults, flag, value.as_deref())
+                    .and_then(|hit| {
+                        if hit {
+                            Ok(true)
+                        } else {
+                            LinkFaultConfig::apply_flag(&mut o.link_faults, flag, value.as_deref())
+                        }
+                    });
+                match hit {
                     Ok(true) => {}
                     Ok(false) => {
                         eprintln!("loadgen: unknown argument {flag}");
@@ -215,7 +250,11 @@ struct SessionReport {
     tag_stalls: u64,
     token_stalls: u64,
     busy_rejections: u64,
+    backoff_ms: u64,
     errors: u64,
+    link_retries: u64,
+    link_retrains: u64,
+    poisoned_responses: u64,
     hammer_activations: u64,
     bit_flips: u64,
     trr_refreshes: u64,
@@ -247,6 +286,11 @@ struct LoadgenReport {
     total_bit_flips: u64,
     total_trr_refreshes: u64,
     total_retention_decays: u64,
+    total_busy_retries: u64,
+    total_backoff_ms: u64,
+    total_link_retries: u64,
+    total_link_retrains: u64,
+    total_poisoned_responses: u64,
     per_session: Vec<SessionReport>,
 }
 
@@ -269,14 +313,18 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
     // config JSON: the DeviceConfig carries interconnect/arbitration and
     // the fault block, so the server builds the session's device with
     // the buffered NoC and/or injection enabled.
-    let session = if o.interconnect == InterconnectKind::Crossbar && o.cell_faults.is_none() {
+    let session = if o.interconnect == InterconnectKind::Crossbar
+        && o.cell_faults.is_none()
+        && o.link_faults.is_none()
+    {
         client.open_session_preset(&o.preset, 0, 0)
     } else {
         let cfg = DeviceConfig::by_name(&o.preset)
             .ok_or_else(|| format!("session {index}: unknown preset {:?}", o.preset))?
             .with_interconnect(o.interconnect)
             .with_arbitration(o.arbitration)
-            .with_cell_faults(o.cell_faults);
+            .with_cell_faults(o.cell_faults)
+            .with_link_faults(o.link_faults);
         let json = serde_json::to_string(&cfg)
             .map_err(|e| format!("session {index}: config json: {e}"))?;
         client.open_session_json(&json, 0, 0)
@@ -327,7 +375,18 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
 
     let mut received = 0u64;
     let mut latencies: Vec<u64> = Vec::with_capacity(expected as usize);
+    // Bounded BUSY handling: exponential backoff with per-session jitter,
+    // attempts reset on any admission. Polling between attempts keeps the
+    // response buffer draining, so backpressure can actually clear.
+    let policy = RetryPolicy::default()
+        .with_max_attempts(o.retry_attempts)
+        .with_base_delay_ms(o.retry_base_ms)
+        .with_jitter_seed(index as u64 + 1);
+    let mut jitter = policy.jitter_seed;
+    let mut consecutive_busy = 0u32;
     let mut busy_rejections = 0u64;
+    let mut backoff_ms = 0u64;
+    let mut pending_backoff: Option<u64> = None;
     let mut errors = 0u64;
     // Tag-conservation accounting: the server owns tag assignment, but a
     // client can still detect duplication (more responses than requests
@@ -345,9 +404,25 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
             {
                 SubmitResult::Accepted { accepted, .. } => {
                     rest = &rest[accepted as usize..];
+                    consecutive_busy = 0;
                 }
-                SubmitResult::Busy { .. } => {
+                SubmitResult::Busy {
+                    reason,
+                    retry_hint_ms,
+                } => {
+                    if consecutive_busy >= policy.max_attempts {
+                        return Err(format!(
+                            "session {index}: still BUSY ({}) after {} consecutive \
+                             submit attempts",
+                            busy_reason_label(reason),
+                            consecutive_busy
+                        ));
+                    }
+                    let delay = policy.backoff_delay(consecutive_busy, retry_hint_ms, &mut jitter);
+                    consecutive_busy += 1;
                     busy_rejections += 1;
+                    backoff_ms += delay;
+                    pending_backoff = Some(delay);
                 }
             }
         }
@@ -368,7 +443,11 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
                 duplicated += 1;
             }
         }
-        if poll.items.is_empty() && !rest.is_empty() {
+        if let Some(delay) = pending_backoff.take() {
+            // The poll above already drained what it could; sleep out the
+            // backoff period before the next submission attempt.
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        } else if poll.items.is_empty() && !rest.is_empty() {
             // Backpressured and nothing to read yet: brief breather.
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
@@ -409,7 +488,11 @@ fn drive_session(o: &Options, index: usize) -> Result<SessionOutcome, String> {
         tag_stalls: final_stats.tag_stalls,
         token_stalls: final_stats.token_stalls,
         busy_rejections,
+        backoff_ms,
         errors,
+        link_retries: final_stats.link_retries,
+        link_retrains: final_stats.link_retrains,
+        poisoned_responses: final_stats.poisoned_responses,
         hammer_activations: final_stats.hammer_activations,
         bit_flips: final_stats.bit_flips,
         trr_refreshes: final_stats.trr_refreshes,
@@ -491,6 +574,11 @@ fn main() {
         total_bit_flips: sessions.iter().map(|s| s.report.bit_flips).sum(),
         total_trr_refreshes: sessions.iter().map(|s| s.report.trr_refreshes).sum(),
         total_retention_decays: sessions.iter().map(|s| s.report.retention_decays).sum(),
+        total_busy_retries: sessions.iter().map(|s| s.report.busy_rejections).sum(),
+        total_backoff_ms: sessions.iter().map(|s| s.report.backoff_ms).sum(),
+        total_link_retries: sessions.iter().map(|s| s.report.link_retries).sum(),
+        total_link_retrains: sessions.iter().map(|s| s.report.link_retrains).sum(),
+        total_poisoned_responses: sessions.iter().map(|s| s.report.poisoned_responses).sum(),
         per_session: sessions.iter().map(|s| s.report.clone()).collect(),
     };
 
@@ -518,6 +606,20 @@ fn main() {
         lost_tags,
         duplicated_tags
     );
+    if report.total_busy_retries > 0 {
+        eprintln!(
+            "loadgen: backpressure: {} BUSY retries absorbed, {} ms backing off",
+            report.total_busy_retries, report.total_backoff_ms
+        );
+    }
+    if o.link_faults.is_some() {
+        eprintln!(
+            "loadgen: link faults: {} retries, {} retrains, {} poisoned responses",
+            report.total_link_retries,
+            report.total_link_retrains,
+            report.total_poisoned_responses
+        );
+    }
     if o.cell_faults.is_some() {
         eprintln!(
             "loadgen: cell faults: {} activations, {} bit flips, {} TRR refreshes, \

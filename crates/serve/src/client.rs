@@ -87,6 +87,91 @@ impl Write for Stream {
     }
 }
 
+/// Bounded retry schedule for BUSY backpressure: exponential backoff
+/// from `base_delay_ms` doubling per consecutive rejection, capped at
+/// `max_delay_ms`, plus deterministic jitter so a fleet of identical
+/// clients does not resubmit in lockstep. An `Accepted` reply (even a
+/// partial prefix) is progress and resets the attempt counter; only
+/// `max_attempts` *consecutive* BUSY replies exhaust the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive BUSY replies tolerated before giving up.
+    pub max_attempts: u32,
+    /// First backoff delay in milliseconds.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 32,
+            base_delay_ms: 1,
+            max_delay_ms: 64,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Override the consecutive-BUSY cap (`0` is clamped to one attempt).
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Override the first backoff delay.
+    pub fn with_base_delay_ms(mut self, ms: u64) -> Self {
+        self.base_delay_ms = ms;
+        self
+    }
+
+    /// Override the backoff ceiling.
+    pub fn with_max_delay_ms(mut self, ms: u64) -> Self {
+        self.max_delay_ms = ms;
+        self
+    }
+
+    /// Override the jitter seed (distinct per client keeps a fleet
+    /// from thundering back in phase).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The delay before retry number `attempt` (0-based), honouring the
+    /// server's `retry_hint_ms` as a floor. `jitter` is the caller-held
+    /// stream state, advanced once per call (SplitMix64 — no OS entropy,
+    /// so schedules are reproducible).
+    pub fn backoff_delay(&self, attempt: u32, hint_ms: u32, jitter: &mut u64) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_delay_ms);
+        let base = exp.max(u64::from(hint_ms)).min(self.max_delay_ms).max(1);
+        *jitter = jitter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Full jitter over [base/2, base]: keeps the exponential shape
+        // while spreading resubmissions across half a period.
+        base / 2 + z % (base / 2 + 1)
+    }
+}
+
+/// What a bounded submit spent on backpressure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitReport {
+    /// BUSY replies absorbed (each one slept a backoff period).
+    pub busy_retries: u64,
+    /// Milliseconds spent sleeping on backoff.
+    pub backoff_ms: u64,
+}
+
 /// A blocking protocol client.
 pub struct Client {
     stream: Stream,
@@ -153,6 +238,11 @@ impl Client {
                     return Err(HmcError::Wire("server closed the connection".into()))
                 }
                 ReadOutcome::TimedOut => continue,
+                ReadOutcome::Malformed(reason) => {
+                    return Err(HmcError::Wire(format!(
+                        "server sent an undecodable frame: {reason}"
+                    )))
+                }
             }
         }
     }
@@ -222,23 +312,55 @@ impl Client {
         }
     }
 
-    /// Submit a whole batch, retrying BUSY with short sleeps and
+    /// Submit a whole batch under the default [`RetryPolicy`],
     /// resubmitting unaccepted suffixes until every op is admitted.
     pub fn submit_all(&mut self, session: u64, ops: &[WireOp]) -> Result<()> {
+        self.submit_all_with(session, ops, &RetryPolicy::default())
+            .map(|_| ())
+    }
+
+    /// Submit a whole batch, absorbing BUSY backpressure with the given
+    /// bounded backoff policy. Partial admissions reset the attempt
+    /// counter; `policy.max_attempts` *consecutive* BUSY replies fail
+    /// with a typed [`HmcError::Wire`] naming the reason and the count.
+    pub fn submit_all_with(
+        &mut self,
+        session: u64,
+        ops: &[WireOp],
+        policy: &RetryPolicy,
+    ) -> Result<SubmitReport> {
         let mut rest = ops;
+        let mut report = SubmitReport::default();
+        let mut consecutive = 0u32;
+        let mut jitter = policy.jitter_seed;
         while !rest.is_empty() {
             match self.submit(session, rest)? {
                 SubmitResult::Accepted { accepted, .. } => {
                     rest = &rest[accepted as usize..];
+                    consecutive = 0;
                 }
-                SubmitResult::Busy { retry_hint_ms, .. } => {
-                    std::thread::sleep(std::time::Duration::from_millis(
-                        u64::from(retry_hint_ms.clamp(1, 50)),
-                    ));
+                SubmitResult::Busy {
+                    reason,
+                    retry_hint_ms,
+                } => {
+                    if consecutive >= policy.max_attempts {
+                        return Err(HmcError::Wire(format!(
+                            "still BUSY ({}) after {} consecutive submit attempts \
+                             ({} ops unadmitted)",
+                            busy_reason_label(reason),
+                            consecutive,
+                            rest.len()
+                        )));
+                    }
+                    let delay = policy.backoff_delay(consecutive, retry_hint_ms, &mut jitter);
+                    consecutive += 1;
+                    report.busy_retries += 1;
+                    report.backoff_ms += delay;
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
                 }
             }
         }
-        Ok(())
+        Ok(report)
     }
 
     /// Poll up to `max` responses (`0` = server default).
@@ -290,5 +412,59 @@ pub fn busy_reason_label(reason: u8) -> &'static str {
         Some(BusyReason::InflightFull) => "inflight-full",
         Some(BusyReason::ResponsesFull) => "responses-full",
         None => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let p = RetryPolicy::default()
+            .with_base_delay_ms(1)
+            .with_max_delay_ms(64);
+        let mut jitter = p.jitter_seed;
+        let mut prev_base = 0u64;
+        for attempt in 0..12 {
+            let d = p.backoff_delay(attempt, 0, &mut jitter);
+            let base = (1u64 << attempt.min(16)).min(64);
+            assert!(
+                d >= base / 2 && d <= base,
+                "attempt {attempt}: delay {d} outside [{}, {base}]",
+                base / 2
+            );
+            assert!(base >= prev_base, "exponential shape is monotone");
+            prev_base = base;
+        }
+    }
+
+    #[test]
+    fn backoff_respects_the_server_hint_as_a_floor() {
+        let p = RetryPolicy::default()
+            .with_base_delay_ms(1)
+            .with_max_delay_ms(100);
+        let mut jitter = 7;
+        let d = p.backoff_delay(0, 40, &mut jitter);
+        assert!((20..=40).contains(&d), "hinted delay {d} outside [20, 40]");
+        // The cap still wins over an absurd hint.
+        let d = p.backoff_delay(0, 5_000, &mut jitter);
+        assert!(d <= 100, "cap must bound the hint, got {d}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_varies_across_seeds() {
+        let p = RetryPolicy::default().with_max_delay_ms(1 << 20);
+        let run = |seed: u64| -> Vec<u64> {
+            let mut jitter = seed;
+            (0..8).map(|a| p.backoff_delay(a, 0, &mut jitter)).collect()
+        };
+        assert_eq!(run(1), run(1), "same seed, same schedule");
+        assert_ne!(run(1), run(2), "distinct seeds de-phase the fleet");
+    }
+
+    #[test]
+    fn zero_attempt_policies_are_clamped_to_one() {
+        assert_eq!(RetryPolicy::default().with_max_attempts(0).max_attempts, 1);
     }
 }

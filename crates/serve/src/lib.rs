@@ -30,7 +30,9 @@ pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, PollResult, ServerInfo, SubmitResult};
+pub use client::{
+    busy_reason_label, Client, PollResult, RetryPolicy, ServerInfo, SubmitReport, SubmitResult,
+};
 pub use manager::{ServerConfig, SessionManager};
 pub use proto::{write_frame, FrameReader, ReadOutcome};
 pub use server::{DrainOutcome, Server};

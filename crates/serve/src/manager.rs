@@ -28,6 +28,10 @@ pub struct ServerConfig {
     pub idle_timeout: Option<Duration>,
     /// Suggested client retry delay carried in BUSY frames.
     pub retry_hint_ms: u32,
+    /// Server-wide link-fault default: applied to every opened session
+    /// whose own `DeviceConfig` leaves `link_faults` unset (a session
+    /// config that arms its own faults wins). `None` leaves links clean.
+    pub link_faults: Option<hmc_types::LinkFaultConfig>,
 }
 
 impl Default for ServerConfig {
@@ -38,6 +42,7 @@ impl Default for ServerConfig {
             limits: SessionLimits::default(),
             idle_timeout: Some(Duration::from_secs(300)),
             retry_hint_ms: 2,
+            link_faults: None,
         }
     }
 }
@@ -154,7 +159,7 @@ impl SessionManager {
         if self.draining() {
             return Self::error(WireErrorCode::ShuttingDown, "server is draining");
         }
-        let config: DeviceConfig = if !preset.is_empty() {
+        let mut config: DeviceConfig = if !preset.is_empty() {
             match DeviceConfig::by_name(preset) {
                 Some(c) => c,
                 None => {
@@ -174,6 +179,11 @@ impl SessionManager {
         } else {
             return Self::error(WireErrorCode::BadConfig, "no preset and no config body");
         };
+        if config.link_faults.is_none() {
+            // Daemon-wide degraded-link mode: sessions inherit the
+            // server's fault block unless they brought their own.
+            config.link_faults = self.inner.cfg.link_faults;
+        }
 
         let defaults = self.inner.cfg.limits;
         let clamp = |requested: u32, default: usize| -> usize {

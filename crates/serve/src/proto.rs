@@ -20,6 +20,12 @@ pub enum ReadOutcome {
     /// The read timed out or would block; call again later. Any partial
     /// frame stays buffered.
     TimedOut,
+    /// A complete frame arrived but its body would not decode. The bad
+    /// bytes are already discarded — the length prefix was sound, so
+    /// framing is intact and the connection can keep serving. (A bad
+    /// length prefix is a hard [`HmcError::Wire`] error instead: with
+    /// the framing itself untrustworthy the stream cannot recover.)
+    Malformed(String),
 }
 
 /// An incremental length-prefixed frame reader.
@@ -40,8 +46,10 @@ impl FrameReader {
     /// the socket to get periodic [`ReadOutcome::TimedOut`] returns).
     pub fn poll(&mut self, stream: &mut impl Read) -> Result<ReadOutcome> {
         loop {
-            if let Some(frame) = self.try_decode()? {
-                return Ok(ReadOutcome::Frame(frame));
+            match self.try_decode()? {
+                Some(Ok(frame)) => return Ok(ReadOutcome::Frame(frame)),
+                Some(Err(reason)) => return Ok(ReadOutcome::Malformed(reason)),
+                None => {}
             }
             let mut chunk = [0u8; 4096];
             match stream.read(&mut chunk) {
@@ -66,7 +74,9 @@ impl FrameReader {
     }
 
     /// Decode one frame from the buffer if a complete one is present.
-    fn try_decode(&mut self) -> Result<Option<Frame>> {
+    /// `Some(Err(_))` is a complete-but-undecodable body, consumed from
+    /// the buffer so the next frame stays aligned.
+    fn try_decode(&mut self) -> Result<Option<std::result::Result<Frame, String>>> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -80,9 +90,9 @@ impl FrameReader {
         if self.buf.len() < total {
             return Ok(None);
         }
-        let frame = Frame::decode_body(&self.buf[4..total])?;
+        let decoded = Frame::decode_body(&self.buf[4..total]);
         self.buf.drain(..total);
-        Ok(Some(frame))
+        Ok(Some(decoded.map_err(|e| e.to_string())))
     }
 }
 
@@ -170,6 +180,7 @@ mod tests {
                 }
                 ReadOutcome::TimedOut => polls += 1,
                 ReadOutcome::Eof => panic!("unexpected EOF"),
+                ReadOutcome::Malformed(reason) => panic!("undecodable: {reason}"),
             }
             assert!(polls < 10_000, "frame never completed");
         }
@@ -182,6 +193,60 @@ mod tests {
         let mut stream = Cursor::new(bytes[..bytes.len() - 1].to_vec());
         let mut reader = FrameReader::new();
         assert!(reader.poll(&mut stream).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_bodies_are_typed_and_the_stream_survives() {
+        // good frame | corrupted frame | good frame: the reader must
+        // yield Frame, Malformed, Frame — one bad body never desyncs
+        // the stream or kills the connection.
+        let good1 = Frame::Hello { version: 1 };
+        let good2 = Frame::Poll { session: 7, max: 3 };
+        let mut bad = Frame::SessionOpened { session: 1 }.encode_framed();
+        bad[4] ^= 0xff; // flip the opcode byte; length prefix stays sound
+        let mut wire = good1.encode_framed();
+        wire.extend_from_slice(&bad);
+        wire.extend_from_slice(&good2.encode_framed());
+
+        let mut stream = Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        match reader.poll(&mut stream).unwrap() {
+            ReadOutcome::Frame(f) => assert_eq!(f, good1),
+            other => panic!("{other:?}"),
+        }
+        match reader.poll(&mut stream).unwrap() {
+            ReadOutcome::Malformed(reason) => {
+                assert!(reason.contains("opcode"), "typed reason, got {reason:?}")
+            }
+            other => panic!("{other:?}"),
+        }
+        match reader.poll(&mut stream).unwrap() {
+            ReadOutcome::Frame(f) => assert_eq!(f, good2),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(reader.poll(&mut stream).unwrap(), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn truncated_bodies_are_malformed_not_fatal() {
+        // A length prefix that claims more than the body delivers (the
+        // peer lied about the payload, not the framing): decode fails,
+        // the bytes drain, and the next frame still arrives.
+        let inner = Frame::Poll { session: 9, max: 1 }.encode_framed();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&inner[4..6]); // opcode + 1 byte: too short
+        wire.extend_from_slice(&inner);
+        let mut stream = Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.poll(&mut stream).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+        match reader.poll(&mut stream).unwrap() {
+            ReadOutcome::Frame(f) => assert_eq!(f, Frame::Poll { session: 9, max: 1 }),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -259,6 +259,16 @@ fn serve_connection(
             ReadOutcome::Frame(f) => f,
             ReadOutcome::Eof => return Ok(()),
             ReadOutcome::TimedOut => continue,
+            ReadOutcome::Malformed(reason) => {
+                // The body was garbage but the framing held: answer with
+                // a typed error and keep serving the connection.
+                let reply = Frame::Error {
+                    code: WireErrorCode::BadFrame as u8,
+                    message: format!("undecodable frame: {reason}"),
+                };
+                write_frame(&mut stream, &reply)?;
+                continue;
+            }
         };
         let reply = match &frame {
             Frame::Hello { version } => {

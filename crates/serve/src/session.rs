@@ -259,6 +259,7 @@ impl SessionState {
                         responses.push_back(WireResponse {
                             tag: info.tag,
                             ok: info.is_ok(),
+                            status: info.status.encode(),
                             latency,
                             data: info.data,
                         });
@@ -311,6 +312,7 @@ impl SessionState {
                 responses.push_back(WireResponse {
                     tag: info.tag,
                     ok: info.is_ok(),
+                    status: info.status.encode(),
                     latency,
                     data: info.data,
                 });
@@ -344,6 +346,9 @@ impl SessionState {
             bit_flips: ss.bit_flips,
             trr_refreshes: ss.trr_refreshes,
             retention_decays: ss.retention_decays,
+            link_retries: ss.link_retries,
+            link_retrains: ss.link_retrains,
+            poisoned_responses: ss.poisoned_responses,
         }
     }
 }

@@ -335,6 +335,69 @@ fn the_shutdown_frame_triggers_a_clean_drain_with_work_buffered() {
 }
 
 #[test]
+fn degraded_link_sessions_deliver_poisoned_responses_as_error_frames() {
+    use hmc_types::{LinkFaultConfig, ResponseStatus};
+
+    let (path, server) = start_server("degraded", ServerConfig::default());
+    let flag = server.shutdown_flag();
+    let run = std::thread::spawn(move || server.run(Duration::from_secs(30)));
+
+    // An aggressively lossy link with a tight retry cap: a solid
+    // fraction of requests exhaust their retries server-side and must
+    // come back as poisoned error frames — never silently succeed,
+    // never vanish.
+    let config = DeviceConfig::small().with_link_faults(Some(
+        LinkFaultConfig::default()
+            .with_error_rate_ppm(600_000)
+            .with_retry_limit(1)
+            .with_retry_cycles(4)
+            .with_retrain_cycles(16)
+            .with_seed(0xD06_F00D),
+    ));
+    let json = serde_json::to_string(&config).unwrap();
+
+    let mut client = Client::connect_uds(&path).unwrap();
+    let mut workload = WorkloadSpec::new("random", 7, 1 << 24, 400).build().unwrap();
+    let ops = workload_to_wire(workload.as_mut());
+    let expected = ops
+        .iter()
+        .filter(|op| op.kind != WireOp::KIND_POSTED_WRITE)
+        .count() as u64;
+    let session = client.open_session_json(&json, 0, 0).unwrap();
+    for chunk in ops.chunks(64) {
+        client.submit_all(session, chunk).unwrap();
+    }
+    let served = poll_until_idle(&mut client, session, Duration::from_secs(30));
+    let stats = client.close(session).unwrap();
+
+    assert_eq!(
+        served.len() as u64,
+        expected,
+        "every non-posted op gets exactly one response, poisoned or clean"
+    );
+    let poisoned: Vec<&WireResponse> = served
+        .iter()
+        .filter(|r| r.status == ResponseStatus::LinkPoisoned.encode())
+        .collect();
+    assert!(
+        !poisoned.is_empty(),
+        "the lossy link must actually poison some responses"
+    );
+    for r in &poisoned {
+        assert!(!r.ok, "poisoned responses are error frames, not successes");
+        assert!(r.data.is_empty(), "poisoned frames carry no data");
+    }
+    assert_eq!(stats.poisoned_responses, poisoned.len() as u64);
+    assert!(stats.errors >= stats.poisoned_responses);
+    assert!(stats.link_retries > 0, "retries precede every exhaustion");
+    assert!(stats.link_retrains > 0, "exhaustion takes the link down");
+    assert_eq!(stats.orphans, 0, "poison never strands a tag");
+
+    flag.store(true, Ordering::Release);
+    assert_eq!(run.join().unwrap(), DrainOutcome::Drained);
+}
+
+#[test]
 fn version_mismatch_is_rejected_at_hello() {
     use hmc_serve::{write_frame, FrameReader, ReadOutcome};
     use std::os::unix::net::UnixStream;
@@ -351,6 +414,7 @@ fn version_mismatch_is_rejected_at_hello() {
             ReadOutcome::Frame(f) => break f,
             ReadOutcome::TimedOut => continue,
             ReadOutcome::Eof => panic!("server hung up without a reply"),
+            ReadOutcome::Malformed(reason) => panic!("undecodable reply: {reason}"),
         }
     };
     assert!(matches!(

@@ -42,6 +42,13 @@ pub enum EventKind {
     /// A link-level CRC failure was detected and the packet was
     /// retransmitted (error-simulation mode).
     LinkRetry,
+    /// A link exhausted its retry attempts and went down for retraining.
+    LinkDown,
+    /// A link completed its retraining window and came back up.
+    LinkRetrain,
+    /// A request was aborted with a poisoned-`ERRSTAT` response after
+    /// link-retry exhaustion.
+    PoisonedResponse,
     /// A DDR-timed access found its row already open (column access only).
     RowHit,
     /// A DDR-timed access activated a precharged bank's row.
@@ -66,7 +73,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, for exhaustive iteration in counters and tests.
-    pub const ALL: [EventKind; 22] = [
+    pub const ALL: [EventKind; 25] = [
         EventKind::BankConflict,
         EventKind::XbarRqstStall,
         EventKind::XbarRspStall,
@@ -82,6 +89,9 @@ impl EventKind {
         EventKind::TokenReturn,
         EventKind::ErrorResponse,
         EventKind::LinkRetry,
+        EventKind::LinkDown,
+        EventKind::LinkRetrain,
+        EventKind::PoisonedResponse,
         EventKind::RowHit,
         EventKind::RowMiss,
         EventKind::Precharge,
@@ -114,6 +124,9 @@ impl EventKind {
             EventKind::TokenReturn => "TOKEN_RETURN",
             EventKind::ErrorResponse => "ERROR_RESPONSE",
             EventKind::LinkRetry => "LINK_RETRY",
+            EventKind::LinkDown => "LINK_DOWN",
+            EventKind::LinkRetrain => "LINK_RETRAIN",
+            EventKind::PoisonedResponse => "POISONED_RESPONSE",
             EventKind::RowHit => "ROW_HIT",
             EventKind::RowMiss => "ROW_MISS",
             EventKind::Precharge => "PRECHARGE",
@@ -299,6 +312,37 @@ pub enum TraceEvent {
         /// Tag of the retransmitted packet.
         tag: u16,
     },
+    /// A link exhausted its retry attempts on one packet and went down
+    /// for a retraining window.
+    LinkDown {
+        /// Device taking the link down.
+        cube: CubeId,
+        /// The failed link.
+        link: LinkId,
+        /// Tag of the packet that exhausted the retries.
+        tag: u16,
+        /// Transmission attempts consumed (initial send + retries).
+        attempts: u32,
+    },
+    /// A link completed its retraining window and resumed moving
+    /// packets (wire SEQ restarted).
+    LinkRetrain {
+        /// Device bringing the link back up.
+        cube: CubeId,
+        /// The retrained link.
+        link: LinkId,
+    },
+    /// A request was aborted with a poisoned-`ERRSTAT` response after
+    /// link-retry exhaustion: the host receives a typed error instead
+    /// of a silent drop.
+    PoisonedResponse {
+        /// Device synthesizing the poisoned response.
+        cube: CubeId,
+        /// Link the doomed request occupied.
+        link: LinkId,
+        /// Tag of the poisoned request.
+        tag: u16,
+    },
     /// A DDR-timed access hit its bank's open row.
     RowHit {
         /// Device.
@@ -405,6 +449,9 @@ impl TraceEvent {
             TraceEvent::TokenReturn { .. } => EventKind::TokenReturn,
             TraceEvent::ErrorResponse { .. } => EventKind::ErrorResponse,
             TraceEvent::LinkRetry { .. } => EventKind::LinkRetry,
+            TraceEvent::LinkDown { .. } => EventKind::LinkDown,
+            TraceEvent::LinkRetrain { .. } => EventKind::LinkRetrain,
+            TraceEvent::PoisonedResponse { .. } => EventKind::PoisonedResponse,
             TraceEvent::RowHit { .. } => EventKind::RowHit,
             TraceEvent::RowMiss { .. } => EventKind::RowMiss,
             TraceEvent::Precharge { .. } => EventKind::Precharge,
@@ -433,6 +480,9 @@ impl TraceEvent {
             | TraceEvent::TokenReturn { cube, .. }
             | TraceEvent::ErrorResponse { cube, .. }
             | TraceEvent::LinkRetry { cube, .. }
+            | TraceEvent::LinkDown { cube, .. }
+            | TraceEvent::LinkRetrain { cube, .. }
+            | TraceEvent::PoisonedResponse { cube, .. }
             | TraceEvent::RowHit { cube, .. }
             | TraceEvent::RowMiss { cube, .. }
             | TraceEvent::Precharge { cube, .. }
@@ -577,8 +627,21 @@ impl TraceRecord {
             TraceEvent::ErrorResponse { cube, tag, status } => {
                 format!("{} {k} cube={cube} tag={tag} status={status}", self.cycle)
             }
-            TraceEvent::LinkRetry { cube, link, tag } => {
+            TraceEvent::LinkRetry { cube, link, tag }
+            | TraceEvent::PoisonedResponse { cube, link, tag } => {
                 format!("{} {k} cube={cube} link={link} tag={tag}", self.cycle)
+            }
+            TraceEvent::LinkDown {
+                cube,
+                link,
+                tag,
+                attempts,
+            } => format!(
+                "{} {k} cube={cube} link={link} tag={tag} attempts={attempts}",
+                self.cycle
+            ),
+            TraceEvent::LinkRetrain { cube, link } => {
+                format!("{} {k} cube={cube} link={link}", self.cycle)
             }
             TraceEvent::RowHit {
                 cube,
@@ -751,6 +814,9 @@ mod tests {
             TraceEvent::TokenReturn { cube: 0, link: 0, tokens: 0 },
             TraceEvent::ErrorResponse { cube: 0, tag: 0, status: 0 },
             TraceEvent::LinkRetry { cube: 0, link: 0, tag: 0 },
+            TraceEvent::LinkDown { cube: 0, link: 0, tag: 0, attempts: 0 },
+            TraceEvent::LinkRetrain { cube: 0, link: 0 },
+            TraceEvent::PoisonedResponse { cube: 0, link: 0, tag: 0 },
             TraceEvent::RowHit { cube: 0, vault: 0, bank: 0, row: 0, tag: 0 },
             TraceEvent::RowMiss { cube: 0, vault: 0, bank: 0, row: 0, tag: 0 },
             TraceEvent::Precharge { cube: 0, vault: 0, bank: 0, tag: 0 },

@@ -41,6 +41,9 @@ impl Verbosity {
             | EventKind::Zombie
             | EventKind::ErrorResponse
             | EventKind::LinkRetry
+            | EventKind::LinkDown
+            | EventKind::LinkRetrain
+            | EventKind::PoisonedResponse
             | EventKind::NocStall
             // Injected faults are exceptional events, like link retries.
             | EventKind::RowHammerFlip

@@ -18,6 +18,7 @@ use crate::cellfault::CellFaultConfig;
 use crate::command::BlockSize;
 use crate::error::{HmcError, Result};
 use crate::interconnect::{ArbitrationKind, InterconnectKind};
+use crate::linkfault::LinkFaultConfig;
 use crate::timing::TimingKind;
 use crate::units::{aggregate_bandwidth_gbs, LinkSpeed, GIB};
 
@@ -82,6 +83,12 @@ pub struct DeviceConfig {
     /// the hot loop.
     #[serde(default)]
     pub cell_faults: Option<CellFaultConfig>,
+    /// Link-level fault injection (SERDES transit errors driving the
+    /// link-retry protocol). `None` — the default, and what older
+    /// config files deserialize to — leaves the links perfect and the
+    /// retry path compiled out of the hot loop.
+    #[serde(default)]
+    pub link_faults: Option<LinkFaultConfig>,
 }
 
 impl DeviceConfig {
@@ -104,6 +111,7 @@ impl DeviceConfig {
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
             cell_faults: None,
+            link_faults: None,
         }
     }
 
@@ -125,6 +133,7 @@ impl DeviceConfig {
             interconnect: InterconnectKind::Crossbar,
             arbitration: ArbitrationKind::RoundRobin,
             cell_faults: None,
+            link_faults: None,
         }
     }
 
@@ -225,6 +234,12 @@ impl DeviceConfig {
     /// Install (or clear) cell-level fault injection (builder style).
     pub fn with_cell_faults(mut self, faults: Option<CellFaultConfig>) -> Self {
         self.cell_faults = faults;
+        self
+    }
+
+    /// Install (or clear) link-level fault injection (builder style).
+    pub fn with_link_faults(mut self, faults: Option<LinkFaultConfig>) -> Self {
+        self.link_faults = faults;
         self
     }
 
@@ -348,6 +363,9 @@ impl DeviceConfig {
             )));
         }
         if let Some(faults) = &self.cell_faults {
+            faults.validate()?;
+        }
+        if let Some(faults) = &self.link_faults {
             faults.validate()?;
         }
         self.geometry().validate()?;
@@ -539,6 +557,31 @@ mod tests {
         assert_eq!(back.cell_faults, Some(CellFaultConfig::default()));
         let bad = DeviceConfig::small()
             .with_cell_faults(Some(CellFaultConfig::default().with_refresh_window(0)));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn link_fault_field_defaults_for_older_config_files() {
+        // Config JSON written before the link-retry subsystem existed
+        // must still load, defaulting to perfect links.
+        let c = DeviceConfig::small();
+        let json = serde_json::to_string(&c).unwrap();
+        let stripped = json.replace(",\"link_faults\":null", "");
+        assert_ne!(json, stripped, "link_faults field must serialize");
+        let back: DeviceConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.link_faults, None);
+        let faulty = c.with_link_faults(Some(
+            LinkFaultConfig::default().with_error_rate_ppm(10_000),
+        ));
+        faulty.validate().unwrap();
+        let json = serde_json::to_string(&faulty).unwrap();
+        let back: DeviceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.link_faults,
+            Some(LinkFaultConfig::default().with_error_rate_ppm(10_000))
+        );
+        let bad = DeviceConfig::small()
+            .with_link_faults(Some(LinkFaultConfig::default().with_retrain_cycles(0)));
         assert!(bad.validate().is_err());
     }
 

@@ -26,6 +26,7 @@ pub mod crc;
 pub mod error;
 pub mod flit;
 pub mod interconnect;
+pub mod linkfault;
 pub mod packet;
 pub mod timing;
 pub mod units;
@@ -41,6 +42,7 @@ pub use config::{DeviceConfig, StorageMode};
 pub use error::{HmcError, Result};
 pub use flit::{FLIT_BYTES, MAX_DATA_BYTES, MAX_PACKET_BYTES, MAX_PACKET_FLITS};
 pub use interconnect::{ArbitrationKind, InterconnectKind};
+pub use linkfault::LinkFaultConfig;
 pub use packet::{Packet, ResponseStatus};
 pub use timing::{DdrTimings, PagePolicy, TimingKind};
 pub use units::LinkSpeed;

@@ -86,6 +86,11 @@ pub enum ResponseStatus {
     /// The packet exceeded its hop budget and was declared a zombie
     /// (loopback-adjacent misconfiguration, §V.B).
     Zombie,
+    /// The request exhausted the link-retry protocol's attempt cap:
+    /// every transmission was CRC-corrupt, the link went down for
+    /// retraining, and this poisoned response was synthesized so the
+    /// host sees a typed failure instead of a silent drop.
+    LinkPoisoned,
     /// An internal vault/bank fault occurred during processing.
     InternalError,
 }
@@ -99,6 +104,7 @@ impl ResponseStatus {
             ResponseStatus::AddressError => 0x02,
             ResponseStatus::Misroute => 0x03,
             ResponseStatus::Zombie => 0x04,
+            ResponseStatus::LinkPoisoned => 0x05,
             ResponseStatus::InternalError => 0x7f,
         }
     }
@@ -111,6 +117,7 @@ impl ResponseStatus {
             0x02 => ResponseStatus::AddressError,
             0x03 => ResponseStatus::Misroute,
             0x04 => ResponseStatus::Zombie,
+            0x05 => ResponseStatus::LinkPoisoned,
             0x7f => ResponseStatus::InternalError,
             other => {
                 return Err(HmcError::InvalidPacket(format!(
@@ -767,6 +774,7 @@ mod tests {
             ResponseStatus::AddressError,
             ResponseStatus::Misroute,
             ResponseStatus::Zombie,
+            ResponseStatus::LinkPoisoned,
             ResponseStatus::InternalError,
         ] {
             assert_eq!(ResponseStatus::decode(s.encode()).unwrap(), s);

@@ -16,7 +16,7 @@ use crate::error::{HmcError, Result};
 /// Protocol version spoken by this build. Bumped on any incompatible
 /// frame-layout change; `Hello`/`HelloAck` negotiate an exact match.
 /// Version 2 appended the cell-fault counters to `Stats`/`Closed`.
-pub const WIRE_VERSION: u16 = 2;
+pub const WIRE_VERSION: u16 = 3;
 
 /// Upper bound on one frame's encoded size (opcode + body). Guards the
 /// server against hostile or corrupt length prefixes.
@@ -73,6 +73,9 @@ pub struct WireResponse {
     pub tag: u16,
     /// True unless the device returned an error status.
     pub ok: bool,
+    /// The response's 7-bit `ERRSTAT` wire encoding (0 on success;
+    /// 0x05 marks a link-retry-exhausted poisoned response).
+    pub status: u8,
     /// Request-to-response latency in simulated cycles.
     pub latency: u64,
     /// Response payload (read data; empty for write acknowledgements).
@@ -123,6 +126,13 @@ pub struct WireStats {
     pub trr_refreshes: u64,
     /// Cells decayed past the retention horizon.
     pub retention_decays: u64,
+    /// Link-retry exchanges (detected transmission corruptions).
+    pub link_retries: u64,
+    /// Link retraining windows completed after retry exhaustion.
+    pub link_retrains: u64,
+    /// Responses delivered with a poisoned `ERRSTAT` after the link
+    /// gave up on the request.
+    pub poisoned_responses: u64,
 }
 
 /// Typed error codes carried by [`Frame::Error`].
@@ -384,6 +394,7 @@ impl Frame {
                 for r in items {
                     put_u16(&mut out, r.tag);
                     out.push(r.ok as u8);
+                    out.push(r.status);
                     put_u64(&mut out, r.latency);
                     put_u32(&mut out, r.data.len() as u32);
                     out.extend_from_slice(&r.data);
@@ -478,6 +489,7 @@ impl Frame {
                     items.push(WireResponse {
                         tag: c.u16()?,
                         ok: c.u8()? != 0,
+                        status: c.u8()?,
                         latency: c.u64()?,
                         data: c.blob()?,
                     });
@@ -550,6 +562,9 @@ fn put_stats(out: &mut Vec<u8>, s: &WireStats) {
     put_u64(out, s.bit_flips);
     put_u64(out, s.trr_refreshes);
     put_u64(out, s.retention_decays);
+    put_u64(out, s.link_retries);
+    put_u64(out, s.link_retrains);
+    put_u64(out, s.poisoned_responses);
 }
 
 fn get_stats(c: &mut Cursor<'_>) -> Result<WireStats> {
@@ -573,6 +588,9 @@ fn get_stats(c: &mut Cursor<'_>) -> Result<WireStats> {
         bit_flips: c.u64()?,
         trr_refreshes: c.u64()?,
         retention_decays: c.u64()?,
+        link_retries: c.u64()?,
+        link_retrains: c.u64()?,
+        poisoned_responses: c.u64()?,
     })
 }
 
@@ -689,12 +707,14 @@ mod tests {
                 WireResponse {
                     tag: 511,
                     ok: true,
+                    status: 0,
                     latency: 19,
                     data: vec![1, 2, 3, 4],
                 },
                 WireResponse {
                     tag: 0,
                     ok: false,
+                    status: 0x05,
                     latency: 1,
                     data: vec![],
                 },
@@ -723,6 +743,9 @@ mod tests {
             bit_flips: 3,
             trr_refreshes: 2,
             retention_decays: 1,
+            link_retries: 9,
+            link_retrains: 1,
+            poisoned_responses: 4,
         }));
         roundtrip(Frame::Closed(WireStats::default()));
         roundtrip(Frame::CloseSession { session: 42 });

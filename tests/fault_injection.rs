@@ -29,7 +29,11 @@ fn corrupted_packets_are_detected_and_recovered() {
     s.enable_fault_injection(FaultConfig {
         packet_error_rate: 0.25,
         retry_cycles: 4,
+        // Effectively unbounded retries: this test is about recovery,
+        // not exhaustion (0.25^1000 never happens).
+        retry_limit: 1_000,
         seed: 42,
+        ..FaultConfig::default()
     });
     let host_id = s.host_cube_id(0);
     let mut host = Host::attach(&s, host_id).unwrap();
@@ -54,6 +58,57 @@ fn corrupted_packets_are_detected_and_recovered() {
 }
 
 #[test]
+fn retry_exhaustion_poisons_every_abandoned_request() {
+    // Aggressive corruption against a tight retry budget: ~12% of
+    // packets (0.35^2) exhaust their attempts. The device must still
+    // answer *every* request — abandoned packets come back as poisoned
+    // error responses, never silent drops — and each abort takes the
+    // link down for a retraining window.
+    let mut s = sim();
+    let sink = SharedSink::new(CountingSink::default());
+    s.set_tracer(Tracer::new(Verbosity::Stalls, Box::new(sink.clone())));
+    s.enable_fault_injection(FaultConfig {
+        packet_error_rate: 0.35,
+        retry_cycles: 3,
+        retry_limit: 1,
+        retrain_cycles: 16,
+        seed: 0x000B_AD11,
+    });
+    let host_id = s.host_cube_id(0);
+    let mut host = Host::attach(&s, host_id).unwrap();
+    let mut w = RandomAccess::new(3, 1 << 28, BlockSize::B64, 50, 2_000);
+    let report = run_workload(&mut s, &mut host, &mut w, RunConfig::default()).unwrap();
+
+    // Exactly one response per request: nothing dropped, nothing doubled.
+    assert_eq!(report.completed, 2_000);
+    assert_eq!(host.stats.orphans, 0);
+
+    let faults = s.fault_state().unwrap().clone();
+    assert!(faults.poisoned > 0, "the tight cap must actually exhaust");
+    assert_eq!(report.errors, faults.poisoned, "every error is a poison");
+    assert_eq!(host.stats.poisoned, faults.poisoned);
+    assert_eq!(s.stats().poisoned_responses, faults.poisoned);
+    assert_eq!(s.stats().link_retries + faults.poisoned, faults.detected);
+
+    let counters = &sink.0.lock().counters;
+    assert_eq!(
+        counters.get(EventKind::LinkDown),
+        faults.poisoned,
+        "one LINK_DOWN per abandoned packet"
+    );
+    assert_eq!(counters.get(EventKind::PoisonedResponse), faults.poisoned);
+    assert_eq!(
+        counters.get(EventKind::LinkRetry) + counters.get(EventKind::LinkDown),
+        faults.detected,
+        "every detection either scheduled a retry or took the link down"
+    );
+    assert!(
+        counters.get(EventKind::LinkRetrain) > 0,
+        "downed links must come back up and log it"
+    );
+}
+
+#[test]
 fn lossy_links_cost_cycles() {
     let run = |rate: f64| {
         let mut s = sim();
@@ -62,6 +117,7 @@ fn lossy_links_cost_cycles() {
                 packet_error_rate: rate,
                 retry_cycles: 8,
                 seed: 7,
+                ..FaultConfig::default()
             });
         }
         let host_id = s.host_cube_id(0);
@@ -86,6 +142,7 @@ fn zero_rate_fault_injection_is_a_noop() {
         packet_error_rate: 0.0,
         retry_cycles: 8,
         seed: 1,
+        ..FaultConfig::default()
     });
     let host_id = s.host_cube_id(0);
     let mut host = Host::attach(&s, host_id).unwrap();

@@ -34,14 +34,15 @@ fn run(cfg: DeviceConfig, threads: usize, requests: u64, seed: u64) -> RunResult
 }
 
 /// [`run`], optionally with link-error injection armed; also returns the
-/// fault statistics `(injected, detected)` for determinism comparison.
+/// fault statistics `(injected, detected, poisoned)` for determinism
+/// comparison.
 fn run_with_faults(
     cfg: DeviceConfig,
     threads: usize,
     requests: u64,
     seed: u64,
     faults: Option<FaultConfig>,
-) -> (RunResult, (u64, u64)) {
+) -> (RunResult, (u64, u64, u64)) {
     let mut sim = HmcSim::new(1, cfg).unwrap().with_threads(threads);
     let host = sim.host_cube_id(0);
     topology::build_simple(&mut sim, host).unwrap();
@@ -108,7 +109,7 @@ fn run_with_faults(
 
     let fault_stats = sim
         .fault_state()
-        .map_or((0, 0), |f| (f.injected, f.detected));
+        .map_or((0, 0, 0), |f| (f.injected, f.detected, f.poisoned));
     let counters = &counting.0.lock().counters;
     let counts: Vec<u64> = EventKind::ALL.iter().map(|&k| counters.get(k)).collect();
     (
@@ -161,6 +162,7 @@ fn fault_injection_is_bit_identical_across_one_two_four_eight_threads() {
         packet_error_rate: 0.02,
         retry_cycles: 6,
         seed: 0xFA_0175,
+        ..FaultConfig::default()
     };
     let cfg = DeviceConfig::small();
     let (reference, ref_faults) =
@@ -190,6 +192,42 @@ fn fault_injection_is_bit_identical_across_one_two_four_eight_threads() {
         assert_eq!(
             run.1, reference.1,
             "{threads}-thread trace-event counts diverge from serial"
+        );
+    }
+}
+
+#[test]
+fn retry_exhaustion_is_bit_identical_across_threads() {
+    // Same contract as above, but with a retry budget tight enough that
+    // links actually go down: the exhaustion aborts, poisoned error
+    // responses, and retraining windows must all land on the identical
+    // cycles regardless of shard count.
+    let faults = FaultConfig {
+        packet_error_rate: 0.3,
+        retry_cycles: 5,
+        retry_limit: 1,
+        retrain_cycles: 24,
+        seed: 0x0015_04ED,
+    };
+    let cfg = DeviceConfig::small();
+    let (reference, ref_faults) =
+        run_with_faults(cfg.clone(), 1, 1_000, 0x0BAD_C0DE, Some(faults));
+    assert!(
+        ref_faults.2 > 0,
+        "the tight retry budget must actually poison packets (poisoned {})",
+        ref_faults.2
+    );
+    for threads in [2, 4, 8] {
+        let (run, fault_stats) =
+            run_with_faults(cfg.clone(), threads, 1_000, 0x0BAD_C0DE, Some(faults));
+        assert_eq!(
+            fault_stats, ref_faults,
+            "{threads}-thread injected/detected/poisoned counters diverge"
+        );
+        assert_eq!(
+            (run.2, &run.0, &run.1),
+            (reference.2, &reference.0, &reference.1),
+            "{threads}-thread observable state diverges from serial"
         );
     }
 }
